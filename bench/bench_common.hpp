@@ -1,0 +1,64 @@
+#pragma once
+// Shared glue for the table/figure bench binaries: formatting of
+// model-vs-paper cells and CSV dumping controlled by `csv=<path>`.
+
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "core/config.hpp"
+#include "core/csv.hpp"
+#include "core/statistics.hpp"
+#include "core/units.hpp"
+
+namespace pvcbench {
+
+/// "17.2 TFlop/s (paper 17, +1.2%)" — the standard cell format.
+inline std::string cell_vs_paper(double model, double paper,
+                                 const std::string& unit_suffix = "Flop/s") {
+  const double delta = (model - paper) / paper * 100.0;
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%s (paper %s, %+.1f%%)",
+                pvc::format_flops(model, unit_suffix).c_str(),
+                pvc::format_flops(paper, unit_suffix).c_str(), delta);
+  return buf;
+}
+
+inline std::string cell_bw_vs_paper(double model, double paper) {
+  const double delta = (model - paper) / paper * 100.0;
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%s (paper %s, %+.1f%%)",
+                pvc::format_bandwidth(model).c_str(),
+                pvc::format_bandwidth(paper).c_str(), delta);
+  return buf;
+}
+
+inline std::string cell_fom_vs_paper(const std::optional<double>& model,
+                                     const std::optional<double>& paper) {
+  if (!model && !paper) {
+    return "-";
+  }
+  if (model && !paper) {
+    return pvc::format_value(*model, 4) + " (paper -)";
+  }
+  if (!model) {
+    return "- (paper " + pvc::format_value(*paper, 4) + ")";
+  }
+  const double delta = (*model - *paper) / *paper * 100.0;
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%s (paper %s, %+.1f%%)",
+                pvc::format_value(*model, 4).c_str(),
+                pvc::format_value(*paper, 4).c_str(), delta);
+  return buf;
+}
+
+/// Writes the CSV when the binary was invoked with `csv=<path>`.
+inline void maybe_write_csv(const pvc::Config& config,
+                            const pvc::CsvWriter& csv) {
+  if (const auto path = config.get("csv")) {
+    csv.write_file(*path);
+    std::printf("\nCSV written to %s\n", path->c_str());
+  }
+}
+
+}  // namespace pvcbench

@@ -1,0 +1,71 @@
+// Regenerates the paper's Figure 1: pointer-chase memory latency (GPU
+// cycles) versus footprint for all four systems, in both the modified
+// coalesced (16-work-item sub-group) mode the paper plots and the
+// original single-lane ring mode.
+//
+// Usage: fig1_latency [coalesced=true] [csv=<path>]
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/ascii_plot.hpp"
+#include "report/figures.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pvc;
+  const auto config = Config::from_args(argc, argv);
+  const bool coalesced = config.get_bool("coalesced", true);
+
+  std::printf("Figure 1 reproduction — memory latency (%s access mode)\n\n",
+              coalesced ? "coalesced 16-wide" : "single-lane ring");
+  const auto series = report::figure1_series(coalesced);
+
+  LinePlot plot("Memory latency vs footprint", "footprint (bytes)",
+                "latency (cycles)");
+  plot.set_log2_x(true);
+  plot.set_log10_y(true);
+  CsvWriter csv;
+  csv.set_header({"system", "footprint_bytes", "latency_cycles"});
+  for (const auto& s : series) {
+    PlotSeries ps;
+    ps.name = s.system;
+    for (const auto& point : s.points) {
+      ps.x.push_back(point.footprint_bytes);
+      ps.y.push_back(point.latency_cycles);
+      csv.add_row({s.system, format_value(point.footprint_bytes, 8),
+                   format_value(point.latency_cycles, 6)});
+    }
+    plot.add_series(std::move(ps));
+  }
+  plot.render(std::cout);
+
+  // The cross-system claims of §IV-B6.
+  const auto at = [&](const std::string& system, double footprint) {
+    for (const auto& s : series) {
+      if (s.system != system) {
+        continue;
+      }
+      for (const auto& p : s.points) {
+        if (p.footprint_bytes >= footprint) {
+          return p.latency_cycles;
+        }
+      }
+    }
+    return 0.0;
+  };
+  const double small = 16.0 * KiB, big = 512.0 * MiB;
+  std::printf("\nL1-resident latency:  Aurora %.0f, Dawn %.0f, H100 %.0f, "
+              "MI250 %.0f cycles\n",
+              at("Aurora", small), at("Dawn", small), at("JLSE-H100", small),
+              at("JLSE-MI250", small));
+  std::printf("HBM-resident latency: Aurora %.0f, Dawn %.0f, H100 %.0f, "
+              "MI250 %.0f cycles\n",
+              at("Aurora", big), at("Dawn", big), at("JLSE-H100", big),
+              at("JLSE-MI250", big));
+  std::printf("Paper claims: PVC L1 +90%% vs H100, -51%% vs MI250; PVC HBM "
+              "+23%% vs H100, +44%% vs MI250; Dawn/Aurora within 1-2%%.\n");
+
+  pvcbench::maybe_write_csv(config, csv);
+  return 0;
+}

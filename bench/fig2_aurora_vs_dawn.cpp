@@ -1,0 +1,32 @@
+// Regenerates the paper's Figure 2: mini-app figures-of-merit on Aurora
+// relative to Dawn, with the expected relative performance derived from
+// the microbenchmarks (the paper's black bars).
+//
+// Usage: fig2_aurora_vs_dawn [csv=<path>]
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/ascii_plot.hpp"
+#include "report/figures.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pvc;
+  const auto config = Config::from_args(argc, argv);
+
+  const auto bars = report::figure2_bars();
+  BarChart chart(
+      "Figure 2 reproduction — FOMs on Aurora relative to Dawn\n"
+      "(expected bars from the Table II microbenchmark ratios; miniQMC has "
+      "none — its CPU-congestion bottleneck is not captured, §V-B1)");
+  CsvWriter csv;
+  csv.set_header({"app", "scope", "measured_ratio", "expected_ratio"});
+  for (const auto& bar : bars) {
+    chart.add_bar({bar.app, bar.label, bar.measured, bar.expected});
+    csv.add_row({bar.app, bar.label, format_value(bar.measured, 5),
+                 bar.expected ? format_value(*bar.expected, 5) : ""});
+  }
+  chart.render(std::cout);
+  pvcbench::maybe_write_csv(config, csv);
+  return 0;
+}

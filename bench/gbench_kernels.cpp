@@ -1,0 +1,149 @@
+// google-benchmark measured baselines of the real (host-executed)
+// kernels: stream triad, FMA chains, multi-precision GEMM, FFT and the
+// pointer chase.  These are the functional counterparts of the modelled
+// device kernels — useful both as regression benchmarks for this library
+// and as a demonstration that the workloads are real computations.
+
+#include <benchmark/benchmark.h>
+
+#include <complex>
+#include <vector>
+
+#include "blas/gemm.hpp"
+#include "core/rng.hpp"
+#include "fft/fft.hpp"
+#include "kernels/fma_chain.hpp"
+#include "kernels/narrow_float.hpp"
+#include "kernels/pointer_chase.hpp"
+#include "kernels/triad.hpp"
+
+namespace {
+
+void BM_TriadFp64(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> a(n), b(n, 1.0), c(n, 2.0);
+  for (auto _ : state) {
+    pvc::kernels::triad(std::span<double>(a), std::span<const double>(b),
+                        std::span<const double>(c), 3.0);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(
+                              pvc::kernels::triad_bytes(n, sizeof(double))));
+}
+BENCHMARK(BM_TriadFp64)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_FmaChainFp64(benchmark::State& state) {
+  const auto items = static_cast<std::size_t>(state.range(0));
+  double sink = 0.0;
+  for (auto _ : state) {
+    sink += pvc::kernels::fma_chain_fp64(items, 1.0000001, 1e-9);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.counters["flops"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          pvc::kernels::fma_chain_flops(items),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FmaChainFp64)->Arg(8)->Arg(64);
+
+void BM_GemmFp64(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  pvc::Rng rng(1);
+  std::vector<double> a(n * n), b(n * n), c(n * n);
+  for (auto& v : a) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  for (auto& v : b) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  for (auto _ : state) {
+    pvc::blas::gemm(n, n, n, 1.0, std::span<const double>(a),
+                    std::span<const double>(b), 0.0, std::span<double>(c));
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["flops"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          pvc::blas::gemm_flops(static_cast<double>(n)),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmFp64)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmI8(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::int8_t> a(n * n, 3), b(n * n, -2);
+  std::vector<std::int32_t> c(n * n);
+  for (auto _ : state) {
+    pvc::blas::gemm_i8(n, n, n, std::span<const std::int8_t>(a),
+                       std::span<const std::int8_t>(b),
+                       std::span<std::int32_t>(c));
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmI8)->Arg(128);
+
+void BM_FftPow2(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  pvc::Rng rng(2);
+  std::vector<std::complex<double>> data(n);
+  for (auto& v : data) {
+    v = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  }
+  for (auto _ : state) {
+    pvc::fft::fft_pow2_inplace(data, false);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.counters["flops"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          pvc::fft::fft_flops_complex(static_cast<double>(n)),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FftPow2)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_FftBluestein(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  pvc::Rng rng(3);
+  std::vector<std::complex<double>> in(n), out(n);
+  for (auto& v : in) {
+    v = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  }
+  for (auto _ : state) {
+    pvc::fft::fft(in, out, false);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_FftBluestein)->Arg(1000)->Arg(20000);
+
+void BM_PointerChaseHost(benchmark::State& state) {
+  const auto footprint = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const double ns = pvc::kernels::chase_host_ns_per_load(footprint, 50000);
+    benchmark::DoNotOptimize(ns);
+    state.counters["ns_per_load"] = ns;
+  }
+}
+BENCHMARK(BM_PointerChaseHost)
+    ->Arg(1 << 14)
+    ->Arg(1 << 20)
+    ->Arg(1 << 24)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HalfConversion(benchmark::State& state) {
+  pvc::Rng rng(4);
+  std::vector<float> values(4096);
+  for (auto& v : values) {
+    v = static_cast<float>(rng.uniform(-100.0, 100.0));
+  }
+  for (auto _ : state) {
+    float sum = 0.0f;
+    for (float v : values) {
+      sum += pvc::kernels::round_trip<pvc::kernels::half_t>(v);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_HalfConversion);
+
+}  // namespace
+
+BENCHMARK_MAIN();

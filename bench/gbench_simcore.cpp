@@ -1,0 +1,91 @@
+// google-benchmark measurements of the simulator core itself: event
+// throughput, flow-network rate recomputation under contention, cache
+// model access rate, and whole-Table-II evaluation cost.  These guard
+// the simulator's own performance (a model that takes minutes to answer
+// is not usable as a design tool).
+
+#include <benchmark/benchmark.h>
+
+#include "arch/systems.hpp"
+#include "micro/microbench.hpp"
+#include "sim/cache_model.hpp"
+#include "sim/engine.hpp"
+#include "sim/flow_network.hpp"
+
+namespace {
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    pvc::sim::Engine engine;
+    long counter = 0;
+    for (int i = 0; i < 10000; ++i) {
+      engine.schedule_at(static_cast<double>(i), [&counter] { ++counter; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EngineEventThroughput);
+
+void BM_FlowNetworkContention(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    pvc::sim::Engine engine;
+    pvc::sim::FlowNetwork net(engine);
+    const auto shared = net.add_link("shared", 1e9);
+    std::vector<pvc::sim::LinkId> privates;
+    for (int f = 0; f < flows; ++f) {
+      privates.push_back(net.add_link("p", 1e8 * (1 + f % 7)));
+    }
+    for (int f = 0; f < flows; ++f) {
+      net.start_flow({shared, privates[static_cast<std::size_t>(f)]},
+                     1e6 * (1 + f % 13), 0.0, {});
+    }
+    engine.run();
+    benchmark::DoNotOptimize(engine.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_FlowNetworkContention)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_CacheHierarchyAccess(benchmark::State& state) {
+  const auto node = pvc::arch::aurora();
+  pvc::sim::CacheHierarchy cache(node.card.subdevice.caches,
+                                 node.card.subdevice.hbm.latency_cycles);
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    double latency = 0.0;
+    for (int i = 0; i < 1000; ++i) {
+      addr = (addr * 2862933555777941757ull + 3037000493ull) % (1ull << 30);
+      latency += cache.access(addr);
+    }
+    benchmark::DoNotOptimize(latency);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_CacheHierarchyAccess);
+
+void BM_MeasurePeakFlops(benchmark::State& state) {
+  const auto node = pvc::arch::aurora();
+  for (auto _ : state) {
+    const double flops = pvc::micro::measure_peak_flops(
+        node, pvc::arch::Precision::FP64, pvc::arch::Scope::FullNode);
+    benchmark::DoNotOptimize(flops);
+  }
+}
+BENCHMARK(BM_MeasurePeakFlops);
+
+void BM_MeasureFullNodeP2p(benchmark::State& state) {
+  const auto node = pvc::arch::aurora();
+  for (auto _ : state) {
+    const auto result = pvc::micro::measure_p2p(node, true);
+    benchmark::DoNotOptimize(result.local_bidir_bps);
+  }
+  state.SetLabel("six local + six remote pairs, both directions");
+}
+BENCHMARK(BM_MeasureFullNodeP2p)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

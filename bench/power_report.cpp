@@ -1,0 +1,66 @@
+// Power-draw report (extension experiment): the governor-resolved
+// frequency and wattage behind the paper's TDP observations, per
+// workload class and scope — why FP64 FMA runs at 1.2 GHz, why Dawn's
+// node scaling trails Aurora's.
+//
+// Usage: power_report [csv=<path>]
+
+#include <cstdio>
+#include <iostream>
+
+#include "arch/peaks.hpp"
+#include "arch/systems.hpp"
+#include "bench_common.hpp"
+#include "core/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pvc;
+  using arch::Scope;
+  using arch::WorkloadKind;
+  const auto config = Config::from_args(argc, argv);
+
+  const WorkloadKind kinds[] = {WorkloadKind::Fp64Fma, WorkloadKind::Fp32Fma,
+                                WorkloadKind::GemmFp64,
+                                WorkloadKind::GemmLowPrec, WorkloadKind::Fft,
+                                WorkloadKind::Stream};
+  const Scope scopes[] = {Scope::OneSubdevice, Scope::OneCard,
+                          Scope::FullNode};
+
+  CsvWriter csv;
+  csv.set_header({"system", "workload", "scope", "frequency_hz",
+                  "per_stack_w", "total_w"});
+
+  for (const auto& node : {arch::aurora(), arch::dawn()}) {
+    Table table("Modeled power / frequency — " + node.system_name +
+                " (card cap " + format_value(node.power.card_cap_w, 3) +
+                " W, node budget " + format_value(node.power.node_cap_w, 4) +
+                " W)");
+    table.set_header({"Workload", "One Stack", "One PVC", "Full Node"});
+    for (const auto kind : kinds) {
+      std::vector<std::string> row{arch::workload_name(kind)};
+      for (const auto scope : scopes) {
+        const auto r = arch::power_report(node, kind, scope);
+        char buf[96];
+        std::snprintf(buf, sizeof buf, "%s, %.0f W/stack (%.0f W total)",
+                      format_frequency(r.frequency_hz).c_str(),
+                      r.per_stack_w, r.total_w);
+        row.emplace_back(buf);
+        csv.add_row({node.system_name, arch::workload_name(kind),
+                     arch::scope_name(scope),
+                     format_value(r.frequency_hz, 6),
+                     format_value(r.per_stack_w, 5),
+                     format_value(r.total_w, 6)});
+      }
+      table.add_row(std::move(row));
+    }
+    table.render(std::cout);
+    std::printf("\n");
+  }
+  std::printf(
+      "Reading: FP64 FMA pins each stack at its sustained delivery cap "
+      "(~1.2 GHz, §IV-B2); FP32 never throttles on a single stack; at "
+      "full node the shared budget shaves a further ~2-5%% — more on Dawn, "
+      "whose 64-core stacks draw ~14%% more per clock.\n");
+  pvcbench::maybe_write_csv(config, csv);
+  return 0;
+}

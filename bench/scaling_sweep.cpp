@@ -1,0 +1,92 @@
+// Scaling sweep (extension experiment): mini-app FOM versus active rank
+// count from one stack to the full node, for every system — the curves
+// behind Table VI's three scope columns, including the miniQMC
+// congestion knee and mini-GAMESS's Amdahl roll-off.
+//
+// Usage: scaling_sweep [csv=<path>]
+
+#include <cstdio>
+#include <iostream>
+
+#include "arch/peaks.hpp"
+#include "arch/systems.hpp"
+#include "bench_common.hpp"
+#include "comm/binding.hpp"
+#include "core/table.hpp"
+#include "miniapps/cloverleaf.hpp"
+#include "miniapps/minigamess.hpp"
+#include "miniapps/miniqmc.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pvc;
+  const auto config = Config::from_args(argc, argv);
+
+  CsvWriter csv;
+  csv.set_header({"system", "app", "ranks", "fom", "parallel_efficiency"});
+
+  for (const auto& node : arch::all_systems()) {
+    const int max_ranks = node.total_subdevices();
+    Table table("FOM vs active ranks — " + node.system_name);
+    table.set_header(
+        {"Ranks", "CloverLeaf (weak)", "eff", "miniQMC (weak)", "eff",
+         "mini-GAMESS (strong)", "speedup"});
+
+    // Per-rank baselines.
+    const double clover_1 =
+        miniapps::kPaperCells /
+        (miniapps::kPaperCells * miniapps::kBytesPerCellStep *
+         miniapps::kBenchSteps / arch::subdevice_stream_bandwidth(node)) /
+        1.0e6;
+    const double qmc_t1 = miniapps::miniqmc_block_time(node, 1);
+    const bool has_gamess = node.system_name != "JLSE-MI250";
+    const double gamess_t1 =
+        has_gamess ? miniapps::minigamess_walltime(node, 1) : 0.0;
+
+    for (int ranks = 1; ranks <= max_ranks; ranks *= 2) {
+      const int r = std::min(ranks, max_ranks);
+      // CloverLeaf weak-scales linearly (§V-A2's design goal).
+      const double clover = clover_1 * r;
+      const double clover_eff = 1.0;
+      // miniQMC: the CPU-congestion model.
+      const double qmc_t = miniapps::miniqmc_block_time(node, r);
+      const double qmc = 3.16 * r / qmc_t;
+      const double qmc_eff = qmc_t1 / qmc_t;
+      // mini-GAMESS strong scaling.
+      double gamess = 0.0, gamess_speedup = 0.0;
+      if (has_gamess) {
+        const double t = miniapps::minigamess_walltime(node, r);
+        gamess = 3600.0 / t;
+        gamess_speedup = gamess_t1 / t;
+      }
+
+      table.add_row({std::to_string(r), format_value(clover, 4),
+                     format_value(clover_eff, 3), format_value(qmc, 4),
+                     format_value(qmc_eff, 3),
+                     has_gamess ? format_value(gamess, 4) : "-",
+                     has_gamess ? format_value(gamess_speedup, 3) : "-"});
+      csv.add_row({node.system_name, "cloverleaf", std::to_string(r),
+                   format_value(clover, 6), format_value(clover_eff, 4)});
+      csv.add_row({node.system_name, "miniqmc", std::to_string(r),
+                   format_value(qmc, 6), format_value(qmc_eff, 4)});
+      if (has_gamess) {
+        csv.add_row({node.system_name, "minigamess", std::to_string(r),
+                     format_value(gamess, 6),
+                     format_value(gamess_speedup, 4)});
+      }
+      if (ranks >= max_ranks) {
+        break;
+      }
+      if (ranks * 2 > max_ranks && ranks != max_ranks) {
+        ranks = max_ranks / 2;  // make sure the full node is printed
+      }
+    }
+    table.render(std::cout);
+    std::printf("\n");
+  }
+  std::printf(
+      "Crossover note: on Aurora miniQMC efficiency collapses past two "
+      "ranks per socket (cores/rank < threads wanted) — the §V-B1 knee; "
+      "mini-GAMESS keeps ~85%% strong-scaling speedup to the full node.\n");
+  pvcbench::maybe_write_csv(config, csv);
+  return 0;
+}

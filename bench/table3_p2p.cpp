@@ -1,0 +1,95 @@
+// Regenerates the paper's Table III: stack-to-stack point-to-point
+// bandwidth (local MDFI pairs and remote Xe-Link pairs, one pair vs all
+// disjoint pairs).  Dawn's remote columns print "-" as in the paper.
+//
+// Usage: table3_p2p [csv=<path>]
+
+#include <cstdio>
+#include <iostream>
+
+#include "arch/systems.hpp"
+#include "bench_common.hpp"
+#include "core/table.hpp"
+#include "micro/paper_reference.hpp"
+#include "micro/table_results.hpp"
+
+namespace {
+
+std::string opt_cell(const std::optional<double>& model,
+                     const std::optional<double>& paper) {
+  if (!model || !paper) {
+    return "-";
+  }
+  return pvcbench::cell_bw_vs_paper(*model, *paper);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto config = pvc::Config::from_args(argc, argv);
+
+  const auto aurora =
+      pvc::micro::compute_table3(pvc::arch::aurora(), /*measure_remote=*/true);
+  const auto dawn =
+      pvc::micro::compute_table3(pvc::arch::dawn(), /*measure_remote=*/false);
+  const auto ref_a = pvc::micro::table3_aurora();
+  const auto ref_d = pvc::micro::table3_dawn();
+
+  pvc::Table table(
+      "Table III reproduction — Stack to Stack Point to Point Communication");
+  table.set_header({"", "Aurora One Pair", "Aurora Six Pairs",
+                    "Dawn One Pair", "Dawn Four Pairs"});
+  table.add_row({"Local Stack Unidirectional Bandwidth",
+                 pvcbench::cell_bw_vs_paper(aurora.local_uni_one_pair,
+                                            ref_a.local_uni_one_pair),
+                 pvcbench::cell_bw_vs_paper(aurora.local_uni_all_pairs,
+                                            ref_a.local_uni_all_pairs),
+                 pvcbench::cell_bw_vs_paper(dawn.local_uni_one_pair,
+                                            ref_d.local_uni_one_pair),
+                 pvcbench::cell_bw_vs_paper(dawn.local_uni_all_pairs,
+                                            ref_d.local_uni_all_pairs)});
+  table.add_row({"Local Stack Bidirectional Bandwidth",
+                 pvcbench::cell_bw_vs_paper(aurora.local_bidir_one_pair,
+                                            ref_a.local_bidir_one_pair),
+                 pvcbench::cell_bw_vs_paper(aurora.local_bidir_all_pairs,
+                                            ref_a.local_bidir_all_pairs),
+                 pvcbench::cell_bw_vs_paper(dawn.local_bidir_one_pair,
+                                            ref_d.local_bidir_one_pair),
+                 pvcbench::cell_bw_vs_paper(dawn.local_bidir_all_pairs,
+                                            ref_d.local_bidir_all_pairs)});
+  table.add_row({"Remote Stack Unidirectional Bandwidth",
+                 opt_cell(aurora.remote_uni_one_pair,
+                          ref_a.remote_uni_one_pair),
+                 opt_cell(aurora.remote_uni_all_pairs,
+                          ref_a.remote_uni_all_pairs),
+                 "-", "-"});
+  table.add_row({"Remote Stack Bidirectional Bandwidth",
+                 opt_cell(aurora.remote_bidir_one_pair,
+                          ref_a.remote_bidir_one_pair),
+                 opt_cell(aurora.remote_bidir_all_pairs,
+                          ref_a.remote_bidir_all_pairs),
+                 "-", "-"});
+  table.render(std::cout);
+
+  std::printf(
+      "\nNote: remote Xe-Link pairs (%.0f GB/s) are slower than PCIe "
+      "(~55 GB/s), as the paper highlights in §IV-B7.\n",
+      aurora.remote_uni_one_pair.value_or(0.0) / 1e9);
+
+  pvc::CsvWriter csv;
+  csv.set_header({"system", "metric", "one_pair_bps", "all_pairs_bps"});
+  csv.add_row({"Aurora", "local_uni",
+               pvc::format_value(aurora.local_uni_one_pair, 6),
+               pvc::format_value(aurora.local_uni_all_pairs, 6)});
+  csv.add_row({"Aurora", "local_bidir",
+               pvc::format_value(aurora.local_bidir_one_pair, 6),
+               pvc::format_value(aurora.local_bidir_all_pairs, 6)});
+  csv.add_row({"Aurora", "remote_uni",
+               pvc::format_value(aurora.remote_uni_one_pair.value_or(0), 6),
+               pvc::format_value(aurora.remote_uni_all_pairs.value_or(0), 6)});
+  csv.add_row({"Dawn", "local_uni",
+               pvc::format_value(dawn.local_uni_one_pair, 6),
+               pvc::format_value(dawn.local_uni_all_pairs, 6)});
+  pvcbench::maybe_write_csv(config, csv);
+  return 0;
+}

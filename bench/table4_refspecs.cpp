@@ -1,0 +1,68 @@
+// Regenerates the paper's Table IV: performance characteristics of the
+// NVIDIA H100, AMD MI250 (theoretical) and one MI250x GCD (measured on
+// Frontier), as encoded in the architecture models.
+//
+// Usage: table4_refspecs [csv=<path>]
+
+#include <iostream>
+
+#include "arch/peaks.hpp"
+#include "arch/systems.hpp"
+#include "bench_common.hpp"
+#include "core/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pvc;
+  const auto config = Config::from_args(argc, argv);
+
+  const auto h100 = arch::jlse_h100();
+  const auto mi250 = arch::jlse_mi250();
+  const auto gcd = arch::mi250x_gcd_reference();
+
+  Table table(
+      "Table IV reproduction — H100 / MI250 (theoretical) and MI250x GCD "
+      "(measured on Frontier)");
+  table.set_header({"", "H100", "MI250", "1x GCD MI250x"});
+  table.add_row({"FP32 peak",
+                 format_flops(arch::theoretical_vector_peak(
+                     h100, arch::Precision::FP32, arch::Scope::OneSubdevice)),
+                 format_flops(arch::theoretical_vector_peak(
+                     mi250, arch::Precision::FP32, arch::Scope::OneCard)),
+                 "-"});
+  table.add_row({"FP64 peak",
+                 format_flops(arch::theoretical_vector_peak(
+                     h100, arch::Precision::FP64, arch::Scope::OneSubdevice)),
+                 format_flops(arch::theoretical_vector_peak(
+                     mi250, arch::Precision::FP64, arch::Scope::OneCard)),
+                 "-"});
+  table.add_row({"SGEMM", "-", "-", format_flops(gcd.sgemm_flops)});
+  table.add_row({"DGEMM", "-", "-", format_flops(gcd.dgemm_flops)});
+  table.add_row({"Memory BW",
+                 format_bandwidth(h100.card.subdevice.hbm.bandwidth_bps),
+                 format_bandwidth(mi250.card.subdevice.hbm.bandwidth_bps *
+                                  2.0),
+                 format_bandwidth(gcd.memory_bw_bps)});
+  table.add_row({"PCIe BW", "128 GB/s (gen5 spec)", "64 GB/s (gen4 spec)",
+                 format_bandwidth(gcd.pcie_bw_bps)});
+  table.add_row({"GCD to GCD", "-", "-",
+                 format_bandwidth(gcd.gcd_to_gcd_bps)});
+  table.render(std::cout);
+
+  std::cout << "\nPaper values: H100 FP32 67.0 / FP64 34.0 TFlop/s, BW 3.35 "
+               "TB/s; MI250 45.3 / 45.3 TFlop/s, BW 3.2 TB/s; MI250x GCD "
+               "SGEMM 33.8 / DGEMM 24.1 TFlop/s, BW 1.3 TB/s, GCD-GCD 37 "
+               "GB/s.\n";
+
+  CsvWriter csv;
+  csv.set_header({"metric", "value"});
+  csv.add_numeric_row("h100_fp32",
+                      {arch::theoretical_vector_peak(
+                          h100, arch::Precision::FP32,
+                          arch::Scope::OneSubdevice)});
+  csv.add_numeric_row("mi250_fp64",
+                      {arch::theoretical_vector_peak(
+                          mi250, arch::Precision::FP64, arch::Scope::OneCard)});
+  csv.add_numeric_row("mi250x_gcd_dgemm", {gcd.dgemm_flops});
+  pvcbench::maybe_write_csv(config, csv);
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Regenerates the paper's Table VI: mini-app and application
+// figures-of-merit across Aurora, Dawn, JLSE-H100 and JLSE-MI250, with
+// paper values and deltas.  Cells the paper leaves blank print "-".
+//
+// Usage: table6_foms [csv=<path>]
+
+#include <iostream>
+
+#include "arch/systems.hpp"
+#include "bench_common.hpp"
+#include "core/table.hpp"
+#include "micro/paper_reference.hpp"
+#include "report/table6.hpp"
+
+namespace {
+
+using pvc::miniapps::FomTriple;
+using pvc::micro::Table6Reference;
+
+struct AppRow {
+  const char* name;
+  FomTriple pvc::report::Table6Column::* member;
+};
+
+/// Paper reference triple for one app on one system, in the same
+/// (one_stack / one_gpu / node) layout as the model.
+FomTriple paper_triple(const Table6Reference& ref, const char* app) {
+  FomTriple t;
+  const std::string name = app;
+  if (name == "miniBUDE") {
+    t.one_stack = ref.minibude_one_stack;
+  } else if (name == "CloverLeaf") {
+    t.one_stack = ref.cloverleaf_one_stack;
+    t.one_gpu = ref.cloverleaf_one_gpu;
+    t.node = ref.cloverleaf_node;
+  } else if (name == "miniQMC") {
+    t.one_stack = ref.miniqmc_one_stack;
+    t.one_gpu = ref.miniqmc_one_gpu;
+    t.node = ref.miniqmc_node;
+  } else if (name == "mini-GAMESS") {
+    t.one_stack = ref.gamess_one_stack;
+    t.one_gpu = ref.gamess_one_gpu;
+    t.node = ref.gamess_node;
+  } else if (name == "OpenMC") {
+    t.node = ref.openmc_node;
+  } else if (name == "HACC") {
+    t.node = ref.hacc_node;
+  }
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pvc;
+  const auto config = Config::from_args(argc, argv);
+
+  const auto columns = report::compute_table6_all();
+  const Table6Reference refs[] = {
+      micro::table6_aurora(), micro::table6_dawn(), micro::table6_h100(),
+      micro::table6_mi250()};
+
+  const AppRow apps[] = {
+      {"miniBUDE", &report::Table6Column::minibude},
+      {"CloverLeaf", &report::Table6Column::cloverleaf},
+      {"miniQMC", &report::Table6Column::miniqmc},
+      {"mini-GAMESS", &report::Table6Column::minigamess},
+      {"OpenMC", &report::Table6Column::openmc},
+      {"HACC", &report::Table6Column::hacc},
+  };
+
+  CsvWriter csv;
+  csv.set_header({"system", "app", "scope", "model", "paper"});
+
+  for (std::size_t s = 0; s < columns.size(); ++s) {
+    const auto& col = columns[s];
+    const bool pvc_like = s < 2 || s == 3;  // Aurora, Dawn, MI250 have stacks
+    Table table("Table VI reproduction — " + col.system +
+                " (FOM units per Table V)");
+    table.set_header({"App",
+                      pvc_like ? "One Stack/GCD" : "One Stack",
+                      "One GPU",
+                      s == 0 ? "Six GPU" : "Four GPU"});
+    for (const auto& app : apps) {
+      const FomTriple& model = col.*(app.member);
+      const FomTriple paper = paper_triple(refs[s], app.name);
+      table.add_row({app.name,
+                     pvcbench::cell_fom_vs_paper(model.one_stack,
+                                                 paper.one_stack),
+                     pvcbench::cell_fom_vs_paper(model.one_gpu,
+                                                 paper.one_gpu),
+                     pvcbench::cell_fom_vs_paper(model.node, paper.node)});
+      const auto emit = [&](const char* scope,
+                            const std::optional<double>& m,
+                            const std::optional<double>& p) {
+        csv.add_row({col.system, app.name, scope,
+                     m ? format_value(*m, 6) : "",
+                     p ? format_value(*p, 6) : ""});
+      };
+      emit("one_stack", model.one_stack, paper.one_stack);
+      emit("one_gpu", model.one_gpu, paper.one_gpu);
+      emit("node", model.node, paper.node);
+    }
+    table.render(std::cout);
+    std::cout << '\n';
+  }
+
+  pvcbench::maybe_write_csv(config, csv);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Latency sweep: run the lats pointer-chase against any system's cache
+// hierarchy over a configurable footprint range — the tool behind
+// Figure 1, exposed for exploration (e.g. how would a PVC with a 1 MiB
+// L1 look?).
+//
+//   ./latency_sweep [system=aurora] [min_kib=16] [max_mib=1024]
+//                   [coalesced=false] [l1_kib=<override>]
+
+#include <cstdio>
+#include <iostream>
+
+#include "arch/systems.hpp"
+#include "core/ascii_plot.hpp"
+#include "core/config.hpp"
+#include "core/units.hpp"
+#include "micro/microbench.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pvc;
+  const auto config = Config::from_args(argc, argv);
+  auto node = arch::system_by_name(config.get_string("system", "aurora"));
+  const double min_bytes =
+      static_cast<double>(config.get_int("min_kib", 16)) * KiB;
+  const double max_bytes =
+      static_cast<double>(config.get_int("max_mib", 1024)) * MiB;
+  const bool coalesced = config.get_bool("coalesced", false);
+
+  // Optional what-if: resize the L1.
+  if (config.has("l1_kib")) {
+    node.card.subdevice.caches[0].size_bytes =
+        static_cast<std::uint64_t>(config.get_int("l1_kib", 512)) * 1024;
+    std::printf("What-if: L1 resized to %s\n",
+                format_bytes_binary(static_cast<double>(
+                                        node.card.subdevice.caches[0]
+                                            .size_bytes))
+                    .c_str());
+  }
+
+  std::vector<double> sweep;
+  for (double f = min_bytes; f <= max_bytes; f *= 2.0) {
+    sweep.push_back(f);
+  }
+  const auto curve = micro::measure_latency_curve(node, coalesced, sweep);
+
+  std::printf("%s pointer-chase latency (%s mode)\n",
+              node.system_name.c_str(),
+              coalesced ? "coalesced 16-wide" : "single-lane");
+  std::printf("%16s %12s\n", "footprint", "cycles");
+  for (const auto& point : curve) {
+    std::printf("%16s %12.1f\n",
+                format_bytes_binary(point.footprint_bytes).c_str(),
+                point.latency_cycles);
+  }
+
+  LinePlot plot("latency vs footprint", "bytes", "cycles");
+  plot.set_log2_x(true);
+  plot.set_log10_y(true);
+  PlotSeries series;
+  series.name = node.system_name;
+  for (const auto& point : curve) {
+    series.x.push_back(point.footprint_bytes);
+    series.y.push_back(point.latency_cycles);
+  }
+  plot.add_series(std::move(series));
+  plot.render(std::cout);
+
+  for (const auto& level : node.card.subdevice.caches) {
+    std::printf("  %s: %s, %.0f cycles\n", level.name.c_str(),
+                format_bytes_binary(static_cast<double>(level.size_bytes))
+                    .c_str(),
+                level.latency_cycles);
+  }
+  std::printf("  HBM: %.0f cycles\n",
+              node.card.subdevice.hbm.latency_cycles);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Shock tube: runs the functional CloverLeaf hydro solver on a Sod-style
+// problem, renders the density profile as it evolves, and reports the
+// conservation diagnostics — the §V-A2 workload running for real.
+//
+//   ./shock_tube [nx=128] [ny=8] [steps=60]
+
+#include <cstdio>
+#include <string>
+
+#include "core/config.hpp"
+#include "miniapps/cloverleaf.hpp"
+
+namespace {
+
+void render_profile(const pvc::miniapps::CloverGrid& grid, int step) {
+  // Mid-row density as a bar strip, rescaled to [0, 1].
+  const std::size_t j = grid.ny() / 2 + 1;
+  std::string strip;
+  for (std::size_t i = 1; i <= grid.nx(); i += (grid.nx() + 63) / 64) {
+    const double rho = grid.density(i, j);
+    const char levels[] = " .:-=+*#%@";
+    const int idx = std::min(9, static_cast<int>(rho * 9.0));
+    strip += levels[std::max(0, idx)];
+  }
+  std::printf("step %3d |%s|\n", step, strip.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pvc;
+  const auto config = Config::from_args(argc, argv);
+  const auto nx = static_cast<std::size_t>(config.get_int("nx", 128));
+  const auto ny = static_cast<std::size_t>(config.get_int("ny", 8));
+  const int steps = static_cast<int>(config.get_int("steps", 60));
+
+  miniapps::CloverGrid grid(nx, ny, 1.0 / static_cast<double>(nx),
+                            1.0 / static_cast<double>(nx));
+  miniapps::initialize_sod(grid);
+  const double mass0 = grid.total_mass();
+  const double energy0 = grid.total_energy();
+
+  std::printf("Sod shock tube on a %zux%zu grid (density profile, dense "
+              "'@' to vacuum ' '):\n", nx, ny);
+  double t = 0.0;
+  for (int s = 0; s <= steps; ++s) {
+    if (s % (steps / 6 + 1) == 0) {
+      render_profile(grid, s);
+    }
+    t += miniapps::hydro_step(grid);
+  }
+
+  const double mass1 = grid.total_mass();
+  const double energy1 = grid.total_energy();
+  std::printf("\nsimulated time: %.4f\n", t);
+  std::printf("mass:   %.8f -> %.8f  (drift %.2e, conserved by the "
+              "donor-cell fluxes)\n",
+              mass0, mass1, (mass1 - mass0) / mass0);
+  std::printf("energy: %.6f -> %.6f  (first-order scheme dissipates a few "
+              "percent through the shock)\n",
+              energy0, energy1);
+  std::printf("\nThe paper runs this solver's big sibling at 15360^2 cells "
+              "per stack (~47 GB); see bench/table6_foms for the FOM "
+              "projection.\n");
+  return 0;
+}

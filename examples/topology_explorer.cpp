@@ -1,0 +1,108 @@
+// Topology explorer: prints a PVC node's Xe-Link plane layout, the
+// route classification between every stack pair (paper §IV-A4), and the
+// measured pair bandwidth for one representative of each route class.
+//
+//   ./topology_explorer [system=aurora|dawn]
+
+#include <cstdio>
+#include <iostream>
+
+#include "arch/systems.hpp"
+#include "arch/topology.hpp"
+#include "core/config.hpp"
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "runtime/node_sim.hpp"
+
+namespace {
+
+double pair_bandwidth(const pvc::arch::NodeSpec& node, int src, int dst) {
+  pvc::rt::NodeSim sim(node);
+  double done = -1.0;
+  sim.transfer_d2d(src, dst, 500.0 * pvc::MB,
+                   [&](pvc::sim::Time t) { done = t; });
+  sim.run();
+  return 500.0 * pvc::MB / done;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pvc;
+  const auto config = Config::from_args(argc, argv);
+  const auto node =
+      arch::system_by_name(config.get_string("system", "aurora"));
+  rt::NodeSim sim(node);
+  if (!sim.topology()) {
+    std::printf("%s has no two-stack Xe-Link topology to explore.\n",
+                node.system_name.c_str());
+    return 0;
+  }
+  const auto& topo = *sim.topology();
+
+  std::printf("%s Xe-Link topology (%d cards, %d stacks)\n",
+              node.system_name.c_str(), topo.gpus(), topo.stacks());
+  for (int plane = 0; plane < 2; ++plane) {
+    std::printf("  plane %d:", plane);
+    for (const auto& member : topo.plane_members(plane)) {
+      std::printf(" %s", arch::to_string(member).c_str());
+    }
+    std::printf("\n");
+  }
+
+  // Route class matrix.
+  std::printf("\nRoute classes (M = local MDFI, D = direct Xe-Link, "
+              "2 = two-hop, . = same stack):\n     ");
+  for (int b = 0; b < topo.stacks(); ++b) {
+    std::printf("%4s", arch::to_string(topo.from_flat(b)).c_str());
+  }
+  std::printf("\n");
+  for (int a = 0; a < topo.stacks(); ++a) {
+    std::printf("%5s", arch::to_string(topo.from_flat(a)).c_str());
+    for (int b = 0; b < topo.stacks(); ++b) {
+      const auto kind = topo.route(topo.from_flat(a), topo.from_flat(b)).kind;
+      const char c = kind == arch::RouteKind::SameStack     ? '.'
+                     : kind == arch::RouteKind::LocalMdfi   ? 'M'
+                     : kind == arch::RouteKind::XeLinkDirect ? 'D'
+                                                             : '2';
+      std::printf("%4c", c);
+    }
+    std::printf("\n");
+  }
+
+  // The paper's worked example: 0.0 -> 1.0 has two driver options.
+  const auto route = topo.route({0, 0}, {1, 0});
+  std::printf("\nTwo-hop example 0.0 -> 1.0: via %s (alternate via %s)\n",
+              arch::to_string(route.path[1]).c_str(),
+              arch::to_string(route.alternate[1]).c_str());
+
+  // Representative bandwidths through the flow model.
+  Table table("Measured pair bandwidth by route class (500 MB message)");
+  table.set_header({"Route class", "Pair", "Bandwidth"});
+  table.add_row({"local MDFI", "0.0 -> 0.1",
+                 format_bandwidth(pair_bandwidth(node, 0, 1))});
+  // Find a direct and a two-hop peer of stack 0.0.
+  for (int b = 2; b < topo.stacks(); ++b) {
+    const auto kind = topo.route({0, 0}, topo.from_flat(b)).kind;
+    if (kind == arch::RouteKind::XeLinkDirect) {
+      table.add_row({"direct Xe-Link",
+                     "0.0 -> " + arch::to_string(topo.from_flat(b)),
+                     format_bandwidth(pair_bandwidth(node, 0, b))});
+      break;
+    }
+  }
+  for (int b = 2; b < topo.stacks(); ++b) {
+    const auto kind = topo.route({0, 0}, topo.from_flat(b)).kind;
+    if (kind == arch::RouteKind::XeLinkTwoHop) {
+      table.add_row({"two-hop Xe-Link",
+                     "0.0 -> " + arch::to_string(topo.from_flat(b)),
+                     format_bandwidth(pair_bandwidth(node, 0, b))});
+      break;
+    }
+  }
+  table.render(std::cout);
+  std::printf("\nNote the inversion the paper highlights: remote Xe-Link "
+              "pairs are slower than PCIe (~55 GB/s) while local MDFI is "
+              "~3.6x faster.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+#pragma once
+// Numeric precisions benchmarked by the paper's GEMM suite (Table II) and
+// used throughout the perf model.
+
+#include <cstddef>
+#include <string>
+
+namespace pvc::arch {
+
+/// Datatypes exercised by the GEMM microbenchmark (paper §IV-A5).
+enum class Precision { FP64, FP32, FP16, BF16, TF32, I8 };
+
+inline constexpr Precision kAllPrecisions[] = {
+    Precision::FP64, Precision::FP32, Precision::FP16,
+    Precision::BF16, Precision::TF32, Precision::I8};
+
+/// Storage width of one element in bytes (TF32 is stored as 32-bit).
+[[nodiscard]] constexpr std::size_t precision_bytes(Precision p) {
+  switch (p) {
+    case Precision::FP64:
+      return 8;
+    case Precision::FP32:
+    case Precision::TF32:
+      return 4;
+    case Precision::FP16:
+    case Precision::BF16:
+      return 2;
+    case Precision::I8:
+      return 1;
+  }
+  return 0;
+}
+
+/// True when operation counts should be reported as integer ops
+/// ("TIop/s" in the paper's Table II).
+[[nodiscard]] constexpr bool is_integer(Precision p) {
+  return p == Precision::I8;
+}
+
+[[nodiscard]] inline std::string precision_name(Precision p) {
+  switch (p) {
+    case Precision::FP64:
+      return "FP64";
+    case Precision::FP32:
+      return "FP32";
+    case Precision::FP16:
+      return "FP16";
+    case Precision::BF16:
+      return "BF16";
+    case Precision::TF32:
+      return "TF32";
+    case Precision::I8:
+      return "I8";
+  }
+  return "?";
+}
+
+/// GEMM row label used in the paper's Table II ("DGEMM", "SGEMM", ...).
+[[nodiscard]] inline std::string gemm_name(Precision p) {
+  switch (p) {
+    case Precision::FP64:
+      return "DGEMM";
+    case Precision::FP32:
+      return "SGEMM";
+    case Precision::FP16:
+      return "HGEMM";
+    case Precision::BF16:
+      return "BF16GEMM";
+    case Precision::TF32:
+      return "TF32GEMM";
+    case Precision::I8:
+      return "I8GEMM";
+  }
+  return "?";
+}
+
+}  // namespace pvc::arch

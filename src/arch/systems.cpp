@@ -1,0 +1,495 @@
+#include "arch/systems.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "core/error.hpp"
+#include "core/units.hpp"
+
+namespace pvc::arch {
+namespace {
+
+// ---------------------------------------------------------------------------
+// PVC building blocks (paper §II).
+//
+// Xe-Core: 8 vector engines, 512-bit SIMD (8-wide FP64), FMA => each
+// Xe-Core issues 8 * 8 * 2 * 2 = 256 FP64 (and FP32) flops per clock.
+// The XMX matrix engines are 4096-bit and support only lower precisions;
+// rates below are chosen so the theoretical card peaks match Intel's
+// published Max-1550 numbers (ref [15]): FP16/BF16 4096 op/clk/Xe-Core,
+// TF32 half that, INT8 double.
+// ---------------------------------------------------------------------------
+
+constexpr double kVectorFlopsPerClockPerCore = 256.0;
+constexpr double kXmxFp16PerClockPerCore = 4096.0;
+constexpr double kXmxTf32PerClockPerCore = 2048.0;
+constexpr double kXmxI8PerClockPerCore = 8192.0;
+
+SubdeviceSpec pvc_stack(int xe_cores) {
+  SubdeviceSpec s;
+  s.name = "PVC Xe-Stack (" + std::to_string(xe_cores) + " Xe-Cores)";
+  s.compute_units = xe_cores;
+  s.f_max_hz = 1.6 * GHz;  // paper §II: max GPU clock 1.6 GHz
+
+  const double cores = xe_cores;
+  s.vector_rates.fp64 = cores * kVectorFlopsPerClockPerCore;
+  s.vector_rates.fp32 = cores * kVectorFlopsPerClockPerCore;
+  // The vector unit runs packed 16-bit at 2x FP32 rate.
+  s.vector_rates.fp16 = cores * kVectorFlopsPerClockPerCore * 2.0;
+  s.vector_rates.bf16 = cores * kVectorFlopsPerClockPerCore * 2.0;
+
+  s.matrix_rates.fp16 = cores * kXmxFp16PerClockPerCore;
+  s.matrix_rates.bf16 = cores * kXmxFp16PerClockPerCore;
+  s.matrix_rates.tf32 = cores * kXmxTf32PerClockPerCore;
+  s.matrix_rates.i8 = cores * kXmxI8PerClockPerCore;
+
+  // HBM2e: 3.2768 TB/s per card => 1.6384 TB/s per stack; 128 GB/card.
+  s.hbm.technology = "HBM2e";
+  s.hbm.bandwidth_bps = 1.6384 * TBps;
+  s.hbm.capacity_bytes = 64.0 * GB;
+  // Figure 1: PVC HBM2e latency is 23% above H100's HBM3 and 44% above
+  // MI250's HBM2e; anchored at ~860 GPU cycles.
+  s.hbm.latency_cycles = 860.0;
+
+  // Figure 1: L1 is 512 KiB per Xe-Core ("matches the specification"),
+  // with latency ~90% above H100's; the 192 MiB per-stack LLC sits ~50%
+  // above H100's L2 latency.
+  s.caches = {
+      pvc::sim::CacheLevelSpec{"L1", static_cast<std::uint64_t>(512 * KiB),
+                               64, 8, 61.0},
+      pvc::sim::CacheLevelSpec{"LLC", static_cast<std::uint64_t>(192 * MiB),
+                               64, 16, 410.0},
+  };
+  return s;
+}
+
+GpuCardSpec pvc_card(int xe_cores_per_stack, const PcieSpec& pcie,
+                     double local_uni_bps, double local_pair_total_bps) {
+  GpuCardSpec card;
+  card.name = "Intel Data Center GPU Max 1550";
+  card.subdevice_count = 2;  // two Xe-Stacks per card (paper §II)
+  card.subdevice = pvc_stack(xe_cores_per_stack);
+  card.pcie = pcie;
+  card.local_link_uni_bps = local_uni_bps;            // MDFI, Table III
+  card.local_link_pair_total_bps = local_pair_total_bps;
+  card.local_link_latency_s = 5e-6;
+  return card;
+}
+
+}  // namespace
+
+NodeSpec aurora() {
+  NodeSpec n;
+  n.system_name = "Aurora";
+
+  // Table II "One PVC" PCIe rows: 55 GB/s H2D, 56 GB/s D2H, 77 GB/s
+  // bidirectional total (PCIe Gen5 at ~85% protocol efficiency; the
+  // bidirectional total reflects the shared DMA/ordering machinery the
+  // paper notes gives only 1.4x uni).
+  PcieSpec pcie;
+  pcie.generation = 5;
+  pcie.h2d_bps = 55.0 * GBps;
+  pcie.d2h_bps = 56.0 * GBps;
+  pcie.bidir_total_bps = 77.0 * GBps;
+
+  n.card = pvc_card(/*xe_cores_per_stack=*/56, pcie,
+                    /*local_uni=*/197.0 * GBps,
+                    /*local_pair_total=*/284.0 * GBps);
+  n.card_count = 6;
+
+  n.cpu.model = "Intel Xeon Gold 5320 (x2)";
+  n.cpu.sockets = 2;
+  n.cpu.cores_per_socket = 52;
+  n.cpu.threads_per_core = 2;
+  n.cpu.ddr_bandwidth_bps = 614.0 * GBps;  // 2 sockets x 8ch DDR5-4800
+  n.cpu.ddr_capacity_bytes = 1024.0 * GB;
+
+  // Host-side aggregate ceilings calibrated from Table II full-node rows
+  // (329 / 264 / 350 GB/s across six cards).
+  n.host_io.h2d_total_bps = 330.0 * GBps;
+  n.host_io.d2h_total_bps = 264.0 * GBps;
+  n.host_io.bidir_total_bps = 350.0 * GBps;
+
+  // Table III: remote Xe-Link pairs reach 15 GB/s uni / 23 GB/s bidir —
+  // slower than PCIe, as the paper highlights.  The aggregate ceiling
+  // reproduces the ~95% parallel efficiency at six concurrent pairs.
+  n.fabric.technology = "Xe-Link";
+  n.fabric.remote_uni_bps = 15.0 * GBps;
+  n.fabric.remote_pair_total_bps = 23.0 * GBps;
+  n.fabric.aggregate_bps = 1661.0 * GBps;
+  n.fabric.latency_s = 8e-6;
+
+  // Power domain: 500 W operational card cap (paper §III).  The stack
+  // sustained cap is calibrated so an FP64 FMA chain clocks at ~1.2 GHz
+  // (paper §IV-B2); the node budget reproduces the 95% full-node scaling.
+  n.power.f_max_hz = 1.6 * GHz;
+  n.power.static_w = 75.0;
+  n.power.stack_cap_w = 261.0;
+  n.power.card_cap_w = 500.0;
+  n.power.node_cap_w = 2915.0;
+  n.power.stacks_per_card = 2;
+  n.power.cards = 6;
+
+  // Calibration: per-stack dynamic power at 1.6 GHz by workload class.
+  // FP64 FMA ~3x the FP32 draw — that asymmetry is exactly what makes
+  // FP64 throttle to 1.2 GHz while FP32 holds 1.6 GHz.
+  n.calib.dyn_w_fp64_fma = 331.0;
+  n.calib.dyn_w_fp32_fma = 105.0;
+  n.calib.dyn_w_gemm_fp64 = 331.0;
+  n.calib.dyn_w_gemm_fp32 = 105.0;
+  n.calib.dyn_w_gemm_lowprec = 175.0;
+  n.calib.dyn_w_fft = 250.0;
+  n.calib.dyn_w_stream = 90.0;
+  n.calib.dyn_w_mixed = 150.0;
+
+  // Triad reaches 1 TB/s of the 1.64 TB/s per-stack spec (§IV-B3).
+  n.calib.stream_efficiency = 0.61;
+  n.calib.fma_efficiency = 0.99;
+
+  // GEMM library efficiency vs pipeline peak at the governed frequency
+  // (§IV-B5: SGEMM ~95% of measured peak, DGEMM ~80%; XMX precisions
+  // land near 55-60% of theoretical).
+  n.calib.gemm_eff_fp64 = 0.76;
+  n.calib.gemm_eff_fp32 = 0.92;
+  n.calib.gemm_eff_fp16 = 0.575;
+  n.calib.gemm_eff_bf16 = 0.60;
+  n.calib.gemm_eff_tf32 = 0.57;
+  n.calib.gemm_eff_i8 = 0.62;
+
+  n.calib.fft_fraction_1d = 0.158;
+  n.calib.fft_fraction_2d = 0.165;
+  return n;
+}
+
+NodeSpec dawn() {
+  NodeSpec n;
+  n.system_name = "Dawn";
+
+  PcieSpec pcie;
+  pcie.generation = 5;
+  pcie.h2d_bps = 54.0 * GBps;
+  pcie.d2h_bps = 53.0 * GBps;
+  pcie.bidir_total_bps = 72.0 * GBps;
+
+  n.card = pvc_card(/*xe_cores_per_stack=*/64, pcie,
+                    /*local_uni=*/196.0 * GBps,
+                    /*local_pair_total=*/287.0 * GBps);
+  n.card_count = 4;
+
+  n.cpu.model = "Intel Xeon Platinum 8468 (x2)";
+  n.cpu.sockets = 2;
+  n.cpu.cores_per_socket = 48;
+  n.cpu.threads_per_core = 2;
+  n.cpu.ddr_bandwidth_bps = 614.0 * GBps;
+  n.cpu.ddr_capacity_bytes = 1024.0 * GB;
+
+  n.host_io.h2d_total_bps = 218.0 * GBps;
+  n.host_io.d2h_total_bps = 212.0 * GBps;
+  n.host_io.bidir_total_bps = 285.0 * GBps;
+
+  // Dawn's Table III leaves the remote columns unmeasured ("-"); the
+  // hardware is the same Xe-Link, so the model keeps Aurora's link rates
+  // and the benches render the dash to match the paper.
+  n.fabric.technology = "Xe-Link";
+  n.fabric.remote_uni_bps = 15.0 * GBps;
+  n.fabric.remote_pair_total_bps = 23.0 * GBps;
+  n.fabric.aggregate_bps = 0.0;  // four pairs scale linearly (Table III)
+  n.fabric.latency_s = 8e-6;
+
+  // Nominal card cap is 600 W (paper §III); the *sustained* budget that
+  // reproduces Dawn's measured 92% two-stack scaling is lower — VRM and
+  // cooling overheads eat into the nameplate figure.
+  n.power.f_max_hz = 1.6 * GHz;
+  n.power.static_w = 75.0;
+  n.power.stack_cap_w = 287.6;  // 64-core stack at 1.2 GHz under FP64 FMA
+  n.power.card_cap_w = 510.0;
+  n.power.node_cap_w = 1947.0;
+  n.power.stacks_per_card = 2;
+  n.power.cards = 4;
+
+  // Dawn's 64-core stacks draw ~64/56 more dynamic power than Aurora's.
+  n.calib.dyn_w_fp64_fma = 378.0;
+  n.calib.dyn_w_fp32_fma = 120.0;
+  n.calib.dyn_w_gemm_fp64 = 378.0;
+  n.calib.dyn_w_gemm_fp32 = 120.0;
+  n.calib.dyn_w_gemm_lowprec = 200.0;
+  n.calib.dyn_w_fft = 286.0;
+  n.calib.dyn_w_stream = 103.0;
+  n.calib.dyn_w_mixed = 171.0;
+
+  n.calib.stream_efficiency = 0.61;
+  n.calib.fma_efficiency = 0.99;
+
+  n.calib.gemm_eff_fp64 = 0.86;
+  n.calib.gemm_eff_fp32 = 0.95;
+  n.calib.gemm_eff_fp16 = 0.59;
+  n.calib.gemm_eff_bf16 = 0.61;
+  n.calib.gemm_eff_tf32 = 0.56;
+  n.calib.gemm_eff_i8 = 0.63;
+
+  n.calib.fft_fraction_1d = 0.159;
+  n.calib.fft_fraction_2d = 0.159;
+  return n;
+}
+
+NodeSpec jlse_h100() {
+  NodeSpec n;
+  n.system_name = "JLSE-H100";
+
+  SubdeviceSpec g;
+  g.name = "NVIDIA H100 SXM5 80GB";
+  g.compute_units = 132;  // SMs
+  g.f_max_hz = 1.98 * GHz;
+  // Rates back-solved from spec-sheet peaks (ref [25]): FP64 34 TFlop/s,
+  // FP32 67 TFlop/s; tensor: FP64 67, TF32 494.7, FP16/BF16 989.4,
+  // INT8 1978.9 (dense).
+  g.vector_rates.fp64 = 34.0 * TFlops / g.f_max_hz;
+  g.vector_rates.fp32 = 67.0 * TFlops / g.f_max_hz;
+  g.vector_rates.fp16 = 133.8 * TFlops / g.f_max_hz;
+  g.vector_rates.bf16 = 133.8 * TFlops / g.f_max_hz;
+  g.matrix_rates.fp64 = 67.0 * TFlops / g.f_max_hz;
+  g.matrix_rates.tf32 = 494.7 * TFlops / g.f_max_hz;
+  g.matrix_rates.fp16 = 989.4 * TFlops / g.f_max_hz;
+  g.matrix_rates.bf16 = 989.4 * TFlops / g.f_max_hz;
+  g.matrix_rates.i8 = 1978.9 * TFlops / g.f_max_hz;
+
+  g.hbm.technology = "HBM3";
+  g.hbm.bandwidth_bps = 3.35 * TBps;
+  g.hbm.capacity_bytes = 80.0 * GB;
+  g.hbm.latency_cycles = 700.0;  // Figure 1 anchor (PVC is 23% higher)
+
+  g.caches = {
+      pvc::sim::CacheLevelSpec{"L1", static_cast<std::uint64_t>(256 * KiB),
+                               64, 8, 32.0},
+      pvc::sim::CacheLevelSpec{"L2", static_cast<std::uint64_t>(50 * MiB),
+                               64, 16, 273.0},
+  };
+
+  PcieSpec pcie;
+  pcie.generation = 5;
+  pcie.h2d_bps = 55.0 * GBps;
+  pcie.d2h_bps = 55.0 * GBps;
+  pcie.bidir_total_bps = 100.0 * GBps;
+
+  n.card.name = "NVIDIA H100 SXM5";
+  n.card.subdevice_count = 1;
+  n.card.subdevice = g;
+  n.card.pcie = pcie;
+  n.card_count = 4;
+
+  n.cpu.model = "Intel Xeon Platinum 8468 (x2)";
+  n.cpu.sockets = 2;
+  n.cpu.cores_per_socket = 48;
+  n.cpu.threads_per_core = 2;
+  n.cpu.ddr_bandwidth_bps = 614.0 * GBps;
+  n.cpu.ddr_capacity_bytes = 512.0 * GB;
+
+  n.host_io.h2d_total_bps = 220.0 * GBps;
+  n.host_io.d2h_total_bps = 220.0 * GBps;
+  n.host_io.bidir_total_bps = 330.0 * GBps;
+
+  n.fabric.technology = "NVLink4";
+  n.fabric.remote_uni_bps = 450.0 * GBps;
+  n.fabric.remote_pair_total_bps = 850.0 * GBps;
+  n.fabric.aggregate_bps = 0.0;
+  n.fabric.latency_s = 5e-6;
+
+  // 700 W SXM5 part.  Budgets are loose: the paper uses H100's
+  // theoretical peaks as the comparison point, so the model should not
+  // throttle it.
+  n.power.f_max_hz = g.f_max_hz;
+  n.power.static_w = 100.0;
+  n.power.stack_cap_w = 700.0;
+  n.power.card_cap_w = 700.0;
+  n.power.node_cap_w = 2800.0;
+  n.power.stacks_per_card = 1;
+  n.power.cards = 4;
+
+  n.calib.dyn_w_fp64_fma = 400.0;
+  n.calib.dyn_w_fp32_fma = 350.0;
+  n.calib.dyn_w_gemm_fp64 = 450.0;
+  n.calib.dyn_w_gemm_fp32 = 400.0;
+  n.calib.dyn_w_gemm_lowprec = 500.0;
+  n.calib.dyn_w_fft = 350.0;
+  n.calib.dyn_w_stream = 250.0;
+  n.calib.dyn_w_mixed = 350.0;
+
+  // Calibrated so a bandwidth-bound code (CloverLeaf) reproduces the
+  // paper's measured PVC:H100 FOM ratio of ~0.61 against PVC's 2 TB/s.
+  n.calib.stream_efficiency = 0.97;
+  n.calib.fma_efficiency = 0.99;
+
+  // Back-derived from the mini-GAMESS Table VI entry (the paper leaves
+  // H100 DGEMM unmeasured in Table IV): ~51% of the FP64 tensor peak.
+  n.calib.gemm_eff_fp64 = 0.51;
+  n.calib.gemm_eff_fp32 = 0.90;
+  n.calib.gemm_eff_fp16 = 0.70;
+  n.calib.gemm_eff_bf16 = 0.70;
+  n.calib.gemm_eff_tf32 = 0.70;
+  n.calib.gemm_eff_i8 = 0.70;
+
+  n.calib.fft_fraction_1d = 0.20;
+  n.calib.fft_fraction_2d = 0.20;
+  return n;
+}
+
+NodeSpec jlse_mi250() {
+  NodeSpec n;
+  n.system_name = "JLSE-MI250";
+
+  SubdeviceSpec g;
+  g.name = "AMD MI250 GCD";
+  g.compute_units = 104;
+  g.f_max_hz = 1.7 * GHz;
+  // Per GCD: half of the card's 45.3 TFlop/s vector FP32/FP64 (ref [26]);
+  // matrix cores double FP64 and reach 181 TFlop/s FP16 per GCD.
+  g.vector_rates.fp64 = 22.65 * TFlops / g.f_max_hz;
+  g.vector_rates.fp32 = 22.65 * TFlops / g.f_max_hz;
+  g.vector_rates.fp16 = 45.3 * TFlops / g.f_max_hz;
+  g.vector_rates.bf16 = 45.3 * TFlops / g.f_max_hz;
+  g.matrix_rates.fp64 = 45.3 * TFlops / g.f_max_hz;
+  g.matrix_rates.fp32 = 45.3 * TFlops / g.f_max_hz;
+  g.matrix_rates.fp16 = 181.0 * TFlops / g.f_max_hz;
+  g.matrix_rates.bf16 = 181.0 * TFlops / g.f_max_hz;
+  g.matrix_rates.i8 = 181.0 * TFlops / g.f_max_hz;
+
+  g.hbm.technology = "HBM2e";
+  g.hbm.bandwidth_bps = 1.6384 * TBps;
+  g.hbm.capacity_bytes = 64.0 * GB;
+  g.hbm.latency_cycles = 597.0;  // Figure 1: PVC HBM is 44% higher
+
+  g.caches = {
+      pvc::sim::CacheLevelSpec{"L1", static_cast<std::uint64_t>(16 * KiB),
+                               64, 4, 124.0},
+      pvc::sim::CacheLevelSpec{"L2", static_cast<std::uint64_t>(8 * MiB),
+                               64, 16, 230.0},
+  };
+
+  PcieSpec pcie;
+  pcie.generation = 4;
+  pcie.h2d_bps = 25.0 * GBps;  // Table IV / Frontier measurements
+  pcie.d2h_bps = 25.0 * GBps;
+  pcie.bidir_total_bps = 40.0 * GBps;
+
+  n.card.name = "AMD Instinct MI250";
+  n.card.subdevice_count = 2;  // two GCDs
+  n.card.subdevice = g;
+  n.card.pcie = pcie;
+  n.card.local_link_uni_bps = 37.0 * GBps;  // measured GCD-GCD, Table IV
+  n.card.local_link_pair_total_bps = 60.0 * GBps;
+  n.card.local_link_latency_s = 6e-6;
+  n.card_count = 4;
+
+  n.cpu.model = "AMD EPYC 7713 (x2)";
+  n.cpu.sockets = 2;
+  n.cpu.cores_per_socket = 64;
+  n.cpu.threads_per_core = 2;
+  n.cpu.ddr_bandwidth_bps = 409.0 * GBps;  // 2 x 8ch DDR4-3200
+  n.cpu.ddr_capacity_bytes = 512.0 * GB;
+
+  n.host_io.h2d_total_bps = 100.0 * GBps;
+  n.host_io.d2h_total_bps = 100.0 * GBps;
+  n.host_io.bidir_total_bps = 160.0 * GBps;
+
+  n.fabric.technology = "Infinity Fabric";
+  n.fabric.remote_uni_bps = 37.0 * GBps;
+  n.fabric.remote_pair_total_bps = 60.0 * GBps;
+  n.fabric.aggregate_bps = 0.0;
+  n.fabric.latency_s = 7e-6;
+
+  n.power.f_max_hz = g.f_max_hz;
+  n.power.static_w = 75.0;
+  n.power.stack_cap_w = 280.0;
+  n.power.card_cap_w = 560.0;
+  n.power.node_cap_w = 2240.0;
+  n.power.stacks_per_card = 2;
+  n.power.cards = 4;
+
+  n.calib.dyn_w_fp64_fma = 190.0;
+  n.calib.dyn_w_fp32_fma = 150.0;
+  n.calib.dyn_w_gemm_fp64 = 200.0;
+  n.calib.dyn_w_gemm_fp32 = 170.0;
+  n.calib.dyn_w_gemm_lowprec = 200.0;
+  n.calib.dyn_w_fft = 170.0;
+  n.calib.dyn_w_stream = 120.0;
+  n.calib.dyn_w_mixed = 160.0;
+
+  // MI250x on Frontier reaches 1.3 TB/s per GCD, ~80% of spec (§IV-B3);
+  // the MI250 sibling behaves alike.
+  n.calib.stream_efficiency = 0.75;
+  n.calib.fma_efficiency = 0.99;
+
+  // §IV-B5: MI250x GEMM uses the matrix cores but only reaches ~50% of
+  // their theoretical double-precision peak.
+  n.calib.gemm_eff_fp64 = 0.50;
+  n.calib.gemm_eff_fp32 = 0.72;
+  n.calib.gemm_eff_fp16 = 0.55;
+  n.calib.gemm_eff_bf16 = 0.55;
+  n.calib.gemm_eff_tf32 = 0.55;
+  n.calib.gemm_eff_i8 = 0.55;
+
+  n.calib.fft_fraction_1d = 0.10;
+  n.calib.fft_fraction_2d = 0.10;
+  return n;
+}
+
+NodeSpec frontier() {
+  // Start from the MI250 sibling and apply the MI250X deltas: matrix
+  // cores with a 48 TFlop/s FP64 peak per GCD (ref [32]), 110 CUs per
+  // GCD at 1.7 GHz, Trento CPU, Slingshot-attached PCIe.
+  NodeSpec n = jlse_mi250();
+  n.system_name = "Frontier";
+  n.card.name = "AMD Instinct MI250X";
+
+  auto& g = n.card.subdevice;
+  g.name = "AMD MI250X GCD";
+  g.compute_units = 110;
+  g.vector_rates.fp64 = 23.95 * TFlops / g.f_max_hz;
+  g.vector_rates.fp32 = 23.95 * TFlops / g.f_max_hz;
+  g.matrix_rates.fp64 = 47.9 * TFlops / g.f_max_hz;
+  g.matrix_rates.fp32 = 47.9 * TFlops / g.f_max_hz;
+  g.matrix_rates.fp16 = 191.5 * TFlops / g.f_max_hz;
+  g.matrix_rates.bf16 = 191.5 * TFlops / g.f_max_hz;
+  g.matrix_rates.i8 = 191.5 * TFlops / g.f_max_hz;
+
+  n.cpu.model = "AMD EPYC 7A53 Trento";
+  n.cpu.sockets = 1;
+  n.cpu.cores_per_socket = 64;
+
+  // Frontier measurements (paper Table IV / ref [13]): GEMM at 50% of
+  // the matrix FP64 peak, triad at 1.3 TB/s per GCD (~80% of spec).
+  n.calib.gemm_eff_fp64 = 24.1 / 47.9;
+  n.calib.gemm_eff_fp32 = 33.8 / 47.9;
+  n.calib.stream_efficiency = 1.3 / 1.6384;
+  return n;
+}
+
+std::vector<NodeSpec> all_systems() {
+  return {aurora(), dawn(), jlse_h100(), jlse_mi250()};
+}
+
+NodeSpec system_by_name(const std::string& name) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "aurora") {
+    return aurora();
+  }
+  if (lower == "dawn") {
+    return dawn();
+  }
+  if (lower == "jlse-h100" || lower == "h100") {
+    return jlse_h100();
+  }
+  if (lower == "jlse-mi250" || lower == "mi250") {
+    return jlse_mi250();
+  }
+  if (lower == "frontier" || lower == "mi250x") {
+    return frontier();
+  }
+  throw Error("unknown system: " + name, std::source_location::current());
+}
+
+Mi250xGcdReference mi250x_gcd_reference() { return Mi250xGcdReference{}; }
+
+}  // namespace pvc::arch

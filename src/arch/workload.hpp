@@ -1,0 +1,63 @@
+#pragma once
+// Workload classification for the power governor.
+//
+// The governor needs to know how power-hungry the active kernel is; the
+// paper's key observation (§IV-B2) is that FP64 FMA chains draw enough
+// power to force ~1.2 GHz while FP32 chains sustain ~1.6 GHz.
+
+#include <string>
+
+#include "arch/precision.hpp"
+
+namespace pvc::arch {
+
+/// Coarse workload classes with distinct sustained power draw.
+enum class WorkloadKind {
+  Fp64Fma,        ///< chain of FP64 FMAs (peak-flops microbenchmark)
+  Fp32Fma,        ///< chain of FP32 FMAs
+  GemmFp64,       ///< DGEMM
+  GemmFp32,       ///< SGEMM
+  GemmLowPrec,    ///< HGEMM / BF16 / TF32 / I8 (XMX engines)
+  Fft,            ///< oneMKL-style FFT
+  Stream,         ///< bandwidth-bound streaming (triad, stencils)
+  Transfer,       ///< PCIe / Xe-Link data movement
+  Mixed           ///< everything else (mini-apps default)
+};
+
+[[nodiscard]] inline std::string workload_name(WorkloadKind k) {
+  switch (k) {
+    case WorkloadKind::Fp64Fma:
+      return "fp64-fma";
+    case WorkloadKind::Fp32Fma:
+      return "fp32-fma";
+    case WorkloadKind::GemmFp64:
+      return "gemm-fp64";
+    case WorkloadKind::GemmFp32:
+      return "gemm-fp32";
+    case WorkloadKind::GemmLowPrec:
+      return "gemm-lowprec";
+    case WorkloadKind::Fft:
+      return "fft";
+    case WorkloadKind::Stream:
+      return "stream";
+    case WorkloadKind::Transfer:
+      return "transfer";
+    case WorkloadKind::Mixed:
+      return "mixed";
+  }
+  return "?";
+}
+
+/// Workload class of a GEMM in the given precision.
+[[nodiscard]] inline WorkloadKind gemm_workload(Precision p) {
+  switch (p) {
+    case Precision::FP64:
+      return WorkloadKind::GemmFp64;
+    case Precision::FP32:
+      return WorkloadKind::GemmFp32;
+    default:
+      return WorkloadKind::GemmLowPrec;
+  }
+}
+
+}  // namespace pvc::arch

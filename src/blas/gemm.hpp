@@ -1,0 +1,54 @@
+#pragma once
+// Multi-precision GEMM substrate (the paper's oneMKL GEMM stand-in).
+//
+// Functional, cache-blocked C = alpha*A*B + beta*C for every precision in
+// Table II: FP64, FP32, and the narrow types (FP16/BF16/TF32 inputs with
+// FP32 accumulation, I8 inputs with I32 accumulation — the way XMX and
+// tensor cores accumulate).  Row-major storage.  The companion
+// `gemm_kernel_desc` prices the same problem on a simulated subdevice.
+
+#include <cstdint>
+#include <span>
+
+#include "arch/gpu_spec.hpp"
+#include "arch/precision.hpp"
+#include "kernels/narrow_float.hpp"
+#include "runtime/kernel.hpp"
+
+namespace pvc::blas {
+
+/// Dense row-major GEMM: C[m x n] = alpha * A[m x k] * B[k x n] + beta * C.
+void gemm(std::size_t m, std::size_t n, std::size_t k, double alpha,
+          std::span<const double> a, std::span<const double> b, double beta,
+          std::span<double> c);
+void gemm(std::size_t m, std::size_t n, std::size_t k, float alpha,
+          std::span<const float> a, std::span<const float> b, float beta,
+          std::span<float> c);
+
+/// Narrow-input GEMMs with wide accumulation, C = A*B (alpha=1, beta=0).
+void gemm_fp16(std::size_t m, std::size_t n, std::size_t k,
+               std::span<const kernels::half_t> a,
+               std::span<const kernels::half_t> b, std::span<float> c);
+void gemm_bf16(std::size_t m, std::size_t n, std::size_t k,
+               std::span<const kernels::bfloat16_t> a,
+               std::span<const kernels::bfloat16_t> b, std::span<float> c);
+void gemm_tf32(std::size_t m, std::size_t n, std::size_t k,
+               std::span<const kernels::tf32_t> a,
+               std::span<const kernels::tf32_t> b, std::span<float> c);
+void gemm_i8(std::size_t m, std::size_t n, std::size_t k,
+             std::span<const std::int8_t> a, std::span<const std::int8_t> b,
+             std::span<std::int32_t> c);
+
+/// Operation count the paper reports for a square N GEMM: 2 * N^3.
+[[nodiscard]] constexpr double gemm_flops(double n) { return 2.0 * n * n * n; }
+
+/// The paper's GEMM problem size (N=20480 square, §IV-A5).
+inline constexpr std::size_t kPaperGemmN = 20480;
+
+/// Cost descriptor for a square-N GEMM in precision `p` on `node`,
+/// using the calibrated library efficiency and the best pipeline.
+[[nodiscard]] rt::KernelDesc gemm_kernel_desc(const arch::NodeSpec& node,
+                                              arch::Precision p,
+                                              std::size_t n);
+
+}  // namespace pvc::blas

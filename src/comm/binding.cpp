@@ -1,0 +1,48 @@
+#include "comm/binding.hpp"
+
+#include "core/error.hpp"
+
+namespace pvc::comm {
+
+std::vector<CpuBinding> bind_ranks(const arch::NodeSpec& node, int ranks) {
+  ensure(ranks >= 1 && ranks <= node.total_subdevices(),
+         "bind_ranks: rank count must be in [1, subdevices]");
+  const int sockets = node.cpu.sockets;
+  const int cores_per_socket = node.cpu.cores_per_socket;
+  ensure(sockets >= 1 && cores_per_socket >= 2,
+         "bind_ranks: implausible CPU shape");
+
+  std::vector<CpuBinding> out;
+  std::vector<int> next_free(static_cast<std::size_t>(sockets), 1);  // core 0 reserved
+  for (int r = 0; r < ranks; ++r) {
+    CpuBinding b;
+    b.rank = r;
+    b.device = r;
+    b.card = r / node.card.subdevice_count;
+    // Cards are distributed evenly across sockets (Aurora: cards 0-2 on
+    // socket 0, cards 3-5 on socket 1).
+    b.socket = (b.card * sockets) / node.card_count;
+    auto& cursor = next_free[static_cast<std::size_t>(b.socket)];
+    ensure(cursor < cores_per_socket,
+           "bind_ranks: socket " + std::to_string(b.socket) +
+               " out of free cores");
+    b.core = b.socket * cores_per_socket + cursor;
+    ++cursor;
+    out.push_back(b);
+  }
+  return out;
+}
+
+double cores_per_rank(const arch::NodeSpec& node, int ranks) {
+  ensure(ranks >= 1, "cores_per_rank: need at least one rank");
+  const int usable =
+      node.cpu.sockets * (node.cpu.cores_per_socket - 1);  // OS cores reserved
+  return static_cast<double>(usable) / static_cast<double>(ranks);
+}
+
+double host_bandwidth_per_rank(const arch::NodeSpec& node, int ranks) {
+  ensure(ranks >= 1, "host_bandwidth_per_rank: need at least one rank");
+  return node.cpu.ddr_bandwidth_bps / static_cast<double>(ranks);
+}
+
+}  // namespace pvc::comm

@@ -1,0 +1,44 @@
+#pragma once
+// Rank-to-CPU-core binding (paper §IV-A).
+//
+// "Binding the MPI ranks to the CPU closest to the GPU ensures data
+// transfer doesn't happen between CPU sockets.  For example, Aurora uses
+// CPU cores 0 and 52 (the first core from each CPU socket) for OS kernel
+// threads.  Therefore, rank 0 is bound to CPU core 1 and PVC 0 Stack 0."
+// This module reproduces that policy and reports per-rank CPU-resource
+// shares, which the miniQMC model uses for its CPU-congestion bottleneck.
+
+#include <vector>
+
+#include "arch/gpu_spec.hpp"
+
+namespace pvc::comm {
+
+/// One rank's placement.
+struct CpuBinding {
+  int rank = 0;
+  int device = 0;  ///< flat subdevice index
+  int card = 0;
+  int socket = 0;
+  int core = 0;  ///< global core index the rank is pinned to
+};
+
+/// Binds `ranks` ranks (one per subdevice, device order) to cores,
+/// skipping the first core of each socket (reserved for the OS) and
+/// placing each rank on the socket closest to its GPU (cards are split
+/// evenly across sockets).  Throws if ranks exceed subdevices or
+/// available cores.
+[[nodiscard]] std::vector<CpuBinding> bind_ranks(const arch::NodeSpec& node,
+                                                 int ranks);
+
+/// CPU cores available to each rank after binding: the socket's
+/// non-reserved cores divided by the ranks sharing that socket.  This is
+/// the quantity that shrinks on Aurora (6 GPUs : 2 CPUs) relative to
+/// Dawn (4 : 2) and drives the miniQMC full-node behaviour (§V-B1).
+[[nodiscard]] double cores_per_rank(const arch::NodeSpec& node, int ranks);
+
+/// Host DDR bandwidth share per rank (bytes/s).
+[[nodiscard]] double host_bandwidth_per_rank(const arch::NodeSpec& node,
+                                             int ranks);
+
+}  // namespace pvc::comm

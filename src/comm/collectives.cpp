@@ -1,0 +1,280 @@
+#include "comm/collectives.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace pvc::comm {
+namespace {
+
+sim::Time max_completion(std::span<Request> requests) {
+  sim::Time t = 0.0;
+  for (auto& r : requests) {
+    t = std::max(t, r.complete_time());
+  }
+  return t;
+}
+
+}  // namespace
+
+sim::Time barrier(Communicator& comm) {
+  const int p = comm.size();
+  if (p == 1) {
+    return comm.node().engine().now();
+  }
+  sim::Time finish = 0.0;
+  // Dissemination barrier: round k, rank r signals (r + 2^k) % p.
+  for (int stride = 1; stride < p; stride *= 2) {
+    std::vector<Request> requests;
+    for (int r = 0; r < p; ++r) {
+      const int peer = (r + stride) % p;
+      const int from = (r - stride % p + p) % p;
+      requests.push_back(comm.isend(r, peer, /*tag=*/9000 + stride, 0.0));
+      requests.push_back(comm.irecv(r, from, /*tag=*/9000 + stride, 0.0));
+    }
+    comm.wait_all(requests);
+    finish = std::max(finish, max_completion(requests));
+  }
+  return finish;
+}
+
+sim::Time allreduce_sum(Communicator& comm,
+                        std::vector<std::vector<double>>& rank_data,
+                        double element_bytes) {
+  const int p = comm.size();
+  ensure(static_cast<int>(rank_data.size()) == p,
+         "allreduce_sum: one vector per rank required");
+  const std::size_t n = rank_data.front().size();
+  for (const auto& v : rank_data) {
+    ensure(v.size() == n, "allreduce_sum: vectors must be equal-sized");
+  }
+  if (p == 1) {
+    return comm.node().engine().now();
+  }
+
+  // Ring all-reduce: p-1 reduce-scatter steps then p-1 all-gather steps,
+  // each moving one block of ~n/p elements per rank.
+  const std::size_t block = (n + static_cast<std::size_t>(p) - 1) /
+                            static_cast<std::size_t>(p);
+  const auto block_range = [&](int b) {
+    const std::size_t lo = std::min(n, static_cast<std::size_t>(b) * block);
+    const std::size_t hi = std::min(n, lo + block);
+    return std::pair<std::size_t, std::size_t>(lo, hi);
+  };
+
+  std::vector<std::vector<double>> staging(static_cast<std::size_t>(p));
+  sim::Time finish = 0.0;
+
+  for (int phase = 0; phase < 2; ++phase) {
+    for (int step = 0; step < p - 1; ++step) {
+      std::vector<Request> requests;
+      for (int r = 0; r < p; ++r) {
+        const int dst = (r + 1) % p;
+        // Block index this rank transmits at this step of this phase
+        // (standard ring-allreduce schedule).
+        const int send_block =
+            phase == 0 ? (r - step + p) % p : (r - step + 1 + p) % p;
+        const int recv_block = (send_block - 1 + p) % p;
+        const auto [slo, shi] = block_range(send_block);
+        const auto [rlo, rhi] = block_range(recv_block);
+        staging[static_cast<std::size_t>(r)].assign(
+            rank_data[static_cast<std::size_t>(r)].begin() +
+                static_cast<std::ptrdiff_t>(slo),
+            rank_data[static_cast<std::size_t>(r)].begin() +
+                static_cast<std::ptrdiff_t>(shi));
+        const double bytes = static_cast<double>(shi - slo) * element_bytes;
+        requests.push_back(comm.isend(
+            r, dst, 100 + step, bytes,
+            std::span<const double>(staging[static_cast<std::size_t>(r)])));
+        static_cast<void>(rlo);
+        static_cast<void>(rhi);
+      }
+      // Receives: each rank receives its predecessor's staged block.
+      std::vector<std::vector<double>> incoming(static_cast<std::size_t>(p));
+      for (int r = 0; r < p; ++r) {
+        const int src = (r - 1 + p) % p;
+        const int send_block_of_src =
+            phase == 0 ? (src - step + p) % p : (src - step + 1 + p) % p;
+        const auto [lo, hi] = block_range(send_block_of_src);
+        incoming[static_cast<std::size_t>(r)].resize(hi - lo);
+        const double bytes = static_cast<double>(hi - lo) * element_bytes;
+        requests.push_back(
+            comm.irecv(r, src, 100 + step, bytes,
+                       std::span<double>(incoming[static_cast<std::size_t>(r)])));
+      }
+      comm.wait_all(requests);
+      finish = std::max(finish, max_completion(requests));
+
+      // Combine (phase 0) or overwrite (phase 1) the received block.
+      for (int r = 0; r < p; ++r) {
+        const int src = (r - 1 + p) % p;
+        const int block_idx =
+            phase == 0 ? (src - step + p) % p : (src - step + 1 + p) % p;
+        const auto [lo, hi] = block_range(block_idx);
+        auto& mine = rank_data[static_cast<std::size_t>(r)];
+        const auto& in = incoming[static_cast<std::size_t>(r)];
+        for (std::size_t i = lo; i < hi; ++i) {
+          if (phase == 0) {
+            mine[i] += in[i - lo];
+          } else {
+            mine[i] = in[i - lo];
+          }
+        }
+      }
+    }
+  }
+  return finish;
+}
+
+sim::Time halo_exchange_ring(Communicator& comm, double halo_bytes) {
+  const int p = comm.size();
+  if (p == 1) {
+    return comm.node().engine().now();
+  }
+  std::vector<Request> requests;
+  for (int r = 0; r < p; ++r) {
+    const int up = (r + 1) % p;
+    const int down = (r - 1 + p) % p;
+    requests.push_back(comm.isend(r, up, 200, halo_bytes));
+    requests.push_back(comm.isend(r, down, 201, halo_bytes));
+    requests.push_back(comm.irecv(r, down, 200, halo_bytes));
+    requests.push_back(comm.irecv(r, up, 201, halo_bytes));
+  }
+  comm.wait_all(requests);
+  return max_completion(requests);
+}
+
+sim::Time gather_to_root(Communicator& comm, double block_bytes) {
+  const int p = comm.size();
+  if (p == 1) {
+    return comm.node().engine().now();
+  }
+  std::vector<Request> requests;
+  for (int r = 1; r < p; ++r) {
+    requests.push_back(comm.isend(r, 0, 300 + r, block_bytes));
+    requests.push_back(comm.irecv(0, r, 300 + r, block_bytes));
+  }
+  comm.wait_all(requests);
+  return max_completion(requests);
+}
+
+sim::Time broadcast_from_root(Communicator& comm, double bytes) {
+  const int p = comm.size();
+  if (p == 1) {
+    return comm.node().engine().now();
+  }
+  sim::Time finish = 0.0;
+  // Binomial tree: in round k, ranks < 2^k send to rank + 2^k.
+  for (int stride = 1; stride < p; stride *= 2) {
+    std::vector<Request> requests;
+    for (int r = 0; r < stride && r + stride < p; ++r) {
+      requests.push_back(comm.isend(r, r + stride, 400 + stride, bytes));
+      requests.push_back(comm.irecv(r + stride, r, 400 + stride, bytes));
+    }
+    if (!requests.empty()) {
+      comm.wait_all(requests);
+      finish = std::max(finish, max_completion(requests));
+    }
+  }
+  return finish;
+}
+
+sim::Time alltoall(Communicator& comm, double block_bytes) {
+  const int p = comm.size();
+  if (p == 1) {
+    return comm.node().engine().now();
+  }
+  sim::Time finish = 0.0;
+  // Pairwise exchange: in round k, rank r trades with r XOR k when that
+  // partner exists (works perfectly for power-of-two P; other ranks sit
+  // the round out and use a shifted partner in the ring fallback).
+  for (int round = 1; round < p; ++round) {
+    std::vector<Request> requests;
+    std::vector<bool> paired(static_cast<std::size_t>(p), false);
+    for (int r = 0; r < p; ++r) {
+      int partner = r ^ round;
+      if (partner >= p) {
+        partner = (r + round) % p;  // ring fallback for ragged sizes
+      }
+      if (partner == r || paired[static_cast<std::size_t>(r)] ||
+          paired[static_cast<std::size_t>(partner)]) {
+        continue;
+      }
+      paired[static_cast<std::size_t>(r)] = true;
+      paired[static_cast<std::size_t>(partner)] = true;
+      requests.push_back(comm.isend(r, partner, 500 + round, block_bytes));
+      requests.push_back(comm.isend(partner, r, 500 + round, block_bytes));
+      requests.push_back(comm.irecv(r, partner, 500 + round, block_bytes));
+      requests.push_back(comm.irecv(partner, r, 500 + round, block_bytes));
+    }
+    if (!requests.empty()) {
+      comm.wait_all(requests);
+      finish = std::max(finish, max_completion(requests));
+    }
+  }
+  return finish;
+}
+
+sim::Time reduce_sum_to_root(Communicator& comm,
+                             std::vector<std::vector<double>>& rank_data,
+                             double element_bytes) {
+  const int p = comm.size();
+  ensure(static_cast<int>(rank_data.size()) == p,
+         "reduce_sum_to_root: one vector per rank required");
+  const std::size_t n = rank_data.front().size();
+  for (const auto& v : rank_data) {
+    ensure(v.size() == n, "reduce_sum_to_root: vectors must be equal-sized");
+  }
+  if (p == 1) {
+    return comm.node().engine().now();
+  }
+  sim::Time finish = 0.0;
+  const double bytes = static_cast<double>(n) * element_bytes;
+  // Binomial tree: in round k (stride 2^k), rank r with r % 2^(k+1) ==
+  // 2^k sends its partial to r - 2^k.
+  for (int stride = 1; stride < p; stride *= 2) {
+    std::vector<Request> requests;
+    std::vector<std::pair<int, int>> edges;  // (sender, receiver)
+    std::vector<std::vector<double>> incoming(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      if (r % (2 * stride) == stride) {
+        const int dst = r - stride;
+        edges.emplace_back(r, dst);
+        requests.push_back(
+            comm.isend(r, dst, 600 + stride, bytes,
+                       std::span<const double>(
+                           rank_data[static_cast<std::size_t>(r)])));
+        incoming[static_cast<std::size_t>(dst)].resize(n);
+        requests.push_back(comm.irecv(
+            dst, r, 600 + stride, bytes,
+            std::span<double>(incoming[static_cast<std::size_t>(dst)])));
+      }
+    }
+    if (requests.empty()) {
+      continue;
+    }
+    comm.wait_all(requests);
+    finish = std::max(finish, max_completion(requests));
+    for (const auto& [src, dst] : edges) {
+      auto& acc = rank_data[static_cast<std::size_t>(dst)];
+      const auto& in = incoming[static_cast<std::size_t>(dst)];
+      for (std::size_t i = 0; i < n; ++i) {
+        acc[i] += in[i];
+      }
+      static_cast<void>(src);
+    }
+  }
+  return finish;
+}
+
+sim::Time sendrecv(Communicator& comm, int rank_a, int rank_b, double bytes) {
+  std::vector<Request> requests;
+  requests.push_back(comm.isend(rank_a, rank_b, 700, bytes));
+  requests.push_back(comm.isend(rank_b, rank_a, 701, bytes));
+  requests.push_back(comm.irecv(rank_b, rank_a, 700, bytes));
+  requests.push_back(comm.irecv(rank_a, rank_b, 701, bytes));
+  comm.wait_all(requests);
+  return max_completion(requests);
+}
+
+}  // namespace pvc::comm

@@ -1,0 +1,55 @@
+#pragma once
+// Collective operations built on the point-to-point layer.
+//
+// Functionally correct (they really move and combine the payloads) and
+// timed through the flow network.  Used by the mini-apps' weak-scaled
+// phases and tested against analytic results.
+
+#include <span>
+#include <vector>
+
+#include "comm/communicator.hpp"
+
+namespace pvc::comm {
+
+/// Synchronizes all ranks with a dissemination barrier (log2(P) rounds of
+/// zero-byte messages).  Returns the simulated completion time.
+sim::Time barrier(Communicator& comm);
+
+/// Ring all-reduce (sum) over per-rank vectors of equal length.  On
+/// return every rank's vector holds the element-wise sum; the reported
+/// time is the completion of the slowest rank.  `element_bytes` prices
+/// the wire traffic (8 for FP64 payloads).
+sim::Time allreduce_sum(Communicator& comm,
+                        std::vector<std::vector<double>>& rank_data,
+                        double element_bytes = 8.0);
+
+/// Neighbour halo exchange on a 1-D ring: every rank sends `halo_bytes`
+/// to both neighbours and receives the same (CloverLeaf's communication
+/// pattern at the end of each step).  Returns completion time.
+sim::Time halo_exchange_ring(Communicator& comm, double halo_bytes);
+
+/// Gather of equal-sized blocks to rank 0 (timing only).
+sim::Time gather_to_root(Communicator& comm, double block_bytes);
+
+/// Broadcast from rank 0 via a binomial tree (timing only).
+sim::Time broadcast_from_root(Communicator& comm, double bytes);
+
+/// Pairwise-exchange all-to-all: every rank sends a distinct
+/// `block_bytes` block to every other rank (P-1 rounds with partner
+/// r XOR round where possible, ring otherwise).  The FFT-transpose
+/// communication pattern.  Timing only; returns completion time.
+sim::Time alltoall(Communicator& comm, double block_bytes);
+
+/// Reduction (sum) of per-rank vectors onto rank 0 via a binomial tree;
+/// functionally combines the payloads.  On return rank_data[0] holds the
+/// element-wise sum; other ranks' vectors are unspecified partials.
+sim::Time reduce_sum_to_root(Communicator& comm,
+                             std::vector<std::vector<double>>& rank_data,
+                             double element_bytes = 8.0);
+
+/// Paired exchange between two ranks (both directions concurrently);
+/// returns completion time.  The Table III bidirectional measurement.
+sim::Time sendrecv(Communicator& comm, int rank_a, int rank_b, double bytes);
+
+}  // namespace pvc::comm

@@ -1,0 +1,132 @@
+#include "comm/communicator.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace pvc::comm {
+
+bool Request::done() const {
+  ensure(state_ != nullptr, "Request: empty request");
+  return state_->done;
+}
+
+sim::Time Request::complete_time() const {
+  ensure(state_ != nullptr && state_->done,
+         "Request: completion time queried before completion");
+  return state_->when;
+}
+
+Communicator::Communicator(rt::NodeSim& node, std::vector<int> rank_to_device)
+    : node_(&node), rank_to_device_(std::move(rank_to_device)) {
+  ensure(!rank_to_device_.empty(), "Communicator: need at least one rank");
+  for (int dev : rank_to_device_) {
+    ensure(dev >= 0 && dev < node.device_count(),
+           "Communicator: rank bound to invalid device");
+  }
+  sends_.resize(rank_to_device_.size());
+  recvs_.resize(rank_to_device_.size());
+}
+
+Communicator Communicator::explicit_scaling(rt::NodeSim& node) {
+  std::vector<int> binding(static_cast<std::size_t>(node.device_count()));
+  for (int d = 0; d < node.device_count(); ++d) {
+    binding[static_cast<std::size_t>(d)] = d;
+  }
+  return Communicator(node, std::move(binding));
+}
+
+int Communicator::device_of(int rank) const {
+  ensure(rank >= 0 && rank < size(), "Communicator: bad rank");
+  return rank_to_device_[static_cast<std::size_t>(rank)];
+}
+
+Request Communicator::isend(int rank, int dst, int tag, double bytes,
+                            std::span<const double> data) {
+  ensure(rank >= 0 && rank < size() && dst >= 0 && dst < size(),
+         "Communicator: isend rank out of range");
+  ensure(bytes >= 0.0, "Communicator: negative message size");
+  auto state = std::make_shared<Request::State>();
+  sends_[static_cast<std::size_t>(dst)].push_back(
+      PendingSend{rank, tag, bytes, data, state});
+  try_match(dst);
+  return Request(state);
+}
+
+Request Communicator::irecv(int rank, int src, int tag, double bytes,
+                            std::span<double> data) {
+  ensure(rank >= 0 && rank < size() && src >= 0 && src < size(),
+         "Communicator: irecv rank out of range");
+  ensure(bytes >= 0.0, "Communicator: negative message size");
+  auto state = std::make_shared<Request::State>();
+  recvs_[static_cast<std::size_t>(rank)].push_back(
+      PendingRecv{src, tag, bytes, data, state});
+  try_match(rank);
+  return Request(state);
+}
+
+void Communicator::try_match(int dst_rank) {
+  auto& recv_queue = recvs_[static_cast<std::size_t>(dst_rank)];
+  auto& send_queue = sends_[static_cast<std::size_t>(dst_rank)];
+
+  bool matched = true;
+  while (matched) {
+    matched = false;
+    for (auto rit = recv_queue.begin(); rit != recv_queue.end(); ++rit) {
+      const auto sit = std::find_if(
+          send_queue.begin(), send_queue.end(), [&](const PendingSend& s) {
+            return s.src_rank == rit->src_rank && s.tag == rit->tag;
+          });
+      if (sit != send_queue.end()) {
+        ensure(sit->bytes == rit->bytes,
+               "Communicator: matched send/recv sizes differ");
+        launch(sit->src_rank, dst_rank, *sit, *rit);
+        send_queue.erase(sit);
+        recv_queue.erase(rit);
+        matched = true;
+        break;
+      }
+    }
+  }
+}
+
+void Communicator::launch(int src_rank, int dst_rank,
+                          const PendingSend& send, const PendingRecv& recv) {
+  const int src_dev = device_of(src_rank);
+  const int dst_dev = device_of(dst_rank);
+  auto send_state = send.state;
+  auto recv_state = recv.state;
+  const auto src_data = send.data;
+  const auto dst_data = recv.data;
+
+  node_->transfer_d2d(
+      src_dev, dst_dev, send.bytes,
+      [this, send_state, recv_state, src_data, dst_data](sim::Time t) {
+        if (!src_data.empty() && src_data.size() == dst_data.size()) {
+          std::copy(src_data.begin(), src_data.end(), dst_data.begin());
+        }
+        send_state->done = true;
+        send_state->when = t;
+        recv_state->done = true;
+        recv_state->when = t;
+        ++delivered_;
+      });
+}
+
+void Communicator::wait(Request& request) {
+  ensure(request.valid(), "Communicator: waiting on empty request");
+  while (!request.done()) {
+    ensure(!node_->engine().idle(),
+           "Communicator: deadlock — request cannot complete "
+           "(unmatched send/recv?)");
+    node_->engine().run();
+  }
+}
+
+void Communicator::wait_all(std::span<Request> requests) {
+  for (auto& r : requests) {
+    wait(r);
+  }
+}
+
+}  // namespace pvc::comm

@@ -1,0 +1,107 @@
+#pragma once
+// GPU-aware message passing over the node simulator.
+//
+// Mirrors the slice of MPI the paper's microbenchmarks use (MPICH with
+// Level-Zero support, §IV-A4): nonblocking Isend/Irecv with tag matching,
+// requests, and wait/wait-all.  One rank per subdevice ("explicit
+// scaling").  Transfers are fluid flows routed through the node's link
+// graph, so local-stack vs remote-Xe-Link pairs and multi-pair contention
+// behave as in Table III.  Payloads are optionally carried for real, so
+// the collectives built on top are functionally correct, not just timed.
+//
+// The harness is single-threaded: a driver posts operations for every
+// rank, then waits — the usual style for discrete-event MPI models.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "runtime/node_sim.hpp"
+
+namespace pvc::comm {
+
+/// Completion handle for a nonblocking operation.
+class Request {
+ public:
+  Request() = default;
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+  [[nodiscard]] bool done() const;
+  /// Completion timestamp; only meaningful once done().
+  [[nodiscard]] sim::Time complete_time() const;
+
+ private:
+  friend class Communicator;
+  struct State {
+    bool done = false;
+    sim::Time when = 0.0;
+  };
+  explicit Request(std::shared_ptr<State> state) : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+/// Rank-addressed communicator bound to a NodeSim.
+class Communicator {
+ public:
+  /// Binds rank r to device `rank_to_device[r]`.
+  Communicator(rt::NodeSim& node, std::vector<int> rank_to_device);
+
+  /// The paper's default: one rank per stack, ranks in flat device order.
+  [[nodiscard]] static Communicator explicit_scaling(rt::NodeSim& node);
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(rank_to_device_.size());
+  }
+  [[nodiscard]] int device_of(int rank) const;
+  [[nodiscard]] rt::NodeSim& node() noexcept { return *node_; }
+
+  /// Nonblocking send of `bytes` from `rank` to `dst` with `tag`.
+  /// `data` may be empty; when both sides supply equal-sized payloads the
+  /// bytes are delivered on completion.
+  Request isend(int rank, int dst, int tag, double bytes,
+                std::span<const double> data = {});
+
+  /// Nonblocking receive into `data` (may be empty for timing-only use).
+  Request irecv(int rank, int src, int tag, double bytes,
+                std::span<double> data = {});
+
+  /// Runs the simulation until `request` completes.
+  void wait(Request& request);
+  void wait_all(std::span<Request> requests);
+
+  /// Messages fully delivered so far (diagnostics).
+  [[nodiscard]] std::uint64_t messages_delivered() const noexcept {
+    return delivered_;
+  }
+
+ private:
+  struct PendingSend {
+    int src_rank;
+    int tag;
+    double bytes;
+    std::span<const double> data;
+    std::shared_ptr<Request::State> state;
+  };
+  struct PendingRecv {
+    int src_rank;  // required match; no ANY_SOURCE
+    int tag;
+    double bytes;
+    std::span<double> data;
+    std::shared_ptr<Request::State> state;
+  };
+
+  void try_match(int dst_rank);
+  void launch(int src_rank, int dst_rank, const PendingSend& send,
+              const PendingRecv& recv);
+
+  rt::NodeSim* node_;
+  std::vector<int> rank_to_device_;
+  // Posted-but-unmatched operations, indexed by destination rank.
+  std::vector<std::deque<PendingSend>> sends_;
+  std::vector<std::deque<PendingRecv>> recvs_;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace pvc::comm

@@ -1,0 +1,39 @@
+#pragma once
+// CSV emission, so every bench harness can dump machine-readable series
+// next to the human-readable tables/plots (the paper's artifact scripts do
+// the same).
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pvc {
+
+/// Builds a CSV document row by row.  Quoting follows RFC 4180: cells
+/// containing commas, quotes or newlines are quoted, quotes doubled.
+class CsvWriter {
+ public:
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with %.6g.
+  void add_numeric_row(const std::string& label,
+                       const std::vector<double>& values);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  void render(std::ostream& out) const;
+  [[nodiscard]] std::string to_string() const;
+
+  /// Writes to a file; throws pvc::Error on I/O failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Escapes a single CSV cell per RFC 4180.
+[[nodiscard]] std::string csv_escape(const std::string& cell);
+
+}  // namespace pvc

@@ -1,0 +1,53 @@
+#pragma once
+// Error handling for pvcbench.
+//
+// Precondition violations and unrecoverable configuration errors throw
+// `pvc::Error`, carrying the source location of the failed check.  Hot
+// paths use `PVC_ASSERT` which compiles to nothing in release builds.
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace pvc {
+
+/// Exception thrown by `ensure()` on contract violations.
+class Error : public std::runtime_error {
+ public:
+  Error(const std::string& message, std::source_location loc)
+      : std::runtime_error(std::string(loc.file_name()) + ":" +
+                           std::to_string(loc.line()) + ": " + message),
+        location_(loc) {}
+
+  [[nodiscard]] const std::source_location& location() const noexcept {
+    return location_;
+  }
+
+ private:
+  std::source_location location_;
+};
+
+/// Throws `pvc::Error` if `condition` is false.  Use for argument and
+/// configuration validation on non-hot paths.
+inline void ensure(bool condition, const std::string& message,
+                   std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw Error(message, loc);
+  }
+}
+
+/// Unconditionally reports an unreachable state.
+[[noreturn]] inline void unreachable(
+    const std::string& message,
+    std::source_location loc = std::source_location::current()) {
+  throw Error("unreachable: " + message, loc);
+}
+
+}  // namespace pvc
+
+#ifndef NDEBUG
+#define PVC_ASSERT(cond) \
+  ::pvc::ensure((cond), "assertion failed: " #cond)
+#else
+#define PVC_ASSERT(cond) static_cast<void>(0)
+#endif

@@ -1,0 +1,40 @@
+#include "core/log.hpp"
+
+#include <cstdio>
+
+namespace pvc {
+namespace {
+
+LogLevel g_level = LogLevel::Warn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace:
+      return "TRACE";
+    case LogLevel::Debug:
+      return "DEBUG";
+    case LogLevel::Info:
+      return "INFO ";
+    case LogLevel::Warn:
+      return "WARN ";
+    case LogLevel::Error:
+      return "ERROR";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+LogLevel log_level() noexcept { return g_level; }
+
+void set_log_level(LogLevel level) noexcept { g_level = level; }
+
+void log_message(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) {
+    return;
+  }
+  std::fprintf(stderr, "[pvcbench %s] %s\n", level_name(level),
+               message.c_str());
+}
+
+}  // namespace pvc

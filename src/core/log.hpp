@@ -1,0 +1,52 @@
+#pragma once
+// Minimal leveled logger.
+//
+// Logging is off by default (Warn level) so tests and benches stay quiet;
+// examples raise the level to Info.  Not thread-safe by design: pvcbench
+// drives the simulator from a single thread (the simulated node is
+// parallel; the simulation itself is deterministic and sequential).
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+
+namespace pvc {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4 };
+
+/// Returns the process-wide minimum level that will be emitted.
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Sets the process-wide minimum level.
+void set_log_level(LogLevel level) noexcept;
+
+/// Emits one log line to stderr if `level` is at or above the threshold.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { log_message(level_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LogStream log_trace() { return detail::LogStream(LogLevel::Trace); }
+inline detail::LogStream log_debug() { return detail::LogStream(LogLevel::Debug); }
+inline detail::LogStream log_info() { return detail::LogStream(LogLevel::Info); }
+inline detail::LogStream log_warn() { return detail::LogStream(LogLevel::Warn); }
+inline detail::LogStream log_error() { return detail::LogStream(LogLevel::Error); }
+
+}  // namespace pvc

@@ -1,0 +1,53 @@
+#pragma once
+// ASCII table rendering, used by the bench harnesses to print
+// reproductions of the paper's Tables II, III, IV and VI.
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pvc {
+
+/// Column-aligned ASCII table.  Rows are added as vectors of pre-formatted
+/// cell strings; rendering pads each column to its widest cell.
+class Table {
+ public:
+  /// `title` is printed above the table; may be empty.
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Sets the header row.  Number of columns is fixed by the header.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row.  Must match the header's column count.
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line at the current position.
+  void add_separator();
+
+  [[nodiscard]] std::size_t columns() const noexcept;
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+
+  /// Returns the cell text at (row, col); separators are skipped in the
+  /// row index.  Throws on out-of-range access.
+  [[nodiscard]] const std::string& at(std::size_t row, std::size_t col) const;
+
+  /// Renders the table to `out`.
+  void render(std::ostream& out) const;
+
+  /// Renders the table to a string.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace pvc

@@ -1,0 +1,103 @@
+#include "core/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace pvc {
+namespace {
+
+struct Prefix {
+  double scale;
+  const char* name;
+};
+
+std::string scaled(double value, const char* unit,
+                   const std::array<Prefix, 6>& prefixes) {
+  for (const auto& p : prefixes) {
+    if (std::fabs(value) >= p.scale) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.3g %s%s", value / p.scale, p.name,
+                    unit);
+      return buf;
+    }
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3g %s", value, unit);
+  return buf;
+}
+
+}  // namespace
+
+std::string format_flops(double flops_per_s, const std::string& suffix) {
+  static constexpr std::array<Prefix, 6> kPrefixes{{{1e18, "E"},
+                                                    {1e15, "P"},
+                                                    {1e12, "T"},
+                                                    {1e9, "G"},
+                                                    {1e6, "M"},
+                                                    {1e3, "k"}}};
+  return scaled(flops_per_s, suffix.c_str(), kPrefixes);
+}
+
+std::string format_bandwidth(double bytes_per_s) {
+  static constexpr std::array<Prefix, 6> kPrefixes{{{1e18, "E"},
+                                                    {1e15, "P"},
+                                                    {1e12, "T"},
+                                                    {1e9, "G"},
+                                                    {1e6, "M"},
+                                                    {1e3, "k"}}};
+  return scaled(bytes_per_s, "B/s", kPrefixes);
+}
+
+std::string format_bytes_binary(double bytes) {
+  static constexpr std::array<Prefix, 6> kPrefixes{{{1024.0 * GiB, "Ti"},
+                                                    {GiB, "Gi"},
+                                                    {MiB, "Mi"},
+                                                    {KiB, "Ki"},
+                                                    {1.0, ""},
+                                                    {0.0, ""}}};
+  return scaled(bytes, "B", kPrefixes);
+}
+
+std::string format_bytes_si(double bytes) {
+  static constexpr std::array<Prefix, 6> kPrefixes{{{1e15, "P"},
+                                                    {1e12, "T"},
+                                                    {1e9, "G"},
+                                                    {1e6, "M"},
+                                                    {1e3, "k"},
+                                                    {1.0, ""}}};
+  return scaled(bytes, "B", kPrefixes);
+}
+
+std::string format_duration(double seconds) {
+  char buf[64];
+  const double abs = std::fabs(seconds);
+  if (abs >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.3g s", seconds);
+  } else if (abs >= 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.3g ms", seconds * 1e3);
+  } else if (abs >= 1e-6) {
+    std::snprintf(buf, sizeof buf, "%.3g us", seconds * 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3g ns", seconds * 1e9);
+  }
+  return buf;
+}
+
+std::string format_frequency(double hertz) {
+  char buf[64];
+  if (hertz >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2f GHz", hertz / 1e9);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f MHz", hertz / 1e6);
+  }
+  return buf;
+}
+
+std::string format_value(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", digits, value);
+  return buf;
+}
+
+}  // namespace pvc

@@ -1,0 +1,64 @@
+#pragma once
+// Quantity helpers and unit constants used throughout pvcbench.
+//
+// All quantities are plain `double` in SI base units (bytes, seconds, Hz,
+// flop/s, byte/s).  Helper constants and conversion functions keep call
+// sites readable without introducing a heavyweight unit-type system; the
+// formatting helpers render values the way the paper's tables do
+// ("17 TFlop/s", "197 GB/s", "805 MB").
+
+#include <cstdint>
+#include <string>
+
+namespace pvc {
+
+// --- binary sizes -----------------------------------------------------------
+inline constexpr double KiB = 1024.0;
+inline constexpr double MiB = 1024.0 * KiB;
+inline constexpr double GiB = 1024.0 * MiB;
+
+// --- decimal (SI) sizes; the paper reports link rates in SI GB/s ------------
+inline constexpr double KB = 1e3;
+inline constexpr double MB = 1e6;
+inline constexpr double GB = 1e9;
+
+// --- rates -------------------------------------------------------------------
+inline constexpr double GHz = 1e9;
+inline constexpr double MHz = 1e6;
+
+inline constexpr double GFlops = 1e9;
+inline constexpr double TFlops = 1e12;
+inline constexpr double PFlops = 1e15;
+
+inline constexpr double GBps = 1e9;   // bytes per second, SI
+inline constexpr double TBps = 1e12;
+
+// --- time ---------------------------------------------------------------------
+inline constexpr double microseconds = 1e-6;
+inline constexpr double milliseconds = 1e-3;
+inline constexpr double nanoseconds = 1e-9;
+
+/// Formats a flop rate with an auto-selected SI prefix, e.g. "17.2 TFlop/s".
+/// Integer-op rates can be rendered by passing suffix = "Iop/s".
+[[nodiscard]] std::string format_flops(double flops_per_s,
+                                       const std::string& suffix = "Flop/s");
+
+/// Formats a bandwidth, e.g. "197 GB/s" or "2.0 TB/s".
+[[nodiscard]] std::string format_bandwidth(double bytes_per_s);
+
+/// Formats a byte count with a binary prefix, e.g. "512 KiB", "192 MiB".
+[[nodiscard]] std::string format_bytes_binary(double bytes);
+
+/// Formats a byte count with an SI prefix, e.g. "500 MB".
+[[nodiscard]] std::string format_bytes_si(double bytes);
+
+/// Formats a duration with an auto-selected unit, e.g. "1.25 ms".
+[[nodiscard]] std::string format_duration(double seconds);
+
+/// Formats a frequency, e.g. "1.60 GHz".
+[[nodiscard]] std::string format_frequency(double hertz);
+
+/// Formats a plain value with `digits` significant digits.
+[[nodiscard]] std::string format_value(double value, int digits = 3);
+
+}  // namespace pvc

@@ -1,0 +1,54 @@
+#pragma once
+// FFT substrate (the paper's oneMKL FFT stand-in, §IV-A6).
+//
+// Functional transforms: iterative radix-2 Cooley-Tukey for power-of-two
+// lengths and Bluestein's chirp-z algorithm for arbitrary lengths (the
+// paper's N = 20000 and 10000 are not powers of two), plus 1D batched
+// and 2D row-column transforms and a real-input wrapper.  Flop
+// accounting follows the paper's convention: 5 N log2 N for complex
+// transforms, 2.5 N log2 N for real ones.
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "arch/gpu_spec.hpp"
+#include "runtime/kernel.hpp"
+
+namespace pvc::fft {
+
+using cplx = std::complex<double>;
+
+/// In-place radix-2 FFT; size must be a power of two.
+/// `inverse` applies the conjugate transform *without* 1/N scaling.
+void fft_pow2_inplace(std::span<cplx> data, bool inverse);
+
+/// General-length DFT via radix-2 or Bluestein; output may not alias
+/// input.  Unscaled inverse, like fft_pow2_inplace.
+void fft(std::span<const cplx> in, std::span<cplx> out, bool inverse);
+
+/// Convenience: forward transform returning a fresh vector.
+[[nodiscard]] std::vector<cplx> fft_forward(std::span<const cplx> in);
+/// Inverse transform including the 1/N normalization.
+[[nodiscard]] std::vector<cplx> fft_inverse_scaled(std::span<const cplx> in);
+
+/// Real-input transform: returns the full complex spectrum of length n.
+[[nodiscard]] std::vector<cplx> fft_real(std::span<const double> in);
+
+/// 2D transform over row-major data (rows x cols), rows then columns.
+void fft_2d(std::span<cplx> data, std::size_t rows, std::size_t cols,
+            bool inverse);
+
+/// Paper flop conventions.
+[[nodiscard]] double fft_flops_complex(double n);
+[[nodiscard]] double fft_flops_real(double n);
+
+/// Cost descriptor: a batched single-precision C2C transform of length
+/// `n` (1D) or `n x n` (2D), `batch` transforms, priced with the
+/// calibrated FFT fraction of FP32 peak.
+[[nodiscard]] rt::KernelDesc fft_kernel_desc(const arch::NodeSpec& node,
+                                             std::size_t n, bool two_d,
+                                             std::size_t batch);
+
+}  // namespace pvc::fft

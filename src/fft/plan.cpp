@@ -1,0 +1,136 @@
+#include "fft/plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "core/error.hpp"
+
+namespace pvc::fft {
+
+namespace {
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+}  // namespace
+
+FftPlan::FftPlan(std::size_t n, bool inverse)
+    : n_(n), inverse_(inverse), pow2_(is_pow2(n)) {
+  ensure(n >= 2, "FftPlan: length must be at least 2");
+  const double sign = inverse ? 1.0 : -1.0;
+
+  if (pow2_) {
+    // Bit-reversal permutation table: rev[i] from rev[i/2].
+    bit_reversal_.resize(n);
+    bit_reversal_[0] = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      bit_reversal_[i] = static_cast<std::uint32_t>(
+          (bit_reversal_[i >> 1] >> 1) | ((i & 1) != 0 ? n >> 1 : 0));
+    }
+    // Per-stage twiddles: stage with half-length L stores w^k, k<L.
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+      const double angle =
+          sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const double a = angle * static_cast<double>(k);
+        twiddles_.emplace_back(std::cos(a), std::sin(a));
+      }
+    }
+    return;
+  }
+
+  // Bluestein precomputation.
+  m_ = 1;
+  while (m_ < 2 * n - 1) {
+    m_ <<= 1;
+  }
+  chirp_.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double angle = std::numbers::pi *
+                         static_cast<double>((k * k) % (2 * n)) /
+                         static_cast<double>(n);
+    chirp_[k] = cplx(std::cos(angle), sign * std::sin(angle));
+  }
+  conv_forward_ = std::make_unique<FftPlan>(m_, false);
+  conv_inverse_ = std::make_unique<FftPlan>(m_, true);
+
+  std::vector<cplx> b(m_, cplx(0.0, 0.0));
+  b[0] = std::conj(chirp_[0]);
+  for (std::size_t k = 1; k < n; ++k) {
+    b[k] = std::conj(chirp_[k]);
+    b[m_ - k] = std::conj(chirp_[k]);
+  }
+  b_spectrum_.resize(m_);
+  conv_forward_->execute(b, b_spectrum_);
+  scratch_.resize(2 * m_);
+}
+
+void FftPlan::execute_pow2(std::span<cplx> data) const {
+  const std::size_t n = n_;
+  // Bit-reversal using the precomputed table (swap once per pair).
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = bit_reversal_[i];
+    if (i < j) {
+      std::swap(data[i], data[j]);
+    }
+  }
+  const cplx* stage_twiddles = twiddles_.data();
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t half = len / 2;
+    for (std::size_t i = 0; i < n; i += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const cplx u = data[i + k];
+        const cplx v = data[i + k + half] * stage_twiddles[k];
+        data[i + k] = u + v;
+        data[i + k + half] = u - v;
+      }
+    }
+    stage_twiddles += half;
+  }
+}
+
+void FftPlan::execute(std::span<const cplx> in, std::span<cplx> out) const {
+  ensure(in.size() == n_ && out.size() == n_, "FftPlan: size mismatch");
+  ensure(in.data() != out.data(), "FftPlan: in and out must not alias");
+
+  if (pow2_) {
+    std::copy(in.begin(), in.end(), out.begin());
+    execute_pow2(out);
+    return;
+  }
+
+  // Bluestein: a = in * chirp, conv = IFFT(FFT(a) .* B), out = conv * chirp.
+  auto* a = scratch_.data();
+  auto* fa = scratch_.data() + m_;
+  std::fill(a, a + m_, cplx(0.0, 0.0));
+  for (std::size_t k = 0; k < n_; ++k) {
+    a[k] = in[k] * chirp_[k];
+  }
+  conv_forward_->execute(std::span<const cplx>(a, m_),
+                         std::span<cplx>(fa, m_));
+  for (std::size_t k = 0; k < m_; ++k) {
+    fa[k] *= b_spectrum_[k];
+  }
+  conv_inverse_->execute(std::span<const cplx>(fa, m_),
+                         std::span<cplx>(a, m_));
+  const double scale = 1.0 / static_cast<double>(m_);
+  for (std::size_t k = 0; k < n_; ++k) {
+    out[k] = a[k] * chirp_[k] * scale;
+  }
+}
+
+void FftPlan::execute_batched(std::span<cplx> data, std::size_t batch) const {
+  ensure(data.size() == n_ * batch, "FftPlan: batched size mismatch");
+  if (pow2_) {
+    for (std::size_t b = 0; b < batch; ++b) {
+      execute_pow2(data.subspan(b * n_, n_));
+    }
+    return;
+  }
+  std::vector<cplx> tmp(n_);
+  for (std::size_t b = 0; b < batch; ++b) {
+    auto slice = data.subspan(b * n_, n_);
+    execute(std::span<const cplx>(slice.data(), n_), tmp);
+    std::copy(tmp.begin(), tmp.end(), slice.begin());
+  }
+}
+
+}  // namespace pvc::fft

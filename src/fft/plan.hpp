@@ -1,0 +1,58 @@
+#pragma once
+// Plan-based FFT interface (the oneMKL/FFTW execution style).
+//
+// A plan precomputes everything reusable for a fixed length: the
+// bit-reversal permutation and per-stage twiddle tables for
+// power-of-two lengths, or the chirp sequence and the convolution
+// partner's spectrum for Bluestein lengths.  Executing a plan is then
+// allocation-free apart from the caller's output buffer (Bluestein uses
+// an internal scratch sized at construction).  Plans are immutable and
+// safe to reuse across batches.
+
+#include <memory>
+
+#include "fft/fft.hpp"
+
+namespace pvc::fft {
+
+/// Reusable transform descriptor for a fixed length and direction.
+class FftPlan {
+ public:
+  /// Builds a plan for length `n` (>= 2); `inverse` selects the
+  /// conjugate transform (unscaled, like fft()).
+  FftPlan(std::size_t n, bool inverse);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] bool inverse() const noexcept { return inverse_; }
+  /// True when the length is not a power of two (chirp-z path).
+  [[nodiscard]] bool uses_bluestein() const noexcept { return !pow2_; }
+
+  /// Out-of-place execution; in and out must not alias and must both
+  /// have size() elements.
+  void execute(std::span<const cplx> in, std::span<cplx> out) const;
+
+  /// Executes `batch` contiguous transforms over `data`
+  /// (size() * batch elements), writing results in place.
+  void execute_batched(std::span<cplx> data, std::size_t batch) const;
+
+ private:
+  void execute_pow2(std::span<cplx> data) const;
+
+  std::size_t n_;
+  bool inverse_;
+  bool pow2_;
+
+  // Power-of-two path.
+  std::vector<std::uint32_t> bit_reversal_;
+  std::vector<cplx> twiddles_;  ///< per-stage tables, concatenated
+
+  // Bluestein path.
+  std::size_t m_ = 0;  ///< convolution length (power of two >= 2n-1)
+  std::vector<cplx> chirp_;
+  std::vector<cplx> b_spectrum_;  ///< FFT of the chirp partner
+  std::unique_ptr<FftPlan> conv_forward_;
+  std::unique_ptr<FftPlan> conv_inverse_;
+  mutable std::vector<cplx> scratch_;
+};
+
+}  // namespace pvc::fft

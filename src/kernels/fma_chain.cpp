@@ -1,0 +1,41 @@
+#include "kernels/fma_chain.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace pvc::kernels {
+namespace {
+
+template <typename T>
+T run_chains(std::size_t work_items, T a, T b) {
+  T total = T(0);
+  for (std::size_t w = 0; w < work_items; ++w) {
+    T x = static_cast<T>(w % 7) * static_cast<T>(0.25);
+    // Dependent chain: exactly kFmaPerWorkItem fused operations.
+    for (std::size_t i = 0; i < kFmaPerWorkItem; ++i) {
+      x = std::fma(a, x, b);
+    }
+    total += x;
+  }
+  return total;
+}
+
+}  // namespace
+
+double fma_chain_fp64(std::size_t work_items, double a, double b) {
+  return run_chains<double>(work_items, a, b);
+}
+
+float fma_chain_fp32(std::size_t work_items, float a, float b) {
+  return run_chains<float>(work_items, a, b);
+}
+
+double fma_chain_expected(double seed, double a, double b,
+                          std::size_t iterations) {
+  ensure(a != 1.0, "fma_chain_expected: closed form requires a != 1");
+  const double an = std::pow(a, static_cast<double>(iterations));
+  return an * seed + b * (an - 1.0) / (a - 1.0);
+}
+
+}  // namespace pvc::kernels

@@ -1,0 +1,106 @@
+#include "kernels/narrow_float.hpp"
+
+#include <cmath>
+
+namespace pvc::kernels {
+
+half_t half_t::from_float(float f) {
+  const std::uint32_t x = std::bit_cast<std::uint32_t>(f);
+  const std::uint32_t sign = (x >> 16) & 0x8000u;
+  const std::int32_t exponent =
+      static_cast<std::int32_t>((x >> 23) & 0xffu) - 127 + 15;
+  std::uint32_t mantissa = x & 0x7fffffu;
+
+  half_t h;
+  if (((x >> 23) & 0xffu) == 0xffu) {  // inf / nan
+    h.bits = static_cast<std::uint16_t>(sign | 0x7c00u |
+                                        (mantissa != 0 ? 0x0200u : 0u));
+    return h;
+  }
+  if (exponent >= 0x1f) {  // overflow -> inf
+    h.bits = static_cast<std::uint16_t>(sign | 0x7c00u);
+    return h;
+  }
+  if (exponent <= 0) {  // subnormal or zero
+    if (exponent < -10) {
+      h.bits = static_cast<std::uint16_t>(sign);
+      return h;
+    }
+    // Add implicit leading 1, shift into subnormal position with
+    // round-to-nearest-even.
+    mantissa |= 0x800000u;
+    const int shift = 14 - exponent;
+    const std::uint32_t rounded =
+        (mantissa + (1u << (shift - 1)) - 1u +
+         ((mantissa >> shift) & 1u)) >>
+        shift;
+    h.bits = static_cast<std::uint16_t>(sign | rounded);
+    return h;
+  }
+  // Normal: round mantissa from 23 to 10 bits, nearest-even.
+  const std::uint32_t round_bit = 1u << 12;
+  std::uint32_t result =
+      (static_cast<std::uint32_t>(exponent) << 10) | (mantissa >> 13);
+  if ((mantissa & round_bit) != 0 &&
+      ((mantissa & (round_bit - 1)) != 0 || (mantissa & (round_bit << 1)) != 0)) {
+    ++result;  // may carry into the exponent, which is correct behaviour
+  }
+  h.bits = static_cast<std::uint16_t>(sign | result);
+  return h;
+}
+
+float half_t::to_float() const {
+  const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u) << 16;
+  const std::uint32_t exponent = (bits >> 10) & 0x1fu;
+  const std::uint32_t mantissa = bits & 0x3ffu;
+
+  if (exponent == 0) {
+    if (mantissa == 0) {
+      return std::bit_cast<float>(sign);  // +-0
+    }
+    // Subnormal: renormalize.
+    int e = -1;
+    std::uint32_t m = mantissa;
+    do {
+      ++e;
+      m <<= 1;
+    } while ((m & 0x400u) == 0);
+    const std::uint32_t exp32 = static_cast<std::uint32_t>(127 - 15 - e);
+    return std::bit_cast<float>(sign | (exp32 << 23) | ((m & 0x3ffu) << 13));
+  }
+  if (exponent == 0x1f) {  // inf / nan
+    return std::bit_cast<float>(sign | 0x7f800000u | (mantissa << 13));
+  }
+  const std::uint32_t exp32 = exponent - 15 + 127;
+  return std::bit_cast<float>(sign | (exp32 << 23) | (mantissa << 13));
+}
+
+bfloat16_t bfloat16_t::from_float(float f) {
+  const std::uint32_t x = std::bit_cast<std::uint32_t>(f);
+  bfloat16_t b;
+  if ((x & 0x7f800000u) == 0x7f800000u && (x & 0x7fffffu) != 0) {
+    // NaN: keep it a NaN after truncation.
+    b.bits = static_cast<std::uint16_t>((x >> 16) | 0x0040u);
+    return b;
+  }
+  // Round-to-nearest-even on the dropped 16 bits.
+  const std::uint32_t rounding = 0x7fffu + ((x >> 16) & 1u);
+  b.bits = static_cast<std::uint16_t>((x + rounding) >> 16);
+  return b;
+}
+
+tf32_t tf32_t::from_float(float f) {
+  if (std::isnan(f) || std::isinf(f)) {
+    tf32_t t;
+    t.value = f;
+    return t;
+  }
+  // Keep 10 explicit mantissa bits: round-to-nearest-even at bit 13.
+  const std::uint32_t x = std::bit_cast<std::uint32_t>(f);
+  const std::uint32_t rounding = 0xfffu + ((x >> 13) & 1u);
+  tf32_t t;
+  t.value = std::bit_cast<float>((x + rounding) & ~0x1fffu);
+  return t;
+}
+
+}  // namespace pvc::kernels

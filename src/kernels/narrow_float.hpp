@@ -1,0 +1,54 @@
+#pragma once
+// Software emulation of the narrow datatypes in the GEMM suite.
+//
+// The paper's GEMM microbenchmark covers FP64/FP32/FP16/BF16/TF32/I8
+// (Table II).  Without XMX hardware we emulate the narrow types: storage
+// types with correct rounding on conversion, and arithmetic performed in
+// float the way matrix engines accumulate in wider precision.
+
+#include <bit>
+#include <cstdint>
+
+namespace pvc::kernels {
+
+/// IEEE 754 binary16 storage type.  Conversions handle normals,
+/// subnormals, infinities and NaN; arithmetic happens in float.
+struct half_t {
+  std::uint16_t bits = 0;
+
+  half_t() = default;
+  static half_t from_float(float f);
+  [[nodiscard]] float to_float() const;
+};
+
+/// bfloat16 storage type: top 16 bits of a float with round-to-nearest-
+/// even on conversion.
+struct bfloat16_t {
+  std::uint16_t bits = 0;
+
+  bfloat16_t() = default;
+  static bfloat16_t from_float(float f);
+  [[nodiscard]] float to_float() const {
+    return std::bit_cast<float>(static_cast<std::uint32_t>(bits) << 16);
+  }
+};
+
+/// TF32: float storage whose mantissa is truncated to 10 explicit bits
+/// before use (NVIDIA's tensor-float layout; PVC's XMX handles TF32
+/// equivalently for our purposes).
+struct tf32_t {
+  float value = 0.0f;
+
+  tf32_t() = default;
+  static tf32_t from_float(float f);
+  [[nodiscard]] float to_float() const { return value; }
+};
+
+/// Rounds a float to the nearest representable value of type T and back;
+/// convenience for tests.
+template <typename T>
+[[nodiscard]] inline float round_trip(float f) {
+  return T::from_float(f).to_float();
+}
+
+}  // namespace pvc::kernels

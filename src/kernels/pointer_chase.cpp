@@ -1,0 +1,88 @@
+#include "kernels/pointer_chase.hpp"
+
+#include <chrono>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace pvc::kernels {
+
+ChaseResult chase_simulated(pvc::sim::CacheHierarchy& hierarchy,
+                            const ChaseConfig& config) {
+  ensure(config.footprint_bytes >= 256,
+         "chase_simulated: footprint too small");
+  ensure(config.steps > 0, "chase_simulated: need at least one step");
+  hierarchy.reset();
+
+  // Nodes are line-spaced so each chase step touches a fresh line.  In
+  // coalesced mode the 16 lanes of a sub-group read 16 consecutive
+  // 4-byte indices — one 64-byte line per step — so per-step latency is
+  // identical but the footprint they cover is shared across lanes.
+  constexpr std::size_t kLine = 64;
+  const std::size_t nodes = config.footprint_bytes / kLine;
+  ensure(nodes >= 2, "chase_simulated: need at least two nodes");
+
+  std::vector<std::uint32_t> next(nodes);
+  pvc::Rng rng(config.seed);
+  pvc::sattolo_cycle(rng, next.data(), nodes);
+
+  const std::uint64_t warmup = config.warmup_steps > 0
+                                   ? config.warmup_steps
+                                   : static_cast<std::uint64_t>(nodes);
+
+  std::uint32_t idx = 0;
+  for (std::uint64_t s = 0; s < warmup; ++s) {
+    hierarchy.access(static_cast<std::uint64_t>(idx) * kLine);
+    idx = next[idx];
+  }
+
+  ChaseResult result;
+  double total = 0.0;
+  for (std::uint64_t s = 0; s < config.steps; ++s) {
+    // Both modes load exactly one line per step (the coalesced lanes
+    // fall inside one line); step latency is that load's latency.
+    total += hierarchy.access(static_cast<std::uint64_t>(idx) * kLine);
+    ++result.loads;
+    idx = next[idx];
+  }
+  result.steps = config.steps;
+  result.avg_latency_cycles = total / static_cast<double>(config.steps);
+  return result;
+}
+
+double chase_host_ns_per_load(std::size_t footprint_bytes,
+                              std::uint64_t steps, std::uint64_t seed) {
+  ensure(footprint_bytes >= 256, "chase_host: footprint too small");
+  constexpr std::size_t kStride = 64 / sizeof(std::uint32_t);
+  const std::size_t nodes = footprint_bytes / 64;
+  ensure(nodes >= 2, "chase_host: need at least two nodes");
+
+  // Table of line-spaced indices forming one cycle.
+  std::vector<std::uint32_t> order(nodes);
+  pvc::Rng rng(seed);
+  pvc::sattolo_cycle(rng, order.data(), nodes);
+  std::vector<std::uint32_t> table(nodes * kStride, 0);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    table[i * kStride] = order[i] * static_cast<std::uint32_t>(kStride);
+  }
+
+  // Warm one lap, then time dependent loads.
+  volatile std::uint32_t sink = 0;
+  std::uint32_t idx = 0;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    idx = table[idx];
+  }
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t s = 0; s < steps; ++s) {
+    idx = table[idx];
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  sink = idx;
+  static_cast<void>(sink);
+
+  const double ns =
+      std::chrono::duration<double, std::nano>(stop - start).count();
+  return ns / static_cast<double>(steps);
+}
+
+}  // namespace pvc::kernels

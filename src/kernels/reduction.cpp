@@ -1,0 +1,53 @@
+#include "kernels/reduction.hpp"
+
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace pvc::kernels {
+
+double pairwise_sum(std::span<const double> values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  if (values.size() <= 8) {
+    double s = 0.0;
+    for (double v : values) {
+      s += v;
+    }
+    return s;
+  }
+  const std::size_t half = values.size() / 2;
+  return pairwise_sum(values.first(half)) + pairwise_sum(values.subspan(half));
+}
+
+double kahan_sum(std::span<const double> values) {
+  double sum = 0.0;
+  double carry = 0.0;
+  for (double v : values) {
+    const double y = v - carry;
+    const double t = sum + y;
+    carry = (t - sum) - y;
+    sum = t;
+  }
+  return sum;
+}
+
+double naive_sum(std::span<const double> values) {
+  double s = 0.0;
+  for (double v : values) {
+    s += v;
+  }
+  return s;
+}
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  ensure(x.size() == y.size(), "dot: size mismatch");
+  std::vector<double> products(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    products[i] = x[i] * y[i];
+  }
+  return pairwise_sum(products);
+}
+
+}  // namespace pvc::kernels

@@ -1,0 +1,26 @@
+#pragma once
+// Reductions with controlled error growth.
+//
+// The mini-GAMESS RI-MP2 kernel is "a call to DGEMM and a reduction"
+// (paper §V-A4); OpenMC tallies and miniQMC accumulators also reduce.
+// Pairwise summation keeps the functional results reproducible across
+// problem sizes.
+
+#include <span>
+
+namespace pvc::kernels {
+
+/// Pairwise (cascade) summation: O(log n) error growth.
+[[nodiscard]] double pairwise_sum(std::span<const double> values);
+
+/// Kahan compensated summation, for cross-checking.
+[[nodiscard]] double kahan_sum(std::span<const double> values);
+
+/// Naive left-to-right sum (error-growth baseline for tests).
+[[nodiscard]] double naive_sum(std::span<const double> values);
+
+/// Dot product with pairwise accumulation.
+[[nodiscard]] double dot(std::span<const double> x,
+                         std::span<const double> y);
+
+}  // namespace pvc::kernels

@@ -1,0 +1,31 @@
+#include "kernels/triad.hpp"
+
+#include "core/error.hpp"
+
+namespace pvc::kernels {
+namespace {
+
+template <typename T>
+void triad_impl(std::span<T> a, std::span<const T> b, std::span<const T> c,
+                T scalar) {
+  ensure(a.size() == b.size() && b.size() == c.size(),
+         "triad: arrays must be equal-sized");
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = b[i] + scalar * c[i];
+  }
+}
+
+}  // namespace
+
+void triad(std::span<double> a, std::span<const double> b,
+           std::span<const double> c, double scalar) {
+  triad_impl(a, b, c, scalar);
+}
+
+void triad(std::span<float> a, std::span<const float> b,
+           std::span<const float> c, float scalar) {
+  triad_impl(a, b, c, scalar);
+}
+
+}  // namespace pvc::kernels

@@ -1,0 +1,149 @@
+#include "micro/message_sweep.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "core/units.hpp"
+#include "runtime/node_sim.hpp"
+
+namespace pvc::micro {
+
+std::string transfer_path_name(TransferPath path) {
+  switch (path) {
+    case TransferPath::PcieH2D:
+      return "pcie-h2d";
+    case TransferPath::PcieD2H:
+      return "pcie-d2h";
+    case TransferPath::LocalPair:
+      return "local-mdfi";
+    case TransferPath::RemotePair:
+      return "xelink-direct";
+    case TransferPath::TwoHopPair:
+      return "xelink-two-hop";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Finds (src, dst) devices realizing the requested path.
+std::pair<int, int> endpoints_for(const rt::NodeSim& sim, TransferPath path) {
+  const int devices = sim.device_count();
+  switch (path) {
+    case TransferPath::PcieH2D:
+    case TransferPath::PcieD2H:
+      return {0, 0};
+    case TransferPath::LocalPair:
+      ensure(sim.spec().card.subdevice_count == 2,
+             "message sweep: node has no local stack pairs");
+      return {0, 1};
+    case TransferPath::RemotePair:
+      for (int b = 1; b < devices; ++b) {
+        if (sim.d2d_route_kind(0, b) == arch::RouteKind::XeLinkDirect) {
+          return {0, b};
+        }
+      }
+      throw Error("message sweep: no direct remote pair on this node",
+                  std::source_location::current());
+    case TransferPath::TwoHopPair:
+      for (int b = 1; b < devices; ++b) {
+        if (sim.d2d_route_kind(0, b) == arch::RouteKind::XeLinkTwoHop) {
+          return {0, b};
+        }
+      }
+      throw Error("message sweep: no two-hop pair on this node",
+                  std::source_location::current());
+  }
+  unreachable("bad transfer path");
+}
+
+double timed_once(const arch::NodeSpec& node, TransferPath path,
+                  double bytes) {
+  rt::NodeSim sim(node);
+  const auto [src, dst] = endpoints_for(sim, path);
+  double done = -1.0;
+  const auto callback = [&](sim::Time t) { done = t; };
+  switch (path) {
+    case TransferPath::PcieH2D:
+      sim.transfer_h2d(src, bytes, callback);
+      break;
+    case TransferPath::PcieD2H:
+      sim.transfer_d2h(src, bytes, callback);
+      break;
+    default:
+      sim.transfer_d2d(src, dst, bytes, callback);
+      break;
+  }
+  sim.run();
+  ensure(done > 0.0, "message sweep: transfer did not complete");
+  return done;
+}
+
+}  // namespace
+
+SweepResult sweep_path(const arch::NodeSpec& node, TransferPath path,
+                       const std::vector<double>& sizes) {
+  ensure(!sizes.empty(), "message sweep: empty size ladder");
+  ensure(std::is_sorted(sizes.begin(), sizes.end()),
+         "message sweep: sizes must ascend");
+  SweepResult result;
+  result.path = path;
+  for (double bytes : sizes) {
+    const double seconds = timed_once(node, path, bytes);
+    result.points.push_back(SweepPoint{bytes, seconds, bytes / seconds});
+  }
+  result.latency_s = result.points.front().seconds;
+  result.asymptotic_bandwidth_bps = result.points.back().bandwidth_bps;
+
+  // N_1/2: first (interpolated) size reaching half the asymptote.
+  const double half = 0.5 * result.asymptotic_bandwidth_bps;
+  result.half_bandwidth_bytes = result.points.back().message_bytes;
+  for (std::size_t i = 0; i < result.points.size(); ++i) {
+    if (result.points[i].bandwidth_bps >= half) {
+      if (i == 0) {
+        result.half_bandwidth_bytes = result.points[0].message_bytes;
+      } else {
+        const auto& lo = result.points[i - 1];
+        const auto& hi = result.points[i];
+        const double t = (half - lo.bandwidth_bps) /
+                         (hi.bandwidth_bps - lo.bandwidth_bps);
+        result.half_bandwidth_bytes =
+            lo.message_bytes + t * (hi.message_bytes - lo.message_bytes);
+      }
+      break;
+    }
+  }
+  return result;
+}
+
+std::vector<double> default_message_sizes() {
+  std::vector<double> sizes;
+  for (double s = 1.0 * KiB; s <= 512.0 * MiB; s *= 2.0) {
+    sizes.push_back(s);
+  }
+  return sizes;
+}
+
+std::vector<TransferPath> available_paths(const arch::NodeSpec& node) {
+  std::vector<TransferPath> paths{TransferPath::PcieH2D,
+                                  TransferPath::PcieD2H};
+  rt::NodeSim sim(node);
+  if (node.card.subdevice_count == 2) {
+    paths.push_back(TransferPath::LocalPair);
+  }
+  for (int b = 1; b < sim.device_count(); ++b) {
+    if (sim.d2d_route_kind(0, b) == arch::RouteKind::XeLinkDirect) {
+      paths.push_back(TransferPath::RemotePair);
+      break;
+    }
+  }
+  for (int b = 1; b < sim.device_count(); ++b) {
+    if (sim.d2d_route_kind(0, b) == arch::RouteKind::XeLinkTwoHop) {
+      paths.push_back(TransferPath::TwoHopPair);
+      break;
+    }
+  }
+  return paths;
+}
+
+}  // namespace pvc::micro

@@ -1,0 +1,61 @@
+#pragma once
+// Message-size sweeps: osu-microbenchmark-style latency/bandwidth curves
+// for every transfer path in the node (PCIe H2D, local MDFI pair,
+// direct Xe-Link pair, two-hop Xe-Link pair).
+//
+// The paper's §IV uses a single 500 MB message; the sweep extends the
+// harness to the full latency-to-bandwidth transition, which is where
+// the fixed link-setup latencies (PCIe DMA setup, Xe-Link fabric
+// traversal) dominate — relevant to strong-scaled codes sending small
+// halos.  The half-bandwidth point ("N_1/2") is reported per path.
+
+#include <string>
+#include <vector>
+
+#include "arch/gpu_spec.hpp"
+
+namespace pvc::micro {
+
+/// Transfer paths exercised by the sweep.
+enum class TransferPath {
+  PcieH2D,
+  PcieD2H,
+  LocalPair,    ///< MDFI, stacks of one card
+  RemotePair,   ///< direct Xe-Link, same plane
+  TwoHopPair    ///< cross-plane Xe-Link + MDFI
+};
+
+[[nodiscard]] std::string transfer_path_name(TransferPath path);
+
+/// One sweep sample.
+struct SweepPoint {
+  double message_bytes = 0.0;
+  double seconds = 0.0;
+  double bandwidth_bps = 0.0;  ///< message_bytes / seconds
+};
+
+/// Sweep result plus derived metrics.
+struct SweepResult {
+  TransferPath path = TransferPath::PcieH2D;
+  std::vector<SweepPoint> points;
+  double asymptotic_bandwidth_bps = 0.0;  ///< largest-message bandwidth
+  double latency_s = 0.0;                 ///< smallest-message time
+  /// Smallest message achieving half the asymptotic bandwidth
+  /// (interpolated); the classic N_1/2 metric.
+  double half_bandwidth_bytes = 0.0;
+};
+
+/// Runs one path's sweep over `sizes` (bytes, ascending).  Paths that do
+/// not exist on the node (e.g. TwoHopPair on JLSE-H100) throw pvc::Error.
+[[nodiscard]] SweepResult sweep_path(const arch::NodeSpec& node,
+                                     TransferPath path,
+                                     const std::vector<double>& sizes);
+
+/// Default size ladder: powers of two from 1 KiB to 512 MiB.
+[[nodiscard]] std::vector<double> default_message_sizes();
+
+/// Every path available on the node.
+[[nodiscard]] std::vector<TransferPath> available_paths(
+    const arch::NodeSpec& node);
+
+}  // namespace pvc::micro

@@ -1,0 +1,130 @@
+#include "micro/paper_reference.hpp"
+
+#include "core/units.hpp"
+
+namespace pvc::micro {
+
+Table2Reference table2_aurora() {
+  Table2Reference t;
+  t.fp64_peak = {17 * TFlops, 33 * TFlops, 195 * TFlops};
+  t.fp32_peak = {23 * TFlops, 45 * TFlops, 268 * TFlops};
+  t.stream_bw = {1 * TBps, 2 * TBps, 12 * TBps};
+  t.pcie_h2d = {54 * GBps, 55 * GBps, 329 * GBps};
+  t.pcie_d2h = {53 * GBps, 56 * GBps, 264 * GBps};
+  t.pcie_bidir = {76 * GBps, 77 * GBps, 350 * GBps};
+  t.dgemm = {13 * TFlops, 26 * TFlops, 151 * TFlops};
+  t.sgemm = {21 * TFlops, 42 * TFlops, 242 * TFlops};
+  t.hgemm = {207 * TFlops, 411 * TFlops, 2.3 * PFlops};
+  t.bf16gemm = {216 * TFlops, 434 * TFlops, 2.4 * PFlops};
+  t.tf32gemm = {107 * TFlops, 208 * TFlops, 1.2 * PFlops};
+  t.i8gemm = {448 * TFlops, 864 * TFlops, 5.0 * PFlops};
+  t.fft_1d = {3.1 * TFlops, 5.9 * TFlops, 33 * TFlops};
+  t.fft_2d = {3.4 * TFlops, 6.0 * TFlops, 34 * TFlops};
+  return t;
+}
+
+Table2Reference table2_dawn() {
+  Table2Reference t;
+  t.fp64_peak = {20 * TFlops, 37 * TFlops, 140 * TFlops};
+  t.fp32_peak = {26 * TFlops, 52 * TFlops, 207 * TFlops};
+  t.stream_bw = {1 * TBps, 2 * TBps, 8 * TBps};
+  t.pcie_h2d = {53 * GBps, 54 * GBps, 218 * GBps};
+  t.pcie_d2h = {51 * GBps, 53 * GBps, 212 * GBps};
+  t.pcie_bidir = {72 * GBps, 72 * GBps, 285 * GBps};
+  t.dgemm = {17 * TFlops, 30 * TFlops, 120 * TFlops};
+  t.sgemm = {25 * TFlops, 48 * TFlops, 188 * TFlops};
+  t.hgemm = {246 * TFlops, 509 * TFlops, 1.9 * PFlops};
+  t.bf16gemm = {254 * TFlops, 501 * TFlops, 2.0 * PFlops};
+  t.tf32gemm = {118 * TFlops, 200 * TFlops, 850 * TFlops};
+  t.i8gemm = {525 * TFlops, 1.1 * PFlops, 4.1 * PFlops};
+  t.fft_1d = {3.6 * TFlops, 6.6 * TFlops, 26 * TFlops};
+  t.fft_2d = {3.6 * TFlops, 6.5 * TFlops, 25 * TFlops};
+  return t;
+}
+
+Table3Reference table3_aurora() {
+  Table3Reference t;
+  t.local_uni_one_pair = 197 * GBps;
+  t.local_bidir_one_pair = 284 * GBps;
+  t.local_uni_all_pairs = 1129 * GBps;
+  t.local_bidir_all_pairs = 1661 * GBps;
+  t.remote_uni_one_pair = 15 * GBps;
+  t.remote_bidir_one_pair = 23 * GBps;
+  t.remote_uni_all_pairs = 95 * GBps;
+  t.remote_bidir_all_pairs = 142 * GBps;
+  return t;
+}
+
+Table3Reference table3_dawn() {
+  Table3Reference t;
+  t.local_uni_one_pair = 196 * GBps;
+  t.local_bidir_one_pair = 287 * GBps;
+  t.local_uni_all_pairs = 786 * GBps;
+  t.local_bidir_all_pairs = 1145 * GBps;
+  // Remote columns unmeasured in the paper ("-").
+  return t;
+}
+
+Table6Reference table6_aurora() {
+  Table6Reference t;
+  t.minibude_one_stack = 293.02;
+  t.cloverleaf_one_stack = 20.82;
+  t.cloverleaf_one_gpu = 40.41;
+  t.cloverleaf_node = 240.89;
+  t.miniqmc_one_stack = 3.16;
+  t.miniqmc_one_gpu = 5.39;
+  t.miniqmc_node = 15.64;
+  t.gamess_one_stack = 19.44;
+  t.gamess_one_gpu = 38.50;
+  t.gamess_node = 197.08;
+  t.openmc_node = 2039.0;
+  t.hacc_node = 13.81;
+  return t;
+}
+
+Table6Reference table6_dawn() {
+  Table6Reference t;
+  t.minibude_one_stack = 366.17;
+  t.cloverleaf_one_stack = 22.46;
+  t.cloverleaf_one_gpu = 41.92;
+  t.cloverleaf_node = 167.15;
+  t.miniqmc_one_stack = 3.72;
+  t.miniqmc_one_gpu = 6.85;
+  t.miniqmc_node = 16.28;
+  t.gamess_one_stack = 24.57;
+  t.gamess_one_gpu = 43.88;
+  t.gamess_node = 164.71;
+  t.hacc_node = 12.26;
+  return t;
+}
+
+Table6Reference table6_h100() {
+  Table6Reference t;
+  // "One GPU" values map to the one_gpu fields; H100 has no stacks.
+  t.minibude_one_stack = 638.40;
+  t.cloverleaf_one_gpu = 65.87;
+  t.cloverleaf_node = 261.37;
+  t.miniqmc_one_gpu = 3.89;
+  t.miniqmc_node = 12.32;
+  t.gamess_one_gpu = 49.30;
+  t.gamess_node = 168.97;
+  t.openmc_node = 1191.0;
+  t.hacc_node = 12.46;
+  return t;
+}
+
+Table6Reference table6_mi250() {
+  Table6Reference t;
+  // "One GCD" values map to the one_stack fields.
+  t.minibude_one_stack = 193.66;
+  t.cloverleaf_one_stack = 25.71;
+  t.cloverleaf_node = 192.68;
+  t.miniqmc_one_stack = 0.50;
+  t.miniqmc_node = 0.90;
+  // mini-GAMESS failed to build with the AMD Fortran compiler (§V-B3).
+  t.openmc_node = 720.0;
+  t.hacc_node = 10.70;
+  return t;
+}
+
+}  // namespace pvc::micro

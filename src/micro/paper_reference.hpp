@@ -1,0 +1,84 @@
+#pragma once
+// The paper's published numbers (Tables II, III, VI), used by the
+// calibration tests and the EXPERIMENTS.md generator to report
+// model-vs-paper deltas.  Values are transcribed verbatim; units are SI
+// (flop/s, byte/s) or the FOM units of Table V.
+
+#include <optional>
+#include <string>
+
+#include "arch/precision.hpp"
+
+namespace pvc::micro {
+
+/// One Table II column triple (one stack / one PVC / full node).
+struct ScopeTriple {
+  double one_stack = 0.0;
+  double one_card = 0.0;
+  double full_node = 0.0;
+};
+
+/// Table II rows for one PVC system.
+struct Table2Reference {
+  ScopeTriple fp64_peak;
+  ScopeTriple fp32_peak;
+  ScopeTriple stream_bw;
+  ScopeTriple pcie_h2d;
+  ScopeTriple pcie_d2h;
+  ScopeTriple pcie_bidir;
+  ScopeTriple dgemm;
+  ScopeTriple sgemm;
+  ScopeTriple hgemm;
+  ScopeTriple bf16gemm;
+  ScopeTriple tf32gemm;
+  ScopeTriple i8gemm;
+  ScopeTriple fft_1d;
+  ScopeTriple fft_2d;
+};
+
+[[nodiscard]] Table2Reference table2_aurora();
+[[nodiscard]] Table2Reference table2_dawn();
+
+/// Table III values (GB/s); Dawn's remote columns were not measured.
+struct Table3Reference {
+  double local_uni_one_pair = 0.0;
+  double local_bidir_one_pair = 0.0;
+  double local_uni_all_pairs = 0.0;
+  double local_bidir_all_pairs = 0.0;
+  std::optional<double> remote_uni_one_pair;
+  std::optional<double> remote_bidir_one_pair;
+  std::optional<double> remote_uni_all_pairs;
+  std::optional<double> remote_bidir_all_pairs;
+};
+
+[[nodiscard]] Table3Reference table3_aurora();
+[[nodiscard]] Table3Reference table3_dawn();
+
+/// Table VI figure-of-merit values; missing cells are nullopt ("-").
+struct Table6Reference {
+  // miniBUDE (GInteractions/s): one stack only (not an MPI app).
+  std::optional<double> minibude_one_stack;
+  // CloverLeaf (cells/s, scaled as in the paper's table).
+  std::optional<double> cloverleaf_one_stack;
+  std::optional<double> cloverleaf_one_gpu;
+  std::optional<double> cloverleaf_node;
+  // miniQMC FOM.
+  std::optional<double> miniqmc_one_stack;
+  std::optional<double> miniqmc_one_gpu;
+  std::optional<double> miniqmc_node;
+  // mini-GAMESS (1/hours).
+  std::optional<double> gamess_one_stack;
+  std::optional<double> gamess_one_gpu;
+  std::optional<double> gamess_node;
+  // OpenMC (k-particles/s), full node only.
+  std::optional<double> openmc_node;
+  // HACC FOM, full node only.
+  std::optional<double> hacc_node;
+};
+
+[[nodiscard]] Table6Reference table6_aurora();
+[[nodiscard]] Table6Reference table6_dawn();
+[[nodiscard]] Table6Reference table6_h100();
+[[nodiscard]] Table6Reference table6_mi250();
+
+}  // namespace pvc::micro

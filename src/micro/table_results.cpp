@@ -1,0 +1,66 @@
+#include "micro/table_results.hpp"
+
+#include "micro/microbench.hpp"
+
+namespace pvc::micro {
+
+Table2Reference compute_table2(const arch::NodeSpec& node) {
+  using arch::Precision;
+  using arch::Scope;
+  Table2Reference t;
+
+  const auto triple = [&](auto&& f) {
+    return ScopeTriple{f(Scope::OneSubdevice), f(Scope::OneCard),
+                       f(Scope::FullNode)};
+  };
+
+  t.fp64_peak = triple(
+      [&](Scope s) { return measure_peak_flops(node, Precision::FP64, s); });
+  t.fp32_peak = triple(
+      [&](Scope s) { return measure_peak_flops(node, Precision::FP32, s); });
+  t.stream_bw = triple([&](Scope s) { return measure_stream_bandwidth(node, s); });
+  t.pcie_h2d = triple([&](Scope s) {
+    return measure_pcie_bandwidth(node, PcieDirection::H2D, s);
+  });
+  t.pcie_d2h = triple([&](Scope s) {
+    return measure_pcie_bandwidth(node, PcieDirection::D2H, s);
+  });
+  t.pcie_bidir = triple([&](Scope s) {
+    return measure_pcie_bandwidth(node, PcieDirection::Bidirectional, s);
+  });
+  t.dgemm =
+      triple([&](Scope s) { return measure_gemm(node, Precision::FP64, s); });
+  t.sgemm =
+      triple([&](Scope s) { return measure_gemm(node, Precision::FP32, s); });
+  t.hgemm =
+      triple([&](Scope s) { return measure_gemm(node, Precision::FP16, s); });
+  t.bf16gemm =
+      triple([&](Scope s) { return measure_gemm(node, Precision::BF16, s); });
+  t.tf32gemm =
+      triple([&](Scope s) { return measure_gemm(node, Precision::TF32, s); });
+  t.i8gemm =
+      triple([&](Scope s) { return measure_gemm(node, Precision::I8, s); });
+  t.fft_1d = triple([&](Scope s) { return measure_fft(node, false, s); });
+  t.fft_2d = triple([&](Scope s) { return measure_fft(node, true, s); });
+  return t;
+}
+
+Table3Reference compute_table3(const arch::NodeSpec& node,
+                               bool measure_remote) {
+  Table3Reference t;
+  const P2pResult one = measure_p2p(node, /*all_pairs=*/false);
+  const P2pResult all = measure_p2p(node, /*all_pairs=*/true);
+  t.local_uni_one_pair = one.local_uni_bps;
+  t.local_bidir_one_pair = one.local_bidir_bps;
+  t.local_uni_all_pairs = all.local_uni_bps;
+  t.local_bidir_all_pairs = all.local_bidir_bps;
+  if (measure_remote) {
+    t.remote_uni_one_pair = one.remote_uni_bps;
+    t.remote_bidir_one_pair = one.remote_bidir_bps;
+    t.remote_uni_all_pairs = all.remote_uni_bps;
+    t.remote_bidir_all_pairs = all.remote_bidir_bps;
+  }
+  return t;
+}
+
+}  // namespace pvc::micro

@@ -1,0 +1,20 @@
+#pragma once
+// End-to-end computation of the paper's Table II and Table III for one
+// system, shared by the bench binaries, the calibration tests and the
+// EXPERIMENTS.md generator.  Output reuses the reference structs so
+// model and paper line up field by field.
+
+#include "arch/gpu_spec.hpp"
+#include "micro/paper_reference.hpp"
+
+namespace pvc::micro {
+
+/// Runs every Table II microbenchmark on the model of `node`.
+[[nodiscard]] Table2Reference compute_table2(const arch::NodeSpec& node);
+
+/// Runs the Table III point-to-point benchmarks on the model of `node`.
+/// `measure_remote` false leaves the remote columns unset (Dawn's "-").
+[[nodiscard]] Table3Reference compute_table3(const arch::NodeSpec& node,
+                                             bool measure_remote);
+
+}  // namespace pvc::micro

@@ -1,0 +1,14 @@
+#include "miniapps/fom.hpp"
+
+#include "core/units.hpp"
+
+namespace pvc::miniapps {
+
+std::string format_fom(const std::optional<double>& value, int digits) {
+  if (!value) {
+    return "-";
+  }
+  return format_value(*value, digits);
+}
+
+}  // namespace pvc::miniapps

@@ -1,0 +1,48 @@
+#pragma once
+// Figure builders: relative-FOM bars with expected ("black bar")
+// markers for Figures 2-4, and the latency series for Figure 1.
+//
+// Expected relative performance follows the paper's recipe exactly
+// (Artifact Appendix): take the bound of each mini-app from Table V
+// (miniBUDE: FP32 flop-rate; CloverLeaf: memory bandwidth; mini-GAMESS:
+// DGEMM; miniQMC: no bar — its CPU-congestion bottleneck is not captured
+// by any microbenchmark) and ratio the measured microbenchmark values
+// (Table II) against the peer's measured values (Figure 2) or
+// theoretical peaks (Figures 3-4).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/gpu_spec.hpp"
+#include "micro/microbench.hpp"
+
+namespace pvc::report {
+
+/// One bar of a relative-FOM figure.
+struct RelativeBar {
+  std::string app;        ///< mini-app name
+  std::string label;      ///< e.g. "Aurora one PVC"
+  double measured = 0.0;  ///< model FOM ratio
+  std::optional<double> expected;  ///< microbenchmark-derived bar
+};
+
+/// Figure 2: Aurora FOMs relative to Dawn (one stack / one PVC / node).
+[[nodiscard]] std::vector<RelativeBar> figure2_bars();
+
+/// Figure 3: Aurora & Dawn relative to JLSE-H100 (one PVC vs one H100,
+/// node vs node).  miniBUDE uses the paper's doubled-stack convention.
+[[nodiscard]] std::vector<RelativeBar> figure3_bars();
+
+/// Figure 4: Aurora & Dawn relative to JLSE-MI250 (one stack vs one GCD,
+/// node vs node).
+[[nodiscard]] std::vector<RelativeBar> figure4_bars();
+
+/// Figure 1 series: latency curves of the four systems.
+struct LatencySeries {
+  std::string system;
+  std::vector<micro::LatencyPoint> points;
+};
+[[nodiscard]] std::vector<LatencySeries> figure1_series(bool coalesced);
+
+}  // namespace pvc::report

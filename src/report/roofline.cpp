@@ -1,0 +1,111 @@
+#include "report/roofline.hpp"
+
+#include <algorithm>
+
+#include "apps/hacc_mini.hpp"
+#include "apps/openmc_mini.hpp"
+#include "core/error.hpp"
+#include "miniapps/cloverleaf.hpp"
+#include "miniapps/minibude.hpp"
+
+namespace pvc::report {
+
+double Roofline::attainable(double ai, arch::Precision p) const {
+  ensure(ai > 0.0, "Roofline: arithmetic intensity must be positive");
+  double ceiling = 0.0;
+  switch (p) {
+    case arch::Precision::FP64:
+      // GEMM-like FP64 work may use the matrix pipeline where one exists.
+      ceiling = std::max(fp64_peak_flops, matrix_fp64_flops);
+      break;
+    case arch::Precision::FP32:
+      ceiling = fp32_peak_flops;
+      break;
+    default:
+      ceiling = matrix_fp16_flops > 0.0 ? matrix_fp16_flops
+                                        : fp32_peak_flops;
+      break;
+  }
+  return std::min(ceiling, stream_bw_bps * ai);
+}
+
+Roofline build_roofline(const arch::NodeSpec& node) {
+  Roofline r;
+  r.system = node.system_name;
+  r.stream_bw_bps = arch::subdevice_stream_bandwidth(node);
+  r.fp64_peak_flops =
+      arch::fma_peak(node, arch::Precision::FP64, arch::Scope::OneSubdevice);
+  r.fp32_peak_flops =
+      arch::fma_peak(node, arch::Precision::FP32, arch::Scope::OneSubdevice);
+  r.matrix_fp16_flops = node.card.subdevice.matrix_peak(
+      arch::Precision::FP16, node.card.subdevice.f_max_hz);
+  r.matrix_fp64_flops = node.card.subdevice.matrix_peak(
+      arch::Precision::FP64, node.card.subdevice.f_max_hz);
+  return r;
+}
+
+std::vector<RooflinePoint> place_paper_workloads(const arch::NodeSpec& node) {
+  const Roofline roof = build_roofline(node);
+  std::vector<RooflinePoint> points;
+
+  const auto add = [&](std::string name, arch::Precision p, double ai,
+                       double achieved_flops) {
+    RooflinePoint point;
+    point.name = std::move(name);
+    point.precision = p;
+    point.arithmetic_intensity = ai;
+    point.achieved_flops = achieved_flops;
+    point.roofline_fraction = achieved_flops / roof.attainable(ai, p);
+    points.push_back(std::move(point));
+  };
+
+  // miniBUDE: FP32 compute bound; each interaction's ~35 flops touch a
+  // handful of bytes thanks to pose-register reuse (AI ~ 40 flop/byte).
+  {
+    const double achieved = roof.fp32_peak_flops *
+                            miniapps::minibude_fp32_fraction(node);
+    add("miniBUDE", arch::Precision::FP32, 40.0, achieved);
+  }
+
+  // CloverLeaf: memory bound; ~90 flops against 552 bytes per cell step
+  // (AI ~ 0.16) — it runs on the diagonal.
+  {
+    const double ai = 90.0 / miniapps::kBytesPerCellStep;
+    const double achieved = roof.stream_bw_bps * ai;
+    add("CloverLeaf", arch::Precision::FP64, ai, achieved);
+  }
+
+  // mini-GAMESS: DGEMM bound at GEMM-like intensity.
+  if (node.system_name != "JLSE-MI250") {
+    const double achieved =
+        arch::gemm_rate(node, arch::Precision::FP64, arch::Scope::OneSubdevice);
+    add("mini-GAMESS", arch::Precision::FP64, 50.0, achieved);
+  }
+
+  // miniQMC: mixed; modest intensity and far off the roofline because
+  // its wall time is dominated by the CPU (§V-B1).
+  {
+    const double ai = 1.0;
+    const double gpu_busy_fraction = 0.15;
+    add("miniQMC", arch::Precision::FP32, ai,
+        roof.attainable(ai, arch::Precision::FP32) * gpu_busy_fraction);
+  }
+
+  // OpenMC: latency bound — low intensity and low fraction of even the
+  // bandwidth diagonal (dependent irregular loads).
+  {
+    const double ai = 0.05;
+    add("OpenMC", arch::Precision::FP64, ai,
+        roof.attainable(ai, arch::Precision::FP64) * 0.2);
+  }
+
+  // HACC force kernel: FP32, high intensity.
+  {
+    const double achieved =
+        roof.fp32_peak_flops * apps::hacc_fp32_fraction(node);
+    add("HACC", arch::Precision::FP32, 30.0, achieved);
+  }
+  return points;
+}
+
+}  // namespace pvc::report

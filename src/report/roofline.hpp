@@ -1,0 +1,55 @@
+#pragma once
+// Roofline analysis: place the paper's workloads on each system's
+// roofline (achieved peaks from the microbenchmark layer, not marketing
+// numbers) — the standard way to visualize why CloverLeaf is
+// bandwidth-bound at ~0.17 flop/byte while miniBUDE saturates compute.
+
+#include <string>
+#include <vector>
+
+#include "arch/gpu_spec.hpp"
+#include "arch/peaks.hpp"
+#include "arch/precision.hpp"
+
+namespace pvc::report {
+
+/// Roofline of one subdevice: compute ceilings and the memory diagonal.
+struct Roofline {
+  std::string system;
+  double stream_bw_bps = 0.0;       ///< achieved triad bandwidth
+  double fp64_peak_flops = 0.0;     ///< achieved FMA-chain peak
+  double fp32_peak_flops = 0.0;
+  double matrix_fp16_flops = 0.0;   ///< XMX / tensor ceiling (0 if none)
+  double matrix_fp64_flops = 0.0;   ///< FP64 tensor ceiling (H100/MI250)
+
+  /// Arithmetic intensity (flop/byte) where the FP64 ridge sits.
+  [[nodiscard]] double ridge_fp64() const {
+    return fp64_peak_flops / stream_bw_bps;
+  }
+  [[nodiscard]] double ridge_fp32() const {
+    return fp32_peak_flops / stream_bw_bps;
+  }
+
+  /// Attainable flop rate at arithmetic intensity `ai` for a precision.
+  [[nodiscard]] double attainable(double ai, arch::Precision p) const;
+};
+
+/// Builds a subdevice roofline from the calibrated model.
+[[nodiscard]] Roofline build_roofline(const arch::NodeSpec& node);
+
+/// One workload placed on the roofline.
+struct RooflinePoint {
+  std::string name;
+  arch::Precision precision = arch::Precision::FP64;
+  double arithmetic_intensity = 0.0;  ///< flop per HBM byte
+  double achieved_flops = 0.0;        ///< from the Table VI models
+  /// Achieved fraction of the roofline at this intensity.
+  double roofline_fraction = 0.0;
+};
+
+/// The paper's workloads with their §V/Table V characteristics, placed
+/// on `node`'s roofline (per subdevice).
+[[nodiscard]] std::vector<RooflinePoint> place_paper_workloads(
+    const arch::NodeSpec& node);
+
+}  // namespace pvc::report

@@ -1,0 +1,79 @@
+#include "runtime/affinity.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "core/error.hpp"
+
+namespace pvc::rt {
+namespace {
+
+int parse_number(const std::string& text, const std::string& what) {
+  ensure(!text.empty(), "affinity mask: empty " + what);
+  for (char c : text) {
+    ensure(std::isdigit(static_cast<unsigned char>(c)) != 0,
+           "affinity mask: malformed " + what + " '" + text + "'");
+  }
+  return std::stoi(text);
+}
+
+}  // namespace
+
+std::vector<int> expand_affinity_mask(const std::string& mask, int cards,
+                                      int subdevices_per_card) {
+  ensure(cards >= 1 && subdevices_per_card >= 1,
+         "affinity mask: bad node shape");
+  std::vector<int> out;
+  const auto push_unique = [&out](int idx) {
+    if (std::find(out.begin(), out.end(), idx) == out.end()) {
+      out.push_back(idx);
+    }
+  };
+
+  if (mask.empty()) {
+    for (int d = 0; d < cards * subdevices_per_card; ++d) {
+      out.push_back(d);
+    }
+    return out;
+  }
+
+  std::size_t pos = 0;
+  while (pos <= mask.size()) {
+    const std::size_t comma = mask.find(',', pos);
+    const std::string term =
+        mask.substr(pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+    ensure(!term.empty(), "affinity mask: empty term in '" + mask + "'");
+
+    const std::size_t dot = term.find('.');
+    if (dot == std::string::npos) {
+      const int card = parse_number(term, "card index");
+      ensure(card < cards, "affinity mask: card " + term + " out of range");
+      for (int s = 0; s < subdevices_per_card; ++s) {
+        push_unique(card * subdevices_per_card + s);
+      }
+    } else {
+      const int card = parse_number(term.substr(0, dot), "card index");
+      const int stack = parse_number(term.substr(dot + 1), "stack index");
+      ensure(card < cards, "affinity mask: card out of range in " + term);
+      ensure(stack < subdevices_per_card,
+             "affinity mask: stack out of range in " + term);
+      push_unique(card * subdevices_per_card + stack);
+    }
+
+    if (comma == std::string::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::string format_device(int flat_index, int subdevices_per_card) {
+  ensure(flat_index >= 0 && subdevices_per_card >= 1,
+         "format_device: bad arguments");
+  return std::to_string(flat_index / subdevices_per_card) + "." +
+         std::to_string(flat_index % subdevices_per_card);
+}
+
+}  // namespace pvc::rt

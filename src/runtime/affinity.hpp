@@ -1,0 +1,28 @@
+#pragma once
+// ZE_AFFINITY_MASK-style device visibility (paper §IV-A).
+//
+// The paper controls which stacks each MPI rank sees with
+// ZE_AFFINITY_MASK, whose grammar is a comma-separated list of
+// `card` or `card.stack` terms ("0.0", "1", "0.1,2.0").  A bare card
+// exposes both of its stacks.
+
+#include <string>
+#include <vector>
+
+namespace pvc::rt {
+
+/// Expands an affinity mask into flat subdevice indices for a node with
+/// `cards` cards of `subdevices_per_card` stacks.  An empty mask exposes
+/// every subdevice.  Throws pvc::Error on malformed terms or
+/// out-of-range indices; duplicate terms are de-duplicated, order of
+/// first appearance preserved (matching Level-Zero behaviour).
+[[nodiscard]] std::vector<int> expand_affinity_mask(const std::string& mask,
+                                                    int cards,
+                                                    int subdevices_per_card);
+
+/// Renders a flat subdevice index as the "card.stack" notation used by
+/// the paper (GPU_ID.STACK_ID).
+[[nodiscard]] std::string format_device(int flat_index,
+                                        int subdevices_per_card);
+
+}  // namespace pvc::rt

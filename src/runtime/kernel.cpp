@@ -1,0 +1,68 @@
+#include "runtime/kernel.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "sim/power.hpp"
+
+namespace pvc::rt {
+
+double kernel_compute_rate(const arch::NodeSpec& node,
+                           const KernelDesc& kernel, arch::Activity act) {
+  ensure(kernel.compute_efficiency > 0.0 && kernel.compute_efficiency <= 1.0,
+         "kernel_compute_rate: efficiency must be in (0, 1]");
+  const sim::PowerGovernor governor(node.power);
+  const double f = governor.operating_frequency(
+      node.calib.dynamic_power(kernel.kind), act.stacks_per_card, act.cards);
+  const auto& sub = node.card.subdevice;
+  const double pipeline =
+      kernel.use_matrix_pipeline ? sub.matrix_peak(kernel.precision, f)
+                                 : sub.vector_peak(kernel.precision, f);
+  ensure(pipeline > 0.0, "kernel_compute_rate: precision " +
+                             arch::precision_name(kernel.precision) +
+                             " unsupported on pipeline");
+  return pipeline * kernel.compute_efficiency;
+}
+
+double kernel_duration_on_card(const arch::NodeSpec& node,
+                               const KernelDesc& kernel, ScalingMode mode) {
+  const int stacks = node.card.subdevice_count;
+  const arch::Activity card_active{stacks, 1};
+  if (stacks == 1) {
+    return kernel_duration(node, kernel, card_active);
+  }
+  if (mode == ScalingMode::Explicit) {
+    // One rank per stack, each handling half the work.
+    KernelDesc half = kernel;
+    half.flops /= stacks;
+    half.bytes /= stacks;
+    return kernel_duration(node, half, card_active);
+  }
+  // Implicit: the driver spreads the whole kernel over both stacks at a
+  // derated aggregate rate (work splitting + MDFI sharing overheads).
+  KernelDesc spread = kernel;
+  spread.flops /= stacks * kImplicitScalingEfficiency;
+  spread.bytes /= stacks * kImplicitScalingEfficiency;
+  return kernel_duration(node, spread, card_active);
+}
+
+double kernel_duration(const arch::NodeSpec& node, const KernelDesc& kernel,
+                       arch::Activity act) {
+  ensure(kernel.flops >= 0.0 && kernel.bytes >= 0.0,
+         "kernel_duration: negative work");
+  double t_compute = 0.0;
+  if (kernel.flops > 0.0) {
+    t_compute = kernel.flops / kernel_compute_rate(node, kernel, act);
+  }
+  double t_memory = 0.0;
+  if (kernel.bytes > 0.0) {
+    ensure(kernel.memory_efficiency > 0.0 && kernel.memory_efficiency <= 1.0,
+           "kernel_duration: memory efficiency must be in (0, 1]");
+    const double bw =
+        arch::subdevice_stream_bandwidth(node) * kernel.memory_efficiency;
+    t_memory = kernel.bytes / bw;
+  }
+  return kernel.launch_latency_s + std::max(t_compute, t_memory);
+}
+
+}  // namespace pvc::rt

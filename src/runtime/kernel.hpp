@@ -1,0 +1,74 @@
+#pragma once
+// Kernel descriptors and the roofline duration model.
+//
+// A kernel is described by what it does (flops in a given precision and
+// pipeline, bytes of HBM traffic) rather than how it is written; the
+// duration model resolves the governed frequency for the workload class
+// and takes the classic roofline max of compute and memory time, plus a
+// fixed launch latency.  Functional correctness is handled separately by
+// the real kernels in src/kernels — this file only prices device time.
+
+#include <string>
+
+#include "arch/gpu_spec.hpp"
+#include "arch/peaks.hpp"
+#include "arch/precision.hpp"
+#include "arch/workload.hpp"
+
+namespace pvc::rt {
+
+/// Cost description of one kernel launch on one subdevice.
+struct KernelDesc {
+  std::string name;
+  arch::WorkloadKind kind = arch::WorkloadKind::Mixed;
+  arch::Precision precision = arch::Precision::FP64;
+
+  double flops = 0.0;  ///< arithmetic operations (or int ops for I8)
+  bool use_matrix_pipeline = false;
+  /// Fraction of the pipeline peak the kernel sustains (library /
+  /// code-generation quality), applied on top of the governed frequency.
+  double compute_efficiency = 1.0;
+
+  double bytes = 0.0;  ///< HBM traffic (reads + writes)
+  /// Fraction of the calibrated stream bandwidth the access pattern
+  /// reaches (1.0 = triad-like streaming).
+  double memory_efficiency = 1.0;
+
+  double launch_latency_s = 5e-6;  ///< driver + queue submission overhead
+};
+
+/// Device-time of `kernel` on one subdevice of `node`, with `act`
+/// describing how many stacks are concurrently active (the governor
+/// needs node-wide occupancy to resolve the clock).
+[[nodiscard]] double kernel_duration(const arch::NodeSpec& node,
+                                     const KernelDesc& kernel,
+                                     arch::Activity act);
+
+/// Sustained compute rate (flop/s) the model assigns to `kernel` on one
+/// subdevice — duration without the memory term or latency.
+[[nodiscard]] double kernel_compute_rate(const arch::NodeSpec& node,
+                                         const KernelDesc& kernel,
+                                         arch::Activity act);
+
+/// How a kernel uses a two-stack card (paper ref [19], "Options for
+/// using a GPU Tile Hierarchy").  The paper benchmarks *explicit*
+/// scaling (one rank per stack); *implicit* scaling exposes the card as
+/// one device and lets the driver split each kernel across stacks — it
+/// doubles the resources but pays cross-stack traffic and imperfect
+/// work splitting.
+enum class ScalingMode { Explicit, Implicit };
+
+/// Fraction of two-stack throughput implicit scaling retains (driver
+/// splitting overhead + MDFI traffic for shared data).
+inline constexpr double kImplicitScalingEfficiency = 0.85;
+
+/// Duration of `kernel` on one whole card under the given mode:
+/// Explicit assumes the caller runs one rank per stack (duration of the
+/// per-stack half of the work); Implicit runs the full kernel across
+/// both stacks at the derated combined rate.  For single-subdevice
+/// cards both modes coincide.
+[[nodiscard]] double kernel_duration_on_card(const arch::NodeSpec& node,
+                                             const KernelDesc& kernel,
+                                             ScalingMode mode);
+
+}  // namespace pvc::rt

@@ -1,0 +1,76 @@
+#include "runtime/queue.hpp"
+
+#include "core/error.hpp"
+
+namespace pvc::rt {
+
+Queue::Queue(NodeSim& node, int device) : node_(&node), device_(device) {
+  ensure(device >= 0 && device < node.device_count(), "Queue: bad device");
+}
+
+void Queue::enqueue_async(
+    std::function<void(std::function<void(sim::Time)>)> launch) {
+  ++pending_;
+  fifo_.push_back(std::move(launch));
+  maybe_start_next();
+}
+
+void Queue::maybe_start_next() {
+  if (item_in_flight_ || fifo_.empty()) {
+    return;
+  }
+  item_in_flight_ = true;
+  auto launch = std::move(fifo_.front());
+  fifo_.erase(fifo_.begin());
+  launch([this](sim::Time t) {
+    last_complete_ = t;
+    --pending_;
+    item_in_flight_ = false;
+    maybe_start_next();
+  });
+}
+
+void Queue::submit(const KernelDesc& kernel) {
+  const double duration =
+      kernel_duration(node_->spec(), kernel, node_->activity());
+  enqueue_async([this, duration,
+                 name = kernel.name](std::function<void(sim::Time)> done) {
+    auto traced_done = [this, name, duration,
+                        done = std::move(done)](sim::Time t) {
+      node_->trace().record("dev" + std::to_string(device_) + "/compute",
+                            name.empty() ? "kernel" : name, t - duration, t);
+      done(t);
+    };
+    node_->compute_queue(device_).submit(duration, std::move(traced_done));
+  });
+}
+
+void Queue::memcpy_h2d(double bytes) {
+  enqueue_async([this, bytes](std::function<void(sim::Time)> done) {
+    node_->transfer_h2d(device_, bytes, std::move(done));
+  });
+}
+
+void Queue::memcpy_d2h(double bytes) {
+  enqueue_async([this, bytes](std::function<void(sim::Time)> done) {
+    node_->transfer_d2h(device_, bytes, std::move(done));
+  });
+}
+
+void Queue::copy_to_peer(int dst_device, double bytes) {
+  enqueue_async([this, dst_device, bytes](std::function<void(sim::Time)> done) {
+    node_->transfer_d2d(device_, dst_device, bytes, std::move(done));
+  });
+}
+
+sim::Time Queue::wait() {
+  // The calendar is shared; draining it completes every queue, after
+  // which our recorded completion time is final.
+  while (pending_ > 0 && !node_->engine().idle()) {
+    node_->engine().run();
+  }
+  ensure(pending_ == 0, "Queue::wait: work cannot make progress");
+  return last_complete_;
+}
+
+}  // namespace pvc::rt

@@ -1,0 +1,113 @@
+#include "sim/cache_model.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace pvc::sim {
+
+namespace {
+bool is_power_of_two(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+CacheHierarchy::CacheHierarchy(std::vector<CacheLevelSpec> specs,
+                               double memory_latency_cycles)
+    : memory_latency_cycles_(memory_latency_cycles) {
+  ensure(memory_latency_cycles > 0.0,
+         "CacheHierarchy: memory latency must be positive");
+  levels_.reserve(specs.size());
+  for (auto& spec : specs) {
+    ensure(spec.size_bytes > 0 && spec.line_bytes > 0 &&
+               spec.associativity > 0,
+           "CacheHierarchy: level '" + spec.name + "' has zero geometry");
+    ensure(is_power_of_two(spec.line_bytes),
+           "CacheHierarchy: line size must be a power of two");
+    ensure(spec.size_bytes % (spec.line_bytes * spec.associativity) == 0,
+           "CacheHierarchy: size not divisible by line*associativity");
+    Level level;
+    level.spec = spec;
+    level.sets = spec.size_bytes / (spec.line_bytes * spec.associativity);
+    level.tags.assign(level.sets * spec.associativity, kInvalidTag);
+    levels_.push_back(std::move(level));
+  }
+  // Latencies must grow monotonically outward, ending below memory.
+  for (std::size_t i = 1; i < levels_.size(); ++i) {
+    ensure(levels_[i].spec.latency_cycles > levels_[i - 1].spec.latency_cycles,
+           "CacheHierarchy: latencies must increase outward");
+  }
+  if (!levels_.empty()) {
+    ensure(memory_latency_cycles > levels_.back().spec.latency_cycles,
+           "CacheHierarchy: memory latency below last cache level");
+  }
+}
+
+const CacheLevelSpec& CacheHierarchy::level_spec(std::size_t i) const {
+  ensure(i < levels_.size(), "CacheHierarchy: bad level index");
+  return levels_[i].spec;
+}
+
+const CacheLevelStats& CacheHierarchy::level_stats(std::size_t i) const {
+  ensure(i < levels_.size(), "CacheHierarchy: bad level index");
+  return levels_[i].stats;
+}
+
+bool CacheHierarchy::lookup_and_promote(Level& level,
+                                        std::uint64_t line_addr) {
+  const std::uint64_t set = line_addr % level.sets;
+  const std::size_t base = set * level.spec.associativity;
+  for (std::size_t way = 0; way < level.spec.associativity; ++way) {
+    if (level.tags[base + way] == line_addr) {
+      // Promote to MRU: shift ways [0, way) down by one.
+      for (std::size_t w = way; w > 0; --w) {
+        level.tags[base + w] = level.tags[base + w - 1];
+      }
+      level.tags[base] = line_addr;
+      return true;
+    }
+  }
+  return false;
+}
+
+void CacheHierarchy::insert(Level& level, std::uint64_t line_addr) {
+  const std::uint64_t set = line_addr % level.sets;
+  const std::size_t base = set * level.spec.associativity;
+  // Evict LRU (last way) by shifting everything down.
+  for (std::size_t w = level.spec.associativity - 1; w > 0; --w) {
+    level.tags[base + w] = level.tags[base + w - 1];
+  }
+  level.tags[base] = line_addr;
+}
+
+double CacheHierarchy::access(std::uint64_t addr) {
+  ++accesses_;
+  double latency = memory_latency_cycles_;
+  std::size_t hit_level = levels_.size();  // == size() means memory
+
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    const std::uint64_t line_addr = addr / levels_[i].spec.line_bytes;
+    if (lookup_and_promote(levels_[i], line_addr)) {
+      ++levels_[i].stats.hits;
+      latency = levels_[i].spec.latency_cycles;
+      hit_level = i;
+      break;
+    }
+    ++levels_[i].stats.misses;
+  }
+
+  // Inclusive fill into every level nearer than the hit level.
+  for (std::size_t i = 0; i < hit_level && i < levels_.size(); ++i) {
+    const std::uint64_t line_addr = addr / levels_[i].spec.line_bytes;
+    insert(levels_[i], line_addr);
+  }
+  return latency;
+}
+
+void CacheHierarchy::reset() {
+  for (auto& level : levels_) {
+    std::fill(level.tags.begin(), level.tags.end(), kInvalidTag);
+    level.stats = CacheLevelStats{};
+  }
+  accesses_ = 0;
+}
+
+}  // namespace pvc::sim

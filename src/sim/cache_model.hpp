@@ -1,0 +1,80 @@
+#pragma once
+// Set-associative cache hierarchy model.
+//
+// Used by the `lats` pointer-chase microbenchmark (paper Figure 1): a
+// load's latency is the absolute access latency of the first level whose
+// tag array holds the line (the usual convention for latency plots), and
+// a miss fills the line into every level (inclusive hierarchy).  LRU
+// replacement within each set.  The model is functional — the pointer
+// chase really walks addresses through it — so capacity and conflict
+// behaviour produce the same knees the paper measures.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pvc::sim {
+
+/// Static description of one cache level.
+struct CacheLevelSpec {
+  std::string name;          ///< e.g. "L1", "L2"
+  std::uint64_t size_bytes = 0;
+  std::uint64_t line_bytes = 64;
+  std::uint64_t associativity = 8;
+  double latency_cycles = 0.0;  ///< absolute load-to-use latency on hit
+};
+
+/// Per-level hit/miss counters.
+struct CacheLevelStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+/// Inclusive multi-level cache with LRU sets plus a flat memory latency.
+class CacheHierarchy {
+ public:
+  /// `levels` ordered nearest-first (L1, L2, ...).  `memory_latency_cycles`
+  /// is the absolute latency of a load served by DRAM/HBM.
+  CacheHierarchy(std::vector<CacheLevelSpec> levels,
+                 double memory_latency_cycles);
+
+  /// Performs one load at byte address `addr`; returns its absolute
+  /// latency in cycles and updates the replacement state.
+  double access(std::uint64_t addr);
+
+  /// Drops all cached lines and statistics.
+  void reset();
+
+  [[nodiscard]] std::size_t level_count() const noexcept {
+    return levels_.size();
+  }
+  [[nodiscard]] const CacheLevelSpec& level_spec(std::size_t i) const;
+  [[nodiscard]] const CacheLevelStats& level_stats(std::size_t i) const;
+  [[nodiscard]] double memory_latency_cycles() const noexcept {
+    return memory_latency_cycles_;
+  }
+  [[nodiscard]] std::uint64_t accesses() const noexcept { return accesses_; }
+
+ private:
+  struct Level {
+    CacheLevelSpec spec;
+    std::uint64_t sets = 0;
+    // tags[set * associativity + way]; ways kept in LRU order,
+    // way 0 = most recently used.  Empty slots hold kInvalidTag.
+    std::vector<std::uint64_t> tags;
+    CacheLevelStats stats;
+  };
+
+  static constexpr std::uint64_t kInvalidTag = ~0ull;
+
+  /// Looks up `line_addr` in `level`; on hit promotes to MRU.
+  bool lookup_and_promote(Level& level, std::uint64_t line_addr);
+  /// Inserts `line_addr` as MRU, evicting the LRU way if needed.
+  void insert(Level& level, std::uint64_t line_addr);
+
+  std::vector<Level> levels_;
+  double memory_latency_cycles_;
+  std::uint64_t accesses_ = 0;
+};
+
+}  // namespace pvc::sim

@@ -1,0 +1,32 @@
+#include "sim/compute_queue.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace pvc::sim {
+
+void ComputeQueue::submit(double duration_s,
+                          std::function<void(Time)> on_complete) {
+  ensure(duration_s >= 0.0, "ComputeQueue: negative duration");
+  const Time start = std::max(engine_->now(), busy_until_);
+  busy_until_ = start + duration_s;
+  ++tasks_;
+  busy_seconds_ += duration_s;
+  if (on_complete) {
+    engine_->schedule_at(busy_until_,
+                         [cb = std::move(on_complete), end = busy_until_] {
+                           cb(end);
+                         });
+  }
+}
+
+Time ComputeQueue::busy_until() const noexcept {
+  return std::max(busy_until_, engine_->now());
+}
+
+bool ComputeQueue::busy() const noexcept {
+  return busy_until_ > engine_->now();
+}
+
+}  // namespace pvc::sim

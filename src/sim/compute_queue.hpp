@@ -1,0 +1,52 @@
+#pragma once
+// Serial compute queues.
+//
+// Each GPU stack exposes one in-order compute queue (the paper runs one
+// MPI rank per stack).  Kernel durations are computed up front by the
+// roofline/power model (runtime/perf_model), so the queue only needs to
+// serialize them in simulated time.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/engine.hpp"
+
+namespace pvc::sim {
+
+/// An in-order task executor bound to an Engine.
+class ComputeQueue {
+ public:
+  ComputeQueue(Engine& engine, std::string name)
+      : engine_(&engine), name_(std::move(name)) {}
+  ComputeQueue(const ComputeQueue&) = delete;
+  ComputeQueue& operator=(const ComputeQueue&) = delete;
+  ComputeQueue(ComputeQueue&&) = default;
+  ComputeQueue& operator=(ComputeQueue&&) = default;
+
+  /// Enqueues a task taking `duration_s` of device time.  Starts when all
+  /// previously submitted tasks have finished.  `on_complete(end_time)`
+  /// fires at completion; it may be empty.
+  void submit(double duration_s, std::function<void(Time)> on_complete = {});
+
+  /// Simulated time at which the queue drains, given work submitted so
+  /// far.  Equals now() when idle.
+  [[nodiscard]] Time busy_until() const noexcept;
+
+  [[nodiscard]] bool busy() const noexcept;
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::uint64_t tasks_submitted() const noexcept {
+    return tasks_;
+  }
+  /// Total device-busy seconds accumulated by submitted tasks.
+  [[nodiscard]] double busy_seconds() const noexcept { return busy_seconds_; }
+
+ private:
+  Engine* engine_;
+  std::string name_;
+  Time busy_until_ = 0.0;
+  std::uint64_t tasks_ = 0;
+  double busy_seconds_ = 0.0;
+};
+
+}  // namespace pvc::sim

@@ -1,0 +1,64 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace pvc::sim {
+
+EventId Engine::schedule_at(Time when, std::function<void()> action) {
+  ensure(when >= now_, "Engine: cannot schedule in the past");
+  ensure(static_cast<bool>(action), "Engine: empty action");
+  const EventId id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id, std::move(action)});
+  return id;
+}
+
+EventId Engine::schedule_after(Time delay, std::function<void()> action) {
+  ensure(delay >= 0.0, "Engine: negative delay");
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+void Engine::cancel(EventId id) { cancelled_.push_back(id); }
+
+bool Engine::idle() const noexcept { return queue_.empty(); }
+
+bool Engine::pop_and_run(Time limit) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.when > limit) {
+      return false;
+    }
+    const auto it =
+        std::find(cancelled_.begin(), cancelled_.end(), top.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      queue_.pop();
+      continue;
+    }
+    // Copy out before pop: the action may schedule new events.
+    Event ev = top;
+    queue_.pop();
+    now_ = ev.when;
+    ++executed_;
+    ev.action();
+    return true;
+  }
+  return false;
+}
+
+Time Engine::run() {
+  while (pop_and_run(1e300)) {
+  }
+  return now_;
+}
+
+Time Engine::run_until(Time until) {
+  ensure(until >= now_, "Engine: run_until into the past");
+  while (pop_and_run(until)) {
+  }
+  now_ = std::max(now_, until);
+  return now_;
+}
+
+}  // namespace pvc::sim

@@ -1,0 +1,83 @@
+#pragma once
+// Discrete-event simulation engine.
+//
+// pvcbench models a GPU node as a set of resources (compute queues, links,
+// memories) whose occupancy evolves in simulated time.  The engine is a
+// classic event-calendar: callbacks scheduled at absolute times, executed
+// in time order with FIFO tie-breaking, fully deterministic.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace pvc::sim {
+
+/// Simulated time in seconds.
+using Time = double;
+
+/// Handle used to cancel a scheduled event.
+using EventId = std::uint64_t;
+
+/// Deterministic discrete-event calendar.
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedules `action` to run at absolute time `when` (>= now()).
+  /// Returns an id usable with cancel().
+  EventId schedule_at(Time when, std::function<void()> action);
+
+  /// Schedules `action` to run `delay` seconds from now (delay >= 0).
+  EventId schedule_after(Time delay, std::function<void()> action);
+
+  /// Cancels a pending event; no-op if already fired or cancelled.
+  void cancel(EventId id);
+
+  /// Runs events until the calendar is empty.  Returns final time.
+  Time run();
+
+  /// Runs events with timestamp <= `until`, then advances now() to
+  /// `until` (if it is later).  Returns new now().
+  Time run_until(Time until);
+
+  /// Number of events executed so far (diagnostic).
+  [[nodiscard]] std::uint64_t events_executed() const noexcept {
+    return executed_;
+  }
+
+  /// True if no events are pending.
+  [[nodiscard]] bool idle() const noexcept;
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t seq;  // FIFO tie-break for equal timestamps
+    EventId id;
+    std::function<void()> action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_and_run(Time limit);
+
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<EventId> cancelled_;  // sorted insertion not needed; small
+};
+
+}  // namespace pvc::sim

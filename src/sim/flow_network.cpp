@@ -1,0 +1,202 @@
+#include "sim/flow_network.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/error.hpp"
+
+namespace pvc::sim {
+
+namespace {
+// Flows whose remaining volume drops below this are considered done.
+// (Guards against floating-point residue after progress integration.)
+constexpr double kEpsilonBytes = 1e-6;
+}  // namespace
+
+LinkId FlowNetwork::add_link(std::string name, double capacity_bps) {
+  ensure(capacity_bps > 0.0, "FlowNetwork: link capacity must be positive");
+  links_.push_back(Link{std::move(name), capacity_bps});
+  return links_.size() - 1;
+}
+
+const Link& FlowNetwork::link(LinkId id) const {
+  ensure(id < links_.size(), "FlowNetwork: bad link id");
+  return links_[id];
+}
+
+FlowId FlowNetwork::start_flow(std::vector<LinkId> route, double bytes,
+                               double latency_s,
+                               std::function<void(Time)> on_complete) {
+  ensure(bytes >= 0.0, "FlowNetwork: negative flow size");
+  ensure(latency_s >= 0.0, "FlowNetwork: negative latency");
+  for (LinkId id : route) {
+    ensure(id < links_.size(), "FlowNetwork: route uses unknown link");
+  }
+  const FlowId id = next_flow_id_++;
+  Flow flow{id, std::move(route), bytes, 0.0, std::move(on_complete)};
+
+  if (flow.route.empty() || bytes <= kEpsilonBytes) {
+    // Pure-latency operation.
+    auto cb = std::move(flow.on_complete);
+    engine_->schedule_after(latency_s, [cb = std::move(cb), this] {
+      if (cb) {
+        cb(engine_->now());
+      }
+    });
+    return id;
+  }
+
+  if (latency_s > 0.0) {
+    engine_->schedule_after(latency_s, [this, flow = std::move(flow)]() mutable {
+      activate(std::move(flow));
+    });
+  } else {
+    activate(std::move(flow));
+  }
+  return id;
+}
+
+void FlowNetwork::activate(Flow flow) {
+  advance_progress();
+  flows_.emplace(flow.id, std::move(flow));
+  recompute_rates();
+  reschedule_completion();
+}
+
+void FlowNetwork::advance_progress() {
+  const Time now = engine_->now();
+  const double dt = now - last_progress_time_;
+  if (dt > 0.0) {
+    for (auto& [id, flow] : flows_) {
+      flow.remaining = std::max(0.0, flow.remaining - flow.rate * dt);
+    }
+  }
+  last_progress_time_ = now;
+}
+
+void FlowNetwork::recompute_rates() {
+  // Progressive filling with per-link traversal multiplicity.
+  std::vector<double> residual(links_.size());
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    residual[i] = links_[i].capacity_bps;
+  }
+  std::vector<double> weight(links_.size(), 0.0);  // unfrozen traversals
+  std::map<FlowId, std::size_t> multiplicity_cache;
+
+  std::vector<Flow*> unfrozen;
+  unfrozen.reserve(flows_.size());
+  for (auto& [id, flow] : flows_) {
+    flow.rate = 0.0;
+    unfrozen.push_back(&flow);
+    for (LinkId l : flow.route) {
+      weight[l] += 1.0;
+    }
+  }
+
+  while (!unfrozen.empty()) {
+    // Bottleneck link: smallest residual capacity per unit weight.
+    double best_share = std::numeric_limits<double>::infinity();
+    for (std::size_t l = 0; l < links_.size(); ++l) {
+      if (weight[l] > 0.0) {
+        best_share = std::min(best_share, residual[l] / weight[l]);
+      }
+    }
+    ensure(best_share < std::numeric_limits<double>::infinity(),
+           "FlowNetwork: active flow with no weighted links");
+    best_share = std::max(best_share, 0.0);
+
+    // Freeze every flow whose route crosses a bottleneck link.  A flow's
+    // rate equals the per-traversal share (a flow crossing a bottleneck
+    // twice still moves bytes end-to-end at one share; each traversal
+    // separately charges the link, which `weight` already accounts for).
+    std::vector<Flow*> still_unfrozen;
+    bool froze_any = false;
+    for (Flow* flow : unfrozen) {
+      bool bottlenecked = false;
+      for (LinkId l : flow->route) {
+        if (weight[l] > 0.0 &&
+            residual[l] / weight[l] <= best_share * (1.0 + 1e-12)) {
+          bottlenecked = true;
+          break;
+        }
+      }
+      if (bottlenecked) {
+        flow->rate = best_share;
+        froze_any = true;
+        for (LinkId l : flow->route) {
+          residual[l] -= best_share;
+          weight[l] -= 1.0;
+        }
+      } else {
+        still_unfrozen.push_back(flow);
+      }
+    }
+    ensure(froze_any, "FlowNetwork: progressive filling failed to converge");
+    unfrozen = std::move(still_unfrozen);
+  }
+}
+
+void FlowNetwork::reschedule_completion() {
+  if (completion_scheduled_) {
+    engine_->cancel(completion_event_);
+    completion_scheduled_ = false;
+  }
+  if (flows_.empty()) {
+    return;
+  }
+  double earliest = std::numeric_limits<double>::infinity();
+  for (const auto& [id, flow] : flows_) {
+    if (flow.rate > 0.0) {
+      earliest = std::min(earliest, flow.remaining / flow.rate);
+    }
+  }
+  ensure(earliest < std::numeric_limits<double>::infinity(),
+         "FlowNetwork: all active flows are rate-starved");
+  completion_event_ =
+      engine_->schedule_after(earliest, [this] { on_completion_event(); });
+  completion_scheduled_ = true;
+}
+
+void FlowNetwork::on_completion_event() {
+  completion_scheduled_ = false;
+  advance_progress();
+
+  std::vector<Flow> finished;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->second.remaining <= kEpsilonBytes) {
+      finished.push_back(std::move(it->second));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  recompute_rates();
+  reschedule_completion();
+
+  const Time now = engine_->now();
+  for (auto& flow : finished) {
+    if (flow.on_complete) {
+      flow.on_complete(now);
+    }
+  }
+}
+
+double FlowNetwork::flow_rate(FlowId id) const {
+  const auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+double FlowNetwork::link_load(LinkId id) const {
+  ensure(id < links_.size(), "FlowNetwork: bad link id");
+  double load = 0.0;
+  for (const auto& [flow_id, flow] : flows_) {
+    for (LinkId l : flow.route) {
+      if (l == id) {
+        load += flow.rate;
+      }
+    }
+  }
+  return load;
+}
+
+}  // namespace pvc::sim

@@ -1,0 +1,63 @@
+#include "sim/power.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace pvc::sim {
+
+PowerGovernor::PowerGovernor(PowerDomain domain) : domain_(domain) {
+  ensure(domain_.f_max_hz > 0.0, "PowerGovernor: f_max must be positive");
+  ensure(domain_.static_w >= 0.0, "PowerGovernor: negative static power");
+  ensure(domain_.stack_cap_w > domain_.static_w,
+         "PowerGovernor: stack cap below static power");
+  ensure(domain_.stacks_per_card >= 1 && domain_.cards >= 1,
+         "PowerGovernor: invalid topology");
+  ensure(domain_.alpha > 0.0, "PowerGovernor: alpha must be positive");
+}
+
+double PowerGovernor::operating_frequency(double dynamic_w_at_fmax,
+                                          int active_stacks_per_card,
+                                          int active_cards) const {
+  ensure(dynamic_w_at_fmax > 0.0, "PowerGovernor: dynamic power must be > 0");
+  ensure(active_stacks_per_card >= 1 &&
+             active_stacks_per_card <= domain_.stacks_per_card,
+         "PowerGovernor: bad active stack count");
+  ensure(active_cards >= 1 && active_cards <= domain_.cards,
+         "PowerGovernor: bad active card count");
+
+  // For a budget C shared by n stacks: n*(S + D*x) <= C where
+  // x = (f/f_max)^alpha, hence x <= (C/n - S)/D.
+  const auto budget_x = [&](double cap_w, int n_stacks) {
+    const double per_stack = cap_w / static_cast<double>(n_stacks);
+    return (per_stack - domain_.static_w) / dynamic_w_at_fmax;
+  };
+
+  const int total_active = active_stacks_per_card * active_cards;
+  double x = 1.0;
+  x = std::min(x, budget_x(domain_.stack_cap_w, 1));
+  x = std::min(x, budget_x(domain_.card_cap_w, active_stacks_per_card));
+  x = std::min(x, budget_x(domain_.node_cap_w, total_active));
+  ensure(x > 0.0, "PowerGovernor: workload infeasible under power budgets");
+
+  return domain_.f_max_hz * std::pow(x, 1.0 / domain_.alpha);
+}
+
+double PowerGovernor::stack_power(double dynamic_w_at_fmax,
+                                  double f_hz) const {
+  ensure(f_hz >= 0.0 && f_hz <= domain_.f_max_hz * (1.0 + 1e-9),
+         "PowerGovernor: frequency out of range");
+  const double x = std::pow(f_hz / domain_.f_max_hz, domain_.alpha);
+  return domain_.static_w + dynamic_w_at_fmax * x;
+}
+
+double PowerGovernor::throttle_factor(double dynamic_w_at_fmax,
+                                      int active_stacks_per_card,
+                                      int active_cards) const {
+  return operating_frequency(dynamic_w_at_fmax, active_stacks_per_card,
+                             active_cards) /
+         domain_.f_max_hz;
+}
+
+}  // namespace pvc::sim

@@ -1,0 +1,77 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace pvc::sim {
+
+void TraceRecorder::record(const std::string& track, const std::string& name,
+                           Time start, Time end) {
+  if (!enabled_) {
+    return;
+  }
+  ensure(end >= start, "TraceRecorder: interval ends before it starts");
+  events_.push_back(TraceEvent{track, name, start, end});
+}
+
+std::string TraceRecorder::to_chrome_json() const {
+  // Stable thread ids per track, in order of first appearance.
+  std::map<std::string, int> tids;
+  for (const auto& e : events_) {
+    tids.emplace(e.track, static_cast<int>(tids.size()) + 1);
+  }
+
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [track, tid] : tids) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+        << ",\"args\":{\"name\":\"" << track << "\"}}";
+  }
+  char buf[64];
+  for (const auto& e : events_) {
+    out << ",{\"name\":\"" << e.name << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+        << tids.at(e.track) << ",\"ts\":";
+    std::snprintf(buf, sizeof buf, "%.3f", e.start * 1e6);
+    out << buf << ",\"dur\":";
+    std::snprintf(buf, sizeof buf, "%.3f", (e.end - e.start) * 1e6);
+    out << buf << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+void TraceRecorder::write_chrome_json(const std::string& path) const {
+  std::ofstream out(path);
+  ensure(out.good(), "TraceRecorder: cannot open " + path);
+  out << to_chrome_json();
+  ensure(out.good(), "TraceRecorder: write failed for " + path);
+}
+
+std::vector<TraceRecorder::TrackSummary> TraceRecorder::summarize_tracks()
+    const {
+  std::map<std::string, TrackSummary> summaries;
+  for (const auto& e : events_) {
+    auto& s = summaries[e.track];
+    s.track = e.track;
+    s.busy_seconds += e.end - e.start;
+    ++s.events;
+  }
+  std::vector<TrackSummary> out;
+  out.reserve(summaries.size());
+  for (auto& [track, s] : summaries) {
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace pvc::sim

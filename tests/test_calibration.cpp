@@ -1,0 +1,175 @@
+// Calibration / shape tests: the paper's headline qualitative claims
+// must hold in the model.  These are the assertions DESIGN.md promises —
+// who wins, by roughly what factor, where scaling breaks.
+
+#include <gtest/gtest.h>
+
+#include "arch/peaks.hpp"
+#include "arch/systems.hpp"
+#include "core/statistics.hpp"
+#include "core/units.hpp"
+#include "micro/microbench.hpp"
+#include "micro/table_results.hpp"
+
+namespace pvc {
+namespace {
+
+using arch::Precision;
+using arch::Scope;
+
+TEST(Shape, Fp32ToFp64RatioIsOnePointThree) {
+  // §IV-B2: "the ratio between single and double precision Flops is
+  // 1.3x (23/17) on a single Stack on Aurora", explained by TDP
+  // down-clocking — not by hardware rate differences.
+  const auto node = arch::aurora();
+  const double fp32 =
+      micro::measure_peak_flops(node, Precision::FP32, Scope::OneSubdevice);
+  const double fp64 =
+      micro::measure_peak_flops(node, Precision::FP64, Scope::OneSubdevice);
+  EXPECT_NEAR(fp32 / fp64, 1.33, 0.05);
+  // The hardware itself is rate-symmetric.
+  EXPECT_DOUBLE_EQ(node.card.subdevice.vector_rates.fp32,
+                   node.card.subdevice.vector_rates.fp64);
+}
+
+TEST(Shape, AuroraToDawnComputeRatioIsCoreRatio) {
+  // Conclusions: compute-bound microbenchmarks on Aurora run at ~0.875x
+  // Dawn; memory-bound ones at 1.0x.
+  for (Precision p : {Precision::FP64, Precision::FP32}) {
+    const double ratio =
+        micro::measure_peak_flops(arch::aurora(), p, Scope::OneSubdevice) /
+        micro::measure_peak_flops(arch::dawn(), p, Scope::OneSubdevice);
+    EXPECT_NEAR(ratio, 0.875, 0.02);
+  }
+  EXPECT_NEAR(micro::measure_stream_bandwidth(arch::aurora(),
+                                              Scope::OneSubdevice) /
+                  micro::measure_stream_bandwidth(arch::dawn(),
+                                                  Scope::OneSubdevice),
+              1.0, 0.01);
+}
+
+TEST(Shape, TriadReachesAThirdOfSpecBandwidth) {
+  // §IV-B3: stream triad achieves 1 TB/s against the 3.2768 TB/s card
+  // spec — a notable shortfall the paper calls out.
+  const auto node = arch::aurora();
+  const double achieved =
+      micro::measure_stream_bandwidth(node, Scope::OneSubdevice);
+  const double spec = node.card.subdevice.hbm.bandwidth_bps;
+  EXPECT_NEAR(achieved / spec, 0.61, 0.02);
+}
+
+TEST(Shape, OneStackAndOnePvcPcieCoincide) {
+  // Both stacks share the first stack's PCIe link (§II): "One Stack" and
+  // "One PVC" PCIe rows are nearly identical.
+  const auto node = arch::aurora();
+  const double one_stack = micro::measure_pcie_bandwidth(
+      node, micro::PcieDirection::H2D, Scope::OneSubdevice);
+  const double one_card = micro::measure_pcie_bandwidth(
+      node, micro::PcieDirection::H2D, Scope::OneCard);
+  EXPECT_LT(relative_error(one_stack, one_card), 0.03);
+}
+
+TEST(Shape, BidirectionalPcieOnlyOnePointFourTimesUni) {
+  const auto node = arch::aurora();
+  const double uni = micro::measure_pcie_bandwidth(
+      node, micro::PcieDirection::H2D, Scope::OneSubdevice);
+  const double bidir = micro::measure_pcie_bandwidth(
+      node, micro::PcieDirection::Bidirectional, Scope::OneSubdevice);
+  EXPECT_NEAR(bidir / uni, 1.4, 0.1);
+}
+
+TEST(Shape, RemoteXeLinkSlowerThanPcie) {
+  // §IV-B7: "They are in fact slower than PCIe."
+  const auto node = arch::aurora();
+  const auto p2p = micro::measure_p2p(node, false);
+  const double pcie = micro::measure_pcie_bandwidth(
+      node, micro::PcieDirection::H2D, Scope::OneSubdevice);
+  EXPECT_LT(p2p.remote_uni_bps, pcie);
+  // While local MDFI is several times faster than PCIe.
+  EXPECT_GT(p2p.local_uni_bps, 3.0 * pcie);
+}
+
+TEST(Shape, LocalToRemoteStackBandwidthGap) {
+  // Table III: 197 GB/s local vs 15 GB/s remote — a ~13x gap.
+  const auto p2p = micro::measure_p2p(arch::aurora(), false);
+  EXPECT_NEAR(p2p.local_uni_bps / p2p.remote_uni_bps, 13.1, 1.0);
+}
+
+TEST(Shape, SgemmEfficiencyAboveDgemm) {
+  // §IV-B5: SGEMM ~95% of measured peak, DGEMM ~80%.
+  const auto node = arch::aurora();
+  const double sgemm_eff =
+      micro::measure_gemm(node, Precision::FP32, Scope::OneSubdevice) /
+      micro::measure_peak_flops(node, Precision::FP32, Scope::OneSubdevice);
+  const double dgemm_eff =
+      micro::measure_gemm(node, Precision::FP64, Scope::OneSubdevice) /
+      micro::measure_peak_flops(node, Precision::FP64, Scope::OneSubdevice);
+  EXPECT_NEAR(sgemm_eff, 0.93, 0.04);
+  EXPECT_NEAR(dgemm_eff, 0.77, 0.04);
+  EXPECT_GT(sgemm_eff, dgemm_eff);
+}
+
+TEST(Shape, XmxGemmsDwarfVectorGemms) {
+  // Table II: HGEMM is ~16x DGEMM on a stack.
+  const auto node = arch::aurora();
+  const double hgemm =
+      micro::measure_gemm(node, Precision::FP16, Scope::OneSubdevice);
+  const double dgemm =
+      micro::measure_gemm(node, Precision::FP64, Scope::OneSubdevice);
+  EXPECT_NEAR(hgemm / dgemm, 16.0, 2.0);
+}
+
+TEST(Shape, GovernorAblation) {
+  // DESIGN.md ablation #1: removing the power governor (uncapping the
+  // budgets) erases the FP32/FP64 asymmetry.
+  auto node = arch::aurora();
+  node.power.stack_cap_w = 1e6;
+  node.power.card_cap_w = 1e6;
+  node.power.node_cap_w = 1e6;
+  const double fp32 =
+      micro::measure_peak_flops(node, Precision::FP32, Scope::OneSubdevice);
+  const double fp64 =
+      micro::measure_peak_flops(node, Precision::FP64, Scope::OneSubdevice);
+  EXPECT_NEAR(fp32 / fp64, 1.0, 0.01);
+}
+
+TEST(Shape, HostCapAblation) {
+  // DESIGN.md ablation #2: lifting the host-side aggregate restores
+  // near-linear full-node D2H scaling.
+  auto node = arch::aurora();
+  node.host_io.d2h_total_bps = 1e14;
+  node.host_io.bidir_total_bps = 1e14;
+  const double single = micro::measure_pcie_bandwidth(
+      node, micro::PcieDirection::D2H, Scope::OneSubdevice);
+  const double full = micro::measure_pcie_bandwidth(
+      node, micro::PcieDirection::D2H, Scope::FullNode);
+  // Per-card links still shared by two stacks: 6 cards x 56 GB/s.
+  EXPECT_NEAR(full / (6.0 * single), 1.0, 0.02);
+}
+
+TEST(Shape, FabricAggregateAblation) {
+  // DESIGN.md ablation #3 (companion): removing Aurora's fabric ceiling
+  // makes six local pairs scale linearly like Dawn's four.
+  auto node = arch::aurora();
+  node.fabric.aggregate_bps = 0.0;
+  const auto one = micro::measure_p2p(node, false);
+  const auto all = micro::measure_p2p(node, true);
+  EXPECT_NEAR(all.local_bidir_bps / (6.0 * one.local_bidir_bps), 1.0, 0.02);
+}
+
+TEST(Shape, DawnFullNodeComputeScalesWorseThanAurora) {
+  // Table II: Dawn's 8-stack FP64 efficiency (~88%) trails Aurora's
+  // (~95%) — Dawn's bigger stacks run into the sustained budgets harder.
+  const auto eff = [](const arch::NodeSpec& node) {
+    const double one =
+        micro::measure_peak_flops(node, Precision::FP64, Scope::OneSubdevice);
+    const double full =
+        micro::measure_peak_flops(node, Precision::FP64, Scope::FullNode);
+    return full / (one * node.total_subdevices());
+  };
+  EXPECT_GT(eff(arch::aurora()), eff(arch::dawn()));
+  EXPECT_NEAR(eff(arch::dawn()), 0.88, 0.03);
+}
+
+}  // namespace
+}  // namespace pvc

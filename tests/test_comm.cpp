@@ -1,0 +1,204 @@
+// Unit tests for src/comm: point-to-point matching, payload delivery,
+// collectives, rank binding.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "arch/systems.hpp"
+#include "comm/binding.hpp"
+#include "comm/collectives.hpp"
+#include "comm/communicator.hpp"
+#include "core/error.hpp"
+#include "core/units.hpp"
+
+namespace pvc::comm {
+namespace {
+
+TEST(Communicator, ExplicitScalingBindsOneRankPerStack) {
+  rt::NodeSim sim(arch::aurora());
+  auto comm = Communicator::explicit_scaling(sim);
+  EXPECT_EQ(comm.size(), 12);
+  for (int r = 0; r < comm.size(); ++r) {
+    EXPECT_EQ(comm.device_of(r), r);
+  }
+}
+
+TEST(Communicator, SendRecvDeliversPayload) {
+  rt::NodeSim sim(arch::aurora());
+  auto comm = Communicator::explicit_scaling(sim);
+  std::vector<double> src{1.0, 2.0, 3.0};
+  std::vector<double> dst(3, 0.0);
+  auto s = comm.isend(0, 1, 42, 24.0, src);
+  auto r = comm.irecv(1, 0, 42, 24.0, dst);
+  comm.wait(s);
+  comm.wait(r);
+  EXPECT_EQ(dst, src);
+  EXPECT_EQ(comm.messages_delivered(), 1u);
+  EXPECT_DOUBLE_EQ(s.complete_time(), r.complete_time());
+}
+
+TEST(Communicator, RecvBeforeSendAlsoMatches) {
+  rt::NodeSim sim(arch::aurora());
+  auto comm = Communicator::explicit_scaling(sim);
+  std::vector<double> dst(1, 0.0);
+  std::vector<double> src{9.0};
+  auto r = comm.irecv(2, 3, 7, 8.0, dst);
+  auto s = comm.isend(3, 2, 7, 8.0, src);
+  comm.wait(r);
+  EXPECT_DOUBLE_EQ(dst[0], 9.0);
+  EXPECT_TRUE(s.done());
+}
+
+TEST(Communicator, TagsKeepMessagesApart) {
+  rt::NodeSim sim(arch::aurora());
+  auto comm = Communicator::explicit_scaling(sim);
+  std::vector<double> a{1.0}, b{2.0}, ra(1), rb(1);
+  auto s1 = comm.isend(0, 1, 100, 8.0, a);
+  auto s2 = comm.isend(0, 1, 200, 8.0, b);
+  auto r2 = comm.irecv(1, 0, 200, 8.0, rb);
+  auto r1 = comm.irecv(1, 0, 100, 8.0, ra);
+  std::vector<Request> all{s1, s2, r1, r2};
+  comm.wait_all(all);
+  EXPECT_DOUBLE_EQ(ra[0], 1.0);
+  EXPECT_DOUBLE_EQ(rb[0], 2.0);
+}
+
+TEST(Communicator, UnmatchedRequestDeadlocks) {
+  rt::NodeSim sim(arch::aurora());
+  auto comm = Communicator::explicit_scaling(sim);
+  auto r = comm.irecv(0, 1, 5, 8.0);
+  EXPECT_THROW(comm.wait(r), pvc::Error);
+}
+
+TEST(Communicator, SizeMismatchThrows) {
+  rt::NodeSim sim(arch::aurora());
+  auto comm = Communicator::explicit_scaling(sim);
+  comm.isend(0, 1, 5, 16.0);
+  EXPECT_THROW(comm.irecv(1, 0, 5, 8.0), pvc::Error);
+}
+
+TEST(Communicator, LocalPairFasterThanRemotePair) {
+  // Timing goes through the topology: same-card exchange beats the
+  // Xe-Link pair (Table III: 197 vs 15 GB/s).
+  rt::NodeSim sim(arch::aurora());
+  auto comm = Communicator::explicit_scaling(sim);
+  auto s1 = comm.isend(0, 1, 1, 500.0 * MB);
+  auto r1 = comm.irecv(1, 0, 1, 500.0 * MB);
+  comm.wait(r1);
+  const double local_time = r1.complete_time();
+  auto s2 = comm.isend(0, 4, 2, 500.0 * MB);
+  auto r2 = comm.irecv(4, 0, 2, 500.0 * MB);
+  comm.wait(r2);
+  const double remote_time = r2.complete_time() - local_time;
+  EXPECT_GT(remote_time, 5.0 * local_time);
+  static_cast<void>(s1);
+  static_cast<void>(s2);
+}
+
+// --- collectives -------------------------------------------------------------
+
+TEST(Collectives, BarrierCompletesOnAllSizes) {
+  for (const auto& node : {arch::aurora(), arch::dawn(), arch::jlse_h100()}) {
+    rt::NodeSim sim(node);
+    auto comm = Communicator::explicit_scaling(sim);
+    const sim::Time t = barrier(comm);
+    EXPECT_GE(t, 0.0);
+  }
+}
+
+TEST(Collectives, AllreduceSumsEverywhere) {
+  rt::NodeSim sim(arch::dawn());
+  auto comm = Communicator::explicit_scaling(sim);
+  const int p = comm.size();
+  const std::size_t n = 37;  // deliberately not divisible by p
+  std::vector<std::vector<double>> data(p);
+  std::vector<double> expected(n, 0.0);
+  for (int r = 0; r < p; ++r) {
+    data[r].resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      data[r][i] = static_cast<double>(r + 1) * static_cast<double>(i);
+      expected[i] += data[r][i];
+    }
+  }
+  const sim::Time t = allreduce_sum(comm, data);
+  EXPECT_GT(t, 0.0);
+  for (int r = 0; r < p; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(data[r][i], expected[i], 1e-9)
+          << "rank " << r << " element " << i;
+    }
+  }
+}
+
+TEST(Collectives, AllreduceSingleRankIsIdentity) {
+  rt::NodeSim sim(arch::jlse_h100());
+  Communicator comm(sim, {0});
+  std::vector<std::vector<double>> data{{1.0, 2.0}};
+  allreduce_sum(comm, data);
+  EXPECT_EQ(data[0], (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(Collectives, HaloExchangeRingCompletes) {
+  rt::NodeSim sim(arch::aurora());
+  auto comm = Communicator::explicit_scaling(sim);
+  const sim::Time t = halo_exchange_ring(comm, 4.0 * MB);
+  EXPECT_GT(t, 0.0);
+  // 24 messages of 4 MB; even over Xe-Link this is well under a second.
+  EXPECT_LT(t, 0.1);
+}
+
+TEST(Collectives, BroadcastAndGatherComplete) {
+  rt::NodeSim sim(arch::dawn());
+  auto comm = Communicator::explicit_scaling(sim);
+  const sim::Time t1 = broadcast_from_root(comm, 16.0 * MB);
+  EXPECT_GT(t1, 0.0);
+  const sim::Time t2 = gather_to_root(comm, 16.0 * MB);
+  EXPECT_GT(t2, t1);
+}
+
+// --- binding -----------------------------------------------------------------
+
+TEST(Binding, SkipsOsCoresAndFillsSockets) {
+  const auto node = arch::aurora();
+  const auto bindings = bind_ranks(node, 12);
+  ASSERT_EQ(bindings.size(), 12u);
+  // §IV-A: rank 0 is bound to CPU core 1 (core 0 reserved for the OS).
+  EXPECT_EQ(bindings[0].core, 1);
+  EXPECT_EQ(bindings[0].socket, 0);
+  EXPECT_EQ(bindings[0].device, 0);
+  // Cards 0-2 on socket 0, cards 3-5 on socket 1.
+  EXPECT_EQ(bindings[5].socket, 0);   // card 2
+  EXPECT_EQ(bindings[6].socket, 1);   // card 3
+  EXPECT_EQ(bindings[6].core, 53);    // first usable core of socket 1
+  // No two ranks share a core.
+  for (std::size_t i = 0; i < bindings.size(); ++i) {
+    for (std::size_t j = i + 1; j < bindings.size(); ++j) {
+      EXPECT_NE(bindings[i].core, bindings[j].core);
+    }
+  }
+}
+
+TEST(Binding, CoresPerRankShrinksWithMoreGpus) {
+  // Aurora (6 GPUs : 2 CPUs) leaves fewer cores per rank than Dawn
+  // (4 : 2) — the miniQMC congestion mechanism (§V-B1).
+  const double aurora_share = cores_per_rank(arch::aurora(), 12);
+  const double dawn_share = cores_per_rank(arch::dawn(), 8);
+  EXPECT_LT(aurora_share, dawn_share);
+  EXPECT_NEAR(aurora_share, 102.0 / 12.0, 1e-9);
+  EXPECT_NEAR(dawn_share, 94.0 / 8.0, 1e-9);
+}
+
+TEST(Binding, HostBandwidthSharesEvenly) {
+  const auto node = arch::aurora();
+  EXPECT_NEAR(host_bandwidth_per_rank(node, 12),
+              node.cpu.ddr_bandwidth_bps / 12.0, 1.0);
+}
+
+TEST(Binding, ValidatesRankCount) {
+  EXPECT_THROW(bind_ranks(arch::aurora(), 0), pvc::Error);
+  EXPECT_THROW(bind_ranks(arch::aurora(), 13), pvc::Error);
+}
+
+}  // namespace
+}  // namespace pvc::comm

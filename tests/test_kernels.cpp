@@ -1,0 +1,238 @@
+// Unit tests for src/kernels: narrow floats, triad, FMA chains, pointer
+// chase, reductions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "kernels/fma_chain.hpp"
+#include "kernels/narrow_float.hpp"
+#include "kernels/pointer_chase.hpp"
+#include "kernels/reduction.hpp"
+#include "kernels/triad.hpp"
+#include "sim/cache_model.hpp"
+
+namespace pvc::kernels {
+namespace {
+
+// --- narrow floats -----------------------------------------------------------
+
+TEST(HalfFloat, ExactValuesRoundTrip) {
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 1024.0f, -0.25f, 65504.0f}) {
+    EXPECT_EQ(round_trip<half_t>(v), v) << v;
+  }
+}
+
+TEST(HalfFloat, RoundsToNearest) {
+  // 1 + 2^-11 is exactly between 1.0 and the next half (1 + 2^-10);
+  // round-to-nearest-even picks 1.0.
+  EXPECT_EQ(round_trip<half_t>(1.0f + 0x1.0p-11f), 1.0f);
+  EXPECT_EQ(round_trip<half_t>(1.0f + 0x1.8p-11f), 1.0f + 0x1.0p-10f);
+}
+
+TEST(HalfFloat, OverflowToInfinity) {
+  EXPECT_TRUE(std::isinf(round_trip<half_t>(1.0e6f)));
+  EXPECT_TRUE(std::isinf(round_trip<half_t>(-1.0e6f)));
+  EXPECT_LT(round_trip<half_t>(-1.0e6f), 0.0f);
+}
+
+TEST(HalfFloat, SubnormalsSurvive) {
+  const float tiny = 0x1.0p-24f;  // smallest half subnormal
+  EXPECT_EQ(round_trip<half_t>(tiny), tiny);
+  EXPECT_EQ(round_trip<half_t>(0x1.0p-26f), 0.0f);  // underflow to zero
+}
+
+TEST(HalfFloat, InfinityAndNanPropagate) {
+  EXPECT_TRUE(std::isinf(
+      round_trip<half_t>(std::numeric_limits<float>::infinity())));
+  EXPECT_TRUE(std::isnan(
+      round_trip<half_t>(std::numeric_limits<float>::quiet_NaN())));
+}
+
+TEST(BFloat16, KeepsTopBitsWithRounding) {
+  EXPECT_EQ(round_trip<bfloat16_t>(1.0f), 1.0f);
+  EXPECT_EQ(round_trip<bfloat16_t>(-2.5f), -2.5f);
+  // bf16 has ~3 decimal digits: 1.001 rounds to a nearby value.
+  const float rt = round_trip<bfloat16_t>(1.001f);
+  EXPECT_NEAR(rt, 1.001f, 0.005f);
+  EXPECT_TRUE(std::isnan(
+      round_trip<bfloat16_t>(std::numeric_limits<float>::quiet_NaN())));
+  // bf16 keeps the float exponent range: no overflow at 1e38.
+  EXPECT_NEAR(round_trip<bfloat16_t>(1.0e38f), 1.0e38f, 1.0e36f);
+}
+
+TEST(Tf32, TenMantissaBits) {
+  EXPECT_EQ(round_trip<tf32_t>(1.0f), 1.0f);
+  // 1 + 2^-10 is representable; 1 + 2^-12 rounds away.
+  EXPECT_EQ(round_trip<tf32_t>(1.0f + 0x1.0p-10f), 1.0f + 0x1.0p-10f);
+  EXPECT_EQ(round_trip<tf32_t>(1.0f + 0x1.0p-12f), 1.0f);
+  EXPECT_TRUE(std::isinf(
+      round_trip<tf32_t>(std::numeric_limits<float>::infinity())));
+}
+
+// --- triad -------------------------------------------------------------------
+
+TEST(Triad, ComputesAEqualsBPlusScalarC) {
+  std::vector<double> a(100), b(100), c(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    b[i] = static_cast<double>(i);
+    c[i] = 2.0;
+  }
+  triad(std::span<double>(a), std::span<const double>(b),
+        std::span<const double>(c), 3.0);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a[i], static_cast<double>(i) + 6.0);
+  }
+}
+
+TEST(Triad, SizeMismatchThrows) {
+  std::vector<double> a(3), b(4), c(3);
+  EXPECT_THROW(triad(std::span<double>(a), std::span<const double>(b),
+                     std::span<const double>(c), 1.0),
+               pvc::Error);
+}
+
+TEST(Triad, ByteAccountingMatchesPaper) {
+  // 805 MB per array of doubles (192 MiB LLC x 4).
+  EXPECT_NEAR(static_cast<double>(paper_triad_elements()) * 8.0, 805.0e6,
+              1.0e6);
+  EXPECT_DOUBLE_EQ(triad_bytes(10, 8), 240.0);
+}
+
+// --- fma chain ---------------------------------------------------------------
+
+TEST(FmaChain, MatchesClosedForm) {
+  // One work item seeded with x0 = 0: x_n = b (a^n - 1)/(a - 1).
+  const double a = 1.0000001, b = 1e-7;
+  const double result = fma_chain_fp64(1, a, b);
+  const double expected = fma_chain_expected(0.0, a, b, kFmaPerWorkItem);
+  EXPECT_NEAR(result, expected, std::fabs(expected) * 1e-10);
+}
+
+TEST(FmaChain, FlopAccounting) {
+  EXPECT_DOUBLE_EQ(fma_chain_flops(1), 2.0 * 2048.0);
+  EXPECT_DOUBLE_EQ(fma_chain_flops(100), 2.0 * 2048.0 * 100.0);
+}
+
+TEST(FmaChain, Fp32PathRuns) {
+  const float r = fma_chain_fp32(8, 0.999f, 0.001f);
+  EXPECT_TRUE(std::isfinite(r));
+  EXPECT_GT(r, 0.0f);
+}
+
+// --- pointer chase -----------------------------------------------------------
+
+sim::CacheHierarchy tiny_hierarchy() {
+  return sim::CacheHierarchy(
+      {
+          sim::CacheLevelSpec{"L1", 8192, 64, 2, 10.0},
+          sim::CacheLevelSpec{"L2", 262144, 64, 8, 100.0},
+      },
+      1000.0);
+}
+
+TEST(PointerChase, SmallFootprintHitsL1) {
+  auto cache = tiny_hierarchy();
+  ChaseConfig cfg;
+  cfg.footprint_bytes = 4096;  // half of L1
+  cfg.steps = 5000;
+  const auto r = chase_simulated(cache, cfg);
+  EXPECT_NEAR(r.avg_latency_cycles, 10.0, 0.5);
+}
+
+TEST(PointerChase, MidFootprintHitsL2) {
+  auto cache = tiny_hierarchy();
+  ChaseConfig cfg;
+  cfg.footprint_bytes = 131072;  // 16x L1, half of L2
+  cfg.steps = 5000;
+  const auto r = chase_simulated(cache, cfg);
+  EXPECT_GT(r.avg_latency_cycles, 50.0);
+  EXPECT_LT(r.avg_latency_cycles, 150.0);
+}
+
+TEST(PointerChase, LargeFootprintGoesToMemory) {
+  auto cache = tiny_hierarchy();
+  ChaseConfig cfg;
+  cfg.footprint_bytes = 8 * 1024 * 1024;  // 32x L2
+  cfg.steps = 5000;
+  const auto r = chase_simulated(cache, cfg);
+  EXPECT_GT(r.avg_latency_cycles, 900.0);
+}
+
+TEST(PointerChase, MonotoneAcrossHierarchy) {
+  auto cache = tiny_hierarchy();
+  double last = 0.0;
+  for (std::size_t footprint : {4096u, 131072u, 8u * 1024 * 1024}) {
+    ChaseConfig cfg;
+    cfg.footprint_bytes = footprint;
+    cfg.steps = 4000;
+    const auto r = chase_simulated(cache, cfg);
+    EXPECT_GT(r.avg_latency_cycles, last);
+    last = r.avg_latency_cycles;
+  }
+}
+
+TEST(PointerChase, CoalescedModeSameLatencyPerStep) {
+  auto cache = tiny_hierarchy();
+  ChaseConfig cfg;
+  cfg.footprint_bytes = 4096;
+  cfg.steps = 4000;
+  const auto single = chase_simulated(cache, cfg);
+  cfg.coalesced = true;
+  const auto coalesced = chase_simulated(cache, cfg);
+  EXPECT_NEAR(single.avg_latency_cycles, coalesced.avg_latency_cycles, 1.0);
+}
+
+TEST(PointerChase, DeterministicPerSeed) {
+  auto cache = tiny_hierarchy();
+  ChaseConfig cfg;
+  cfg.footprint_bytes = 65536;
+  cfg.steps = 2000;
+  const auto a = chase_simulated(cache, cfg);
+  const auto b = chase_simulated(cache, cfg);
+  EXPECT_DOUBLE_EQ(a.avg_latency_cycles, b.avg_latency_cycles);
+}
+
+TEST(PointerChase, HostChaseProducesPlausibleLatency) {
+  const double ns = chase_host_ns_per_load(1 << 16, 20000);
+  EXPECT_GT(ns, 0.1);   // faster than 0.1 ns/load is implausible
+  EXPECT_LT(ns, 1000.0);  // slower than 1 us/load means something broke
+}
+
+// --- reductions --------------------------------------------------------------
+
+TEST(Reduction, SumsAgreeOnBenignData) {
+  Rng rng(5);
+  std::vector<double> v(10000);
+  for (auto& x : v) {
+    x = rng.uniform(-1.0, 1.0);
+  }
+  const double p = pairwise_sum(v);
+  const double k = kahan_sum(v);
+  EXPECT_NEAR(p, k, 1e-9);
+}
+
+TEST(Reduction, PairwiseBeatsNaiveOnIllConditionedData) {
+  // Large value followed by many tiny ones: naive summation loses them.
+  std::vector<double> v(1 << 20, 1e-8);
+  v[0] = 1e8;
+  const double exact = 1e8 + (static_cast<double>(v.size()) - 1) * 1e-8;
+  const double pairwise_err = std::fabs(pairwise_sum(v) - exact);
+  const double naive_err = std::fabs(naive_sum(v) - exact);
+  EXPECT_LE(pairwise_err, naive_err);
+}
+
+TEST(Reduction, EmptyAndDotProduct) {
+  EXPECT_DOUBLE_EQ(pairwise_sum({}), 0.0);
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> y{4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(x, y), 32.0);
+  const std::vector<double> bad{1.0};
+  EXPECT_THROW(dot(x, bad), pvc::Error);
+}
+
+}  // namespace
+}  // namespace pvc::kernels

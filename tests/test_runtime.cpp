@@ -1,0 +1,285 @@
+// Unit tests for src/runtime: kernel pricing, memory manager, node
+// simulator transfers, queues, affinity masks.
+
+#include <gtest/gtest.h>
+
+#include "arch/systems.hpp"
+#include "core/error.hpp"
+#include "core/statistics.hpp"
+#include "core/units.hpp"
+#include "runtime/affinity.hpp"
+#include "runtime/kernel.hpp"
+#include "runtime/memory.hpp"
+#include "runtime/node_sim.hpp"
+#include "runtime/queue.hpp"
+
+namespace pvc::rt {
+namespace {
+
+using arch::Precision;
+using arch::WorkloadKind;
+
+// --- kernel duration ---------------------------------------------------------
+
+TEST(KernelDuration, ComputeBoundRooflineLeg) {
+  const auto node = arch::aurora();
+  KernelDesc k;
+  k.kind = WorkloadKind::Fp64Fma;
+  k.precision = Precision::FP64;
+  k.flops = 17.2e12;  // one second of work at the FP64 governed rate
+  k.launch_latency_s = 0.0;
+  const double t = kernel_duration(node, k, arch::Activity{1, 1});
+  EXPECT_NEAR(t, 1.0, 0.01);
+}
+
+TEST(KernelDuration, MemoryBoundRooflineLeg) {
+  const auto node = arch::aurora();
+  KernelDesc k;
+  k.kind = WorkloadKind::Stream;
+  k.bytes = 1.0e12;  // one second at the 1 TB/s achieved stream rate
+  k.launch_latency_s = 0.0;
+  const double t = kernel_duration(node, k, arch::Activity{1, 1});
+  EXPECT_NEAR(t, 1.0, 0.02);
+}
+
+TEST(KernelDuration, TakesMaxOfLegsPlusLatency) {
+  const auto node = arch::aurora();
+  KernelDesc k;
+  k.kind = WorkloadKind::Mixed;
+  k.precision = Precision::FP32;
+  k.flops = 1.0e9;   // tiny compute
+  k.bytes = 1.0e9;   // ~1 ms of memory traffic
+  k.launch_latency_s = 5e-6;
+  const double t = kernel_duration(node, k, arch::Activity{1, 1});
+  EXPECT_GT(t, 1.0e-3);
+  EXPECT_LT(t, 1.2e-3);
+}
+
+TEST(KernelDuration, MatrixPipelineSelected) {
+  const auto node = arch::aurora();
+  KernelDesc k;
+  k.kind = WorkloadKind::GemmLowPrec;
+  k.precision = Precision::FP16;
+  k.use_matrix_pipeline = true;
+  k.flops = 1.0e12;
+  k.launch_latency_s = 0.0;
+  const double t_matrix = kernel_duration(node, k, arch::Activity{1, 1});
+  k.use_matrix_pipeline = false;
+  const double t_vector = kernel_duration(node, k, arch::Activity{1, 1});
+  EXPECT_LT(t_matrix, t_vector / 3.0);  // XMX is 8x the vector fp16 rate
+}
+
+TEST(KernelDuration, ValidatesInputs) {
+  const auto node = arch::aurora();
+  KernelDesc k;
+  k.flops = -1.0;
+  EXPECT_THROW(kernel_duration(node, k, arch::Activity{1, 1}), pvc::Error);
+  k.flops = 1.0;
+  k.compute_efficiency = 0.0;
+  EXPECT_THROW(kernel_duration(node, k, arch::Activity{1, 1}), pvc::Error);
+}
+
+// --- memory manager ----------------------------------------------------------
+
+TEST(MemoryManager, TracksCapacityAndRaiiRelease) {
+  const auto node = arch::aurora();
+  MemoryManager mm(node);
+  EXPECT_EQ(mm.device_count(), 12);
+  {
+    const Buffer b = mm.allocate(MemKind::Device, 0, 10.0 * GB);
+    EXPECT_NEAR(mm.device_used(0), 10.0 * GB, 1.0);
+    EXPECT_EQ(b.device(), 0);
+    EXPECT_EQ(b.kind(), MemKind::Device);
+  }
+  EXPECT_NEAR(mm.device_used(0), 0.0, 1.0);  // released on scope exit
+}
+
+TEST(MemoryManager, RejectsOverflow) {
+  const auto node = arch::aurora();
+  MemoryManager mm(node);
+  // 64 GB HBM per stack: a 65 GB allocation must fail.
+  EXPECT_THROW(mm.allocate(MemKind::Device, 0, 65.0 * GB), pvc::Error);
+  // CloverLeaf's 47 GB grid fits (the paper sizes it to fit one stack).
+  EXPECT_NO_THROW(mm.allocate(MemKind::Device, 0, 47.0 * GB));
+}
+
+TEST(MemoryManager, HostPoolSeparate) {
+  const auto node = arch::aurora();
+  MemoryManager mm(node);
+  const Buffer b = mm.allocate(MemKind::Host, -1, 100.0 * GB);
+  EXPECT_NEAR(mm.host_used(), 100.0 * GB, 1.0);
+  EXPECT_NEAR(mm.device_used(0), 0.0, 1.0);
+  EXPECT_THROW(mm.allocate(MemKind::Host, -1, 2000.0 * GB), pvc::Error);
+}
+
+TEST(MemoryManager, MoveTransfersOwnership) {
+  const auto node = arch::aurora();
+  MemoryManager mm(node);
+  Buffer a = mm.allocate(MemKind::Device, 1, 1.0 * GB);
+  Buffer b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(b.valid());
+  EXPECT_NEAR(mm.device_used(1), 1.0 * GB, 1.0);
+  b.reset();
+  EXPECT_NEAR(mm.device_used(1), 0.0, 1.0);
+}
+
+// --- node sim transfers ------------------------------------------------------
+
+double timed_transfer(NodeSim& sim, int src, int dst, double bytes) {
+  double done = -1.0;
+  sim.transfer_d2d(src, dst, bytes, [&](sim::Time t) { done = t; });
+  sim.run();
+  return done;
+}
+
+TEST(NodeSim, SingleH2dAtCardLinkRate) {
+  NodeSim sim(arch::aurora());
+  double done = -1.0;
+  sim.transfer_h2d(0, 500.0 * MB, [&](sim::Time t) { done = t; });
+  sim.run();
+  // ~500 MB / 55 GB/s plus small latency.
+  EXPECT_NEAR(500.0 * MB / done, 55.0 * GBps, 1.0 * GBps);
+}
+
+TEST(NodeSim, SecondStackSharesCardPcie) {
+  NodeSim sim(arch::aurora());
+  double done0 = -1.0, done1 = -1.0;
+  sim.transfer_h2d(0, 500.0 * MB, [&](sim::Time t) { done0 = t; });
+  sim.transfer_h2d(1, 500.0 * MB, [&](sim::Time t) { done1 = t; });
+  sim.run();
+  // Both stacks share one 55 GB/s link: aggregate stays ~55 GB/s.
+  const double aggregate = 1000.0 * MB / std::max(done0, done1);
+  EXPECT_NEAR(aggregate, 55.0 * GBps, 1.5 * GBps);
+}
+
+TEST(NodeSim, BidirectionalCapBelowTwiceUni) {
+  NodeSim sim(arch::aurora());
+  double h2d = -1.0, d2h = -1.0;
+  sim.transfer_h2d(0, 500.0 * MB, [&](sim::Time t) { h2d = t; });
+  sim.transfer_d2h(0, 500.0 * MB, [&](sim::Time t) { d2h = t; });
+  sim.run();
+  const double aggregate = 1000.0 * MB / std::max(h2d, d2h);
+  EXPECT_NEAR(aggregate, 77.0 * GBps, 2.0 * GBps);  // Table II bidir
+}
+
+TEST(NodeSim, LocalStackPairAtMdfiRate) {
+  NodeSim sim(arch::aurora());
+  const double done = timed_transfer(sim, 0, 1, 500.0 * MB);
+  EXPECT_NEAR(500.0 * MB / done, 197.0 * GBps, 5.0 * GBps);
+}
+
+TEST(NodeSim, RemoteSamePlanePairAtXeLinkRate) {
+  NodeSim sim(arch::aurora());
+  // 0.0 (dev 0) and 2.0 (dev 4) share plane 0: one Xe-Link hop.
+  EXPECT_EQ(sim.d2d_route_kind(0, 4), arch::RouteKind::XeLinkDirect);
+  const double done = timed_transfer(sim, 0, 4, 500.0 * MB);
+  EXPECT_NEAR(500.0 * MB / done, 15.0 * GBps, 1.0 * GBps);
+}
+
+TEST(NodeSim, CrossPlanePairTakesTwoHops) {
+  NodeSim sim(arch::aurora());
+  // 0.0 -> 1.0 is the paper's two-hop example (dev 0 -> dev 2).
+  EXPECT_EQ(sim.d2d_route_kind(0, 2), arch::RouteKind::XeLinkTwoHop);
+  const double done = timed_transfer(sim, 0, 2, 500.0 * MB);
+  // Still Xe-Link limited (~15 GB/s) but with extra hop latency.
+  EXPECT_NEAR(500.0 * MB / done, 15.0 * GBps, 1.0 * GBps);
+}
+
+TEST(NodeSim, RemoteSlowerThanPcie) {
+  // §IV-B7: Xe-Link remote-stack bandwidth is slower than PCIe.
+  NodeSim a(arch::aurora());
+  const double remote = 500.0 * MB / timed_transfer(a, 0, 4, 500.0 * MB);
+  NodeSim b(arch::aurora());
+  double h2d = -1.0;
+  b.transfer_h2d(0, 500.0 * MB, [&](sim::Time t) { h2d = t; });
+  b.run();
+  const double pcie = 500.0 * MB / h2d;
+  EXPECT_LT(remote, pcie);
+}
+
+TEST(NodeSim, SameDeviceCopyUsesLocalBandwidth) {
+  NodeSim sim(arch::aurora());
+  const double done = timed_transfer(sim, 3, 3, 500.0 * MB);
+  // Read + write at ~1 TB/s achieved.
+  EXPECT_NEAR(done, 2.0 * 500.0 * MB / 1.0e12, 1e-4);
+}
+
+TEST(NodeSim, H100PeerTransfersUseNvlinkRates) {
+  NodeSim sim(arch::jlse_h100());
+  EXPECT_EQ(sim.device_count(), 4);
+  EXPECT_EQ(sim.d2d_route_kind(0, 1), arch::RouteKind::XeLinkDirect);
+  const double done = timed_transfer(sim, 0, 1, 500.0 * MB);
+  EXPECT_NEAR(500.0 * MB / done, 450.0 * GBps, 20.0 * GBps);
+}
+
+TEST(NodeSim, CardStackDecomposition) {
+  NodeSim sim(arch::dawn());
+  EXPECT_EQ(sim.card_of(5), 2);
+  EXPECT_EQ(sim.stack_of(5), 1);
+  EXPECT_THROW(sim.card_of(99), pvc::Error);
+}
+
+// --- queue -------------------------------------------------------------------
+
+TEST(Queue, InOrderKernelThenTransfer) {
+  NodeSim sim(arch::aurora());
+  Queue q(sim, 0);
+  KernelDesc k;
+  k.kind = WorkloadKind::Stream;
+  k.bytes = 1.0e9;  // ~1 ms
+  k.launch_latency_s = 0.0;
+  q.submit(k);
+  q.memcpy_d2h(55.0 * MB);  // ~1 ms at 56 GB/s
+  const sim::Time end = q.wait();
+  EXPECT_NEAR(end, 2.0e-3, 0.1e-3);
+}
+
+TEST(Queue, PeerCopyThroughTopology) {
+  NodeSim sim(arch::aurora());
+  Queue q(sim, 0);
+  q.copy_to_peer(1, 197.0 * MB);  // 1 ms at MDFI rate
+  const sim::Time end = q.wait();
+  EXPECT_NEAR(end, 1.0e-3, 0.1e-3);
+}
+
+TEST(Queue, WaitOnEmptyQueueReturnsImmediately) {
+  NodeSim sim(arch::aurora());
+  Queue q(sim, 0);
+  EXPECT_DOUBLE_EQ(q.wait(), 0.0);
+}
+
+// --- affinity ----------------------------------------------------------------
+
+TEST(Affinity, EmptyMaskExposesEverything) {
+  const auto devices = expand_affinity_mask("", 6, 2);
+  EXPECT_EQ(devices.size(), 12u);
+  EXPECT_EQ(devices.front(), 0);
+  EXPECT_EQ(devices.back(), 11);
+}
+
+TEST(Affinity, CardAndStackTerms) {
+  // "0.0,1" exposes stack 0 of card 0 plus both stacks of card 1.
+  const auto devices = expand_affinity_mask("0.0,1", 6, 2);
+  EXPECT_EQ(devices, (std::vector<int>{0, 2, 3}));
+}
+
+TEST(Affinity, DeduplicatesPreservingOrder) {
+  const auto devices = expand_affinity_mask("1.1,1.1,0.0", 6, 2);
+  EXPECT_EQ(devices, (std::vector<int>{3, 0}));
+}
+
+TEST(Affinity, RejectsMalformedAndOutOfRange) {
+  EXPECT_THROW(expand_affinity_mask("9.0", 6, 2), pvc::Error);
+  EXPECT_THROW(expand_affinity_mask("0.7", 6, 2), pvc::Error);
+  EXPECT_THROW(expand_affinity_mask("a.b", 6, 2), pvc::Error);
+  EXPECT_THROW(expand_affinity_mask("0,,1", 6, 2), pvc::Error);
+}
+
+TEST(Affinity, FormatDeviceUsesPaperNotation) {
+  EXPECT_EQ(format_device(0, 2), "0.0");
+  EXPECT_EQ(format_device(11, 2), "5.1");
+}
+
+}  // namespace
+}  // namespace pvc::rt

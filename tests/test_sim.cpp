@@ -1,0 +1,353 @@
+// Unit tests for src/sim: event engine, flow network, compute queues,
+// power governor, cache hierarchy.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/error.hpp"
+#include "sim/cache_model.hpp"
+#include "sim/compute_queue.hpp"
+#include "sim/engine.hpp"
+#include "sim/flow_network.hpp"
+#include "sim/power.hpp"
+
+namespace pvc::sim {
+namespace {
+
+// --- engine ------------------------------------------------------------------
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(2.0, [&] { order.push_back(2); });
+  engine.schedule_at(1.0, [&] { order.push_back(1); });
+  engine.schedule_at(3.0, [&] { order.push_back(3); });
+  EXPECT_DOUBLE_EQ(engine.run(), 3.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, FifoTieBreakAtEqualTimes) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(1.0, [&] { order.push_back(1); });
+  engine.schedule_at(1.0, [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Engine, EventsMayScheduleEvents) {
+  Engine engine;
+  double fired_at = -1.0;
+  engine.schedule_at(1.0, [&] {
+    engine.schedule_after(0.5, [&] { fired_at = engine.now(); });
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(fired_at, 1.5);
+}
+
+TEST(Engine, CancelSuppressesEvent) {
+  Engine engine;
+  bool fired = false;
+  const EventId id = engine.schedule_at(1.0, [&] { fired = true; });
+  engine.cancel(id);
+  engine.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(engine.events_executed(), 0u);
+}
+
+TEST(Engine, RunUntilAdvancesClock) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(1.0, [&] { ++fired; });
+  engine.schedule_at(5.0, [&] { ++fired; });
+  engine.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(engine.now(), 2.0);
+  engine.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, PastSchedulingThrows) {
+  Engine engine;
+  engine.schedule_at(1.0, [] {});
+  engine.run();
+  EXPECT_THROW(engine.schedule_at(0.5, [] {}), pvc::Error);
+  EXPECT_THROW(engine.schedule_after(-1.0, [] {}), pvc::Error);
+}
+
+// --- flow network ------------------------------------------------------------
+
+TEST(FlowNetwork, SingleFlowTakesBytesOverCapacity) {
+  Engine engine;
+  FlowNetwork net(engine);
+  const LinkId link = net.add_link("l", 100.0);  // 100 B/s
+  double done_at = -1.0;
+  net.start_flow({link}, 500.0, 0.0, [&](Time t) { done_at = t; });
+  engine.run();
+  EXPECT_DOUBLE_EQ(done_at, 5.0);
+}
+
+TEST(FlowNetwork, LatencyDelaysStart) {
+  Engine engine;
+  FlowNetwork net(engine);
+  const LinkId link = net.add_link("l", 100.0);
+  double done_at = -1.0;
+  net.start_flow({link}, 100.0, 2.0, [&](Time t) { done_at = t; });
+  engine.run();
+  EXPECT_DOUBLE_EQ(done_at, 3.0);
+}
+
+TEST(FlowNetwork, TwoFlowsShareFairly) {
+  Engine engine;
+  FlowNetwork net(engine);
+  const LinkId link = net.add_link("l", 100.0);
+  std::vector<double> done;
+  net.start_flow({link}, 100.0, 0.0, [&](Time t) { done.push_back(t); });
+  net.start_flow({link}, 100.0, 0.0, [&](Time t) { done.push_back(t); });
+  engine.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_DOUBLE_EQ(done[0], 2.0);  // each gets 50 B/s
+  EXPECT_DOUBLE_EQ(done[1], 2.0);
+}
+
+TEST(FlowNetwork, ShortFlowReleasesBandwidth) {
+  Engine engine;
+  FlowNetwork net(engine);
+  const LinkId link = net.add_link("l", 100.0);
+  double long_done = -1.0;
+  net.start_flow({link}, 50.0, 0.0, {});  // finishes at t=1 (50 B at 50 B/s)
+  net.start_flow({link}, 150.0, 0.0, [&](Time t) { long_done = t; });
+  engine.run();
+  // Long flow: 50 B in the first second (shared), then 100 B/s alone.
+  EXPECT_DOUBLE_EQ(long_done, 2.0);
+}
+
+TEST(FlowNetwork, BottleneckLinkGovernsMultiLinkRoute) {
+  Engine engine;
+  FlowNetwork net(engine);
+  const LinkId fast = net.add_link("fast", 1000.0);
+  const LinkId slow = net.add_link("slow", 10.0);
+  double done = -1.0;
+  net.start_flow({fast, slow}, 100.0, 0.0, [&](Time t) { done = t; });
+  engine.run();
+  EXPECT_DOUBLE_EQ(done, 10.0);
+}
+
+TEST(FlowNetwork, DoubleTraversalChargesTwice) {
+  Engine engine;
+  FlowNetwork net(engine);
+  const LinkId link = net.add_link("l", 100.0);
+  double done = -1.0;
+  // Crossing the same link twice halves the end-to-end rate.
+  net.start_flow({link, link}, 100.0, 0.0, [&](Time t) { done = t; });
+  engine.run();
+  EXPECT_DOUBLE_EQ(done, 2.0);
+}
+
+TEST(FlowNetwork, MaxMinAllocationWithAsymmetricRoutes) {
+  Engine engine;
+  FlowNetwork net(engine);
+  const LinkId shared = net.add_link("shared", 90.0);
+  const LinkId private_slow = net.add_link("private", 10.0);
+  // Flow A is bottlenecked by its private link at 10 B/s; flow B should
+  // then get the remaining 80 B/s of the shared link.
+  double a_done = -1.0, b_done = -1.0;
+  net.start_flow({shared, private_slow}, 10.0, 0.0,
+                 [&](Time t) { a_done = t; });
+  net.start_flow({shared}, 80.0, 0.0, [&](Time t) { b_done = t; });
+  engine.run();
+  EXPECT_DOUBLE_EQ(a_done, 1.0);
+  EXPECT_DOUBLE_EQ(b_done, 1.0);
+}
+
+TEST(FlowNetwork, EmptyRouteIsPureLatency) {
+  Engine engine;
+  FlowNetwork net(engine);
+  double done = -1.0;
+  net.start_flow({}, 0.0, 0.25, [&](Time t) { done = t; });
+  engine.run();
+  EXPECT_DOUBLE_EQ(done, 0.25);
+}
+
+TEST(FlowNetwork, InvalidInputsThrow) {
+  Engine engine;
+  FlowNetwork net(engine);
+  EXPECT_THROW(net.add_link("zero", 0.0), pvc::Error);
+  const LinkId link = net.add_link("l", 1.0);
+  EXPECT_THROW(net.start_flow({link + 10}, 1.0, 0.0, {}), pvc::Error);
+  EXPECT_THROW(net.start_flow({link}, -1.0, 0.0, {}), pvc::Error);
+}
+
+// --- compute queue -----------------------------------------------------------
+
+TEST(ComputeQueue, SerializesTasks) {
+  Engine engine;
+  ComputeQueue queue(engine, "q");
+  std::vector<double> ends;
+  queue.submit(1.0, [&](Time t) { ends.push_back(t); });
+  queue.submit(2.0, [&](Time t) { ends.push_back(t); });
+  EXPECT_DOUBLE_EQ(queue.busy_until(), 3.0);
+  engine.run();
+  EXPECT_EQ(ends, (std::vector<double>{1.0, 3.0}));
+  EXPECT_EQ(queue.tasks_submitted(), 2u);
+  EXPECT_DOUBLE_EQ(queue.busy_seconds(), 3.0);
+}
+
+TEST(ComputeQueue, SubmissionAfterIdleStartsAtNow) {
+  Engine engine;
+  ComputeQueue queue(engine, "q");
+  queue.submit(1.0, [](Time) {});
+  engine.run();
+  EXPECT_DOUBLE_EQ(engine.now(), 1.0);
+  double end = -1.0;
+  queue.submit(0.5, [&](Time t) { end = t; });
+  engine.run();
+  EXPECT_DOUBLE_EQ(end, 1.5);
+}
+
+TEST(ComputeQueue, CallbackFreeSubmissionOnlyAdvancesBookkeeping) {
+  Engine engine;
+  ComputeQueue queue(engine, "q");
+  queue.submit(1.0);  // no callback: nothing needs an event
+  EXPECT_TRUE(engine.idle());
+  EXPECT_DOUBLE_EQ(queue.busy_until(), 1.0);
+}
+
+// --- power governor ----------------------------------------------------------
+
+PowerDomain aurora_like_domain() {
+  PowerDomain d;
+  d.f_max_hz = 1.6e9;
+  d.static_w = 75.0;
+  d.stack_cap_w = 261.0;
+  d.card_cap_w = 500.0;
+  d.node_cap_w = 2915.0;
+  d.stacks_per_card = 2;
+  d.cards = 6;
+  return d;
+}
+
+TEST(PowerGovernor, Fp64ThrottlesToTwelveHundredMegahertz) {
+  const PowerGovernor gov(aurora_like_domain());
+  // The paper's observation: FP64 FMA runs at ~1.2 GHz (§IV-B2).
+  EXPECT_NEAR(gov.operating_frequency(331.0, 1, 1), 1.2e9, 0.01e9);
+}
+
+TEST(PowerGovernor, LightWorkloadHoldsMaxClock) {
+  const PowerGovernor gov(aurora_like_domain());
+  EXPECT_NEAR(gov.operating_frequency(105.0, 1, 1), 1.6e9, 0.02e9);
+}
+
+TEST(PowerGovernor, FrequencyFallsWithOccupancy) {
+  const PowerGovernor gov(aurora_like_domain());
+  const double f1 = gov.operating_frequency(331.0, 1, 1);
+  const double f2 = gov.operating_frequency(331.0, 2, 1);
+  const double f12 = gov.operating_frequency(331.0, 2, 6);
+  EXPECT_GT(f1, f2);
+  EXPECT_GT(f2, f12);
+  // Two-stack scaling efficiency ~97% (paper §IV-B1).
+  EXPECT_NEAR(f2 / f1, 0.97, 0.015);
+  EXPECT_NEAR(f12 / f1, 0.95, 0.015);
+}
+
+TEST(PowerGovernor, PowerDrawMatchesClosedForm) {
+  const PowerGovernor gov(aurora_like_domain());
+  EXPECT_NEAR(gov.stack_power(331.0, 1.6e9), 75.0 + 331.0, 1e-9);
+  EXPECT_NEAR(gov.stack_power(331.0, 0.8e9), 75.0 + 331.0 * 0.25, 1e-9);
+  // At the governed frequency the stack sits exactly at its cap.
+  const double f = gov.operating_frequency(331.0, 1, 1);
+  EXPECT_NEAR(gov.stack_power(331.0, f), 261.0, 0.5);
+}
+
+TEST(PowerGovernor, InvalidConfigurationsThrow) {
+  PowerDomain bad = aurora_like_domain();
+  bad.stack_cap_w = 10.0;  // below static power
+  EXPECT_THROW(PowerGovernor{bad}, pvc::Error);
+  const PowerGovernor gov(aurora_like_domain());
+  EXPECT_THROW(gov.operating_frequency(-1.0, 1, 1), pvc::Error);
+  EXPECT_THROW(gov.operating_frequency(100.0, 3, 1), pvc::Error);
+  EXPECT_THROW(gov.operating_frequency(100.0, 1, 7), pvc::Error);
+}
+
+// --- cache hierarchy ---------------------------------------------------------
+
+CacheHierarchy small_hierarchy() {
+  // L1: 4 KiB, 64 B lines, 2-way (32 sets); L2: 64 KiB, 8-way.
+  return CacheHierarchy(
+      {
+          CacheLevelSpec{"L1", 4096, 64, 2, 10.0},
+          CacheLevelSpec{"L2", 65536, 64, 8, 100.0},
+      },
+      1000.0);
+}
+
+TEST(CacheHierarchy, ColdMissThenHit) {
+  auto cache = small_hierarchy();
+  EXPECT_DOUBLE_EQ(cache.access(0), 1000.0);  // cold: memory latency
+  EXPECT_DOUBLE_EQ(cache.access(0), 10.0);    // now in L1
+  EXPECT_DOUBLE_EQ(cache.access(32), 10.0);   // same line
+  EXPECT_EQ(cache.level_stats(0).hits, 2u);
+  EXPECT_EQ(cache.level_stats(0).misses, 1u);
+}
+
+TEST(CacheHierarchy, L1EvictionFallsBackToL2) {
+  auto cache = small_hierarchy();
+  // Three lines mapping to the same L1 set (stride = 32 sets * 64 B).
+  const std::uint64_t stride = 32 * 64;
+  cache.access(0 * stride);
+  cache.access(1 * stride);
+  cache.access(2 * stride);  // evicts line 0 from the 2-way L1
+  EXPECT_DOUBLE_EQ(cache.access(0), 100.0);  // L1 miss, L2 hit
+}
+
+TEST(CacheHierarchy, LruKeepsRecentlyUsedLine) {
+  auto cache = small_hierarchy();
+  const std::uint64_t stride = 32 * 64;
+  cache.access(0 * stride);
+  cache.access(1 * stride);
+  cache.access(0 * stride);  // refresh line 0 to MRU
+  cache.access(2 * stride);  // must evict line 1, not line 0
+  EXPECT_DOUBLE_EQ(cache.access(0), 10.0);
+  EXPECT_DOUBLE_EQ(cache.access(1 * stride), 100.0);
+}
+
+TEST(CacheHierarchy, WorkingSetBeyondL2GoesToMemory) {
+  auto cache = small_hierarchy();
+  // Stream far more lines than L2 holds, twice; the second pass still
+  // misses everywhere (footprint 16x the L2).
+  const std::size_t lines = 16 * 1024;
+  for (int pass = 0; pass < 2; ++pass) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < lines; ++i) {
+      total += cache.access(i * 64);
+    }
+    if (pass == 1) {
+      EXPECT_GT(total / static_cast<double>(lines), 900.0);
+    }
+  }
+}
+
+TEST(CacheHierarchy, ResetClearsState) {
+  auto cache = small_hierarchy();
+  cache.access(0);
+  cache.reset();
+  EXPECT_EQ(cache.accesses(), 0u);
+  EXPECT_DOUBLE_EQ(cache.access(0), 1000.0);
+}
+
+TEST(CacheHierarchy, ValidatesGeometry) {
+  EXPECT_THROW(CacheHierarchy({CacheLevelSpec{"bad", 100, 48, 2, 1.0}}, 10.0),
+               pvc::Error);  // line not power of two
+  EXPECT_THROW(
+      CacheHierarchy({CacheLevelSpec{"l1", 4096, 64, 2, 50.0},
+                      CacheLevelSpec{"l2", 65536, 64, 8, 20.0}},
+                     1000.0),
+      pvc::Error);  // latencies must increase outward
+  EXPECT_THROW(
+      CacheHierarchy({CacheLevelSpec{"l1", 4096, 64, 2, 50.0}}, 25.0),
+      pvc::Error);  // memory faster than cache
+}
+
+}  // namespace
+}  // namespace pvc::sim
