@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_latency"
+  "../bench/fig1_latency.pdb"
+  "CMakeFiles/fig1_latency.dir/fig1_latency.cpp.o"
+  "CMakeFiles/fig1_latency.dir/fig1_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_aurora_vs_dawn"
+  "../bench/fig2_aurora_vs_dawn.pdb"
+  "CMakeFiles/fig2_aurora_vs_dawn.dir/fig2_aurora_vs_dawn.cpp.o"
+  "CMakeFiles/fig2_aurora_vs_dawn.dir/fig2_aurora_vs_dawn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_aurora_vs_dawn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

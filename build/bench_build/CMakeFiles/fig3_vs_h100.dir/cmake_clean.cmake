@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_vs_h100"
+  "../bench/fig3_vs_h100.pdb"
+  "CMakeFiles/fig3_vs_h100.dir/fig3_vs_h100.cpp.o"
+  "CMakeFiles/fig3_vs_h100.dir/fig3_vs_h100.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_vs_h100.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_vs_h100.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_vs_mi250"
+  "../bench/fig4_vs_mi250.pdb"
+  "CMakeFiles/fig4_vs_mi250.dir/fig4_vs_mi250.cpp.o"
+  "CMakeFiles/fig4_vs_mi250.dir/fig4_vs_mi250.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_vs_mi250.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

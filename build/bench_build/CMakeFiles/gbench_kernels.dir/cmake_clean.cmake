@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/gbench_kernels"
+  "../bench/gbench_kernels.pdb"
+  "CMakeFiles/gbench_kernels.dir/gbench_kernels.cpp.o"
+  "CMakeFiles/gbench_kernels.dir/gbench_kernels.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbench_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

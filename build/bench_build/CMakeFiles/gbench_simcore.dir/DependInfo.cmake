@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/gbench_simcore.cpp" "bench_build/CMakeFiles/gbench_simcore.dir/gbench_simcore.cpp.o" "gcc" "bench_build/CMakeFiles/gbench_simcore.dir/gbench_simcore.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/report/CMakeFiles/pvc_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/pvc_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/miniapps/CMakeFiles/pvc_miniapps.dir/DependInfo.cmake"
+  "/root/repo/build/src/micro/CMakeFiles/pvc_micro.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/pvc_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/pvc_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/pvc_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/pvc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/pvc_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/pvc_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pvc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pvc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

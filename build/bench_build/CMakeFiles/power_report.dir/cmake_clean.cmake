@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/power_report"
+  "../bench/power_report.pdb"
+  "CMakeFiles/power_report.dir/power_report.cpp.o"
+  "CMakeFiles/power_report.dir/power_report.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/roofline_analysis"
+  "../bench/roofline_analysis.pdb"
+  "CMakeFiles/roofline_analysis.dir/roofline_analysis.cpp.o"
+  "CMakeFiles/roofline_analysis.dir/roofline_analysis.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roofline_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/scaling_sweep"
+  "../bench/scaling_sweep.pdb"
+  "CMakeFiles/scaling_sweep.dir/scaling_sweep.cpp.o"
+  "CMakeFiles/scaling_sweep.dir/scaling_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

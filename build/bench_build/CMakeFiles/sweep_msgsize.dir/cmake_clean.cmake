@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sweep_msgsize"
+  "../bench/sweep_msgsize.pdb"
+  "CMakeFiles/sweep_msgsize.dir/sweep_msgsize.cpp.o"
+  "CMakeFiles/sweep_msgsize.dir/sweep_msgsize.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_msgsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_microbench"
+  "../bench/table2_microbench.pdb"
+  "CMakeFiles/table2_microbench.dir/table2_microbench.cpp.o"
+  "CMakeFiles/table2_microbench.dir/table2_microbench.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

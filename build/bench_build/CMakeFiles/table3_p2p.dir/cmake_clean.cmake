@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_p2p"
+  "../bench/table3_p2p.pdb"
+  "CMakeFiles/table3_p2p.dir/table3_p2p.cpp.o"
+  "CMakeFiles/table3_p2p.dir/table3_p2p.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

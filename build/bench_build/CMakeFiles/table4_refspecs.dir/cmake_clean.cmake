@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_refspecs"
+  "../bench/table4_refspecs.pdb"
+  "CMakeFiles/table4_refspecs.dir/table4_refspecs.cpp.o"
+  "CMakeFiles/table4_refspecs.dir/table4_refspecs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_refspecs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

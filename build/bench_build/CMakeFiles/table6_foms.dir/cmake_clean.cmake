@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_foms"
+  "../bench/table6_foms.pdb"
+  "CMakeFiles/table6_foms.dir/table6_foms.cpp.o"
+  "CMakeFiles/table6_foms.dir/table6_foms.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_foms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

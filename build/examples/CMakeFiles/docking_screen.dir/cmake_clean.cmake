@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/docking_screen.dir/docking_screen.cpp.o"
+  "CMakeFiles/docking_screen.dir/docking_screen.cpp.o.d"
+  "docking_screen"
+  "docking_screen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/docking_screen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miniapp_runner.dir/miniapp_runner.cpp.o"
+  "CMakeFiles/miniapp_runner.dir/miniapp_runner.cpp.o.d"
+  "miniapp_runner"
+  "miniapp_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miniapp_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

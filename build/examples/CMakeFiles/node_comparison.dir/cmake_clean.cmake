@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_comparison.dir/node_comparison.cpp.o"
+  "CMakeFiles/node_comparison.dir/node_comparison.cpp.o.d"
+  "node_comparison"
+  "node_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

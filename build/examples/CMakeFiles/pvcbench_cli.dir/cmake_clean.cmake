@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvcbench_cli.dir/pvcbench_cli.cpp.o"
+  "CMakeFiles/pvcbench_cli.dir/pvcbench_cli.cpp.o.d"
+  "pvcbench_cli"
+  "pvcbench_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvcbench_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

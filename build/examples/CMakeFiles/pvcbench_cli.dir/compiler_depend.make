@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pvcbench_cli.
+# This may be replaced when dependencies are built.

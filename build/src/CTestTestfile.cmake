@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("core")
+subdirs("sim")
+subdirs("arch")
+subdirs("runtime")
+subdirs("comm")
+subdirs("kernels")
+subdirs("blas")
+subdirs("fft")
+subdirs("micro")
+subdirs("miniapps")
+subdirs("apps")
+subdirs("report")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvc_apps.dir/hacc_mini.cpp.o"
+  "CMakeFiles/pvc_apps.dir/hacc_mini.cpp.o.d"
+  "CMakeFiles/pvc_apps.dir/openmc_mini.cpp.o"
+  "CMakeFiles/pvc_apps.dir/openmc_mini.cpp.o.d"
+  "CMakeFiles/pvc_apps.dir/sph.cpp.o"
+  "CMakeFiles/pvc_apps.dir/sph.cpp.o.d"
+  "libpvc_apps.a"
+  "libpvc_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvc_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

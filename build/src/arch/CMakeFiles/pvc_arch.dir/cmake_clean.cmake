@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvc_arch.dir/peaks.cpp.o"
+  "CMakeFiles/pvc_arch.dir/peaks.cpp.o.d"
+  "CMakeFiles/pvc_arch.dir/systems.cpp.o"
+  "CMakeFiles/pvc_arch.dir/systems.cpp.o.d"
+  "CMakeFiles/pvc_arch.dir/topology.cpp.o"
+  "CMakeFiles/pvc_arch.dir/topology.cpp.o.d"
+  "libpvc_arch.a"
+  "libpvc_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvc_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

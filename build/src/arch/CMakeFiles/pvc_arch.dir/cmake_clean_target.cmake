@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpvc_arch.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blas/gemm.cpp" "src/blas/CMakeFiles/pvc_blas.dir/gemm.cpp.o" "gcc" "src/blas/CMakeFiles/pvc_blas.dir/gemm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/pvc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/pvc_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/pvc_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pvc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pvc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvc_blas.dir/gemm.cpp.o"
+  "CMakeFiles/pvc_blas.dir/gemm.cpp.o.d"
+  "libpvc_blas.a"
+  "libpvc_blas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvc_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

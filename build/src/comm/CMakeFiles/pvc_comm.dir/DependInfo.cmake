@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/binding.cpp" "src/comm/CMakeFiles/pvc_comm.dir/binding.cpp.o" "gcc" "src/comm/CMakeFiles/pvc_comm.dir/binding.cpp.o.d"
+  "/root/repo/src/comm/collectives.cpp" "src/comm/CMakeFiles/pvc_comm.dir/collectives.cpp.o" "gcc" "src/comm/CMakeFiles/pvc_comm.dir/collectives.cpp.o.d"
+  "/root/repo/src/comm/communicator.cpp" "src/comm/CMakeFiles/pvc_comm.dir/communicator.cpp.o" "gcc" "src/comm/CMakeFiles/pvc_comm.dir/communicator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/pvc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/pvc_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pvc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pvc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvc_comm.dir/binding.cpp.o"
+  "CMakeFiles/pvc_comm.dir/binding.cpp.o.d"
+  "CMakeFiles/pvc_comm.dir/collectives.cpp.o"
+  "CMakeFiles/pvc_comm.dir/collectives.cpp.o.d"
+  "CMakeFiles/pvc_comm.dir/communicator.cpp.o"
+  "CMakeFiles/pvc_comm.dir/communicator.cpp.o.d"
+  "libpvc_comm.a"
+  "libpvc_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvc_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvc_core.dir/ascii_plot.cpp.o"
+  "CMakeFiles/pvc_core.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/pvc_core.dir/config.cpp.o"
+  "CMakeFiles/pvc_core.dir/config.cpp.o.d"
+  "CMakeFiles/pvc_core.dir/csv.cpp.o"
+  "CMakeFiles/pvc_core.dir/csv.cpp.o.d"
+  "CMakeFiles/pvc_core.dir/log.cpp.o"
+  "CMakeFiles/pvc_core.dir/log.cpp.o.d"
+  "CMakeFiles/pvc_core.dir/rng.cpp.o"
+  "CMakeFiles/pvc_core.dir/rng.cpp.o.d"
+  "CMakeFiles/pvc_core.dir/statistics.cpp.o"
+  "CMakeFiles/pvc_core.dir/statistics.cpp.o.d"
+  "CMakeFiles/pvc_core.dir/table.cpp.o"
+  "CMakeFiles/pvc_core.dir/table.cpp.o.d"
+  "CMakeFiles/pvc_core.dir/units.cpp.o"
+  "CMakeFiles/pvc_core.dir/units.cpp.o.d"
+  "libpvc_core.a"
+  "libpvc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

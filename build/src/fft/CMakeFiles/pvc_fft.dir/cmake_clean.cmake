@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvc_fft.dir/fft.cpp.o"
+  "CMakeFiles/pvc_fft.dir/fft.cpp.o.d"
+  "CMakeFiles/pvc_fft.dir/plan.cpp.o"
+  "CMakeFiles/pvc_fft.dir/plan.cpp.o.d"
+  "libpvc_fft.a"
+  "libpvc_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvc_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/fma_chain.cpp" "src/kernels/CMakeFiles/pvc_kernels.dir/fma_chain.cpp.o" "gcc" "src/kernels/CMakeFiles/pvc_kernels.dir/fma_chain.cpp.o.d"
+  "/root/repo/src/kernels/narrow_float.cpp" "src/kernels/CMakeFiles/pvc_kernels.dir/narrow_float.cpp.o" "gcc" "src/kernels/CMakeFiles/pvc_kernels.dir/narrow_float.cpp.o.d"
+  "/root/repo/src/kernels/pointer_chase.cpp" "src/kernels/CMakeFiles/pvc_kernels.dir/pointer_chase.cpp.o" "gcc" "src/kernels/CMakeFiles/pvc_kernels.dir/pointer_chase.cpp.o.d"
+  "/root/repo/src/kernels/reduction.cpp" "src/kernels/CMakeFiles/pvc_kernels.dir/reduction.cpp.o" "gcc" "src/kernels/CMakeFiles/pvc_kernels.dir/reduction.cpp.o.d"
+  "/root/repo/src/kernels/triad.cpp" "src/kernels/CMakeFiles/pvc_kernels.dir/triad.cpp.o" "gcc" "src/kernels/CMakeFiles/pvc_kernels.dir/triad.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pvc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pvc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvc_kernels.dir/fma_chain.cpp.o"
+  "CMakeFiles/pvc_kernels.dir/fma_chain.cpp.o.d"
+  "CMakeFiles/pvc_kernels.dir/narrow_float.cpp.o"
+  "CMakeFiles/pvc_kernels.dir/narrow_float.cpp.o.d"
+  "CMakeFiles/pvc_kernels.dir/pointer_chase.cpp.o"
+  "CMakeFiles/pvc_kernels.dir/pointer_chase.cpp.o.d"
+  "CMakeFiles/pvc_kernels.dir/reduction.cpp.o"
+  "CMakeFiles/pvc_kernels.dir/reduction.cpp.o.d"
+  "CMakeFiles/pvc_kernels.dir/triad.cpp.o"
+  "CMakeFiles/pvc_kernels.dir/triad.cpp.o.d"
+  "libpvc_kernels.a"
+  "libpvc_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvc_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvc_micro.dir/message_sweep.cpp.o"
+  "CMakeFiles/pvc_micro.dir/message_sweep.cpp.o.d"
+  "CMakeFiles/pvc_micro.dir/microbench.cpp.o"
+  "CMakeFiles/pvc_micro.dir/microbench.cpp.o.d"
+  "CMakeFiles/pvc_micro.dir/paper_reference.cpp.o"
+  "CMakeFiles/pvc_micro.dir/paper_reference.cpp.o.d"
+  "CMakeFiles/pvc_micro.dir/table_results.cpp.o"
+  "CMakeFiles/pvc_micro.dir/table_results.cpp.o.d"
+  "libpvc_micro.a"
+  "libpvc_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvc_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvc_miniapps.dir/cloverleaf.cpp.o"
+  "CMakeFiles/pvc_miniapps.dir/cloverleaf.cpp.o.d"
+  "CMakeFiles/pvc_miniapps.dir/fom.cpp.o"
+  "CMakeFiles/pvc_miniapps.dir/fom.cpp.o.d"
+  "CMakeFiles/pvc_miniapps.dir/minibude.cpp.o"
+  "CMakeFiles/pvc_miniapps.dir/minibude.cpp.o.d"
+  "CMakeFiles/pvc_miniapps.dir/minigamess.cpp.o"
+  "CMakeFiles/pvc_miniapps.dir/minigamess.cpp.o.d"
+  "CMakeFiles/pvc_miniapps.dir/miniqmc.cpp.o"
+  "CMakeFiles/pvc_miniapps.dir/miniqmc.cpp.o.d"
+  "libpvc_miniapps.a"
+  "libpvc_miniapps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvc_miniapps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvc_report.dir/figures.cpp.o"
+  "CMakeFiles/pvc_report.dir/figures.cpp.o.d"
+  "CMakeFiles/pvc_report.dir/roofline.cpp.o"
+  "CMakeFiles/pvc_report.dir/roofline.cpp.o.d"
+  "CMakeFiles/pvc_report.dir/table6.cpp.o"
+  "CMakeFiles/pvc_report.dir/table6.cpp.o.d"
+  "libpvc_report.a"
+  "libpvc_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvc_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

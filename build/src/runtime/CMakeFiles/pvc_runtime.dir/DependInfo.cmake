@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/affinity.cpp" "src/runtime/CMakeFiles/pvc_runtime.dir/affinity.cpp.o" "gcc" "src/runtime/CMakeFiles/pvc_runtime.dir/affinity.cpp.o.d"
+  "/root/repo/src/runtime/kernel.cpp" "src/runtime/CMakeFiles/pvc_runtime.dir/kernel.cpp.o" "gcc" "src/runtime/CMakeFiles/pvc_runtime.dir/kernel.cpp.o.d"
+  "/root/repo/src/runtime/memory.cpp" "src/runtime/CMakeFiles/pvc_runtime.dir/memory.cpp.o" "gcc" "src/runtime/CMakeFiles/pvc_runtime.dir/memory.cpp.o.d"
+  "/root/repo/src/runtime/node_sim.cpp" "src/runtime/CMakeFiles/pvc_runtime.dir/node_sim.cpp.o" "gcc" "src/runtime/CMakeFiles/pvc_runtime.dir/node_sim.cpp.o.d"
+  "/root/repo/src/runtime/queue.cpp" "src/runtime/CMakeFiles/pvc_runtime.dir/queue.cpp.o" "gcc" "src/runtime/CMakeFiles/pvc_runtime.dir/queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/pvc_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pvc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pvc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvc_runtime.dir/affinity.cpp.o"
+  "CMakeFiles/pvc_runtime.dir/affinity.cpp.o.d"
+  "CMakeFiles/pvc_runtime.dir/kernel.cpp.o"
+  "CMakeFiles/pvc_runtime.dir/kernel.cpp.o.d"
+  "CMakeFiles/pvc_runtime.dir/memory.cpp.o"
+  "CMakeFiles/pvc_runtime.dir/memory.cpp.o.d"
+  "CMakeFiles/pvc_runtime.dir/node_sim.cpp.o"
+  "CMakeFiles/pvc_runtime.dir/node_sim.cpp.o.d"
+  "CMakeFiles/pvc_runtime.dir/queue.cpp.o"
+  "CMakeFiles/pvc_runtime.dir/queue.cpp.o.d"
+  "libpvc_runtime.a"
+  "libpvc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

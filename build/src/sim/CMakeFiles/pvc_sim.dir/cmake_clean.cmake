@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvc_sim.dir/cache_model.cpp.o"
+  "CMakeFiles/pvc_sim.dir/cache_model.cpp.o.d"
+  "CMakeFiles/pvc_sim.dir/compute_queue.cpp.o"
+  "CMakeFiles/pvc_sim.dir/compute_queue.cpp.o.d"
+  "CMakeFiles/pvc_sim.dir/engine.cpp.o"
+  "CMakeFiles/pvc_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/pvc_sim.dir/flow_network.cpp.o"
+  "CMakeFiles/pvc_sim.dir/flow_network.cpp.o.d"
+  "CMakeFiles/pvc_sim.dir/power.cpp.o"
+  "CMakeFiles/pvc_sim.dir/power.cpp.o.d"
+  "CMakeFiles/pvc_sim.dir/trace.cpp.o"
+  "CMakeFiles/pvc_sim.dir/trace.cpp.o.d"
+  "libpvc_sim.a"
+  "libpvc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_miniapps.dir/test_miniapps.cpp.o"
+  "CMakeFiles/test_miniapps.dir/test_miniapps.cpp.o.d"
+  "test_miniapps"
+  "test_miniapps.pdb"
+  "test_miniapps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_miniapps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

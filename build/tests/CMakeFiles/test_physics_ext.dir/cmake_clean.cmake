@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_physics_ext.dir/test_physics_ext.cpp.o"
+  "CMakeFiles/test_physics_ext.dir/test_physics_ext.cpp.o.d"
+  "test_physics_ext"
+  "test_physics_ext.pdb"
+  "test_physics_ext[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_physics_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
