@@ -114,5 +114,6 @@ int main(int argc, char** argv) {
 
   table.render(std::cout);
   pvcbench::maybe_write_csv(config, csv);
+  pvcbench::maybe_write_metrics(config);
   return 0;
 }

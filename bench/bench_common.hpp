@@ -1,6 +1,7 @@
 #pragma once
 // Shared glue for the table/figure bench binaries: formatting of
-// model-vs-paper cells and CSV dumping controlled by `csv=<path>`.
+// model-vs-paper cells, CSV dumping controlled by `csv=<path>`, and
+// metrics dumping controlled by `metrics=<path>` (docs/OBSERVABILITY.md).
 
 #include <cstdio>
 #include <optional>
@@ -10,6 +11,8 @@
 #include "core/csv.hpp"
 #include "core/statistics.hpp"
 #include "core/units.hpp"
+#include "obs/exporters.hpp"
+#include "obs/metrics.hpp"
 
 namespace pvcbench {
 
@@ -58,6 +61,19 @@ inline void maybe_write_csv(const pvc::Config& config,
   if (const auto path = config.get("csv")) {
     csv.write_file(*path);
     std::printf("\nCSV written to %s\n", path->c_str());
+  }
+}
+
+/// Dumps the process-wide obs registry when the binary was invoked with
+/// `metrics=<path>` (".json" suffix selects JSON, anything else CSV).
+/// Call at the end of main so the snapshot covers the whole run.
+inline void maybe_write_metrics(const pvc::Config& config) {
+  if (const auto path = config.get("metrics")) {
+    const auto snapshot = pvc::obs::Registry::global().snapshot();
+    pvc::obs::write_file(snapshot, *path);
+    std::printf("\nMetrics written to %s (%zu metrics; see "
+                "docs/OBSERVABILITY.md)\n",
+                path->c_str(), snapshot.samples.size());
   }
 }
 

@@ -67,5 +67,6 @@ int main(int argc, char** argv) {
               "+23%% vs H100, +44%% vs MI250; Dawn/Aurora within 1-2%%.\n");
 
   pvcbench::maybe_write_csv(config, csv);
+  pvcbench::maybe_write_metrics(config);
   return 0;
 }

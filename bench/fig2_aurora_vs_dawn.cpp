@@ -28,5 +28,6 @@ int main(int argc, char** argv) {
   }
   chart.render(std::cout);
   pvcbench::maybe_write_csv(config, csv);
+  pvcbench::maybe_write_metrics(config);
   return 0;
 }

@@ -39,5 +39,6 @@ int main(int argc, char** argv) {
       "(§V-B2).\n",
       lo, hi);
   pvcbench::maybe_write_csv(config, csv);
+  pvcbench::maybe_write_metrics(config);
   return 0;
 }

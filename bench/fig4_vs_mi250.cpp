@@ -39,5 +39,6 @@ int main(int argc, char** argv) {
       "software gap).\n",
       lo, hi);
   pvcbench::maybe_write_csv(config, csv);
+  pvcbench::maybe_write_metrics(config);
   return 0;
 }

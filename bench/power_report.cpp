@@ -62,5 +62,6 @@ int main(int argc, char** argv) {
       "full node the shared budget shaves a further ~2-5%% — more on Dawn, "
       "whose 64-core stacks draw ~14%% more per clock.\n");
   pvcbench::maybe_write_csv(config, csv);
+  pvcbench::maybe_write_metrics(config);
   return 0;
 }

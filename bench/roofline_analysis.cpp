@@ -58,5 +58,6 @@ int main(int argc, char** argv) {
               "DGEMM, miniQMC and OpenMC sit far below the roof (their "
               "bottlenecks are not on it).\n");
   pvcbench::maybe_write_csv(config, csv);
+  pvcbench::maybe_write_metrics(config);
   return 0;
 }

@@ -88,5 +88,6 @@ int main(int argc, char** argv) {
       "ranks per socket (cores/rank < threads wanted) — the §V-B1 knee; "
       "mini-GAMESS keeps ~85%% strong-scaling speedup to the full node.\n");
   pvcbench::maybe_write_csv(config, csv);
+  pvcbench::maybe_write_metrics(config);
   return 0;
 }

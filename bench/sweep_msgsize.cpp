@@ -58,5 +58,6 @@ int main(int argc, char** argv) {
       "N_1/2 — its Table II/III numbers are asymptotic bandwidths, while "
       "small-halo codes live on the latency-dominated left.\n");
   pvcbench::maybe_write_csv(config, csv);
+  pvcbench::maybe_write_metrics(config);
   return 0;
 }

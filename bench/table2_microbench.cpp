@@ -11,6 +11,7 @@
 #include "arch/systems.hpp"
 #include "bench_common.hpp"
 #include "core/table.hpp"
+#include "micro/microbench.hpp"
 #include "micro/paper_reference.hpp"
 #include "micro/table_results.hpp"
 
@@ -104,6 +105,24 @@ void print_scaling_claims(const pvc::micro::Table2Reference& aurora,
           (12.0 * aurora.pcie_d2h.one_stack));
 }
 
+// Three-point pointer-chase probe: one footprint per cache regime.
+// Drives the cache-hierarchy model (so a `metrics=` dump carries cache
+// hit/miss counters); the full Figure 1 curve lives in fig1_latency.
+void print_latency_spot_check(const pvc::arch::NodeSpec& node) {
+  const std::vector<double> probes = {64.0 * pvc::KiB, 16.0 * pvc::MiB,
+                                      512.0 * pvc::MiB};
+  const auto curve =
+      pvc::micro::measure_latency_curve(node, /*coalesced=*/true, probes);
+  std::printf("Memory latency spot check — %s (coalesced chase):\n",
+              node.system_name.c_str());
+  for (const auto& point : curve) {
+    std::printf("  %10s footprint: %7.1f cycles\n",
+                pvc::format_bytes_si(point.footprint_bytes).c_str(),
+                point.latency_cycles);
+  }
+  std::printf("\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -118,6 +137,8 @@ int main(int argc, char** argv) {
   print_system("Aurora", aurora_model, pvc::micro::table2_aurora(), csv);
   print_system("Dawn", dawn_model, pvc::micro::table2_dawn(), csv);
   print_scaling_claims(aurora_model, dawn_model);
+  print_latency_spot_check(pvc::arch::aurora());
   pvcbench::maybe_write_csv(config, csv);
+  pvcbench::maybe_write_metrics(config);
   return 0;
 }

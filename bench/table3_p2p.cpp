@@ -91,5 +91,6 @@ int main(int argc, char** argv) {
                pvc::format_value(dawn.local_uni_one_pair, 6),
                pvc::format_value(dawn.local_uni_all_pairs, 6)});
   pvcbench::maybe_write_csv(config, csv);
+  pvcbench::maybe_write_metrics(config);
   return 0;
 }

@@ -64,5 +64,6 @@ int main(int argc, char** argv) {
                           mi250, arch::Precision::FP64, arch::Scope::OneCard)});
   csv.add_numeric_row("mi250x_gcd_dgemm", {gcd.dgemm_flops});
   pvcbench::maybe_write_csv(config, csv);
+  pvcbench::maybe_write_metrics(config);
   return 0;
 }

@@ -106,5 +106,6 @@ int main(int argc, char** argv) {
   }
 
   pvcbench::maybe_write_csv(config, csv);
+  pvcbench::maybe_write_metrics(config);
   return 0;
 }

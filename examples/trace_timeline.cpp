@@ -1,15 +1,19 @@
 // Trace timeline: runs a weak-scaled CloverLeaf-like phase across every
-// stack with tracing enabled, prints per-track busy summaries, and
-// exports a Chrome trace-event JSON you can open in chrome://tracing or
-// Perfetto to see the kernels and PCIe transfers overlap.
+// stack with tracing enabled, prints per-track busy summaries and the
+// obs metrics the run accumulated, and exports a Chrome trace-event
+// JSON you can open in chrome://tracing or Perfetto to see the kernels
+// and PCIe transfers overlap.
 //
 //   ./trace_timeline [system=aurora] [out=trace.json] [steps=4]
+//                    [metrics=metrics.csv]
 
 #include <cstdio>
 
 #include "arch/systems.hpp"
 #include "core/config.hpp"
 #include "core/units.hpp"
+#include "obs/exporters.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/node_sim.hpp"
 #include "runtime/queue.hpp"
 
@@ -58,6 +62,17 @@ int main(int argc, char** argv) {
                 track.track.c_str(),
                 format_duration(track.busy_seconds).c_str(),
                 100.0 * track.busy_seconds / makespan, track.events);
+  }
+
+  const auto snapshot = obs::Registry::global().snapshot();
+  std::printf("\n%s\n",
+              obs::to_table(snapshot, /*include_zero=*/false,
+                            "Run metrics (docs/OBSERVABILITY.md)")
+                  .to_string()
+                  .c_str());
+  if (const auto metrics_path = config.get("metrics")) {
+    obs::write_file(snapshot, *metrics_path);
+    std::printf("Metrics written to %s\n", metrics_path->c_str());
   }
 
   sim.trace().write_chrome_json(out_path);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "comm/metrics_internal.hpp"
 #include "core/error.hpp"
 
 namespace pvc::comm {
@@ -15,9 +16,15 @@ sim::Time max_completion(std::span<Request> requests) {
   return t;
 }
 
+/// One collective invocation entering the obs registry.
+void count_collective() { detail::comm_metrics().collectives->add(1); }
+/// One communication round (a wave of matched operations) within it.
+void count_round() { detail::comm_metrics().collective_rounds->add(1); }
+
 }  // namespace
 
 sim::Time barrier(Communicator& comm) {
+  count_collective();
   const int p = comm.size();
   if (p == 1) {
     return comm.node().engine().now();
@@ -25,6 +32,7 @@ sim::Time barrier(Communicator& comm) {
   sim::Time finish = 0.0;
   // Dissemination barrier: round k, rank r signals (r + 2^k) % p.
   for (int stride = 1; stride < p; stride *= 2) {
+    count_round();
     std::vector<Request> requests;
     for (int r = 0; r < p; ++r) {
       const int peer = (r + stride) % p;
@@ -41,6 +49,7 @@ sim::Time barrier(Communicator& comm) {
 sim::Time allreduce_sum(Communicator& comm,
                         std::vector<std::vector<double>>& rank_data,
                         double element_bytes) {
+  count_collective();
   const int p = comm.size();
   ensure(static_cast<int>(rank_data.size()) == p,
          "allreduce_sum: one vector per rank required");
@@ -67,6 +76,7 @@ sim::Time allreduce_sum(Communicator& comm,
 
   for (int phase = 0; phase < 2; ++phase) {
     for (int step = 0; step < p - 1; ++step) {
+      count_round();
       std::vector<Request> requests;
       for (int r = 0; r < p; ++r) {
         const int dst = (r + 1) % p;
@@ -127,10 +137,12 @@ sim::Time allreduce_sum(Communicator& comm,
 }
 
 sim::Time halo_exchange_ring(Communicator& comm, double halo_bytes) {
+  count_collective();
   const int p = comm.size();
   if (p == 1) {
     return comm.node().engine().now();
   }
+  count_round();
   std::vector<Request> requests;
   for (int r = 0; r < p; ++r) {
     const int up = (r + 1) % p;
@@ -145,10 +157,12 @@ sim::Time halo_exchange_ring(Communicator& comm, double halo_bytes) {
 }
 
 sim::Time gather_to_root(Communicator& comm, double block_bytes) {
+  count_collective();
   const int p = comm.size();
   if (p == 1) {
     return comm.node().engine().now();
   }
+  count_round();
   std::vector<Request> requests;
   for (int r = 1; r < p; ++r) {
     requests.push_back(comm.isend(r, 0, 300 + r, block_bytes));
@@ -159,6 +173,7 @@ sim::Time gather_to_root(Communicator& comm, double block_bytes) {
 }
 
 sim::Time broadcast_from_root(Communicator& comm, double bytes) {
+  count_collective();
   const int p = comm.size();
   if (p == 1) {
     return comm.node().engine().now();
@@ -172,6 +187,7 @@ sim::Time broadcast_from_root(Communicator& comm, double bytes) {
       requests.push_back(comm.irecv(r + stride, r, 400 + stride, bytes));
     }
     if (!requests.empty()) {
+      count_round();
       comm.wait_all(requests);
       finish = std::max(finish, max_completion(requests));
     }
@@ -180,6 +196,7 @@ sim::Time broadcast_from_root(Communicator& comm, double bytes) {
 }
 
 sim::Time alltoall(Communicator& comm, double block_bytes) {
+  count_collective();
   const int p = comm.size();
   if (p == 1) {
     return comm.node().engine().now();
@@ -208,6 +225,7 @@ sim::Time alltoall(Communicator& comm, double block_bytes) {
       requests.push_back(comm.irecv(partner, r, 500 + round, block_bytes));
     }
     if (!requests.empty()) {
+      count_round();
       comm.wait_all(requests);
       finish = std::max(finish, max_completion(requests));
     }
@@ -218,6 +236,7 @@ sim::Time alltoall(Communicator& comm, double block_bytes) {
 sim::Time reduce_sum_to_root(Communicator& comm,
                              std::vector<std::vector<double>>& rank_data,
                              double element_bytes) {
+  count_collective();
   const int p = comm.size();
   ensure(static_cast<int>(rank_data.size()) == p,
          "reduce_sum_to_root: one vector per rank required");
@@ -253,6 +272,7 @@ sim::Time reduce_sum_to_root(Communicator& comm,
     if (requests.empty()) {
       continue;
     }
+    count_round();
     comm.wait_all(requests);
     finish = std::max(finish, max_completion(requests));
     for (const auto& [src, dst] : edges) {

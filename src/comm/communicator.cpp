@@ -1,10 +1,44 @@
 #include "comm/communicator.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <iterator>
 
+#include "comm/metrics_internal.hpp"
 #include "core/error.hpp"
 
 namespace pvc::comm {
+
+namespace detail {
+
+CommMetrics& comm_metrics() {
+  static CommMetrics m = [] {
+    auto& reg = obs::Registry::global();
+    CommMetrics c;
+    c.sends_posted =
+        &reg.counter("comm.sends_posted", "messages", "isend operations posted");
+    c.recvs_posted =
+        &reg.counter("comm.recvs_posted", "messages", "irecv operations posted");
+    c.messages = &reg.counter("comm.messages", "messages",
+                              "messages fully delivered");
+    c.bytes = &reg.counter("comm.bytes", "bytes",
+                           "payload bytes of delivered messages");
+    c.tag_match_depth = &reg.histogram(
+        "comm.tag_match_depth", "queue entries",
+        "unmatched-send queue positions scanned before each match");
+    c.collectives = &reg.counter("comm.collectives", "calls",
+                                 "collective operations executed");
+    c.collective_rounds =
+        &reg.counter("comm.collective_rounds", "rounds",
+                     "communication rounds across all collectives");
+    return c;
+  }();
+  return m;
+}
+
+}  // namespace detail
+
+using detail::comm_metrics;
 
 bool Request::done() const {
   ensure(state_ != nullptr, "Request: empty request");
@@ -46,6 +80,7 @@ Request Communicator::isend(int rank, int dst, int tag, double bytes,
   ensure(rank >= 0 && rank < size() && dst >= 0 && dst < size(),
          "Communicator: isend rank out of range");
   ensure(bytes >= 0.0, "Communicator: negative message size");
+  comm_metrics().sends_posted->add(1);
   auto state = std::make_shared<Request::State>();
   sends_[static_cast<std::size_t>(dst)].push_back(
       PendingSend{rank, tag, bytes, data, state});
@@ -58,6 +93,7 @@ Request Communicator::irecv(int rank, int src, int tag, double bytes,
   ensure(rank >= 0 && rank < size() && src >= 0 && src < size(),
          "Communicator: irecv rank out of range");
   ensure(bytes >= 0.0, "Communicator: negative message size");
+  comm_metrics().recvs_posted->add(1);
   auto state = std::make_shared<Request::State>();
   recvs_[static_cast<std::size_t>(rank)].push_back(
       PendingRecv{src, tag, bytes, data, state});
@@ -80,6 +116,8 @@ void Communicator::try_match(int dst_rank) {
       if (sit != send_queue.end()) {
         ensure(sit->bytes == rit->bytes,
                "Communicator: matched send/recv sizes differ");
+        comm_metrics().tag_match_depth->observe(static_cast<std::uint64_t>(
+            std::distance(send_queue.begin(), sit)));
         launch(sit->src_rank, dst_rank, *sit, *rit);
         send_queue.erase(sit);
         recv_queue.erase(rit);
@@ -99,9 +137,10 @@ void Communicator::launch(int src_rank, int dst_rank,
   const auto src_data = send.data;
   const auto dst_data = recv.data;
 
+  const double bytes = send.bytes;
   node_->transfer_d2d(
-      src_dev, dst_dev, send.bytes,
-      [this, send_state, recv_state, src_data, dst_data](sim::Time t) {
+      src_dev, dst_dev, bytes,
+      [this, send_state, recv_state, src_data, dst_data, bytes](sim::Time t) {
         if (!src_data.empty() && src_data.size() == dst_data.size()) {
           std::copy(src_data.begin(), src_data.end(), dst_data.begin());
         }
@@ -110,6 +149,9 @@ void Communicator::launch(int src_rank, int dst_rank,
         recv_state->done = true;
         recv_state->when = t;
         ++delivered_;
+        auto& metrics = comm_metrics();
+        metrics.messages->add(1);
+        metrics.bytes->add(static_cast<std::uint64_t>(std::llround(bytes)));
       });
 }
 

@@ -1,0 +1,23 @@
+#pragma once
+// Shared obs handles for the comm layer (communicator.cpp registers and
+// owns them; collectives.cpp bumps the collective counters).  Internal —
+// read metric values through obs::Registry::global().snapshot().
+
+#include "obs/metrics.hpp"
+
+namespace pvc::comm::detail {
+
+struct CommMetrics {
+  obs::Counter* sends_posted;
+  obs::Counter* recvs_posted;
+  obs::Counter* messages;
+  obs::Counter* bytes;
+  obs::Histogram* tag_match_depth;
+  obs::Counter* collectives;
+  obs::Counter* collective_rounds;
+};
+
+/// Resolves the handles in the global registry on first use.
+CommMetrics& comm_metrics();
+
+}  // namespace pvc::comm::detail

@@ -1,0 +1,35 @@
+#pragma once
+// Snapshot exporters: human-readable table (core/table), machine-readable
+// CSV (core/csv) and JSON.  Formats are documented in
+// docs/OBSERVABILITY.md; the bench harnesses reach them through the
+// `metrics=<path>` option (bench/bench_common.hpp).
+
+#include <string>
+
+#include "core/csv.hpp"
+#include "core/table.hpp"
+#include "obs/metrics.hpp"
+
+namespace pvc::obs {
+
+/// Renders the snapshot as an aligned ASCII table.  Histogram rows show
+/// "n=<count> sum=<weight>"; pass `include_zero=false` to keep only
+/// metrics that recorded something.
+[[nodiscard]] Table to_table(const Snapshot& snapshot,
+                             bool include_zero = true,
+                             const std::string& title = "Metrics");
+
+/// One row per counter/gauge/histogram summary, one extra row per
+/// non-empty histogram bucket.  Columns:
+///   metric,type,unit,value,count,bucket_lo,bucket_hi
+[[nodiscard]] CsvWriter to_csv(const Snapshot& snapshot);
+
+/// {"metrics":[{"name":...,"type":...,"unit":...,"help":...,"value":...,
+///   "count":...,"buckets":[{"lo":..,"hi":..,"count":..,"weight":..}]}]}
+[[nodiscard]] std::string to_json(const Snapshot& snapshot);
+
+/// Writes CSV or JSON depending on the path suffix (".json" -> JSON).
+/// Throws pvc::Error on I/O failure.
+void write_file(const Snapshot& snapshot, const std::string& path);
+
+}  // namespace pvc::obs

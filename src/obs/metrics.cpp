@@ -1,0 +1,193 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "core/error.hpp"
+
+namespace pvc::obs {
+
+std::string metric_type_name(MetricType t) {
+  switch (t) {
+    case MetricType::Counter:
+      return "counter";
+    case MetricType::Gauge:
+      return "gauge";
+    case MetricType::Histogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const {
+  ensure(i < kBuckets, "Histogram: bad bucket index");
+  return bucket_counts_[i];
+}
+
+double Histogram::bucket_weight(std::size_t i) const {
+  ensure(i < kBuckets, "Histogram: bad bucket index");
+  return bucket_weights_[i];
+}
+
+std::size_t Histogram::bucket_index(std::uint64_t value) noexcept {
+  // 0 -> bucket 0; otherwise bucket = bit_width(value), so bucket i
+  // (i >= 1) holds [2^(i-1), 2^i - 1].
+  return static_cast<std::size_t>(std::bit_width(value));
+}
+
+std::uint64_t Histogram::bucket_lower_bound(std::size_t i) {
+  ensure(i < kBuckets, "Histogram: bad bucket index");
+  return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+}
+
+std::uint64_t Histogram::bucket_upper_bound(std::size_t i) {
+  ensure(i < kBuckets, "Histogram: bad bucket index");
+  if (i == 0) {
+    return 0;
+  }
+  if (i == kBuckets - 1) {
+    return ~std::uint64_t{0};
+  }
+  return (std::uint64_t{1} << i) - 1;
+}
+
+const MetricSample* Snapshot::find(const std::string& name) const {
+  const auto it = std::find_if(
+      samples.begin(), samples.end(),
+      [&](const MetricSample& s) { return s.name == name; });
+  return it == samples.end() ? nullptr : &*it;
+}
+
+double Snapshot::value(const std::string& name) const {
+  const MetricSample* s = find(name);
+  return s == nullptr ? 0.0 : s->value;
+}
+
+std::uint64_t Snapshot::count(const std::string& name) const {
+  const MetricSample* s = find(name);
+  return s == nullptr ? 0 : s->count;
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Registry::Entry& Registry::find_or_create(const std::string& name,
+                                          MetricType type,
+                                          const std::string& unit,
+                                          const std::string& help) {
+  ensure(!name.empty(), "Registry: metric name must be non-empty");
+  for (auto& entry : entries_) {
+    if (entry->name == name) {
+      ensure(entry->type == type,
+             "Registry: metric '" + name + "' already registered as " +
+                 metric_type_name(entry->type) + ", requested as " +
+                 metric_type_name(type));
+      return *entry;
+    }
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->type = type;
+  entry->unit = unit;
+  entry->help = help;
+  switch (type) {
+    case MetricType::Counter:
+      entry->counter = std::make_unique<Counter>();
+      break;
+    case MetricType::Gauge:
+      entry->gauge = std::make_unique<Gauge>();
+      break;
+    case MetricType::Histogram:
+      entry->histogram = std::make_unique<Histogram>();
+      break;
+  }
+  entries_.push_back(std::move(entry));
+  return *entries_.back();
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& unit,
+                           const std::string& help) {
+  return *find_or_create(name, MetricType::Counter, unit, help).counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& unit,
+                       const std::string& help) {
+  return *find_or_create(name, MetricType::Gauge, unit, help).gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::string& unit,
+                               const std::string& help) {
+  return *find_or_create(name, MetricType::Histogram, unit, help).histogram;
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    out.push_back(entry->name);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  snap.samples.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    MetricSample sample;
+    sample.name = entry->name;
+    sample.type = entry->type;
+    sample.unit = entry->unit;
+    sample.help = entry->help;
+    switch (entry->type) {
+      case MetricType::Counter:
+        sample.count = entry->counter->value();
+        sample.value = static_cast<double>(sample.count);
+        break;
+      case MetricType::Gauge:
+        sample.value = entry->gauge->value();
+        break;
+      case MetricType::Histogram: {
+        const Histogram& h = *entry->histogram;
+        sample.count = h.count();
+        sample.value = h.weight_sum();
+        for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+          if (h.bucket_count(b) > 0) {
+            sample.buckets.push_back(SnapshotBucket{
+                Histogram::bucket_lower_bound(b),
+                Histogram::bucket_upper_bound(b), h.bucket_count(b),
+                h.bucket_weight(b)});
+          }
+        }
+        break;
+      }
+    }
+    snap.samples.push_back(std::move(sample));
+  }
+  std::sort(snap.samples.begin(), snap.samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+void Registry::reset_values() {
+  for (auto& entry : entries_) {
+    switch (entry->type) {
+      case MetricType::Counter:
+        entry->counter->value_ = 0;
+        break;
+      case MetricType::Gauge:
+        entry->gauge->value_ = 0.0;
+        break;
+      case MetricType::Histogram:
+        *entry->histogram = Histogram{};
+        break;
+    }
+  }
+}
+
+}  // namespace pvc::obs

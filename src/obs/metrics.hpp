@@ -1,0 +1,230 @@
+#pragma once
+// Metrics & counters subsystem.
+//
+// A lightweight process-wide registry of named counters (uint64_t),
+// gauges (double) and histograms (fixed log2 buckets, optionally
+// weighted).  Instrumented layers (sim/flow_network, sim/power,
+// sim/cache_model, runtime/queue, runtime/memory, comm/communicator)
+// resolve their metric handles once and bump them on the hot path, so
+// questions like "how many bytes crossed each Xe-Link plane?" or "how
+// long did the governor hold 1.2 GHz?" are answerable without re-reading
+// the code.  See docs/OBSERVABILITY.md for every emitted metric name.
+//
+// Overheads:
+//  * compile time — building with -DPVC_METRICS=OFF defines
+//    PVC_METRICS_ENABLED=0 and every mutation inlines to nothing;
+//  * run time — obs::set_enabled(false) short-circuits mutations behind
+//    a single branch on a plain bool (the simulator is single-threaded,
+//    as is this registry).
+//
+// Values are read through the Snapshot API: a deep copy of every
+// metric's state at one instant, decoupled from later mutation, which
+// the exporters (obs/exporters.hpp) render as a table, CSV or JSON.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+// Compile-time kill switch (CMake option PVC_METRICS, default ON).
+#ifndef PVC_METRICS_ENABLED
+#define PVC_METRICS_ENABLED 1
+#endif
+
+namespace pvc::obs {
+
+/// True when the library was compiled with metrics support.
+[[nodiscard]] constexpr bool compiled_in() noexcept {
+  return PVC_METRICS_ENABLED != 0;
+}
+
+namespace detail {
+inline bool g_runtime_enabled = true;
+}  // namespace detail
+
+/// Runtime collection switch; mutations are dropped while disabled.
+[[nodiscard]] inline bool enabled() noexcept {
+  return compiled_in() && detail::g_runtime_enabled;
+}
+inline void set_enabled(bool on) noexcept { detail::g_runtime_enabled = on; }
+
+enum class MetricType { Counter, Gauge, Histogram };
+
+[[nodiscard]] std::string metric_type_name(MetricType t);
+
+/// Monotonically increasing uint64 count.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+#if PVC_METRICS_ENABLED
+    if (detail::g_runtime_enabled) {
+      value_ += delta;
+    }
+#else
+    static_cast<void>(delta);
+#endif
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  friend class Registry;
+  std::uint64_t value_ = 0;
+};
+
+/// Double-valued quantity; supports both set() and accumulate via add().
+class Gauge {
+ public:
+  void set(double v) noexcept {
+#if PVC_METRICS_ENABLED
+    if (detail::g_runtime_enabled) {
+      value_ = v;
+    }
+#else
+    static_cast<void>(v);
+#endif
+  }
+  void add(double delta) noexcept {
+#if PVC_METRICS_ENABLED
+    if (detail::g_runtime_enabled) {
+      value_ += delta;
+    }
+#else
+    static_cast<void>(delta);
+#endif
+  }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  friend class Registry;
+  double value_ = 0.0;
+};
+
+/// Histogram over uint64 values with fixed log2 buckets: bucket 0 holds
+/// value 0, bucket i (i >= 1) holds values in [2^(i-1), 2^i - 1].  Each
+/// observation carries an optional double weight (e.g. seconds spent at
+/// a frequency), so both "how many" and "for how long" are recorded.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;  // 0 plus one per bit
+
+  void observe(std::uint64_t value, double weight = 1.0) noexcept {
+#if PVC_METRICS_ENABLED
+    if (detail::g_runtime_enabled) {
+      const std::size_t b = bucket_index(value);
+      ++bucket_counts_[b];
+      bucket_weights_[b] += weight;
+      ++count_;
+      value_sum_ += static_cast<double>(value) * weight;
+      weight_sum_ += weight;
+    }
+#else
+    static_cast<void>(value);
+    static_cast<void>(weight);
+#endif
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double weight_sum() const noexcept { return weight_sum_; }
+  /// Sum of value*weight over observations (mean = value_sum/weight_sum).
+  [[nodiscard]] double value_sum() const noexcept { return value_sum_; }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const;
+  [[nodiscard]] double bucket_weight(std::size_t i) const;
+
+  /// Bucket that holds `value`.
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t value) noexcept;
+  /// Smallest / largest value in bucket `i`.
+  [[nodiscard]] static std::uint64_t bucket_lower_bound(std::size_t i);
+  [[nodiscard]] static std::uint64_t bucket_upper_bound(std::size_t i);
+
+ private:
+  friend class Registry;
+  std::uint64_t bucket_counts_[kBuckets] = {};
+  double bucket_weights_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  double value_sum_ = 0.0;
+  double weight_sum_ = 0.0;
+};
+
+/// One non-empty histogram bucket inside a snapshot.
+struct SnapshotBucket {
+  std::uint64_t lower = 0;  ///< smallest value the bucket holds
+  std::uint64_t upper = 0;  ///< largest value the bucket holds
+  std::uint64_t count = 0;
+  double weight = 0.0;
+};
+
+/// Point-in-time copy of one metric.
+struct MetricSample {
+  std::string name;
+  MetricType type = MetricType::Counter;
+  std::string unit;
+  std::string help;
+  /// Counter value, gauge value, or histogram weight sum.
+  double value = 0.0;
+  /// Counter value or histogram observation count (0 for gauges).
+  std::uint64_t count = 0;
+  std::vector<SnapshotBucket> buckets;  ///< histograms only; non-empty only
+};
+
+/// Deep copy of the whole registry at one instant.
+struct Snapshot {
+  std::vector<MetricSample> samples;  ///< sorted by name
+
+  [[nodiscard]] const MetricSample* find(const std::string& name) const;
+  /// value of `name`; 0.0 when absent.
+  [[nodiscard]] double value(const std::string& name) const;
+  /// count of `name`; 0 when absent.
+  [[nodiscard]] std::uint64_t count(const std::string& name) const;
+};
+
+/// Name -> metric dictionary.  Metric names are dot-separated paths
+/// ("net.pcie.bytes"); re-requesting a name returns the same object, and
+/// requesting an existing name as a different type throws pvc::Error.
+/// Handles returned by counter()/gauge()/histogram() stay valid for the
+/// registry's lifetime.  Not thread-safe (the simulator is
+/// single-threaded by design).
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry every instrumented layer reports into.
+  [[nodiscard]] static Registry& global();
+
+  Counter& counter(const std::string& name, const std::string& unit,
+                   const std::string& help);
+  Gauge& gauge(const std::string& name, const std::string& unit,
+               const std::string& help);
+  Histogram& histogram(const std::string& name, const std::string& unit,
+                       const std::string& help);
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  /// Registered metric names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Zeroes every metric's value, keeping registrations (units, help).
+  /// Tests use this to measure per-operation deltas.
+  void reset_values();
+
+ private:
+  struct Entry;
+  Entry& find_or_create(const std::string& name, MetricType type,
+                        const std::string& unit, const std::string& help);
+
+  // std::unique_ptr keeps handle addresses stable across insertions.
+  struct Entry {
+    std::string name;
+    MetricType type;
+    std::string unit;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  std::vector<std::unique_ptr<Entry>> entries_;  // insertion order
+};
+
+}  // namespace pvc::obs

@@ -1,11 +1,38 @@
 #include "runtime/memory.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/error.hpp"
 #include "core/units.hpp"
+#include "obs/metrics.hpp"
 
 namespace pvc::rt {
+
+namespace {
+
+struct MemMetrics {
+  obs::Counter* allocations;
+  obs::Counter* bytes_by_kind[3];  // indexed by MemKind
+};
+
+MemMetrics& mem_metrics() {
+  static MemMetrics m = [] {
+    auto& reg = obs::Registry::global();
+    MemMetrics mm;
+    mm.allocations = &reg.counter("mem.allocations", "allocations",
+                                  "USM allocations granted");
+    for (MemKind k : {MemKind::Host, MemKind::Device, MemKind::Shared}) {
+      mm.bytes_by_kind[static_cast<int>(k)] = &reg.counter(
+          "mem." + mem_kind_name(k) + ".bytes_allocated", "bytes",
+          "USM bytes granted as malloc_" + mem_kind_name(k));
+    }
+    return mm;
+  }();
+  return m;
+}
+
+}  // namespace
 
 std::string mem_kind_name(MemKind k) {
   switch (k) {
@@ -55,6 +82,10 @@ MemoryManager::MemoryManager(const arch::NodeSpec& node)
 
 Buffer MemoryManager::allocate(MemKind kind, int device, double bytes) {
   ensure(bytes > 0.0, "MemoryManager: allocation size must be positive");
+  auto& metrics = mem_metrics();
+  metrics.allocations->add(1);
+  metrics.bytes_by_kind[static_cast<int>(kind)]->add(
+      static_cast<std::uint64_t>(std::llround(bytes)));
   if (kind == MemKind::Host) {
     ensure(host_used_ + bytes <= host_capacity_,
            "MemoryManager: host DDR exhausted (" +

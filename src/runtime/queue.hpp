@@ -55,6 +55,11 @@ class Queue {
   std::function<void()> run_next_;
   std::vector<std::function<void(std::function<void(sim::Time)>)>> fifo_;
   bool item_in_flight_ = false;
+  // Busy/idle accounting for the obs registry: per-item in-flight
+  // seconds accumulate into busy_accum_; wait() reports the idle
+  // complement (span minus busy) incrementally.
+  double busy_accum_ = 0.0;
+  double idle_reported_ = 0.0;
 
   void maybe_start_next();
 };

@@ -1,13 +1,41 @@
 #include "sim/cache_model.hpp"
 
 #include <algorithm>
+#include <cctype>
 
 #include "core/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace pvc::sim {
 
 namespace {
 bool is_power_of_two(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+std::string lowercase(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+struct CacheMetrics {
+  obs::Counter* accesses;
+  obs::Counter* memory_fills;
+};
+
+CacheMetrics& cache_metrics() {
+  static CacheMetrics m = [] {
+    auto& reg = obs::Registry::global();
+    CacheMetrics c;
+    c.accesses = &reg.counter("cache.accesses", "loads",
+                              "loads issued to the cache hierarchy");
+    c.memory_fills = &reg.counter(
+        "cache.memory.fills", "loads", "loads served by DRAM/HBM (all-miss)");
+    return c;
+  }();
+  return m;
+}
+
 }  // namespace
 
 CacheHierarchy::CacheHierarchy(std::vector<CacheLevelSpec> specs,
@@ -28,6 +56,14 @@ CacheHierarchy::CacheHierarchy(std::vector<CacheLevelSpec> specs,
     level.spec = spec;
     level.sets = spec.size_bytes / (spec.line_bytes * spec.associativity);
     level.tags.assign(level.sets * spec.associativity, kInvalidTag);
+    auto& reg = obs::Registry::global();
+    const std::string metric_base = "cache." + lowercase(spec.name);
+    level.hits_metric =
+        &reg.counter(metric_base + ".hits", "loads",
+                     "loads whose line was resident in " + spec.name);
+    level.misses_metric =
+        &reg.counter(metric_base + ".misses", "loads",
+                     "loads that missed " + spec.name);
     levels_.push_back(std::move(level));
   }
   // Latencies must grow monotonically outward, ending below memory.
@@ -80,6 +116,7 @@ void CacheHierarchy::insert(Level& level, std::uint64_t line_addr) {
 
 double CacheHierarchy::access(std::uint64_t addr) {
   ++accesses_;
+  cache_metrics().accesses->add(1);
   double latency = memory_latency_cycles_;
   std::size_t hit_level = levels_.size();  // == size() means memory
 
@@ -87,11 +124,16 @@ double CacheHierarchy::access(std::uint64_t addr) {
     const std::uint64_t line_addr = addr / levels_[i].spec.line_bytes;
     if (lookup_and_promote(levels_[i], line_addr)) {
       ++levels_[i].stats.hits;
+      levels_[i].hits_metric->add(1);
       latency = levels_[i].spec.latency_cycles;
       hit_level = i;
       break;
     }
     ++levels_[i].stats.misses;
+    levels_[i].misses_metric->add(1);
+  }
+  if (hit_level == levels_.size()) {
+    cache_metrics().memory_fills->add(1);
   }
 
   // Inclusive fill into every level nearer than the hit level.

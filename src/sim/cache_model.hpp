@@ -13,6 +13,10 @@
 #include <string>
 #include <vector>
 
+namespace pvc::obs {
+class Counter;
+}  // namespace pvc::obs
+
 namespace pvc::sim {
 
 /// Static description of one cache level.
@@ -63,6 +67,10 @@ class CacheHierarchy {
     // way 0 = most recently used.  Empty slots hold kInvalidTag.
     std::vector<std::uint64_t> tags;
     CacheLevelStats stats;
+    // Global obs counters (cache.<level>.hits / .misses), shared by
+    // every hierarchy instance with the same level name.
+    obs::Counter* hits_metric = nullptr;
+    obs::Counter* misses_metric = nullptr;
   };
 
   static constexpr std::uint64_t kInvalidTag = ~0ull;

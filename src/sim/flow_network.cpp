@@ -1,9 +1,11 @@
 #include "sim/flow_network.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "core/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace pvc::sim {
 
@@ -11,11 +13,97 @@ namespace {
 // Flows whose remaining volume drops below this are considered done.
 // (Guards against floating-point residue after progress integration.)
 constexpr double kEpsilonBytes = 1e-6;
+
+constexpr std::size_t kLinkClasses =
+    static_cast<std::size_t>(LinkClass::Other) + 1;
+
+/// Handles into the global registry, resolved once per process so the
+/// per-flow cost is a pointer bump.  Every name registers up front,
+/// making the emitted-name set deterministic (docs/OBSERVABILITY.md).
+struct NetMetrics {
+  obs::Counter* flows_started;
+  obs::Counter* flows_completed;
+  obs::Counter* bytes_total;
+  obs::Counter* contention_events;
+  obs::Counter* class_bytes[kLinkClasses];
+  obs::Gauge* flow_seconds;
+  obs::Gauge* class_flow_seconds[kLinkClasses];
+};
+
+NetMetrics& net_metrics() {
+  static NetMetrics m = [] {
+    auto& reg = obs::Registry::global();
+    NetMetrics n;
+    n.flows_started = &reg.counter("net.flows_started", "flows",
+                                   "flows offered to the network");
+    n.flows_completed = &reg.counter("net.flows_completed", "flows",
+                                     "flows fully delivered");
+    n.bytes_total = &reg.counter(
+        "net.bytes_total", "bytes", "payload bytes offered to link routes");
+    n.contention_events =
+        &reg.counter("net.contention_events", "events",
+                     "rate recomputations with >1 traversal on some link");
+    n.flow_seconds = &reg.gauge("net.flow_seconds", "flow-seconds",
+                                "integral of active flow count over time");
+    for (std::size_t c = 0; c < kLinkClasses; ++c) {
+      const std::string cls = link_class_name(static_cast<LinkClass>(c));
+      n.class_bytes[c] =
+          &reg.counter("net." + cls + ".bytes", "bytes",
+                       "payload bytes routed over " + cls + " links");
+      n.class_flow_seconds[c] =
+          &reg.gauge("net." + cls + ".flow_seconds", "flow-seconds",
+                     "time flows spent crossing " + cls + " links");
+    }
+    return n;
+  }();
+  return m;
+}
+
 }  // namespace
+
+LinkClass classify_link(const std::string& name) {
+  if (name.find("pcie") != std::string::npos) {
+    return LinkClass::Pcie;
+  }
+  if (name.rfind("host/", 0) == 0) {
+    return LinkClass::Host;
+  }
+  if (name.find("mdfi") != std::string::npos) {
+    return LinkClass::Mdfi;
+  }
+  if (name.find("fabric-egress") != std::string::npos ||
+      name.find("fabric-ingress") != std::string::npos ||
+      name.find("/pair-") != std::string::npos) {
+    return LinkClass::XeLink;
+  }
+  if (name.find("fabric/aggregate") != std::string::npos) {
+    return LinkClass::FabricAgg;
+  }
+  return LinkClass::Other;
+}
+
+const char* link_class_name(LinkClass c) {
+  switch (c) {
+    case LinkClass::Pcie:
+      return "pcie";
+    case LinkClass::Host:
+      return "host";
+    case LinkClass::Mdfi:
+      return "mdfi";
+    case LinkClass::XeLink:
+      return "xelink";
+    case LinkClass::FabricAgg:
+      return "fabric_agg";
+    case LinkClass::Other:
+      return "other";
+  }
+  return "?";
+}
 
 LinkId FlowNetwork::add_link(std::string name, double capacity_bps) {
   ensure(capacity_bps > 0.0, "FlowNetwork: link capacity must be positive");
-  links_.push_back(Link{std::move(name), capacity_bps});
+  const LinkClass cls = classify_link(name);
+  links_.push_back(Link{std::move(name), capacity_bps, cls});
   return links_.size() - 1;
 }
 
@@ -34,16 +122,33 @@ FlowId FlowNetwork::start_flow(std::vector<LinkId> route, double bytes,
   }
   const FlowId id = next_flow_id_++;
   Flow flow{id, std::move(route), bytes, 0.0, std::move(on_complete)};
+  auto& metrics = net_metrics();
+  metrics.flows_started->add(1);
 
   if (flow.route.empty() || bytes <= kEpsilonBytes) {
     // Pure-latency operation.
     auto cb = std::move(flow.on_complete);
     engine_->schedule_after(latency_s, [cb = std::move(cb), this] {
+      net_metrics().flows_completed->add(1);
       if (cb) {
         cb(engine_->now());
       }
     });
     return id;
+  }
+
+  // Account offered bytes once per flow, and once per distinct link
+  // class the route crosses.
+  for (LinkId l : flow.route) {
+    flow.class_mask |= static_cast<std::uint8_t>(
+        1u << static_cast<unsigned>(links_[l].cls));
+  }
+  const auto payload = static_cast<std::uint64_t>(std::llround(bytes));
+  metrics.bytes_total->add(payload);
+  for (std::size_t c = 0; c < kLinkClasses; ++c) {
+    if (flow.class_mask & (1u << c)) {
+      metrics.class_bytes[c]->add(payload);
+    }
   }
 
   if (latency_s > 0.0) {
@@ -67,8 +172,15 @@ void FlowNetwork::advance_progress() {
   const Time now = engine_->now();
   const double dt = now - last_progress_time_;
   if (dt > 0.0) {
+    auto& metrics = net_metrics();
+    metrics.flow_seconds->add(dt * static_cast<double>(flows_.size()));
     for (auto& [id, flow] : flows_) {
       flow.remaining = std::max(0.0, flow.remaining - flow.rate * dt);
+      for (std::size_t c = 0; c < kLinkClasses; ++c) {
+        if (flow.class_mask & (1u << c)) {
+          metrics.class_flow_seconds[c]->add(dt);
+        }
+      }
     }
   }
   last_progress_time_ = now;
@@ -91,6 +203,11 @@ void FlowNetwork::recompute_rates() {
     for (LinkId l : flow.route) {
       weight[l] += 1.0;
     }
+  }
+
+  if (std::any_of(weight.begin(), weight.end(),
+                  [](double w) { return w > 1.0; })) {
+    net_metrics().contention_events->add(1);
   }
 
   while (!unfrozen.empty()) {
@@ -173,6 +290,7 @@ void FlowNetwork::on_completion_event() {
   recompute_rates();
   reschedule_completion();
 
+  net_metrics().flows_completed->add(finished.size());
   const Time now = engine_->now();
   for (auto& flow : finished) {
     if (flow.on_complete) {

@@ -26,10 +26,26 @@ namespace pvc::sim {
 using LinkId = std::size_t;
 using FlowId = std::uint64_t;
 
+/// Coarse link taxonomy used for per-class metrics (obs registry names
+/// net.<class>.bytes / net.<class>.flow_seconds).  Classified from the
+/// link name NodeSim assigns when it builds the graph.
+enum class LinkClass : std::uint8_t {
+  Pcie,       ///< per-card PCIe h2d/d2h/shared links
+  Host,       ///< host root-complex aggregates
+  Mdfi,       ///< same-card stack-to-stack links
+  XeLink,     ///< remote fabric egress/ingress/pair links
+  FabricAgg,  ///< node-wide fabric ceiling
+  Other,
+};
+
+[[nodiscard]] LinkClass classify_link(const std::string& name);
+[[nodiscard]] const char* link_class_name(LinkClass c);
+
 /// A capacitated unidirectional resource.
 struct Link {
   std::string name;
   double capacity_bps = 0.0;  ///< bytes per second
+  LinkClass cls = LinkClass::Other;
 };
 
 /// Fluid-flow network driven by an Engine.
@@ -74,6 +90,7 @@ class FlowNetwork {
     double remaining = 0.0;
     double rate = 0.0;
     std::function<void(Time)> on_complete;
+    std::uint8_t class_mask = 0;  ///< distinct LinkClass bits of the route
   };
 
   void activate(Flow flow);

@@ -4,8 +4,51 @@
 #include <cmath>
 
 #include "core/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace pvc::sim {
+
+namespace {
+
+struct PowerMetrics {
+  obs::Counter* governor_resolves;
+  obs::Counter* throttle_events;
+  obs::Histogram* time_at_freq_mhz;
+  obs::Gauge* energy_joules;
+  obs::Gauge* busy_seconds;
+  obs::Gauge* throttled_seconds;
+  obs::Gauge* fullclock_seconds;
+};
+
+PowerMetrics& power_metrics() {
+  static PowerMetrics m = [] {
+    auto& reg = obs::Registry::global();
+    PowerMetrics p;
+    p.governor_resolves =
+        &reg.counter("power.governor_resolves", "calls",
+                     "operating-frequency resolutions performed");
+    p.throttle_events =
+        &reg.counter("power.throttle_events", "calls",
+                     "resolutions where a budget forced f below f_max");
+    p.time_at_freq_mhz = &reg.histogram(
+        "power.time_at_freq_mhz", "MHz x seconds",
+        "device seconds executed per log2 frequency bucket (MHz)");
+    p.energy_joules = &reg.gauge("power.energy_joules", "J",
+                                 "per-stack energy of evaluated launches");
+    p.busy_seconds = &reg.gauge("power.busy_seconds", "s",
+                                "device seconds accounted by the governor");
+    p.throttled_seconds =
+        &reg.gauge("power.throttled_seconds", "s",
+                   "device seconds spent below 99% of f_max");
+    p.fullclock_seconds =
+        &reg.gauge("power.fullclock_seconds", "s",
+                   "device seconds spent at (or within 1% of) f_max");
+    return p;
+  }();
+  return m;
+}
+
+}  // namespace
 
 PowerGovernor::PowerGovernor(PowerDomain domain) : domain_(domain) {
   ensure(domain_.f_max_hz > 0.0, "PowerGovernor: f_max must be positive");
@@ -41,7 +84,30 @@ double PowerGovernor::operating_frequency(double dynamic_w_at_fmax,
   x = std::min(x, budget_x(domain_.node_cap_w, total_active));
   ensure(x > 0.0, "PowerGovernor: workload infeasible under power budgets");
 
-  return domain_.f_max_hz * std::pow(x, 1.0 / domain_.alpha);
+  const double f = domain_.f_max_hz * std::pow(x, 1.0 / domain_.alpha);
+  auto& metrics = power_metrics();
+  metrics.governor_resolves->add(1);
+  if (x < 1.0) {
+    metrics.throttle_events->add(1);
+  }
+  return f;
+}
+
+void PowerGovernor::account_execution(double dynamic_w_at_fmax, double f_hz,
+                                      double seconds) const {
+  if (!obs::enabled() || seconds <= 0.0) {
+    return;
+  }
+  auto& metrics = power_metrics();
+  const auto mhz = static_cast<std::uint64_t>(std::llround(f_hz / 1e6));
+  metrics.time_at_freq_mhz->observe(mhz, seconds);
+  metrics.energy_joules->add(stack_power(dynamic_w_at_fmax, f_hz) * seconds);
+  metrics.busy_seconds->add(seconds);
+  if (f_hz < 0.99 * domain_.f_max_hz) {
+    metrics.throttled_seconds->add(seconds);
+  } else {
+    metrics.fullclock_seconds->add(seconds);
+  }
 }
 
 double PowerGovernor::stack_power(double dynamic_w_at_fmax,

@@ -52,6 +52,14 @@ class PowerGovernor {
                                        int active_stacks_per_card,
                                        int active_cards) const;
 
+  /// Records `seconds` of device time executed at `f_hz` into the obs
+  /// registry: the power.time_at_freq_mhz histogram (weighted by
+  /// seconds), per-stack energy in joules, and the throttled vs
+  /// full-clock second split.  Called by the kernel pricing layer for
+  /// every evaluated launch.
+  void account_execution(double dynamic_w_at_fmax, double f_hz,
+                         double seconds) const;
+
   [[nodiscard]] const PowerDomain& domain() const noexcept { return domain_; }
 
  private:
