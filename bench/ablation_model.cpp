@@ -14,7 +14,9 @@
 #include "micro/microbench.hpp"
 #include "sim/cache_model.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace pvc;
   using arch::Precision;
   using arch::Scope;
@@ -116,4 +118,10 @@ int main(int argc, char** argv) {
   pvcbench::maybe_write_csv(config, csv);
   pvcbench::maybe_write_metrics(config);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return pvcbench::guarded_main("ablation_model", argc, argv, run);
 }

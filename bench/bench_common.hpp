@@ -4,17 +4,37 @@
 // metrics dumping controlled by `metrics=<path>` (docs/OBSERVABILITY.md).
 
 #include <cstdio>
+#include <exception>
 #include <optional>
 #include <string>
 
 #include "core/config.hpp"
 #include "core/csv.hpp"
+#include "core/error.hpp"
 #include "core/statistics.hpp"
 #include "core/units.hpp"
 #include "obs/exporters.hpp"
 #include "obs/metrics.hpp"
 
 namespace pvcbench {
+
+/// Top-level guard every bench main() runs under: a pvc::Error escaping
+/// the run (bad config=, fault injection, model contract violation) is
+/// printed to stderr and turned into a non-zero exit instead of an
+/// unhandled-exception abort.
+inline int guarded_main(const char* name, int argc, char** argv,
+                        int (*run)(int argc, char** argv)) noexcept {
+  try {
+    return run(argc, argv);
+  } catch (const pvc::Error& e) {
+    std::fprintf(stderr, "%s: error: %s\n", name, e.what());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: unexpected exception: %s\n", name, e.what());
+  } catch (...) {
+    std::fprintf(stderr, "%s: unknown fatal exception\n", name);
+  }
+  return 1;
+}
 
 /// "17.2 TFlop/s (paper 17, +1.2%)" — the standard cell format.
 inline std::string cell_vs_paper(double model, double paper,

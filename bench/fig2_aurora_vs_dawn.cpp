@@ -10,7 +10,9 @@
 #include "core/ascii_plot.hpp"
 #include "report/figures.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace pvc;
   const auto config = Config::from_args(argc, argv);
 
@@ -30,4 +32,10 @@ int main(int argc, char** argv) {
   pvcbench::maybe_write_csv(config, csv);
   pvcbench::maybe_write_metrics(config);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return pvcbench::guarded_main("fig2_aurora_vs_dawn", argc, argv, run);
 }

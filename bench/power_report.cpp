@@ -13,7 +13,9 @@
 #include "bench_common.hpp"
 #include "core/table.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace pvc;
   using arch::Scope;
   using arch::WorkloadKind;
@@ -64,4 +66,10 @@ int main(int argc, char** argv) {
   pvcbench::maybe_write_csv(config, csv);
   pvcbench::maybe_write_metrics(config);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return pvcbench::guarded_main("power_report", argc, argv, run);
 }

@@ -17,7 +17,9 @@
 #include "miniapps/minigamess.hpp"
 #include "miniapps/miniqmc.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace pvc;
   const auto config = Config::from_args(argc, argv);
 
@@ -90,4 +92,10 @@ int main(int argc, char** argv) {
   pvcbench::maybe_write_csv(config, csv);
   pvcbench::maybe_write_metrics(config);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return pvcbench::guarded_main("scaling_sweep", argc, argv, run);
 }

@@ -13,7 +13,9 @@
 #include "core/table.hpp"
 #include "micro/message_sweep.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace pvc;
   const auto config = Config::from_args(argc, argv);
   const auto node =
@@ -60,4 +62,10 @@ int main(int argc, char** argv) {
   pvcbench::maybe_write_csv(config, csv);
   pvcbench::maybe_write_metrics(config);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return pvcbench::guarded_main("sweep_msgsize", argc, argv, run);
 }

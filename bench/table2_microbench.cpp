@@ -125,7 +125,9 @@ void print_latency_spot_check(const pvc::arch::NodeSpec& node) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   const auto config = pvc::Config::from_args(argc, argv);
   pvc::CsvWriter csv;
   csv.set_header({"system", "benchmark", "model_one_stack", "model_one_card",
@@ -141,4 +143,10 @@ int main(int argc, char** argv) {
   pvcbench::maybe_write_csv(config, csv);
   pvcbench::maybe_write_metrics(config);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return pvcbench::guarded_main("table2_microbench", argc, argv, run);
 }

@@ -25,7 +25,9 @@ std::string opt_cell(const std::optional<double>& model,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   const auto config = pvc::Config::from_args(argc, argv);
 
   const auto aurora =
@@ -93,4 +95,10 @@ int main(int argc, char** argv) {
   pvcbench::maybe_write_csv(config, csv);
   pvcbench::maybe_write_metrics(config);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return pvcbench::guarded_main("table3_p2p", argc, argv, run);
 }

@@ -11,7 +11,9 @@
 #include "bench_common.hpp"
 #include "core/table.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace pvc;
   const auto config = Config::from_args(argc, argv);
 
@@ -66,4 +68,10 @@ int main(int argc, char** argv) {
   pvcbench::maybe_write_csv(config, csv);
   pvcbench::maybe_write_metrics(config);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return pvcbench::guarded_main("table4_refspecs", argc, argv, run);
 }

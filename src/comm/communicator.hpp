@@ -15,20 +15,31 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "runtime/node_sim.hpp"
 
 namespace pvc::comm {
 
-/// Completion handle for a nonblocking operation.
+/// Completion handle for a nonblocking operation.  Every accessor on a
+/// default-constructed (invalid) request throws pvc::Error with
+/// ErrorCode::InvalidArgument rather than dereferencing null state.
 class Request {
  public:
   Request() = default;
   [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+  /// True once the operation completed successfully.
   [[nodiscard]] bool done() const;
+  /// True when the transfer was aborted after exhausting its retries
+  /// (see Resilience); error() carries the diagnostic.
+  [[nodiscard]] bool failed() const;
+  [[nodiscard]] const std::string& error() const;
+  /// Transmission attempts so far (1 = no retries).
+  [[nodiscard]] int attempts() const;
   /// Completion timestamp; only meaningful once done().
   [[nodiscard]] sim::Time complete_time() const;
 
@@ -36,10 +47,31 @@ class Request {
   friend class Communicator;
   struct State {
     bool done = false;
+    bool failed = false;
+    int attempts = 0;
     sim::Time when = 0.0;
+    std::string error;
   };
   explicit Request(std::shared_ptr<State> state) : state_(std::move(state)) {}
   std::shared_ptr<State> state_;
+};
+
+/// Fate of one transmission attempt, decided by the installed fault
+/// hook (fault::Injector, docs/ROBUSTNESS.md).  Drop models a lost
+/// transfer (detected at the expected completion time, retried after a
+/// backoff); Corrupt models a checksum mismatch (retransmitted
+/// immediately, the clean payload lands on the successful attempt).
+enum class TransferVerdict : std::uint8_t { Deliver, Drop, Corrupt };
+
+/// Retry/timeout policy for transfers and wait().
+struct Resilience {
+  /// Simulated-time budget of one wait() call; infinity = no timeout.
+  double wait_timeout_s = std::numeric_limits<double>::infinity();
+  /// Retransmissions allowed per message before it is marked failed.
+  int max_retries = 4;
+  /// Delay before the first drop retransmission; doubles per attempt
+  /// (exponential backoff).
+  double retry_backoff_s = 2e-6;
 };
 
 /// Rank-addressed communicator bound to a NodeSim.
@@ -67,14 +99,39 @@ class Communicator {
   Request irecv(int rank, int src, int tag, double bytes,
                 std::span<double> data = {});
 
-  /// Runs the simulation until `request` completes.
+  /// Runs the simulation until `request` completes.  Throws pvc::Error
+  /// with ErrorCode::TransferAborted when the transfer exhausted its
+  /// retries, ErrorCode::Timeout when the Resilience wait timeout
+  /// elapses first, and a hang report naming every unmatched send/recv
+  /// per rank when the event calendar drains with the request still
+  /// pending.
   void wait(Request& request);
   void wait_all(std::span<Request> requests);
+
+  /// Retry/timeout policy; the fault injector overrides it from the
+  /// chaos plan (docs/ROBUSTNESS.md).
+  void set_resilience(Resilience resilience);
+  [[nodiscard]] const Resilience& resilience() const noexcept {
+    return resilience_;
+  }
+
+  /// Per-attempt fault verdict hook; pass nullptr to disarm.  Called
+  /// once per transmission attempt, so a deterministic seeded hook
+  /// yields bit-identical runs.
+  using FaultHook = std::function<TransferVerdict(
+      int src_rank, int dst_rank, int tag, double bytes, int attempt)>;
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
 
   /// Messages fully delivered so far (diagnostics).
   [[nodiscard]] std::uint64_t messages_delivered() const noexcept {
     return delivered_;
   }
+
+  /// Unmatched operations currently queued (hang diagnostics).
+  [[nodiscard]] std::size_t unmatched_sends() const noexcept;
+  [[nodiscard]] std::size_t unmatched_recvs() const noexcept;
+  /// Human-readable per-rank list of every unmatched send/recv.
+  [[nodiscard]] std::string pending_diagnostics() const;
 
  private:
   struct PendingSend {
@@ -91,10 +148,18 @@ class Communicator {
     std::span<double> data;
     std::shared_ptr<Request::State> state;
   };
+  /// One matched message in flight, kept across retransmissions.
+  struct Transfer;
 
   void try_match(int dst_rank);
   void launch(int src_rank, int dst_rank, const PendingSend& send,
               const PendingRecv& recv);
+  void start_transfer(const std::shared_ptr<Transfer>& transfer);
+  void retry_transfer(const std::shared_ptr<Transfer>& transfer);
+  void on_transfer_complete(const std::shared_ptr<Transfer>& transfer,
+                            TransferVerdict verdict, sim::Time now);
+  static void fail_transfer(const std::shared_ptr<Transfer>& transfer,
+                            const std::string& why);
 
   rt::NodeSim* node_;
   std::vector<int> rank_to_device_;
@@ -102,6 +167,8 @@ class Communicator {
   std::vector<std::deque<PendingSend>> sends_;
   std::vector<std::deque<PendingRecv>> recvs_;
   std::uint64_t delivered_ = 0;
+  Resilience resilience_;
+  FaultHook fault_hook_;
 };
 
 }  // namespace pvc::comm

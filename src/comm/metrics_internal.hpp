@@ -15,6 +15,13 @@ struct CommMetrics {
   obs::Histogram* tag_match_depth;
   obs::Counter* collectives;
   obs::Counter* collective_rounds;
+  // Resilience (docs/ROBUSTNESS.md).
+  obs::Counter* drops;
+  obs::Counter* corruptions;
+  obs::Counter* retries;
+  obs::Counter* transfer_failures;
+  obs::Counter* wait_timeouts;
+  obs::Counter* hangs_detected;
 };
 
 /// Resolves the handles in the global registry on first use.

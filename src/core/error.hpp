@@ -4,12 +4,54 @@
 // Precondition violations and unrecoverable configuration errors throw
 // `pvc::Error`, carrying the source location of the failed check.  Hot
 // paths use `PVC_ASSERT` which compiles to nothing in release builds.
+//
+// Recoverable fault conditions (device loss, USM exhaustion, aborted or
+// timed-out transfers — the situations the fault-injection layer
+// provokes, see docs/ROBUSTNESS.md) additionally carry an ErrorCode so
+// callers can branch on *what* failed, mirroring how Level-Zero returns
+// ze_result_t codes next to the message.
 
 #include <source_location>
 #include <stdexcept>
 #include <string>
 
 namespace pvc {
+
+/// What failed.  Modeled on the ze_result_t codes the paper's software
+/// stack surfaces (ZE_RESULT_ERROR_DEVICE_LOST, _OUT_OF_DEVICE_MEMORY,
+/// ...); Generic covers plain contract violations from ensure().
+enum class ErrorCode {
+  Generic,            ///< contract violation / unclassified
+  InvalidArgument,    ///< bad argument to an API entry point
+  DeviceLost,         ///< target stack marked lost (ZE_RESULT_ERROR_DEVICE_LOST)
+  OutOfHostMemory,    ///< host DDR pool exhausted or injected failure
+  OutOfDeviceMemory,  ///< HBM pool exhausted or injected failure
+  LinkDown,           ///< route unavailable and no fallback exists
+  Timeout,            ///< wait exceeded its simulated-time deadline
+  TransferAborted,    ///< transfer failed after exhausting retries
+};
+
+[[nodiscard]] constexpr const char* error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::Generic:
+      return "generic";
+    case ErrorCode::InvalidArgument:
+      return "invalid_argument";
+    case ErrorCode::DeviceLost:
+      return "device_lost";
+    case ErrorCode::OutOfHostMemory:
+      return "out_of_host_memory";
+    case ErrorCode::OutOfDeviceMemory:
+      return "out_of_device_memory";
+    case ErrorCode::LinkDown:
+      return "link_down";
+    case ErrorCode::Timeout:
+      return "timeout";
+    case ErrorCode::TransferAborted:
+      return "transfer_aborted";
+  }
+  return "?";
+}
 
 /// Exception thrown by `ensure()` on contract violations.
 class Error : public std::runtime_error {
@@ -19,12 +61,21 @@ class Error : public std::runtime_error {
                            std::to_string(loc.line()) + ": " + message),
         location_(loc) {}
 
+  Error(ErrorCode code, const std::string& message, std::source_location loc)
+      : std::runtime_error(std::string(loc.file_name()) + ":" +
+                           std::to_string(loc.line()) + ": [" +
+                           error_code_name(code) + "] " + message),
+        location_(loc),
+        code_(code) {}
+
   [[nodiscard]] const std::source_location& location() const noexcept {
     return location_;
   }
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
 
  private:
   std::source_location location_;
+  ErrorCode code_ = ErrorCode::Generic;
 };
 
 /// Throws `pvc::Error` if `condition` is false.  Use for argument and
@@ -34,6 +85,22 @@ inline void ensure(bool condition, const std::string& message,
   if (!condition) {
     throw Error(message, loc);
   }
+}
+
+/// Coded variant: throws `pvc::Error` carrying `code` if `condition` is
+/// false.  Use on recoverable fault paths callers may branch on.
+inline void ensure(bool condition, ErrorCode code, const std::string& message,
+                   std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw Error(code, message, loc);
+  }
+}
+
+/// Unconditionally throws a coded `pvc::Error`.
+[[noreturn]] inline void raise(
+    ErrorCode code, const std::string& message,
+    std::source_location loc = std::source_location::current()) {
+  throw Error(code, message, loc);
 }
 
 /// Unconditionally reports an unreachable state.

@@ -1,0 +1,149 @@
+#include "fault/injector.hpp"
+
+#include "core/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace pvc::fault {
+
+namespace {
+
+struct InjectorMetrics {
+  obs::Counter* events_armed;
+};
+
+InjectorMetrics& injector_metrics() {
+  static InjectorMetrics m = [] {
+    auto& reg = obs::Registry::global();
+    InjectorMetrics im;
+    im.events_armed = &reg.counter(
+        "fault.events_armed", "events",
+        "fault-plan calendar entries scheduled by the injector");
+    return im;
+  }();
+  return m;
+}
+
+[[nodiscard]] bool kind_matches(UsmKindFilter filter, rt::MemKind kind) {
+  switch (filter) {
+    case UsmKindFilter::Any:
+      return true;
+    case UsmKindFilter::Host:
+      return kind == rt::MemKind::Host;
+    case UsmKindFilter::Device:
+      return kind == rt::MemKind::Device;
+    case UsmKindFilter::Shared:
+      return kind == rt::MemKind::Shared;
+  }
+  return false;
+}
+
+}  // namespace
+
+Injector::Injector(FaultPlan plan)
+    : plan_(std::move(plan)),
+      // Distinct splitmix-derived streams per hook; the constants only
+      // need to differ so the streams decorrelate.
+      comm_rng_(plan_.seed ^ 0xc0117e57ull),
+      mem_rng_(plan_.seed ^ 0xa110c8edull) {}
+
+void Injector::schedule(rt::NodeSim& node, double at_s,
+                        std::function<void()> fire) {
+  node.engine().schedule_at(at_s, std::move(fire));
+  ++events_armed_;
+  injector_metrics().events_armed->add(1);
+}
+
+void Injector::arm(rt::NodeSim& node) {
+  if (plan_.reroute_penalty) {
+    node.set_reroute_penalty(*plan_.reroute_penalty);
+  }
+
+  for (const auto& ev : plan_.linkdowns) {
+    schedule(node, ev.at_s,
+             [&node, ev] { node.set_xelink_down(ev.a, ev.b, true); });
+    if (!ev.permanent) {
+      schedule(node, ev.at_s + ev.duration_s,
+               [&node, ev] { node.set_xelink_down(ev.a, ev.b, false); });
+    }
+  }
+
+  for (const auto& fl : plan_.flaps) {
+    for (int cycle = 0; cycle < fl.count; ++cycle) {
+      const double down_at = fl.at_s + cycle * fl.period_s;
+      const double up_at = down_at + fl.duty * fl.period_s;
+      schedule(node, down_at,
+               [&node, fl] { node.set_xelink_down(fl.a, fl.b, true); });
+      schedule(node, up_at,
+               [&node, fl] { node.set_xelink_down(fl.a, fl.b, false); });
+    }
+  }
+
+  for (const auto& ev : plan_.degradations) {
+    schedule(node, ev.at_s, [&node, ev] {
+      node.set_xelink_degradation(ev.a, ev.b, ev.factor);
+    });
+    if (!ev.permanent) {
+      schedule(node, ev.at_s + ev.duration_s, [&node, ev] {
+        node.set_xelink_degradation(ev.a, ev.b, 1.0);
+      });
+    }
+  }
+
+  for (const auto& ev : plan_.throttles) {
+    schedule(node, ev.at_s,
+             [&node, ev] { node.set_throttle(ev.card, ev.factor); });
+    if (!ev.permanent) {
+      schedule(node, ev.at_s + ev.duration_s,
+               [&node, ev] { node.set_throttle(ev.card, 1.0); });
+    }
+  }
+
+  for (const auto& ev : plan_.device_losses) {
+    schedule(node, ev.at_s,
+             [&node, ev] { node.set_device_lost(ev.device, true); });
+    if (!ev.permanent) {
+      schedule(node, ev.at_s + ev.duration_s,
+               [&node, ev] { node.set_device_lost(ev.device, false); });
+    }
+  }
+
+  if (plan_.usm_fail_probability > 0.0) {
+    node.memory().set_failure_hook(
+        [this](rt::MemKind kind, int /*device*/, double /*bytes*/) {
+          if (!kind_matches(plan_.usm_fail_kind, kind)) {
+            return false;
+          }
+          return mem_rng_.uniform() < plan_.usm_fail_probability;
+        });
+  }
+}
+
+void Injector::attach(comm::Communicator& comm) {
+  comm::Resilience policy = comm.resilience();
+  if (plan_.max_retries) {
+    policy.max_retries = *plan_.max_retries;
+  }
+  if (plan_.retry_backoff_s) {
+    policy.retry_backoff_s = *plan_.retry_backoff_s;
+  }
+  if (plan_.wait_timeout_s) {
+    policy.wait_timeout_s = *plan_.wait_timeout_s;
+  }
+  comm.set_resilience(policy);
+
+  if (plan_.drop_probability > 0.0 || plan_.corrupt_probability > 0.0) {
+    comm.set_fault_hook([this](int /*src*/, int /*dst*/, int /*tag*/,
+                               double /*bytes*/, int /*attempt*/) {
+      const double u = comm_rng_.uniform();
+      if (u < plan_.drop_probability) {
+        return comm::TransferVerdict::Drop;
+      }
+      if (u < plan_.drop_probability + plan_.corrupt_probability) {
+        return comm::TransferVerdict::Corrupt;
+      }
+      return comm::TransferVerdict::Deliver;
+    });
+  }
+}
+
+}  // namespace pvc::fault

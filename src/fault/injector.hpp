@@ -1,0 +1,55 @@
+#pragma once
+// Fault injector: arms a FaultPlan against a live simulation.
+//
+// The injector is the bridge between the declarative plan and the
+// fault hooks the lower layers expose (docs/ROBUSTNESS.md):
+//
+//  * timed events (link outages/flaps, retraining windows, throttle
+//    excursions, device loss) become calendar entries on the node's
+//    engine, firing NodeSim::set_xelink_down / set_xelink_degradation /
+//    set_throttle / set_device_lost at their window edges;
+//  * `usmfail` installs a MemoryManager failure hook drawing from a
+//    seeded Rng stream;
+//  * `drop`/`corrupt` install a Communicator fault hook on a second,
+//    independent Rng stream, and `retries`/`timeout` override its
+//    Resilience policy.
+//
+// Separate streams keep the two probabilistic hooks decoupled: adding
+// allocations never perturbs message verdicts, so runs stay
+// reproducible under workload refactors.  The injector owns the
+// streams, so it must outlive the NodeSim/Communicator it is armed on.
+
+#include "comm/communicator.hpp"
+#include "core/rng.hpp"
+#include "fault/plan.hpp"
+#include "runtime/node_sim.hpp"
+
+namespace pvc::fault {
+
+class Injector {
+ public:
+  explicit Injector(FaultPlan plan);
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+  /// Schedules every timed event on `node`'s engine, applies the
+  /// reroute-penalty override, and installs the USM failure hook.
+  /// Call once, before running the workload.
+  void arm(rt::NodeSim& node);
+
+  /// Installs the message-verdict hook and Resilience overrides.
+  void attach(comm::Communicator& comm);
+
+  /// Calendar entries scheduled by arm() (diagnostics).
+  [[nodiscard]] int events_armed() const noexcept { return events_armed_; }
+
+ private:
+  void schedule(rt::NodeSim& node, double at_s, std::function<void()> fire);
+
+  FaultPlan plan_;
+  Rng comm_rng_;
+  Rng mem_rng_;
+  int events_armed_ = 0;
+};
+
+}  // namespace pvc::fault

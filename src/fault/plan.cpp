@@ -1,0 +1,456 @@
+#include "fault/plan.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <map>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace pvc::fault {
+
+namespace {
+
+[[nodiscard]] std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+[[nodiscard]] std::vector<std::string_view> split(std::string_view s,
+                                                  char sep) {
+  std::vector<std::string_view> parts;
+  while (!s.empty()) {
+    const auto pos = s.find(sep);
+    parts.push_back(trim(s.substr(0, pos)));
+    if (pos == std::string_view::npos) {
+      break;
+    }
+    s.remove_prefix(pos + 1);
+  }
+  return parts;
+}
+
+[[noreturn]] void bad_clause(std::string_view clause, const std::string& why) {
+  raise(ErrorCode::InvalidArgument,
+        "FaultPlan: bad clause '" + std::string(clause) + "': " + why +
+            " (grammar: docs/ROBUSTNESS.md)");
+}
+
+[[nodiscard]] double parse_double(std::string_view clause,
+                                  std::string_view text) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    bad_clause(clause, "'" + std::string(text) + "' is not a number");
+  }
+  return value;
+}
+
+[[nodiscard]] int parse_int(std::string_view clause, std::string_view text) {
+  int value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    bad_clause(clause, "'" + std::string(text) + "' is not an integer");
+  }
+  return value;
+}
+
+[[nodiscard]] std::uint64_t parse_u64(std::string_view clause,
+                                      std::string_view text) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    bad_clause(clause, "'" + std::string(text) + "' is not a seed");
+  }
+  return value;
+}
+
+/// `k=v,k=v` (or a single bare value under `shorthand_key`) → map.
+class Args {
+ public:
+  Args(std::string_view clause, std::string_view body,
+       std::string_view shorthand_key)
+      : clause_(clause) {
+    for (std::string_view part : split(body, ',')) {
+      if (part.empty()) {
+        continue;
+      }
+      const auto eq = part.find('=');
+      if (eq == std::string_view::npos) {
+        if (shorthand_key.empty() || !kv_.empty()) {
+          bad_clause(clause_, "expected key=value, got '" +
+                                  std::string(part) + "'");
+        }
+        kv_.emplace(std::string(shorthand_key), part);
+        continue;
+      }
+      const auto key = trim(part.substr(0, eq));
+      const auto value = trim(part.substr(eq + 1));
+      if (key.empty() || value.empty()) {
+        bad_clause(clause_,
+                   "empty key or value in '" + std::string(part) + "'");
+      }
+      if (!kv_.emplace(std::string(key), value).second) {
+        bad_clause(clause_, "duplicate key '" + std::string(key) + "'");
+      }
+    }
+  }
+
+  ~Args() = default;
+  Args(const Args&) = delete;
+  Args& operator=(const Args&) = delete;
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return kv_.contains(key);
+  }
+  [[nodiscard]] std::string_view required(const std::string& key) {
+    const auto it = kv_.find(key);
+    if (it == kv_.end()) {
+      bad_clause(clause_, "missing required key '" + key + "'");
+    }
+    used_.push_back(key);
+    return it->second;
+  }
+  [[nodiscard]] std::string_view optional(const std::string& key,
+                                          std::string_view fallback) {
+    const auto it = kv_.find(key);
+    if (it == kv_.end()) {
+      return fallback;
+    }
+    used_.push_back(key);
+    return it->second;
+  }
+
+  /// Rejects keys the clause does not understand (typo defence).
+  void finish() {
+    for (const auto& [key, value] : kv_) {
+      if (std::find(used_.begin(), used_.end(), key) == used_.end()) {
+        bad_clause(clause_, "unknown key '" + key + "'");
+      }
+    }
+  }
+
+ private:
+  std::string_view clause_;
+  std::map<std::string, std::string_view> kv_;
+  std::vector<std::string> used_;
+};
+
+[[nodiscard]] double parse_probability(std::string_view clause,
+                                       std::string_view text) {
+  const double p = parse_double(clause, text);
+  if (p < 0.0 || p > 1.0) {
+    bad_clause(clause, "probability must be in [0, 1]");
+  }
+  return p;
+}
+
+[[nodiscard]] double parse_factor(std::string_view clause,
+                                  std::string_view text) {
+  const double f = parse_double(clause, text);
+  if (f <= 0.0 || f > 1.0) {
+    bad_clause(clause, "factor must be in (0, 1]");
+  }
+  return f;
+}
+
+struct Window {
+  double at_s = 0.0;
+  double duration_s = 0.0;
+  bool permanent = true;
+};
+
+[[nodiscard]] Window parse_window(std::string_view clause, Args& args) {
+  Window w;
+  w.at_s = parse_duration_s(args.optional("at", "0"));
+  if (args.has("for")) {
+    w.duration_s = parse_duration_s(args.required("for"));
+    if (w.duration_s <= 0.0) {
+      bad_clause(clause, "'for' duration must be positive");
+    }
+    w.permanent = false;
+  }
+  if (w.at_s < 0.0) {
+    bad_clause(clause, "'at' time must be non-negative");
+  }
+  return w;
+}
+
+void append_window(std::ostringstream& out, double at_s, double duration_s,
+                   bool permanent) {
+  out << " at " << at_s << " s";
+  if (permanent) {
+    out << " (permanent)";
+  } else {
+    out << " for " << duration_s << " s";
+  }
+}
+
+}  // namespace
+
+const char* usm_kind_filter_name(UsmKindFilter filter) {
+  switch (filter) {
+    case UsmKindFilter::Any:
+      return "any";
+    case UsmKindFilter::Host:
+      return "host";
+    case UsmKindFilter::Device:
+      return "device";
+    case UsmKindFilter::Shared:
+      return "shared";
+  }
+  return "?";
+}
+
+double parse_duration_s(std::string_view text) {
+  text = trim(text);
+  ensure(!text.empty(), ErrorCode::InvalidArgument,
+         "FaultPlan: empty duration");
+  double scale = 1.0;
+  if (text.ends_with("ns")) {
+    scale = 1e-9;
+    text.remove_suffix(2);
+  } else if (text.ends_with("us")) {
+    scale = 1e-6;
+    text.remove_suffix(2);
+  } else if (text.ends_with("ms")) {
+    scale = 1e-3;
+    text.remove_suffix(2);
+  } else if (text.ends_with("s")) {
+    text.remove_suffix(1);
+  }
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  ensure(ec == std::errc{} && ptr == text.data() + text.size(),
+         ErrorCode::InvalidArgument,
+         "FaultPlan: bad duration '" + std::string(text) +
+             "' (want e.g. 1.5ms, 2us, 0.25s)");
+  return value * scale;
+}
+
+FaultPlan FaultPlan::parse(std::string_view spec) {
+  FaultPlan plan;
+  for (std::string_view clause : split(spec, ';')) {
+    if (clause.empty()) {
+      continue;
+    }
+    const auto colon = clause.find(':');
+    const std::string_view name = trim(clause.substr(0, colon));
+    const std::string_view body =
+        colon == std::string_view::npos ? std::string_view{}
+                                        : clause.substr(colon + 1);
+
+    if (name == "seed") {
+      Args args(clause, body, "seed");
+      plan.seed = parse_u64(clause, args.required("seed"));
+      args.finish();
+    } else if (name == "linkdown") {
+      Args args(clause, body, "");
+      LinkDownEvent ev;
+      ev.a = parse_int(clause, args.required("a"));
+      ev.b = parse_int(clause, args.required("b"));
+      const Window w = parse_window(clause, args);
+      ev.at_s = w.at_s;
+      ev.duration_s = w.duration_s;
+      ev.permanent = w.permanent;
+      args.finish();
+      plan.linkdowns.push_back(ev);
+    } else if (name == "flap") {
+      Args args(clause, body, "");
+      FlapSpec fl;
+      fl.a = parse_int(clause, args.required("a"));
+      fl.b = parse_int(clause, args.required("b"));
+      fl.period_s = parse_duration_s(args.required("period"));
+      fl.duty = parse_double(clause, args.optional("duty", "0.5"));
+      fl.count = parse_int(clause, args.optional("count", "1"));
+      fl.at_s = parse_duration_s(args.optional("at", "0"));
+      args.finish();
+      if (fl.period_s <= 0.0) {
+        bad_clause(clause, "'period' must be positive");
+      }
+      if (fl.duty <= 0.0 || fl.duty >= 1.0) {
+        bad_clause(clause, "'duty' must be in (0, 1)");
+      }
+      if (fl.count < 1) {
+        bad_clause(clause, "'count' must be >= 1");
+      }
+      if (fl.at_s < 0.0) {
+        bad_clause(clause, "'at' time must be non-negative");
+      }
+      plan.flaps.push_back(fl);
+    } else if (name == "degrade") {
+      Args args(clause, body, "");
+      DegradeEvent ev;
+      ev.a = parse_int(clause, args.required("a"));
+      ev.b = parse_int(clause, args.required("b"));
+      ev.factor = parse_factor(clause, args.required("factor"));
+      const Window w = parse_window(clause, args);
+      ev.at_s = w.at_s;
+      ev.duration_s = w.duration_s;
+      ev.permanent = w.permanent;
+      args.finish();
+      plan.degradations.push_back(ev);
+    } else if (name == "throttle") {
+      Args args(clause, body, "");
+      ThrottleEvent ev;
+      ev.card = parse_int(clause, args.required("card"));
+      ev.factor = parse_factor(clause, args.required("factor"));
+      const Window w = parse_window(clause, args);
+      ev.at_s = w.at_s;
+      ev.duration_s = w.duration_s;
+      ev.permanent = w.permanent;
+      args.finish();
+      plan.throttles.push_back(ev);
+    } else if (name == "devlost") {
+      Args args(clause, body, "dev");
+      DeviceLostEvent ev;
+      ev.device = parse_int(clause, args.required("dev"));
+      const Window w = parse_window(clause, args);
+      ev.at_s = w.at_s;
+      ev.duration_s = w.duration_s;
+      ev.permanent = w.permanent;
+      args.finish();
+      plan.device_losses.push_back(ev);
+    } else if (name == "drop") {
+      Args args(clause, body, "p");
+      plan.drop_probability = parse_probability(clause, args.required("p"));
+      args.finish();
+    } else if (name == "corrupt") {
+      Args args(clause, body, "p");
+      plan.corrupt_probability = parse_probability(clause, args.required("p"));
+      args.finish();
+    } else if (name == "usmfail") {
+      Args args(clause, body, "p");
+      plan.usm_fail_probability =
+          parse_probability(clause, args.required("p"));
+      const std::string_view kind = args.optional("kind", "any");
+      if (kind == "any") {
+        plan.usm_fail_kind = UsmKindFilter::Any;
+      } else if (kind == "host") {
+        plan.usm_fail_kind = UsmKindFilter::Host;
+      } else if (kind == "device") {
+        plan.usm_fail_kind = UsmKindFilter::Device;
+      } else if (kind == "shared") {
+        plan.usm_fail_kind = UsmKindFilter::Shared;
+      } else {
+        bad_clause(clause, "kind must be any|host|device|shared");
+      }
+      args.finish();
+    } else if (name == "reroute") {
+      Args args(clause, body, "penalty");
+      const double penalty =
+          parse_double(clause, args.required("penalty"));
+      if (penalty <= 0.0 || penalty > 1.0) {
+        bad_clause(clause, "penalty must be in (0, 1]");
+      }
+      plan.reroute_penalty = penalty;
+      args.finish();
+    } else if (name == "retries") {
+      Args args(clause, body, "max");
+      plan.max_retries = parse_int(clause, args.required("max"));
+      if (*plan.max_retries < 0) {
+        bad_clause(clause, "'max' must be non-negative");
+      }
+      if (args.has("backoff")) {
+        plan.retry_backoff_s = parse_duration_s(args.required("backoff"));
+        if (*plan.retry_backoff_s < 0.0) {
+          bad_clause(clause, "'backoff' must be non-negative");
+        }
+      }
+      args.finish();
+    } else if (name == "timeout") {
+      Args args(clause, body, "wait");
+      plan.wait_timeout_s = parse_duration_s(args.required("wait"));
+      if (*plan.wait_timeout_s <= 0.0) {
+        bad_clause(clause, "'wait' timeout must be positive");
+      }
+      args.finish();
+    } else {
+      bad_clause(clause, "unknown clause name '" + std::string(name) + "'");
+    }
+  }
+  if (plan.drop_probability + plan.corrupt_probability > 1.0) {
+    raise(ErrorCode::InvalidArgument,
+          "FaultPlan: drop + corrupt probabilities exceed 1");
+  }
+  return plan;
+}
+
+bool FaultPlan::empty() const {
+  return linkdowns.empty() && flaps.empty() && degradations.empty() &&
+         throttles.empty() && device_losses.empty() &&
+         drop_probability == 0.0 && corrupt_probability == 0.0 &&
+         usm_fail_probability == 0.0 && !reroute_penalty.has_value() &&
+         !max_retries.has_value() && !retry_backoff_s.has_value() &&
+         !wait_timeout_s.has_value();
+}
+
+std::string FaultPlan::summary() const {
+  std::ostringstream out;
+  out << "fault plan (seed " << seed << ")\n";
+  for (const auto& ev : linkdowns) {
+    out << "  linkdown " << ev.a << "<->" << ev.b;
+    append_window(out, ev.at_s, ev.duration_s, ev.permanent);
+    out << "\n";
+  }
+  for (const auto& fl : flaps) {
+    out << "  flap " << fl.a << "<->" << fl.b << " x" << fl.count
+        << " period " << fl.period_s << " s duty " << fl.duty << " from "
+        << fl.at_s << " s\n";
+  }
+  for (const auto& ev : degradations) {
+    out << "  degrade " << ev.a << "<->" << ev.b << " to " << ev.factor
+        << "x";
+    append_window(out, ev.at_s, ev.duration_s, ev.permanent);
+    out << "\n";
+  }
+  for (const auto& ev : throttles) {
+    out << "  throttle card " << ev.card << " to " << ev.factor << "x";
+    append_window(out, ev.at_s, ev.duration_s, ev.permanent);
+    out << "\n";
+  }
+  for (const auto& ev : device_losses) {
+    out << "  devlost subdevice " << ev.device;
+    append_window(out, ev.at_s, ev.duration_s, ev.permanent);
+    out << "\n";
+  }
+  if (drop_probability > 0.0) {
+    out << "  drop p=" << drop_probability << "\n";
+  }
+  if (corrupt_probability > 0.0) {
+    out << "  corrupt p=" << corrupt_probability << "\n";
+  }
+  if (usm_fail_probability > 0.0) {
+    out << "  usmfail p=" << usm_fail_probability << " kind "
+        << usm_kind_filter_name(usm_fail_kind) << "\n";
+  }
+  if (reroute_penalty) {
+    out << "  reroute penalty " << *reroute_penalty << "\n";
+  }
+  if (max_retries) {
+    out << "  retries max " << *max_retries;
+    if (retry_backoff_s) {
+      out << " backoff " << *retry_backoff_s << " s";
+    }
+    out << "\n";
+  }
+  if (wait_timeout_s) {
+    out << "  wait timeout " << *wait_timeout_s << " s\n";
+  }
+  if (empty()) {
+    out << "  (no faults)\n";
+  }
+  return out.str();
+}
+
+}  // namespace pvc::fault

@@ -1,0 +1,130 @@
+#pragma once
+// Fault plan: the parsed form of a `chaos=<spec>` string.
+//
+// A plan is a declarative schedule of adverse events for one simulated
+// run — link outages and retraining windows on the Xe-Link fabric,
+// thermal-throttle excursions, lost subdevices, USM allocation
+// failures, and per-message drop/corrupt probabilities — plus overrides
+// for the communicator's retry/timeout policy.  Everything is
+// deterministic: probabilistic clauses draw from seeded xoshiro256**
+// streams, so the same spec and seed reproduce a run bit-identically.
+//
+// Grammar (full reference in docs/ROBUSTNESS.md): clauses separated by
+// ';', each `name` or `name:k=v,k=v,...`; single-value clauses accept
+// the shorthand `name:value`.  Durations take s/ms/us/ns suffixes.
+//
+//   seed:42
+//   linkdown:a=0,b=2,at=1ms[,for=5ms]         (no `for` = permanent)
+//   flap:a=0,b=2,period=2ms,duty=0.5,count=4[,at=0]
+//   degrade:a=0,b=2,factor=0.25,at=1ms[,for=5ms]
+//   throttle:card=0,factor=0.6,at=1ms[,for=2ms]
+//   devlost:dev=3,at=1ms[,for=4ms]
+//   drop:0.1            | drop:p=0.1
+//   corrupt:0.05        | corrupt:p=0.05
+//   usmfail:p=0.01[,kind=device]              (kind: any|host|device|shared)
+//   reroute:0.2         | reroute:penalty=0.2
+//   retries:max=4[,backoff=2us]
+//   timeout:1ms         | timeout:wait=1ms
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pvc::fault {
+
+/// Which USM kinds an injected allocation failure applies to.
+enum class UsmKindFilter : std::uint8_t { Any, Host, Device, Shared };
+
+[[nodiscard]] const char* usm_kind_filter_name(UsmKindFilter filter);
+
+/// Xe-Link outage window between two remote subdevices.
+struct LinkDownEvent {
+  int a = 0;
+  int b = 0;
+  double at_s = 0.0;
+  double duration_s = 0.0;  // ignored when permanent
+  bool permanent = true;
+};
+
+/// Periodic link flapping: `count` down/up cycles of length `period_s`,
+/// down for `duty` of each period, starting at `at_s`.
+struct FlapSpec {
+  int a = 0;
+  int b = 0;
+  double period_s = 0.0;
+  double duty = 0.5;  // fraction of the period spent down, in (0, 1)
+  int count = 1;
+  double at_s = 0.0;
+};
+
+/// Link retraining window: pair capacity scaled to `factor` of healthy.
+struct DegradeEvent {
+  int a = 0;
+  int b = 0;
+  double factor = 1.0;  // (0, 1]
+  double at_s = 0.0;
+  double duration_s = 0.0;
+  bool permanent = true;
+};
+
+/// Thermal-throttle excursion on one card's governed clock.
+struct ThrottleEvent {
+  int card = 0;
+  double factor = 1.0;  // (0, 1]
+  double at_s = 0.0;
+  double duration_s = 0.0;
+  bool permanent = true;
+};
+
+/// Subdevice lost (ze_result-style DEVICE_LOST) until restored.
+struct DeviceLostEvent {
+  int device = 0;
+  double at_s = 0.0;
+  double duration_s = 0.0;
+  bool permanent = true;
+};
+
+/// Parsed chaos specification.  Zero-initialised = no faults.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+
+  std::vector<LinkDownEvent> linkdowns;
+  std::vector<FlapSpec> flaps;
+  std::vector<DegradeEvent> degradations;
+  std::vector<ThrottleEvent> throttles;
+  std::vector<DeviceLostEvent> device_losses;
+
+  /// Per-attempt message fault probabilities, in [0, 1] with sum <= 1.
+  double drop_probability = 0.0;
+  double corrupt_probability = 0.0;
+
+  /// Per-allocation USM failure probability, in [0, 1].
+  double usm_fail_probability = 0.0;
+  UsmKindFilter usm_fail_kind = UsmKindFilter::Any;
+
+  /// Host-staging reroute penalty override; unset = NodeSim default.
+  std::optional<double> reroute_penalty;
+
+  /// Communicator Resilience overrides; unset fields keep defaults.
+  std::optional<int> max_retries;
+  std::optional<double> retry_backoff_s;
+  std::optional<double> wait_timeout_s;
+
+  /// Parses a `chaos=` spec.  Throws pvc::Error with
+  /// ErrorCode::InvalidArgument on malformed input, naming the clause.
+  [[nodiscard]] static FaultPlan parse(std::string_view spec);
+
+  /// True when the plan injects nothing and overrides nothing.
+  [[nodiscard]] bool empty() const;
+
+  /// One-line-per-clause human-readable description.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Parses `123`, `1.5ms`, `2us`, `30ns`, `0.25s` into seconds.  Exposed
+/// for tests; throws ErrorCode::InvalidArgument on malformed input.
+[[nodiscard]] double parse_duration_s(std::string_view text);
+
+}  // namespace pvc::fault

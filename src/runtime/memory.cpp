@@ -13,6 +13,7 @@ namespace {
 
 struct MemMetrics {
   obs::Counter* allocations;
+  obs::Counter* injected_failures;
   obs::Counter* bytes_by_kind[3];  // indexed by MemKind
 };
 
@@ -22,6 +23,9 @@ MemMetrics& mem_metrics() {
     MemMetrics mm;
     mm.allocations = &reg.counter("mem.allocations", "allocations",
                                   "USM allocations granted");
+    mm.injected_failures = &reg.counter(
+        "mem.injected_failures", "allocations",
+        "USM allocations failed by the fault-injection hook");
     for (MemKind k : {MemKind::Host, MemKind::Device, MemKind::Shared}) {
       mm.bytes_by_kind[static_cast<int>(k)] = &reg.counter(
           "mem." + mem_kind_name(k) + ".bytes_allocated", "bytes",
@@ -83,11 +87,20 @@ MemoryManager::MemoryManager(const arch::NodeSpec& node)
 Buffer MemoryManager::allocate(MemKind kind, int device, double bytes) {
   ensure(bytes > 0.0, "MemoryManager: allocation size must be positive");
   auto& metrics = mem_metrics();
+  const ErrorCode oom_code = kind == MemKind::Host
+                                 ? ErrorCode::OutOfHostMemory
+                                 : ErrorCode::OutOfDeviceMemory;
+  if (failure_hook_ && failure_hook_(kind, device, bytes)) {
+    metrics.injected_failures->add(1);
+    raise(oom_code, "MemoryManager: injected USM allocation failure (" +
+                        mem_kind_name(kind) + ", " + format_bytes_si(bytes) +
+                        "); see docs/ROBUSTNESS.md");
+  }
   metrics.allocations->add(1);
   metrics.bytes_by_kind[static_cast<int>(kind)]->add(
       static_cast<std::uint64_t>(std::llround(bytes)));
   if (kind == MemKind::Host) {
-    ensure(host_used_ + bytes <= host_capacity_,
+    ensure(host_used_ + bytes <= host_capacity_, oom_code,
            "MemoryManager: host DDR exhausted (" +
                format_bytes_si(host_used_ + bytes) + " > " +
                format_bytes_si(host_capacity_) + ")");
@@ -97,7 +110,7 @@ Buffer MemoryManager::allocate(MemKind kind, int device, double bytes) {
   ensure(device >= 0 && device < device_count(),
          "MemoryManager: bad device index " + std::to_string(device));
   auto& used = device_used_[static_cast<std::size_t>(device)];
-  ensure(used + bytes <= device_capacity_,
+  ensure(used + bytes <= device_capacity_, oom_code,
          "MemoryManager: HBM exhausted on subdevice " +
              std::to_string(device) + " (" + format_bytes_si(used + bytes) +
              " > " + format_bytes_si(device_capacity_) + ")");

@@ -8,6 +8,7 @@
 // and each carries the placement information transfers need.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -63,9 +64,18 @@ class MemoryManager {
 
   /// Allocates `bytes` of `kind` memory.  `device` is the flat subdevice
   /// index for Device/Shared kinds (Shared reserves on the device, where
-  /// pages migrate under use); ignored for Host.  Throws pvc::Error when
-  /// the pool would overflow.
+  /// pages migrate under use); ignored for Host.  Throws pvc::Error with
+  /// ErrorCode::OutOfHostMemory / OutOfDeviceMemory when the pool would
+  /// overflow or the installed failure hook fires.
   [[nodiscard]] Buffer allocate(MemKind kind, int device, double bytes);
+
+  /// Fault-injection hook (docs/ROBUSTNESS.md): consulted before each
+  /// allocation; returning true makes allocate() throw the coded
+  /// out-of-memory error as if the pool were exhausted.  Pass nullptr
+  /// to disarm.
+  using FailureHook = std::function<bool(MemKind kind, int device,
+                                         double bytes)>;
+  void set_failure_hook(FailureHook hook) { failure_hook_ = std::move(hook); }
 
   [[nodiscard]] double host_used() const noexcept { return host_used_; }
   [[nodiscard]] double host_capacity() const noexcept {
@@ -87,6 +97,7 @@ class MemoryManager {
   double device_capacity_;
   double host_used_ = 0.0;
   std::vector<double> device_used_;
+  FailureHook failure_hook_;
 };
 
 }  // namespace pvc::rt

@@ -3,8 +3,44 @@
 #include <algorithm>
 
 #include "core/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace pvc::rt {
+
+namespace {
+
+struct NodeFaultMetrics {
+  obs::Counter* reroutes;
+  obs::Counter* xelink_down_events;
+  obs::Counter* throttle_changes;
+  obs::Counter* device_lost_events;
+  obs::Counter* device_lost_rejections;
+};
+
+NodeFaultMetrics& node_fault_metrics() {
+  static NodeFaultMetrics m = [] {
+    auto& reg = obs::Registry::global();
+    NodeFaultMetrics n;
+    n.reroutes = &reg.counter(
+        "net.reroutes", "transfers",
+        "transfers rerouted around a downed Xe-Link via host staging");
+    n.xelink_down_events = &reg.counter(
+        "fault.xelink_events", "events", "Xe-Link down/up state changes");
+    n.throttle_changes = &reg.counter(
+        "fault.throttle_changes", "events",
+        "per-card thermal-throttle factor changes");
+    n.device_lost_events = &reg.counter(
+        "fault.device_lost_events", "events",
+        "subdevice lost/restored state changes");
+    n.device_lost_rejections = &reg.counter(
+        "fault.device_lost_rejections", "calls",
+        "operations rejected with ErrorCode::DeviceLost");
+    return n;
+  }();
+  return m;
+}
+
+}  // namespace
 
 NodeSim::NodeSim(arch::NodeSpec spec)
     : spec_(std::move(spec)), network_(engine_), memory_(spec_) {
@@ -33,6 +69,8 @@ NodeSim::NodeSim(arch::NodeSpec spec)
   }
 
   build_links();
+  device_lost_.assign(static_cast<std::size_t>(device_count()), false);
+  throttle_.assign(static_cast<std::size_t>(spec_.card_count), 1.0);
 }
 
 int NodeSim::device_count() const noexcept {
@@ -123,6 +161,104 @@ std::vector<sim::LinkId> NodeSim::pcie_route(int device, bool h2d) {
   return route;
 }
 
+void NodeSim::set_device_lost(int device, bool lost) {
+  ensure(device >= 0 && device < device_count(), "NodeSim: bad device index");
+  if (device_lost_[static_cast<std::size_t>(device)] != lost) {
+    device_lost_[static_cast<std::size_t>(device)] = lost;
+    node_fault_metrics().device_lost_events->add(1);
+  }
+}
+
+bool NodeSim::device_lost(int device) const {
+  ensure(device >= 0 && device < device_count(), "NodeSim: bad device index");
+  return device_lost_[static_cast<std::size_t>(device)];
+}
+
+void NodeSim::ensure_device_usable(int device, const char* op) const {
+  ensure(device >= 0 && device < device_count(), "NodeSim: bad device index");
+  if (device_lost_[static_cast<std::size_t>(device)]) {
+    node_fault_metrics().device_lost_rejections->add(1);
+    raise(ErrorCode::DeviceLost,
+          std::string("NodeSim: ") + op + " on lost subdevice " +
+              std::to_string(device) + " of " + spec_.system_name);
+  }
+}
+
+void NodeSim::set_xelink_down(int a_device, int b_device, bool down) {
+  ensure(a_device >= 0 && a_device < device_count() && b_device >= 0 &&
+             b_device < device_count() && a_device != b_device,
+         "NodeSim: bad Xe-Link device pair");
+  const auto key = std::minmax(a_device, b_device);
+  const bool changed =
+      down ? downed_xelinks_.insert(key).second
+           : downed_xelinks_.erase(key) == 1;
+  if (changed) {
+    node_fault_metrics().xelink_down_events->add(1);
+  }
+}
+
+bool NodeSim::xelink_down(int a_device, int b_device) const {
+  return downed_xelinks_.count(std::minmax(a_device, b_device)) != 0;
+}
+
+void NodeSim::set_xelink_degradation(int a_device, int b_device,
+                                     double factor) {
+  ensure(has_remote_fabric_,
+         "NodeSim: no remote fabric to degrade on " + spec_.system_name);
+  network_.set_link_scale(pair_link(a_device, b_device), factor);
+}
+
+void NodeSim::set_throttle(int card, double factor) {
+  ensure(card >= 0 && card < spec_.card_count, "NodeSim: bad card index");
+  ensure(factor > 0.0 && factor <= 1.0,
+         "NodeSim: throttle factor must be in (0, 1]");
+  if (throttle_[static_cast<std::size_t>(card)] != factor) {
+    throttle_[static_cast<std::size_t>(card)] = factor;
+    node_fault_metrics().throttle_changes->add(1);
+  }
+}
+
+double NodeSim::throttle(int card) const {
+  ensure(card >= 0 && card < spec_.card_count, "NodeSim: bad card index");
+  return throttle_[static_cast<std::size_t>(card)];
+}
+
+void NodeSim::set_reroute_penalty(double factor) {
+  ensure(factor > 0.0 && factor <= 1.0,
+         "NodeSim: reroute penalty must be in (0, 1]");
+  ensure(!has_staging_link_,
+         "NodeSim: reroute penalty must be set before the first reroute");
+  reroute_penalty_ = factor;
+}
+
+sim::LinkId NodeSim::staging_link() {
+  if (!has_staging_link_) {
+    // Store-and-forward bottleneck of the host fallback path: the
+    // payload crosses PCIe twice and host DDR once, so the effective
+    // rate is a penalised fraction of the slower PCIe direction.
+    const double pcie_floor =
+        std::min(spec_.card.pcie.h2d_bps, spec_.card.pcie.d2h_bps);
+    staging_link_ =
+        network_.add_link("host/staging", reroute_penalty_ * pcie_floor);
+    has_staging_link_ = true;
+  }
+  return staging_link_;
+}
+
+std::vector<sim::LinkId> NodeSim::reroute_via_host(int src_device,
+                                                   int dst_device) {
+  // Downed Xe-Link: fall back to the PCIe/host path (D2H on the source
+  // card, host staging, H2D on the destination card).  The flow crosses
+  // both PCIe directions concurrently — a pipelined staged copy — with
+  // the staging link as the penalised bottleneck.
+  node_fault_metrics().reroutes->add(1);
+  std::vector<sim::LinkId> route = pcie_route(src_device, /*h2d=*/false);
+  const auto up = pcie_route(dst_device, /*h2d=*/true);
+  route.insert(route.end(), up.begin(), up.end());
+  route.push_back(staging_link());
+  return route;
+}
+
 sim::LinkId NodeSim::pair_link(int a_device, int b_device) {
   const auto key = std::minmax(a_device, b_device);
   const auto it = pair_links_.find(key);
@@ -155,6 +291,7 @@ std::function<void(sim::Time)> NodeSim::traced(
 
 sim::FlowId NodeSim::transfer_h2d(int device, double bytes,
                                   std::function<void(sim::Time)> done) {
+  ensure_device_usable(device, "transfer_h2d");
   return network_.start_flow(pcie_route(device, /*h2d=*/true), bytes,
                              spec_.card.pcie.latency_s,
                              traced("h2d", device, std::move(done)));
@@ -162,6 +299,7 @@ sim::FlowId NodeSim::transfer_h2d(int device, double bytes,
 
 sim::FlowId NodeSim::transfer_d2h(int device, double bytes,
                                   std::function<void(sim::Time)> done) {
+  ensure_device_usable(device, "transfer_d2h");
   return network_.start_flow(pcie_route(device, /*h2d=*/false), bytes,
                              spec_.card.pcie.latency_s,
                              traced("d2h", device, std::move(done)));
@@ -189,6 +327,8 @@ arch::RouteKind NodeSim::d2d_route_kind(int src_device,
 sim::FlowId NodeSim::transfer_d2d(int src_device, int dst_device,
                                   double bytes,
                                   std::function<void(sim::Time)> done) {
+  ensure_device_usable(src_device, "transfer_d2d");
+  ensure_device_usable(dst_device, "transfer_d2d");
   const arch::RouteKind kind = d2d_route_kind(src_device, dst_device);
 
   if (kind == arch::RouteKind::SameStack) {
@@ -212,11 +352,16 @@ sim::FlowId NodeSim::transfer_d2d(int src_device, int dst_device,
                                std::move(done));
   }
 
-  ensure(has_remote_fabric_,
+  ensure(has_remote_fabric_, ErrorCode::LinkDown,
          "NodeSim: no remote fabric between devices on " + spec_.system_name);
   latency = spec_.fabric.latency_s;
 
   if (kind == arch::RouteKind::XeLinkDirect) {
+    if (xelink_down(src_device, dst_device)) {
+      return network_.start_flow(reroute_via_host(src_device, dst_device),
+                                 bytes, 2.0 * spec_.card.pcie.latency_s,
+                                 std::move(done));
+    }
     route.push_back(remote_egress_[static_cast<std::size_t>(src_device)]);
     route.push_back(remote_ingress_[static_cast<std::size_t>(dst_device)]);
     route.push_back(pair_link(src_device, dst_device));
@@ -226,6 +371,11 @@ sim::FlowId NodeSim::transfer_d2d(int src_device, int dst_device,
     const int dst_card = card_of(dst_device);
     const int partner_stack = 1 - stack_of(dst_device);
     const int partner = dst_card * spec_.card.subdevice_count + partner_stack;
+    if (xelink_down(src_device, partner)) {
+      return network_.start_flow(reroute_via_host(src_device, dst_device),
+                                 bytes, 2.0 * spec_.card.pcie.latency_s,
+                                 std::move(done));
+    }
     route.push_back(remote_egress_[static_cast<std::size_t>(src_device)]);
     route.push_back(remote_ingress_[static_cast<std::size_t>(partner)]);
     route.push_back(pair_link(src_device, partner));

@@ -20,6 +20,8 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "arch/gpu_spec.hpp"
@@ -85,6 +87,38 @@ class NodeSim {
   [[nodiscard]] arch::RouteKind d2d_route_kind(int src_device,
                                                int dst_device) const;
 
+  // --- fault state (armed by fault::Injector, docs/ROBUSTNESS.md) ----------
+
+  /// Marks a subdevice lost ("ze_result device lost"): transfers and
+  /// kernel submissions touching it throw ErrorCode::DeviceLost until
+  /// restored.
+  void set_device_lost(int device, bool lost);
+  [[nodiscard]] bool device_lost(int device) const;
+  /// Throws ErrorCode::DeviceLost (naming `op`) when `device` is lost.
+  void ensure_device_usable(int device, const char* op) const;
+
+  /// Downs (or restores) the Xe-Link between two remote subdevices.
+  /// New transfers on the pair reroute through host staging (PCIe D2H +
+  /// H2D with a store-and-forward penalty); in-flight flows are left to
+  /// crawl at the degraded rate set by set_xelink_degradation.
+  void set_xelink_down(int a_device, int b_device, bool down);
+  [[nodiscard]] bool xelink_down(int a_device, int b_device) const;
+
+  /// Scales the pair link between two remote subdevices to `factor` ×
+  /// healthy capacity (link retraining windows); factor in (0, 1].
+  void set_xelink_degradation(int a_device, int b_device, double factor);
+
+  /// Thermal-throttle excursion: kernels priced on `card`'s stacks run
+  /// at `factor` × the governed clock (factor in (0, 1]; 1 = healthy).
+  void set_throttle(int card, double factor);
+  [[nodiscard]] double throttle(int card) const;
+
+  /// Bandwidth penalty of the host-staging fallback route, as a factor
+  /// of the slower PCIe direction (default 0.2: store-and-forward
+  /// through host DDR with two PCIe crossings and a host memcpy).  Must
+  /// be set before the first reroute materialises the staging link.
+  void set_reroute_penalty(double factor);
+
   /// Runs the event calendar dry; returns the final simulated time.
   sim::Time run() { return engine_.run(); }
 
@@ -103,6 +137,9 @@ class NodeSim {
   void build_links();
   [[nodiscard]] std::vector<sim::LinkId> pcie_route(int device, bool h2d);
   sim::LinkId pair_link(int a_device, int b_device);
+  sim::LinkId staging_link();
+  [[nodiscard]] std::vector<sim::LinkId> reroute_via_host(int src_device,
+                                                          int dst_device);
   void append_mdfi(std::vector<sim::LinkId>& route, int card,
                    int from_stack);
 
@@ -130,6 +167,14 @@ class NodeSim {
   sim::LinkId fabric_agg_ = 0;
   bool has_fabric_agg_ = false;
   std::map<std::pair<int, int>, sim::LinkId> pair_links_;
+
+  // Fault state (docs/ROBUSTNESS.md).
+  std::vector<bool> device_lost_;
+  std::set<std::pair<int, int>> downed_xelinks_;
+  std::vector<double> throttle_;  // per card, (0, 1], 1 = healthy
+  double reroute_penalty_ = 0.2;
+  sim::LinkId staging_link_ = 0;
+  bool has_staging_link_ = false;
 };
 
 }  // namespace pvc::rt

@@ -11,6 +11,7 @@ EventId Engine::schedule_at(Time when, std::function<void()> action) {
   ensure(static_cast<bool>(action), "Engine: empty action");
   const EventId id = next_id_++;
   queue_.push(Event{when, next_seq_++, id, std::move(action)});
+  pending_ids_.insert(id);
   return id;
 }
 
@@ -19,9 +20,20 @@ EventId Engine::schedule_after(Time delay, std::function<void()> action) {
   return schedule_at(now_ + delay, std::move(action));
 }
 
-void Engine::cancel(EventId id) { cancelled_.push_back(id); }
+void Engine::cancel(EventId id) {
+  // Only live events move to the cancelled list: cancelling an id that
+  // already fired (or was already cancelled) is an exact no-op, so
+  // neither bookkeeping structure accumulates dead entries.
+  if (pending_ids_.erase(id) == 1) {
+    cancelled_.push_back(id);
+  }
+}
 
-bool Engine::idle() const noexcept { return queue_.empty(); }
+bool Engine::pending(EventId id) const {
+  return pending_ids_.count(id) != 0;
+}
+
+bool Engine::idle() const noexcept { return pending_ids_.empty(); }
 
 bool Engine::pop_and_run(Time limit) {
   while (!queue_.empty()) {
@@ -39,6 +51,7 @@ bool Engine::pop_and_run(Time limit) {
     // Copy out before pop: the action may schedule new events.
     Event ev = top;
     queue_.pop();
+    pending_ids_.erase(ev.id);
     now_ = ev.when;
     ++executed_;
     ev.action();
@@ -46,6 +59,8 @@ bool Engine::pop_and_run(Time limit) {
   }
   return false;
 }
+
+bool Engine::step(Time limit) { return pop_and_run(limit); }
 
 Time Engine::run() {
   while (pop_and_run(1e300)) {

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 namespace pvc::sim {
@@ -36,8 +37,13 @@ class Engine {
   /// Schedules `action` to run `delay` seconds from now (delay >= 0).
   EventId schedule_after(Time delay, std::function<void()> action);
 
-  /// Cancels a pending event; no-op if already fired or cancelled.
+  /// Cancels a pending event; no-op if already fired or cancelled
+  /// (including cancelling from inside a callback at the same
+  /// timestamp — the cancelled event will not run).
   void cancel(EventId id);
+
+  /// True while `id` is scheduled and neither fired nor cancelled.
+  [[nodiscard]] bool pending(EventId id) const;
 
   /// Runs events until the calendar is empty.  Returns final time.
   Time run();
@@ -46,12 +52,20 @@ class Engine {
   /// `until` (if it is later).  Returns new now().
   Time run_until(Time until);
 
+  /// Executes at most one event with timestamp <= `limit`.  Returns
+  /// whether one ran; false means the calendar is drained or every
+  /// remaining event lies beyond `limit`.  Unlike run_until(), the
+  /// clock is never advanced past the executed event — waits with
+  /// deadlines (comm::Communicator::wait) step the calendar with this.
+  bool step(Time limit = 1e300);
+
   /// Number of events executed so far (diagnostic).
   [[nodiscard]] std::uint64_t events_executed() const noexcept {
     return executed_;
   }
 
-  /// True if no events are pending.
+  /// True if no live events are pending (cancelled ghosts still queued
+  /// do not count).
   [[nodiscard]] bool idle() const noexcept;
 
  private:
@@ -77,6 +91,10 @@ class Engine {
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Ids scheduled but not yet fired or cancelled.  cancel() moves an id
+  // from here to cancelled_, so double-cancel and cancel-after-fire are
+  // exact no-ops and neither list grows without bound.
+  std::unordered_set<EventId> pending_ids_;
   std::vector<EventId> cancelled_;  // sorted insertion not needed; small
 };
 

@@ -25,6 +25,7 @@ struct NetMetrics {
   obs::Counter* flows_completed;
   obs::Counter* bytes_total;
   obs::Counter* contention_events;
+  obs::Counter* link_degradations;
   obs::Counter* class_bytes[kLinkClasses];
   obs::Gauge* flow_seconds;
   obs::Gauge* class_flow_seconds[kLinkClasses];
@@ -43,6 +44,9 @@ NetMetrics& net_metrics() {
     n.contention_events =
         &reg.counter("net.contention_events", "events",
                      "rate recomputations with >1 traversal on some link");
+    n.link_degradations =
+        &reg.counter("net.link_degradations", "events",
+                     "set_link_scale calls that changed a link's scale");
     n.flow_seconds = &reg.gauge("net.flow_seconds", "flow-seconds",
                                 "integral of active flow count over time");
     for (std::size_t c = 0; c < kLinkClasses; ++c) {
@@ -110,6 +114,29 @@ LinkId FlowNetwork::add_link(std::string name, double capacity_bps) {
 const Link& FlowNetwork::link(LinkId id) const {
   ensure(id < links_.size(), "FlowNetwork: bad link id");
   return links_[id];
+}
+
+void FlowNetwork::set_link_scale(LinkId id, double scale) {
+  ensure(id < links_.size(), "FlowNetwork: bad link id");
+  ensure(scale > 0.0 && scale <= 1.0,
+         "FlowNetwork: link scale must be in (0, 1] — model dead links by "
+         "rerouting, not zero capacity");
+  Link& link = links_[id];
+  if (link.scale == scale) {
+    return;
+  }
+  // Integrate progress at the old rates before the capacity changes,
+  // then re-share every active flow under the new effective capacity.
+  advance_progress();
+  link.scale = scale;
+  net_metrics().link_degradations->add(1);
+  recompute_rates();
+  reschedule_completion();
+}
+
+double FlowNetwork::link_scale(LinkId id) const {
+  ensure(id < links_.size(), "FlowNetwork: bad link id");
+  return links_[id].scale;
 }
 
 FlowId FlowNetwork::start_flow(std::vector<LinkId> route, double bytes,
@@ -190,7 +217,7 @@ void FlowNetwork::recompute_rates() {
   // Progressive filling with per-link traversal multiplicity.
   std::vector<double> residual(links_.size());
   for (std::size_t i = 0; i < links_.size(); ++i) {
-    residual[i] = links_[i].capacity_bps;
+    residual[i] = links_[i].effective_capacity_bps();
   }
   std::vector<double> weight(links_.size(), 0.0);  // unfrozen traversals
   std::map<FlowId, std::size_t> multiplicity_cache;

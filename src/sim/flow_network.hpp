@@ -44,8 +44,16 @@ enum class LinkClass : std::uint8_t {
 /// A capacitated unidirectional resource.
 struct Link {
   std::string name;
-  double capacity_bps = 0.0;  ///< bytes per second
+  double capacity_bps = 0.0;  ///< bytes per second, healthy
   LinkClass cls = LinkClass::Other;
+  /// Degradation factor in (0, 1]; 1 = healthy.  Fault windows (link
+  /// retraining, thermal excursions — docs/ROBUSTNESS.md) scale the
+  /// effective capacity through set_link_scale().
+  double scale = 1.0;
+
+  [[nodiscard]] double effective_capacity_bps() const noexcept {
+    return capacity_bps * scale;
+  }
 };
 
 /// Fluid-flow network driven by an Engine.
@@ -62,6 +70,14 @@ class FlowNetwork {
     return links_.size();
   }
   [[nodiscard]] const Link& link(LinkId id) const;
+
+  /// Degrades (or restores) a link to `scale` × its healthy capacity.
+  /// `scale` must be in (0, 1] — a fully-dead link is modelled by
+  /// rerouting at the NodeSim layer, not by zero capacity, so flows
+  /// already in flight crawl through at the degraded rate instead of
+  /// deadlocking.  Active flows are re-shared immediately.
+  void set_link_scale(LinkId id, double scale);
+  [[nodiscard]] double link_scale(LinkId id) const;
 
   /// Starts a flow of `bytes` over `route` after `latency_s` of setup
   /// latency.  `on_complete(now)` fires when the last byte arrives.

@@ -71,6 +71,163 @@ TEST(Communicator, UnmatchedRequestDeadlocks) {
   EXPECT_THROW(comm.wait(r), pvc::Error);
 }
 
+TEST(Request, DefaultConstructedAccessorsThrowCodedErrors) {
+  Request r;
+  EXPECT_FALSE(r.valid());
+  const auto expect_invalid = [](auto&& accessor) {
+    try {
+      accessor();
+      FAIL() << "expected pvc::Error";
+    } catch (const pvc::Error& e) {
+      EXPECT_EQ(e.code(), pvc::ErrorCode::InvalidArgument);
+      EXPECT_NE(std::string(e.what()).find("default-constructed"),
+                std::string::npos);
+    }
+  };
+  expect_invalid([&] { (void)r.done(); });
+  expect_invalid([&] { (void)r.failed(); });
+  expect_invalid([&] { (void)r.error(); });
+  expect_invalid([&] { (void)r.attempts(); });
+  expect_invalid([&] { (void)r.complete_time(); });
+}
+
+TEST(Request, WaitOnDefaultConstructedRequestThrows) {
+  rt::NodeSim sim(arch::aurora());
+  auto comm = Communicator::explicit_scaling(sim);
+  Request empty;
+  try {
+    comm.wait(empty);
+    FAIL() << "expected pvc::Error";
+  } catch (const pvc::Error& e) {
+    EXPECT_EQ(e.code(), pvc::ErrorCode::InvalidArgument);
+  }
+}
+
+TEST(Communicator, HangReportNamesUnmatchedRankAndTag) {
+  rt::NodeSim sim(arch::aurora());
+  auto comm = Communicator::explicit_scaling(sim);
+  comm.isend(2, 3, 9, 8.0);         // never received
+  auto r = comm.irecv(0, 1, 5, 8.0);  // never sent
+  EXPECT_EQ(comm.unmatched_sends(), 1u);
+  EXPECT_EQ(comm.unmatched_recvs(), 1u);
+  try {
+    comm.wait(r);
+    FAIL() << "expected hang report";
+  } catch (const pvc::Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("hang detected"), std::string::npos);
+    EXPECT_NE(msg.find("unmatched send: rank 2 -> rank 3 tag 9"),
+              std::string::npos);
+    EXPECT_NE(msg.find("unmatched recv: rank 0 <- rank 1 tag 5"),
+              std::string::npos);
+  }
+}
+
+TEST(Communicator, DropRetriesWithBackoffThenDelivers) {
+  rt::NodeSim sim(arch::aurora());
+  auto comm = Communicator::explicit_scaling(sim);
+  Resilience policy;
+  policy.max_retries = 4;
+  policy.retry_backoff_s = 1e-6;
+  comm.set_resilience(policy);
+  // Drop the first two attempts, deliver the third.
+  comm.set_fault_hook([](int, int, int, double, int attempt) {
+    return attempt <= 2 ? TransferVerdict::Drop : TransferVerdict::Deliver;
+  });
+  std::vector<double> src{7.0}, dst(1, 0.0);
+  auto s = comm.isend(0, 1, 1, 8.0, src);
+  auto r = comm.irecv(1, 0, 1, 8.0, dst);
+  comm.wait(r);
+  comm.wait(s);
+  EXPECT_EQ(r.attempts(), 3);
+  EXPECT_DOUBLE_EQ(dst[0], 7.0);
+
+  // The same message without drops finishes sooner: each drop costs a
+  // full transfer round plus the exponential backoff.
+  rt::NodeSim clean_sim(arch::aurora());
+  auto clean = Communicator::explicit_scaling(clean_sim);
+  auto cs = clean.isend(0, 1, 1, 8.0);
+  auto cr = clean.irecv(1, 0, 1, 8.0);
+  clean.wait(cr);
+  EXPECT_GT(r.complete_time(), cr.complete_time());
+}
+
+TEST(Communicator, RetriesExhaustedAbortsTheTransfer) {
+  rt::NodeSim sim(arch::aurora());
+  auto comm = Communicator::explicit_scaling(sim);
+  Resilience policy;
+  policy.max_retries = 2;
+  policy.retry_backoff_s = 1e-6;
+  comm.set_resilience(policy);
+  comm.set_fault_hook([](int, int, int, double, int) {
+    return TransferVerdict::Drop;  // never let anything through
+  });
+  auto s = comm.isend(0, 1, 3, 8.0);
+  auto r = comm.irecv(1, 0, 3, 8.0);
+  try {
+    comm.wait(r);
+    FAIL() << "expected TransferAborted";
+  } catch (const pvc::Error& e) {
+    EXPECT_EQ(e.code(), pvc::ErrorCode::TransferAborted);
+    EXPECT_NE(std::string(e.what()).find("rank 0 -> rank 1 tag 3"),
+              std::string::npos);
+  }
+  EXPECT_TRUE(r.failed());
+  EXPECT_TRUE(s.failed());
+  EXPECT_EQ(r.attempts(), 3);  // 1 original + 2 retries
+  EXPECT_FALSE(r.done());
+}
+
+TEST(Communicator, CorruptRetransmitsAndCleanPayloadLands) {
+  rt::NodeSim sim(arch::aurora());
+  auto comm = Communicator::explicit_scaling(sim);
+  comm.set_fault_hook([](int, int, int, double, int attempt) {
+    return attempt == 1 ? TransferVerdict::Corrupt : TransferVerdict::Deliver;
+  });
+  std::vector<double> src{4.0}, dst(1, 0.0);
+  auto s = comm.isend(0, 1, 2, 8.0, src);
+  auto r = comm.irecv(1, 0, 2, 8.0, dst);
+  comm.wait(r);
+  EXPECT_EQ(r.attempts(), 2);
+  EXPECT_DOUBLE_EQ(dst[0], 4.0);
+  EXPECT_TRUE(s.done());
+}
+
+TEST(Communicator, WaitTimeoutThrowsCodedError) {
+  rt::NodeSim sim(arch::aurora());
+  auto comm = Communicator::explicit_scaling(sim);
+  Resilience policy;
+  policy.wait_timeout_s = 1e-9;  // far below any transfer's latency
+  comm.set_resilience(policy);
+  auto s = comm.isend(0, 1, 1, 1.0 * pvc::MB);
+  auto r = comm.irecv(1, 0, 1, 1.0 * pvc::MB);
+  try {
+    comm.wait(r);
+    FAIL() << "expected Timeout";
+  } catch (const pvc::Error& e) {
+    EXPECT_EQ(e.code(), pvc::ErrorCode::Timeout);
+  }
+  // The transfer itself is healthy: a timeout-free wait finishes it.
+  comm.set_resilience(Resilience{});
+  comm.wait(r);
+  EXPECT_TRUE(r.done());
+  EXPECT_TRUE(s.done());
+}
+
+TEST(Communicator, ResiliencePolicyIsValidated) {
+  rt::NodeSim sim(arch::aurora());
+  auto comm = Communicator::explicit_scaling(sim);
+  Resilience bad;
+  bad.max_retries = -1;
+  EXPECT_THROW(comm.set_resilience(bad), pvc::Error);
+  bad = Resilience{};
+  bad.wait_timeout_s = 0.0;
+  EXPECT_THROW(comm.set_resilience(bad), pvc::Error);
+  bad = Resilience{};
+  bad.retry_backoff_s = -1e-6;
+  EXPECT_THROW(comm.set_resilience(bad), pvc::Error);
+}
+
 TEST(Communicator, SizeMismatchThrows) {
   rt::NodeSim sim(arch::aurora());
   auto comm = Communicator::explicit_scaling(sim);

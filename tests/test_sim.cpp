@@ -56,6 +56,85 @@ TEST(Engine, CancelSuppressesEvent) {
   EXPECT_EQ(engine.events_executed(), 0u);
 }
 
+TEST(Engine, CancelAfterFireIsExactNoOp) {
+  Engine engine;
+  int fired = 0;
+  const EventId id = engine.schedule_at(1.0, [&] { ++fired; });
+  engine.schedule_at(2.0, [&] { ++fired; });
+  engine.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(engine.pending(id));
+  engine.cancel(id);  // id already fired — must not poison later events
+  engine.schedule_at(3.0, [&] { ++fired; });
+  engine.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Engine, DoubleCancelIsExactNoOp) {
+  Engine engine;
+  bool fired = false;
+  const EventId id = engine.schedule_at(1.0, [&] { fired = true; });
+  engine.cancel(id);
+  engine.cancel(id);
+  engine.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(engine.events_executed(), 0u);
+  // A cancelled ghost must not keep the calendar looking busy.
+  EXPECT_TRUE(engine.idle());
+}
+
+TEST(Engine, CancelFromSameTimestampCallback) {
+  Engine engine;
+  bool second_fired = false;
+  EventId second = 0;
+  // FIFO tie-break: the canceller runs first at t=1 and must suppress
+  // its same-timestamp sibling.
+  engine.schedule_at(1.0, [&] { engine.cancel(second); });
+  second = engine.schedule_at(1.0, [&] { second_fired = true; });
+  engine.run();
+  EXPECT_FALSE(second_fired);
+  EXPECT_EQ(engine.events_executed(), 1u);
+  EXPECT_TRUE(engine.idle());
+}
+
+TEST(Engine, CancelNeverScheduledIdIsExactNoOp) {
+  Engine engine;
+  engine.cancel(EventId{12345});
+  bool fired = false;
+  engine.schedule_at(1.0, [&] { fired = true; });
+  engine.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, StepExecutesAtMostOneEventUpToLimit) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(1.0, [&] { ++fired; });
+  engine.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_TRUE(engine.step(5.0));
+  EXPECT_EQ(fired, 1);
+  // Completing early must not catapult the clock to the limit.
+  EXPECT_DOUBLE_EQ(engine.now(), 1.0);
+  EXPECT_FALSE(engine.step(1.5));  // next event lies beyond the limit
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(engine.now(), 1.0);
+  EXPECT_TRUE(engine.step(2.0));
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(engine.step());  // drained
+}
+
+TEST(Engine, PendingTracksEventLifecycle) {
+  Engine engine;
+  const EventId fires = engine.schedule_at(1.0, [] {});
+  const EventId cancelled = engine.schedule_at(2.0, [] {});
+  EXPECT_TRUE(engine.pending(fires));
+  EXPECT_TRUE(engine.pending(cancelled));
+  engine.cancel(cancelled);
+  EXPECT_FALSE(engine.pending(cancelled));
+  engine.run();
+  EXPECT_FALSE(engine.pending(fires));
+}
+
 TEST(Engine, RunUntilAdvancesClock) {
   Engine engine;
   int fired = 0;
@@ -168,6 +247,41 @@ TEST(FlowNetwork, EmptyRouteIsPureLatency) {
   net.start_flow({}, 0.0, 0.25, [&](Time t) { done = t; });
   engine.run();
   EXPECT_DOUBLE_EQ(done, 0.25);
+}
+
+TEST(FlowNetwork, LinkScaleDegradesInFlightFlow) {
+  Engine engine;
+  FlowNetwork net(engine);
+  const LinkId link = net.add_link("l", 100.0);
+  double done_at = -1.0;
+  net.start_flow({link}, 100.0, 0.0, [&](Time t) { done_at = t; });
+  // Halfway through (50 B moved), the link retrains to quarter speed:
+  // the remaining 50 B crawl at 25 B/s and land at 0.5 + 2.0.
+  engine.schedule_at(0.5, [&] { net.set_link_scale(link, 0.25); });
+  engine.run();
+  EXPECT_DOUBLE_EQ(done_at, 2.5);
+  EXPECT_DOUBLE_EQ(net.link_scale(link), 0.25);
+}
+
+TEST(FlowNetwork, LinkScaleRestores) {
+  Engine engine;
+  FlowNetwork net(engine);
+  const LinkId link = net.add_link("l", 100.0);
+  net.set_link_scale(link, 0.5);
+  net.set_link_scale(link, 1.0);
+  double done_at = -1.0;
+  net.start_flow({link}, 100.0, 0.0, [&](Time t) { done_at = t; });
+  engine.run();
+  EXPECT_DOUBLE_EQ(done_at, 1.0);
+}
+
+TEST(FlowNetwork, LinkScaleValidatesRange) {
+  Engine engine;
+  FlowNetwork net(engine);
+  const LinkId link = net.add_link("l", 100.0);
+  EXPECT_THROW(net.set_link_scale(link, 0.0), pvc::Error);
+  EXPECT_THROW(net.set_link_scale(link, -0.5), pvc::Error);
+  EXPECT_THROW(net.set_link_scale(link, 1.5), pvc::Error);
 }
 
 TEST(FlowNetwork, InvalidInputsThrow) {
