@@ -6,6 +6,7 @@
 // plus a 2% message-drop probability with retry-with-backoff.
 //
 // Usage: chaos_degradation [chaos=<spec>] [csv=<path>] [metrics=<path>]
+//        [threads=<n>]
 
 #include <cstdio>
 #include <iostream>
@@ -20,6 +21,7 @@
 #include "core/units.hpp"
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"
+#include "parallel_sweep.hpp"
 #include "runtime/node_sim.hpp"
 
 namespace {
@@ -91,10 +93,21 @@ int run(int argc, char** argv) {
   std::printf("%s\n", plan.summary().c_str());
 
   const double message = 500.0 * MB;
-  const double local_healthy = measure_pair(spec, local, message, nullptr);
-  const double local_degraded = measure_pair(spec, local, message, &plan);
-  const double remote_healthy = measure_pair(spec, remote, message, nullptr);
-  const double remote_degraded = measure_pair(spec, remote, message, &plan);
+  // The four pair/plan combinations are independent simulations (each
+  // fault plan holds its own seeded Rng state via the Injector copy),
+  // so they run as sweep tasks; the per-seed result is bit-reproducible
+  // for any threads= value.
+  double local_healthy = 0.0, local_degraded = 0.0;
+  double remote_healthy = 0.0, remote_degraded = 0.0;
+  pvcbench::ParallelSweep sweep(
+      pvcbench::ParallelSweep::threads_from_config(config));
+  sweep.add([&] { local_healthy = measure_pair(spec, local, message, nullptr); });
+  sweep.add([&] { local_degraded = measure_pair(spec, local, message, &plan); });
+  sweep.add(
+      [&] { remote_healthy = measure_pair(spec, remote, message, nullptr); });
+  sweep.add(
+      [&] { remote_degraded = measure_pair(spec, remote, message, &plan); });
+  sweep.run();
 
   pvc::Table table("Throughput under faults — Table III P2P pairs (" +
                    std::string(spec.system_name) + ")");

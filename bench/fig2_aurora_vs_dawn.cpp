@@ -2,12 +2,14 @@
 // relative to Dawn, with the expected relative performance derived from
 // the microbenchmarks (the paper's black bars).
 //
-// Usage: fig2_aurora_vs_dawn [csv=<path>]
+// Usage: fig2_aurora_vs_dawn [csv=<path>] [threads=<n>]
 
 #include <iostream>
 
+#include "arch/systems.hpp"
 #include "bench_common.hpp"
 #include "core/ascii_plot.hpp"
+#include "parallel_sweep.hpp"
 #include "report/figures.hpp"
 
 namespace {
@@ -16,7 +18,18 @@ int run(int argc, char** argv) {
   using namespace pvc;
   const auto config = Config::from_args(argc, argv);
 
-  const auto bars = report::figure2_bars();
+  // The two Table VI simulations are independent — run them as sweep
+  // tasks, then assemble the bars serially from the precomputed columns.
+  report::Table6Column fom_aurora, fom_dawn;
+  pvcbench::ParallelSweep sweep(
+      pvcbench::ParallelSweep::threads_from_config(config));
+  sweep.add([&fom_aurora] {
+    fom_aurora = report::compute_table6(arch::aurora());
+  });
+  sweep.add([&fom_dawn] { fom_dawn = report::compute_table6(arch::dawn()); });
+  sweep.run();
+
+  const auto bars = report::figure2_bars(fom_aurora, fom_dawn);
   BarChart chart(
       "Figure 2 reproduction — FOMs on Aurora relative to Dawn\n"
       "(expected bars from the Table II microbenchmark ratios; miniQMC has "

@@ -3,13 +3,15 @@
 // expected bars from the microbenchmark values and H100 theoretical
 // peaks.  miniBUDE uses the paper's doubled-single-stack convention.
 //
-// Usage: fig3_vs_h100 [csv=<path>]
+// Usage: fig3_vs_h100 [csv=<path>] [threads=<n>]
 
 #include <cstdio>
 #include <iostream>
 
+#include "arch/systems.hpp"
 #include "bench_common.hpp"
 #include "core/ascii_plot.hpp"
+#include "parallel_sweep.hpp"
 #include "report/figures.hpp"
 
 namespace {
@@ -18,7 +20,21 @@ int run(int argc, char** argv) {
   using namespace pvc;
   const auto config = Config::from_args(argc, argv);
 
-  const auto bars = report::figure3_bars();
+  // Three independent Table VI simulations (H100, Aurora, Dawn) as
+  // sweep tasks; bar assembly stays serial over the precomputed columns.
+  report::Table6Column fom_peer, fom_aurora, fom_dawn;
+  pvcbench::ParallelSweep sweep(
+      pvcbench::ParallelSweep::threads_from_config(config));
+  sweep.add([&fom_peer] {
+    fom_peer = report::compute_table6(arch::jlse_h100());
+  });
+  sweep.add([&fom_aurora] {
+    fom_aurora = report::compute_table6(arch::aurora());
+  });
+  sweep.add([&fom_dawn] { fom_dawn = report::compute_table6(arch::dawn()); });
+  sweep.run();
+
+  const auto bars = report::figure3_bars(fom_peer, fom_aurora, fom_dawn);
   BarChart chart(
       "Figure 3 reproduction — FOMs on Aurora and Dawn relative to "
       "JLSE-H100");

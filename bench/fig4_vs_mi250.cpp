@@ -3,13 +3,15 @@
 // mini-GAMESS bars are absent — the paper could not build it with the
 // AMD Fortran compiler.
 //
-// Usage: fig4_vs_mi250 [csv=<path>]
+// Usage: fig4_vs_mi250 [csv=<path>] [threads=<n>]
 
 #include <cstdio>
 #include <iostream>
 
+#include "arch/systems.hpp"
 #include "bench_common.hpp"
 #include "core/ascii_plot.hpp"
+#include "parallel_sweep.hpp"
 #include "report/figures.hpp"
 
 namespace {
@@ -18,7 +20,21 @@ int run(int argc, char** argv) {
   using namespace pvc;
   const auto config = Config::from_args(argc, argv);
 
-  const auto bars = report::figure4_bars();
+  // Three independent Table VI simulations (MI250, Aurora, Dawn) as
+  // sweep tasks; bar assembly stays serial over the precomputed columns.
+  report::Table6Column fom_peer, fom_aurora, fom_dawn;
+  pvcbench::ParallelSweep sweep(
+      pvcbench::ParallelSweep::threads_from_config(config));
+  sweep.add([&fom_peer] {
+    fom_peer = report::compute_table6(arch::jlse_mi250());
+  });
+  sweep.add([&fom_aurora] {
+    fom_aurora = report::compute_table6(arch::aurora());
+  });
+  sweep.add([&fom_dawn] { fom_dawn = report::compute_table6(arch::dawn()); });
+  sweep.run();
+
+  const auto bars = report::figure4_bars(fom_peer, fom_aurora, fom_dawn);
   BarChart chart(
       "Figure 4 reproduction — FOMs on Aurora and Dawn relative to "
       "JLSE-MI250 (one Stack vs one GCD)");

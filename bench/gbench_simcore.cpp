@@ -28,6 +28,27 @@ void BM_EngineEventThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineEventThroughput);
 
+// Schedule/cancel churn in the pattern reschedule_completion() produces:
+// every new event cancels the previous one, so almost every scheduled
+// event dies before it can fire.  Guards the O(1) lazy-deletion cancel
+// path and ghost skipping in pop.
+void BM_EngineCancelChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    pvc::sim::Engine engine;
+    long counter = 0;
+    pvc::sim::EventId pending{};
+    for (int i = 0; i < 10000; ++i) {
+      engine.cancel(pending);
+      pending = engine.schedule_at(static_cast<double>(i),
+                                   [&counter] { ++counter; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EngineCancelChurn);
+
 void BM_FlowNetworkContention(benchmark::State& state) {
   const int flows = static_cast<int>(state.range(0));
   for (auto _ : state) {
@@ -47,7 +68,7 @@ void BM_FlowNetworkContention(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * flows);
 }
-BENCHMARK(BM_FlowNetworkContention)->Arg(8)->Arg(64)->Arg(256);
+BENCHMARK(BM_FlowNetworkContention)->Arg(8)->Arg(64)->Arg(256)->Arg(1024);
 
 void BM_CacheHierarchyAccess(benchmark::State& state) {
   const auto node = pvc::arch::aurora();

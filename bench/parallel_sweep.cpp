@@ -1,0 +1,96 @@
+#include "parallel_sweep.hpp"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <thread>
+
+#include "core/config.hpp"
+#include "core/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace pvcbench {
+
+ParallelSweep::ParallelSweep(std::size_t threads) : threads_(threads) {
+  if (threads_ == 0) {
+    threads_ = std::thread::hardware_concurrency();
+    if (threads_ == 0) {
+      threads_ = 1;
+    }
+  }
+}
+
+std::size_t ParallelSweep::threads_from_config(const pvc::Config& config) {
+  const long n = config.get_int("threads", 0);
+  pvc::ensure(n >= 0, "threads= must be >= 0 (0 = hardware concurrency)");
+  return static_cast<std::size_t>(n);
+}
+
+void ParallelSweep::add(std::function<void()> task) {
+  pvc::ensure(static_cast<bool>(task), "ParallelSweep: empty task");
+  tasks_.push_back(std::move(task));
+}
+
+void ParallelSweep::run() {
+  const std::size_t n = tasks_.size();
+  if (n == 0) {
+    return;
+  }
+
+  // One private registry and failure slot per task; Registry is
+  // move-averse, so the pool holds pointers.
+  std::vector<std::unique_ptr<pvc::obs::Registry>> registries;
+  registries.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    registries.push_back(std::make_unique<pvc::obs::Registry>());
+  }
+  std::vector<std::exception_ptr> failures(n);
+
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) {
+        return;
+      }
+      // Route every metric bump inside the task to its private registry
+      // (instrumented layers re-resolve their handles per registry).
+      pvc::obs::ScopedRegistry scope(*registries[i]);
+      try {
+        tasks_[i]();
+      } catch (...) {
+        failures[i] = std::current_exception();
+      }
+    }
+  };
+
+  const std::size_t workers = std::min(threads_, n);
+  if (workers <= 1) {
+    worker();  // inline — identical code path, zero thread machinery
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back(worker);
+    }
+    for (auto& t : pool) {
+      t.join();
+    }
+  }
+
+  // Task-index-order merge: the fold over double-valued gauges happens
+  // in the same order regardless of which worker ran which task, so
+  // threads=N metrics are byte-identical to threads=1.
+  auto& target = pvc::obs::Registry::active();
+  for (std::size_t i = 0; i < n; ++i) {
+    target.merge_from(*registries[i]);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (failures[i]) {
+      std::rethrow_exception(failures[i]);
+    }
+  }
+}
+
+}  // namespace pvcbench

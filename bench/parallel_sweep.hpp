@@ -1,0 +1,71 @@
+#pragma once
+// Deterministic parallel task runner for the bench binaries.
+//
+// A sweep (per-system tables, per-path message-size curves, per-scenario
+// chaos pairs) is a set of independent simulations.  Each simulation is
+// single-threaded, so the sweep parallelises across worker threads: add()
+// tasks that compute into pre-sized result slots, run() executes them,
+// and the caller renders the slots in index order afterwards.
+//
+// Determinism contract (asserted by tests/test_parallel_sweep.cpp and the
+// binary-level byte-compare in tests/determinism_check.cmake): output and
+// metrics with threads=N are byte-identical to threads=1.
+//  * tasks write only their own result slot — rendering stays serial and
+//    in index order, so stdout/CSV never depend on scheduling;
+//  * each task runs under an obs::ScopedRegistry over its own private
+//    registry, and run() merges the task registries into the caller's
+//    active registry in task-index order — the same fixed fold whether
+//    one worker or eight executed the tasks, so even double-valued gauge
+//    sums are bit-identical;
+//  * simulations seed their own RNGs (pvc::Rng) from explicit seeds, so
+//    concurrency cannot perturb any simulated quantity.
+//
+// The thread count comes from the `threads=<n>` bench option
+// (threads_from_config): n=0 picks std::thread::hardware_concurrency(),
+// n=1 runs everything inline on the calling thread (today's serial
+// behaviour), n>1 uses n workers.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace pvc {
+class Config;
+}  // namespace pvc
+
+namespace pvcbench {
+
+/// Runs a batch of independent tasks across worker threads with
+/// deterministic (task-index order) metric merging.  Not reusable: make
+/// one sweep per batch.
+class ParallelSweep {
+ public:
+  /// `threads` = 0 selects std::thread::hardware_concurrency() (at least
+  /// 1); 1 executes inline on the calling thread.
+  explicit ParallelSweep(std::size_t threads = 0);
+
+  /// Thread count requested by the bench `threads=<n>` option; 0 (the
+  /// default) defers to hardware_concurrency.
+  [[nodiscard]] static std::size_t threads_from_config(
+      const pvc::Config& config);
+
+  /// Workers actually used by run() (>= 1).
+  [[nodiscard]] std::size_t thread_count() const noexcept { return threads_; }
+
+  /// Enqueues a task.  Tasks must be independent, must not touch stdout,
+  /// and should write their results into caller-owned slots captured by
+  /// reference.  Metrics bumped inside the task land in a private
+  /// registry that run() merges deterministically.
+  void add(std::function<void()> task);
+
+  /// Executes every task, merges the per-task metric registries into the
+  /// caller's active registry in task order, and rethrows the first
+  /// failure (by task index) if any task threw.
+  void run();
+
+ private:
+  std::size_t threads_;
+  std::vector<std::function<void()>> tasks_;
+};
+
+}  // namespace pvcbench

@@ -3,10 +3,11 @@
 // behind Table VI's three scope columns, including the miniQMC
 // congestion knee and mini-GAMESS's Amdahl roll-off.
 //
-// Usage: scaling_sweep [csv=<path>]
+// Usage: scaling_sweep [csv=<path>] [threads=<n>]
 
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "arch/peaks.hpp"
 #include "arch/systems.hpp"
@@ -16,8 +17,78 @@
 #include "miniapps/cloverleaf.hpp"
 #include "miniapps/minigamess.hpp"
 #include "miniapps/miniqmc.hpp"
+#include "parallel_sweep.hpp"
 
 namespace {
+
+/// One system's sweep output: the rendered table plus its CSV rows,
+/// computed by a ParallelSweep task and emitted serially afterwards.
+struct SystemCurves {
+  pvc::Table table;
+  std::vector<std::vector<std::string>> csv_rows;
+};
+
+SystemCurves sweep_system(const pvc::arch::NodeSpec& node) {
+  using namespace pvc;
+  SystemCurves out;
+  const int max_ranks = node.total_subdevices();
+  out.table = Table("FOM vs active ranks — " + node.system_name);
+  out.table.set_header(
+      {"Ranks", "CloverLeaf (weak)", "eff", "miniQMC (weak)", "eff",
+       "mini-GAMESS (strong)", "speedup"});
+
+  // Per-rank baselines.
+  const double clover_1 =
+      miniapps::kPaperCells /
+      (miniapps::kPaperCells * miniapps::kBytesPerCellStep *
+       miniapps::kBenchSteps / arch::subdevice_stream_bandwidth(node)) /
+      1.0e6;
+  const double qmc_t1 = miniapps::miniqmc_block_time(node, 1);
+  const bool has_gamess = node.system_name != "JLSE-MI250";
+  const double gamess_t1 =
+      has_gamess ? miniapps::minigamess_walltime(node, 1) : 0.0;
+
+  for (int ranks = 1; ranks <= max_ranks; ranks *= 2) {
+    const int r = std::min(ranks, max_ranks);
+    // CloverLeaf weak-scales linearly (§V-A2's design goal).
+    const double clover = clover_1 * r;
+    const double clover_eff = 1.0;
+    // miniQMC: the CPU-congestion model.
+    const double qmc_t = miniapps::miniqmc_block_time(node, r);
+    const double qmc = 3.16 * r / qmc_t;
+    const double qmc_eff = qmc_t1 / qmc_t;
+    // mini-GAMESS strong scaling.
+    double gamess = 0.0, gamess_speedup = 0.0;
+    if (has_gamess) {
+      const double t = miniapps::minigamess_walltime(node, r);
+      gamess = 3600.0 / t;
+      gamess_speedup = gamess_t1 / t;
+    }
+
+    out.table.add_row({std::to_string(r), format_value(clover, 4),
+                       format_value(clover_eff, 3), format_value(qmc, 4),
+                       format_value(qmc_eff, 3),
+                       has_gamess ? format_value(gamess, 4) : "-",
+                       has_gamess ? format_value(gamess_speedup, 3) : "-"});
+    out.csv_rows.push_back({node.system_name, "cloverleaf", std::to_string(r),
+                            format_value(clover, 6),
+                            format_value(clover_eff, 4)});
+    out.csv_rows.push_back({node.system_name, "miniqmc", std::to_string(r),
+                            format_value(qmc, 6), format_value(qmc_eff, 4)});
+    if (has_gamess) {
+      out.csv_rows.push_back({node.system_name, "minigamess",
+                              std::to_string(r), format_value(gamess, 6),
+                              format_value(gamess_speedup, 4)});
+    }
+    if (ranks >= max_ranks) {
+      break;
+    }
+    if (ranks * 2 > max_ranks && ranks != max_ranks) {
+      ranks = max_ranks / 2;  // make sure the full node is printed
+    }
+  }
+  return out;
+}
 
 int run(int argc, char** argv) {
   using namespace pvc;
@@ -26,64 +97,23 @@ int run(int argc, char** argv) {
   CsvWriter csv;
   csv.set_header({"system", "app", "ranks", "fom", "parallel_efficiency"});
 
-  for (const auto& node : arch::all_systems()) {
-    const int max_ranks = node.total_subdevices();
-    Table table("FOM vs active ranks — " + node.system_name);
-    table.set_header(
-        {"Ranks", "CloverLeaf (weak)", "eff", "miniQMC (weak)", "eff",
-         "mini-GAMESS (strong)", "speedup"});
+  // One task per system; results land in index-matched slots and are
+  // rendered serially below, so the output is byte-identical for any
+  // threads= value (docs/PERFORMANCE.md).
+  const auto systems = arch::all_systems();
+  std::vector<SystemCurves> results(systems.size());
+  pvcbench::ParallelSweep sweep(pvcbench::ParallelSweep::threads_from_config(config));
+  for (std::size_t i = 0; i < systems.size(); ++i) {
+    sweep.add([&results, &systems, i] { results[i] = sweep_system(systems[i]); });
+  }
+  sweep.run();
 
-    // Per-rank baselines.
-    const double clover_1 =
-        miniapps::kPaperCells /
-        (miniapps::kPaperCells * miniapps::kBytesPerCellStep *
-         miniapps::kBenchSteps / arch::subdevice_stream_bandwidth(node)) /
-        1.0e6;
-    const double qmc_t1 = miniapps::miniqmc_block_time(node, 1);
-    const bool has_gamess = node.system_name != "JLSE-MI250";
-    const double gamess_t1 =
-        has_gamess ? miniapps::minigamess_walltime(node, 1) : 0.0;
-
-    for (int ranks = 1; ranks <= max_ranks; ranks *= 2) {
-      const int r = std::min(ranks, max_ranks);
-      // CloverLeaf weak-scales linearly (§V-A2's design goal).
-      const double clover = clover_1 * r;
-      const double clover_eff = 1.0;
-      // miniQMC: the CPU-congestion model.
-      const double qmc_t = miniapps::miniqmc_block_time(node, r);
-      const double qmc = 3.16 * r / qmc_t;
-      const double qmc_eff = qmc_t1 / qmc_t;
-      // mini-GAMESS strong scaling.
-      double gamess = 0.0, gamess_speedup = 0.0;
-      if (has_gamess) {
-        const double t = miniapps::minigamess_walltime(node, r);
-        gamess = 3600.0 / t;
-        gamess_speedup = gamess_t1 / t;
-      }
-
-      table.add_row({std::to_string(r), format_value(clover, 4),
-                     format_value(clover_eff, 3), format_value(qmc, 4),
-                     format_value(qmc_eff, 3),
-                     has_gamess ? format_value(gamess, 4) : "-",
-                     has_gamess ? format_value(gamess_speedup, 3) : "-"});
-      csv.add_row({node.system_name, "cloverleaf", std::to_string(r),
-                   format_value(clover, 6), format_value(clover_eff, 4)});
-      csv.add_row({node.system_name, "miniqmc", std::to_string(r),
-                   format_value(qmc, 6), format_value(qmc_eff, 4)});
-      if (has_gamess) {
-        csv.add_row({node.system_name, "minigamess", std::to_string(r),
-                     format_value(gamess, 6),
-                     format_value(gamess_speedup, 4)});
-      }
-      if (ranks >= max_ranks) {
-        break;
-      }
-      if (ranks * 2 > max_ranks && ranks != max_ranks) {
-        ranks = max_ranks / 2;  // make sure the full node is printed
-      }
-    }
-    table.render(std::cout);
+  for (const auto& result : results) {
+    result.table.render(std::cout);
     std::printf("\n");
+    for (const auto& row : result.csv_rows) {
+      csv.add_row(row);
+    }
   }
   std::printf(
       "Crossover note: on Aurora miniQMC efficiency collapses past two "

@@ -2,16 +2,18 @@
 // the latency-to-bandwidth transition the paper's single 500 MB message
 // sits at the far end of, with per-path N_1/2 half-bandwidth points.
 //
-// Usage: sweep_msgsize [system=aurora] [csv=<path>]
+// Usage: sweep_msgsize [system=aurora] [csv=<path>] [threads=<n>]
 
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "arch/systems.hpp"
 #include "bench_common.hpp"
 #include "core/ascii_plot.hpp"
 #include "core/table.hpp"
 #include "micro/message_sweep.hpp"
+#include "parallel_sweep.hpp"
 
 namespace {
 
@@ -33,18 +35,32 @@ int run(int argc, char** argv) {
   plot.set_log2_x(true);
   plot.set_log10_y(true);
 
-  for (const auto path : micro::available_paths(node)) {
-    const auto sweep = micro::sweep_path(node, path, sizes);
-    table.add_row({micro::transfer_path_name(path),
+  // One sweep task per transfer path; each path's curve lands in its
+  // index-matched slot and the table/plot/CSV are emitted serially below
+  // in path order, byte-identical for any threads= value.
+  const auto paths = micro::available_paths(node);
+  std::vector<micro::SweepResult> sweeps(paths.size());
+  pvcbench::ParallelSweep runner(
+      pvcbench::ParallelSweep::threads_from_config(config));
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    runner.add([&sweeps, &paths, &node, &sizes, i] {
+      sweeps[i] = micro::sweep_path(node, paths[i], sizes);
+    });
+  }
+  runner.run();
+
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const auto& sweep = sweeps[i];
+    table.add_row({micro::transfer_path_name(paths[i]),
                    format_duration(sweep.latency_s),
                    format_bandwidth(sweep.asymptotic_bandwidth_bps),
                    format_bytes_binary(sweep.half_bandwidth_bytes)});
     PlotSeries series;
-    series.name = micro::transfer_path_name(path);
+    series.name = micro::transfer_path_name(paths[i]);
     for (const auto& point : sweep.points) {
       series.x.push_back(point.message_bytes);
       series.y.push_back(point.bandwidth_bps);
-      csv.add_row({micro::transfer_path_name(path),
+      csv.add_row({micro::transfer_path_name(paths[i]),
                    format_value(point.message_bytes, 8),
                    format_value(point.seconds, 8),
                    format_value(point.bandwidth_bps, 8)});

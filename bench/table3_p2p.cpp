@@ -2,7 +2,7 @@
 // bandwidth (local MDFI pairs and remote Xe-Link pairs, one pair vs all
 // disjoint pairs).  Dawn's remote columns print "-" as in the paper.
 //
-// Usage: table3_p2p [csv=<path>]
+// Usage: table3_p2p [csv=<path>] [threads=<n>]
 
 #include <cstdio>
 #include <iostream>
@@ -12,6 +12,7 @@
 #include "core/table.hpp"
 #include "micro/paper_reference.hpp"
 #include "micro/table_results.hpp"
+#include "parallel_sweep.hpp"
 
 namespace {
 
@@ -30,10 +31,19 @@ namespace {
 int run(int argc, char** argv) {
   const auto config = pvc::Config::from_args(argc, argv);
 
-  const auto aurora =
-      pvc::micro::compute_table3(pvc::arch::aurora(), /*measure_remote=*/true);
-  const auto dawn =
-      pvc::micro::compute_table3(pvc::arch::dawn(), /*measure_remote=*/false);
+  // The two systems simulate independently — one sweep task each.
+  pvc::micro::Table3Reference aurora, dawn;
+  pvcbench::ParallelSweep sweep(
+      pvcbench::ParallelSweep::threads_from_config(config));
+  sweep.add([&aurora] {
+    aurora =
+        pvc::micro::compute_table3(pvc::arch::aurora(), /*measure_remote=*/true);
+  });
+  sweep.add([&dawn] {
+    dawn =
+        pvc::micro::compute_table3(pvc::arch::dawn(), /*measure_remote=*/false);
+  });
+  sweep.run();
   const auto ref_a = pvc::micro::table3_aurora();
   const auto ref_d = pvc::micro::table3_dawn();
 

@@ -13,8 +13,16 @@ namespace pvc::comm {
 namespace detail {
 
 CommMetrics& comm_metrics() {
-  static CommMetrics m = [] {
-    auto& reg = obs::Registry::global();
+  // Handles rebind whenever the thread's active registry changes
+  // (obs::ScopedRegistry isolates concurrent sweep workers).
+  thread_local CommMetrics m;
+  thread_local obs::Registry* bound = nullptr;
+  auto& reg = obs::Registry::active();
+  if (bound == &reg) {
+    return m;
+  }
+  bound = &reg;
+  m = [&reg] {
     CommMetrics c;
     c.sends_posted =
         &reg.counter("comm.sends_posted", "messages", "isend operations posted");

@@ -78,9 +78,19 @@ class Error : public std::runtime_error {
   ErrorCode code_ = ErrorCode::Generic;
 };
 
-/// Throws `pvc::Error` if `condition` is false.  Use for argument and
-/// configuration validation on non-hot paths.
+/// Throws `pvc::Error` if `condition` is false.
 inline void ensure(bool condition, const std::string& message,
+                   std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw Error(message, loc);
+  }
+}
+
+/// Literal-message overload: a string literal binds here by exact match,
+/// so the std::string (a heap allocation for most messages) is only
+/// materialised when the check actually fails.  This keeps ensure()
+/// affordable on hot paths (Engine::schedule_at, FlowNetwork::start_flow).
+inline void ensure(bool condition, const char* message,
                    std::source_location loc = std::source_location::current()) {
   if (!condition) {
     throw Error(message, loc);
@@ -90,6 +100,14 @@ inline void ensure(bool condition, const std::string& message,
 /// Coded variant: throws `pvc::Error` carrying `code` if `condition` is
 /// false.  Use on recoverable fault paths callers may branch on.
 inline void ensure(bool condition, ErrorCode code, const std::string& message,
+                   std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw Error(code, message, loc);
+  }
+}
+
+/// Literal-message coded variant (see above).
+inline void ensure(bool condition, ErrorCode code, const char* message,
                    std::source_location loc = std::source_location::current()) {
   if (!condition) {
     throw Error(code, message, loc);

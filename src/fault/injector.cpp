@@ -12,8 +12,16 @@ struct InjectorMetrics {
 };
 
 InjectorMetrics& injector_metrics() {
-  static InjectorMetrics m = [] {
-    auto& reg = obs::Registry::global();
+  // Handles rebind whenever the thread's active registry changes
+  // (obs::ScopedRegistry isolates concurrent sweep workers).
+  thread_local InjectorMetrics m;
+  thread_local obs::Registry* bound = nullptr;
+  auto& reg = obs::Registry::active();
+  if (bound == &reg) {
+    return m;
+  }
+  bound = &reg;
+  m = [&reg] {
     InjectorMetrics im;
     im.events_armed = &reg.counter(
         "fault.events_armed", "events",

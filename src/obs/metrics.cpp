@@ -68,9 +68,51 @@ std::uint64_t Snapshot::count(const std::string& name) const {
   return s == nullptr ? 0 : s->count;
 }
 
+namespace {
+thread_local Registry* t_scoped_registry = nullptr;
+}  // namespace
+
 Registry& Registry::global() {
   static Registry instance;
   return instance;
+}
+
+Registry& Registry::active() noexcept {
+  return t_scoped_registry != nullptr ? *t_scoped_registry : global();
+}
+
+ScopedRegistry::ScopedRegistry(Registry& registry) noexcept
+    : previous_(t_scoped_registry) {
+  t_scoped_registry = &registry;
+}
+
+ScopedRegistry::~ScopedRegistry() { t_scoped_registry = previous_; }
+
+void Registry::merge_from(const Registry& other) {
+  for (const auto& entry : other.entries_) {
+    Entry& mine =
+        find_or_create(entry->name, entry->type, entry->unit, entry->help);
+    switch (entry->type) {
+      case MetricType::Counter:
+        mine.counter->add(entry->counter->value());
+        break;
+      case MetricType::Gauge:
+        mine.gauge->add(entry->gauge->value());
+        break;
+      case MetricType::Histogram: {
+        const Histogram& theirs = *entry->histogram;
+        Histogram& h = *mine.histogram;
+        for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+          h.bucket_counts_[b] += theirs.bucket_counts_[b];
+          h.bucket_weights_[b] += theirs.bucket_weights_[b];
+        }
+        h.count_ += theirs.count_;
+        h.value_sum_ += theirs.value_sum_;
+        h.weight_sum_ += theirs.weight_sum_;
+        break;
+      }
+    }
+  }
 }
 
 Registry::Entry& Registry::find_or_create(const std::string& name,

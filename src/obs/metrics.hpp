@@ -14,8 +14,21 @@
 //  * compile time — building with -DPVC_METRICS=OFF defines
 //    PVC_METRICS_ENABLED=0 and every mutation inlines to nothing;
 //  * run time — obs::set_enabled(false) short-circuits mutations behind
-//    a single branch on a plain bool (the simulator is single-threaded,
-//    as is this registry).
+//    a single branch on a plain bool.
+//
+// Concurrency: each simulation is single-threaded, but independent
+// simulations may run on worker threads (bench ParallelSweep).  Two
+// mechanisms keep the registry safe there:
+//  * registry scoping — ScopedRegistry installs a thread-local registry
+//    that Registry::active() serves instead of the process-global one;
+//    each worker collects into its own registry and the sweep merges
+//    them into the global registry in deterministic (task-index) order,
+//    so threads=N snapshots are byte-identical to threads=1;
+//  * optionally atomic cells — building with -DPVC_METRICS_ATOMIC=ON
+//    makes Counter/Gauge mutations relaxed std::atomic operations, for
+//    callers that prefer one shared registry over scoping (histograms
+//    stay non-atomic; use scoping when histograms are bumped
+//    concurrently).
 //
 // Values are read through the Snapshot API: a deep copy of every
 // metric's state at one instant, decoupled from later mutation, which
@@ -26,9 +39,20 @@
 #include <string>
 #include <vector>
 
+#if defined(PVC_METRICS_ATOMIC) && PVC_METRICS_ATOMIC
+#include <atomic>
+#endif
+
 // Compile-time kill switch (CMake option PVC_METRICS, default ON).
 #ifndef PVC_METRICS_ENABLED
 #define PVC_METRICS_ENABLED 1
+#endif
+
+// Optional lock-free shared-registry mode (CMake option
+// PVC_METRICS_ATOMIC, default OFF — the scoped-registry path needs no
+// atomics and keeps single-thread bumps a plain add).
+#ifndef PVC_METRICS_ATOMIC
+#define PVC_METRICS_ATOMIC 0
 #endif
 
 namespace pvc::obs {
@@ -58,17 +82,31 @@ class Counter {
   void add(std::uint64_t delta = 1) noexcept {
 #if PVC_METRICS_ENABLED
     if (detail::g_runtime_enabled) {
+#if PVC_METRICS_ATOMIC
+      value_.fetch_add(delta, std::memory_order_relaxed);
+#else
       value_ += delta;
+#endif
     }
 #else
     static_cast<void>(delta);
 #endif
   }
-  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+#if PVC_METRICS_ATOMIC
+    return value_.load(std::memory_order_relaxed);
+#else
+    return value_;
+#endif
+  }
 
  private:
   friend class Registry;
+#if PVC_METRICS_ATOMIC
+  std::atomic<std::uint64_t> value_{0};
+#else
   std::uint64_t value_ = 0;
+#endif
 };
 
 /// Double-valued quantity; supports both set() and accumulate via add().
@@ -77,7 +115,11 @@ class Gauge {
   void set(double v) noexcept {
 #if PVC_METRICS_ENABLED
     if (detail::g_runtime_enabled) {
+#if PVC_METRICS_ATOMIC
+      value_.store(v, std::memory_order_relaxed);
+#else
       value_ = v;
+#endif
     }
 #else
     static_cast<void>(v);
@@ -86,17 +128,31 @@ class Gauge {
   void add(double delta) noexcept {
 #if PVC_METRICS_ENABLED
     if (detail::g_runtime_enabled) {
+#if PVC_METRICS_ATOMIC
+      value_.fetch_add(delta, std::memory_order_relaxed);
+#else
       value_ += delta;
+#endif
     }
 #else
     static_cast<void>(delta);
 #endif
   }
-  [[nodiscard]] double value() const noexcept { return value_; }
+  [[nodiscard]] double value() const noexcept {
+#if PVC_METRICS_ATOMIC
+    return value_.load(std::memory_order_relaxed);
+#else
+    return value_;
+#endif
+  }
 
  private:
   friend class Registry;
+#if PVC_METRICS_ATOMIC
+  std::atomic<double> value_{0.0};
+#else
   double value_ = 0.0;
+#endif
 };
 
 /// Histogram over uint64 values with fixed log2 buckets: bucket 0 holds
@@ -181,8 +237,9 @@ struct Snapshot {
 /// ("net.pcie.bytes"); re-requesting a name returns the same object, and
 /// requesting an existing name as a different type throws pvc::Error.
 /// Handles returned by counter()/gauge()/histogram() stay valid for the
-/// registry's lifetime.  Not thread-safe (the simulator is
-/// single-threaded by design).
+/// registry's lifetime.  A single Registry is not thread-safe — each
+/// simulation thread collects into its own via ScopedRegistry (or the
+/// cells are made atomic with -DPVC_METRICS_ATOMIC=ON).
 class Registry {
  public:
   Registry() = default;
@@ -191,6 +248,18 @@ class Registry {
 
   /// The process-wide registry every instrumented layer reports into.
   [[nodiscard]] static Registry& global();
+
+  /// The registry instrumented layers should mutate from this thread:
+  /// the thread's scoped registry when a ScopedRegistry is live, the
+  /// process-wide one otherwise.
+  [[nodiscard]] static Registry& active() noexcept;
+
+  /// Accumulates every metric of `other` into this registry (counters
+  /// and histogram buckets add counts, gauges add values), registering
+  /// missing names with `other`'s unit/help.  Merging worker registries
+  /// in a fixed order yields deterministic totals regardless of how the
+  /// workers were interleaved.
+  void merge_from(const Registry& other);
 
   Counter& counter(const std::string& name, const std::string& unit,
                    const std::string& help);
@@ -225,6 +294,23 @@ class Registry {
     std::unique_ptr<Histogram> histogram;
   };
   std::vector<std::unique_ptr<Entry>> entries_;  // insertion order
+};
+
+/// RAII scope that routes Registry::active() on the constructing thread
+/// to `registry` (nesting restores the previous scope on destruction).
+/// Instrumented layers cache their metric handles per (thread, active
+/// registry), so entering a scope transparently re-points the hot-path
+/// bumps at the scoped registry — bench/parallel_sweep.hpp uses this to
+/// give each sweep worker an isolated registry.
+class ScopedRegistry {
+ public:
+  explicit ScopedRegistry(Registry& registry) noexcept;
+  ~ScopedRegistry();
+  ScopedRegistry(const ScopedRegistry&) = delete;
+  ScopedRegistry& operator=(const ScopedRegistry&) = delete;
+
+ private:
+  Registry* previous_;
 };
 
 }  // namespace pvc::obs

@@ -1,5 +1,7 @@
 #include "report/figures.hpp"
 
+#include <utility>
+
 #include "arch/peaks.hpp"
 #include "arch/systems.hpp"
 #include "core/error.hpp"
@@ -20,10 +22,14 @@ double ratio(const std::optional<double>& a, const std::optional<double>& b) {
 }  // namespace
 
 std::vector<RelativeBar> figure2_bars() {
+  return figure2_bars(compute_table6(arch::aurora()),
+                      compute_table6(arch::dawn()));
+}
+
+std::vector<RelativeBar> figure2_bars(const Table6Column& fom_a,
+                                      const Table6Column& fom_d) {
   const auto aurora = arch::aurora();
   const auto dawn = arch::dawn();
-  const auto fom_a = compute_table6(aurora);
-  const auto fom_d = compute_table6(dawn);
   std::vector<RelativeBar> bars;
 
   // miniBUDE: single stack only; expected = FP32 peak ratio.
@@ -82,13 +88,16 @@ namespace {
 /// true compares one PVC stack against one MI250 GCD (Figure 4), false
 /// compares one PVC card against one peer GPU (Figure 3).
 std::vector<RelativeBar> versus_bars(const arch::NodeSpec& peer,
-                                     bool gcd_scope) {
-  const auto systems = {arch::aurora(), arch::dawn()};
-  const auto fom_peer = compute_table6(peer);
+                                     bool gcd_scope,
+                                     const Table6Column& fom_peer,
+                                     const Table6Column& fom_aurora,
+                                     const Table6Column& fom_dawn) {
+  const std::pair<arch::NodeSpec, const Table6Column*> systems[] = {
+      {arch::aurora(), &fom_aurora}, {arch::dawn(), &fom_dawn}};
   std::vector<RelativeBar> bars;
 
-  for (const auto& pvc : systems) {
-    const auto fom = compute_table6(pvc);
+  for (const auto& [pvc, fom_ptr] : systems) {
+    const auto& fom = *fom_ptr;
     const std::string single_label =
         pvc.system_name + (gcd_scope ? " one Stack / GCD" : " one PVC / GPU");
     const std::string node_label = pvc.system_name + " node";
@@ -163,11 +172,29 @@ std::vector<RelativeBar> versus_bars(const arch::NodeSpec& peer,
 }  // namespace
 
 std::vector<RelativeBar> figure3_bars() {
-  return versus_bars(arch::jlse_h100(), /*gcd_scope=*/false);
+  return figure3_bars(compute_table6(arch::jlse_h100()),
+                      compute_table6(arch::aurora()),
+                      compute_table6(arch::dawn()));
+}
+
+std::vector<RelativeBar> figure3_bars(const Table6Column& peer_fom,
+                                      const Table6Column& aurora_fom,
+                                      const Table6Column& dawn_fom) {
+  return versus_bars(arch::jlse_h100(), /*gcd_scope=*/false, peer_fom,
+                     aurora_fom, dawn_fom);
 }
 
 std::vector<RelativeBar> figure4_bars() {
-  return versus_bars(arch::jlse_mi250(), /*gcd_scope=*/true);
+  return figure4_bars(compute_table6(arch::jlse_mi250()),
+                      compute_table6(arch::aurora()),
+                      compute_table6(arch::dawn()));
+}
+
+std::vector<RelativeBar> figure4_bars(const Table6Column& peer_fom,
+                                      const Table6Column& aurora_fom,
+                                      const Table6Column& dawn_fom) {
+  return versus_bars(arch::jlse_mi250(), /*gcd_scope=*/true, peer_fom,
+                     aurora_fom, dawn_fom);
 }
 
 std::vector<LatencySeries> figure1_series(bool coalesced) {

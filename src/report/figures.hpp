@@ -16,6 +16,7 @@
 
 #include "arch/gpu_spec.hpp"
 #include "micro/microbench.hpp"
+#include "report/table6.hpp"
 
 namespace pvc::report {
 
@@ -30,13 +31,25 @@ struct RelativeBar {
 /// Figure 2: Aurora FOMs relative to Dawn (one stack / one PVC / node).
 [[nodiscard]] std::vector<RelativeBar> figure2_bars();
 
+/// Same, from precomputed Table VI columns — lets callers run the two
+/// compute_table6() simulations concurrently (bench ParallelSweep) and
+/// assemble the bars serially.
+[[nodiscard]] std::vector<RelativeBar> figure2_bars(
+    const Table6Column& aurora_fom, const Table6Column& dawn_fom);
+
 /// Figure 3: Aurora & Dawn relative to JLSE-H100 (one PVC vs one H100,
 /// node vs node).  miniBUDE uses the paper's doubled-stack convention.
 [[nodiscard]] std::vector<RelativeBar> figure3_bars();
+[[nodiscard]] std::vector<RelativeBar> figure3_bars(
+    const Table6Column& peer_fom, const Table6Column& aurora_fom,
+    const Table6Column& dawn_fom);
 
 /// Figure 4: Aurora & Dawn relative to JLSE-MI250 (one stack vs one GCD,
 /// node vs node).
 [[nodiscard]] std::vector<RelativeBar> figure4_bars();
+[[nodiscard]] std::vector<RelativeBar> figure4_bars(
+    const Table6Column& peer_fom, const Table6Column& aurora_fom,
+    const Table6Column& dawn_fom);
 
 /// Figure 1 series: latency curves of the four systems.
 struct LatencySeries {

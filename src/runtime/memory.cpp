@@ -18,8 +18,16 @@ struct MemMetrics {
 };
 
 MemMetrics& mem_metrics() {
-  static MemMetrics m = [] {
-    auto& reg = obs::Registry::global();
+  // Handles rebind whenever the thread's active registry changes
+  // (obs::ScopedRegistry isolates concurrent sweep workers).
+  thread_local MemMetrics m;
+  thread_local obs::Registry* bound = nullptr;
+  auto& reg = obs::Registry::active();
+  if (bound == &reg) {
+    return m;
+  }
+  bound = &reg;
+  m = [&reg] {
     MemMetrics mm;
     mm.allocations = &reg.counter("mem.allocations", "allocations",
                                   "USM allocations granted");

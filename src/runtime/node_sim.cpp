@@ -18,8 +18,16 @@ struct NodeFaultMetrics {
 };
 
 NodeFaultMetrics& node_fault_metrics() {
-  static NodeFaultMetrics m = [] {
-    auto& reg = obs::Registry::global();
+  // Handles rebind whenever the thread's active registry changes
+  // (obs::ScopedRegistry isolates concurrent sweep workers).
+  thread_local NodeFaultMetrics m;
+  thread_local obs::Registry* bound = nullptr;
+  auto& reg = obs::Registry::active();
+  if (bound == &reg) {
+    return m;
+  }
+  bound = &reg;
+  m = [&reg] {
     NodeFaultMetrics n;
     n.reroutes = &reg.counter(
         "net.reroutes", "transfers",

@@ -21,8 +21,16 @@ struct QueueMetrics {
 };
 
 QueueMetrics& queue_metrics() {
-  static QueueMetrics m = [] {
-    auto& reg = obs::Registry::global();
+  // Handles rebind whenever the thread's active registry changes
+  // (obs::ScopedRegistry isolates concurrent sweep workers).
+  thread_local QueueMetrics m;
+  thread_local obs::Registry* bound = nullptr;
+  auto& reg = obs::Registry::active();
+  if (bound == &reg) {
+    return m;
+  }
+  bound = &reg;
+  m = [&reg] {
     QueueMetrics q;
     q.kernels_submitted = &reg.counter("queue.kernels_submitted", "kernels",
                                        "kernel launches enqueued");

@@ -24,8 +24,16 @@ struct CacheMetrics {
 };
 
 CacheMetrics& cache_metrics() {
-  static CacheMetrics m = [] {
-    auto& reg = obs::Registry::global();
+  // Handles rebind whenever the thread's active registry changes
+  // (obs::ScopedRegistry isolates concurrent sweep workers).
+  thread_local CacheMetrics m;
+  thread_local obs::Registry* bound = nullptr;
+  auto& reg = obs::Registry::active();
+  if (bound == &reg) {
+    return m;
+  }
+  bound = &reg;
+  m = [&reg] {
     CacheMetrics c;
     c.accesses = &reg.counter("cache.accesses", "loads",
                               "loads issued to the cache hierarchy");
@@ -56,7 +64,9 @@ CacheHierarchy::CacheHierarchy(std::vector<CacheLevelSpec> specs,
     level.spec = spec;
     level.sets = spec.size_bytes / (spec.line_bytes * spec.associativity);
     level.tags.assign(level.sets * spec.associativity, kInvalidTag);
-    auto& reg = obs::Registry::global();
+    // Per-level handles live for this hierarchy only, so they bind to
+    // the registry active where the hierarchy was constructed.
+    auto& reg = obs::Registry::active();
     const std::string metric_base = "cache." + lowercase(spec.name);
     level.hits_metric =
         &reg.counter(metric_base + ".hits", "loads",

@@ -5,11 +5,19 @@
 // memories) whose occupancy evolves in simulated time.  The engine is a
 // classic event-calendar: callbacks scheduled at absolute times, executed
 // in time order with FIFO tie-breaking, fully deterministic.
+//
+// Hot-path design (docs/PERFORMANCE.md): the calendar is a hand-rolled
+// binary min-heap ordered by (time, seq), and cancellation is
+// generation-stamped lazy deletion.  Every event id packs a slot index
+// and that slot's generation; cancel() flips the slot's live bit in O(1)
+// and the ghost entry is discarded with a single generation comparison
+// when it reaches the top of the heap — no hash lookups or linear scans
+// anywhere on the schedule/cancel/pop path.
 
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <queue>
-#include <unordered_set>
+#include <memory>
 #include <vector>
 
 namespace pvc::sim {
@@ -17,7 +25,8 @@ namespace pvc::sim {
 /// Simulated time in seconds.
 using Time = double;
 
-/// Handle used to cancel a scheduled event.
+/// Handle used to cancel a scheduled event.  Packs (generation << 32) |
+/// slot; 0 is never a valid id, so it can serve as a "no event" sentinel.
 using EventId = std::uint64_t;
 
 /// Deterministic discrete-event calendar.
@@ -43,7 +52,7 @@ class Engine {
   void cancel(EventId id);
 
   /// True while `id` is scheduled and neither fired nor cancelled.
-  [[nodiscard]] bool pending(EventId id) const;
+  [[nodiscard]] bool pending(EventId id) const noexcept;
 
   /// Runs events until the calendar is empty.  Returns final time.
   Time run();
@@ -66,36 +75,63 @@ class Engine {
 
   /// True if no live events are pending (cancelled ghosts still queued
   /// do not count).
-  [[nodiscard]] bool idle() const noexcept;
+  [[nodiscard]] bool idle() const noexcept { return live_ == 0; }
 
  private:
+  // Heap entries are trivially copyable (24 bytes): the callback itself
+  // lives in the slot table, so sift-up/down move plain words instead of
+  // std::function objects.
   struct Event {
-    Time when;
-    std::uint64_t seq;  // FIFO tie-break for equal timestamps
-    EventId id;
-    std::function<void()> action;
+    Time when = 0.0;
+    std::uint64_t seq = 0;  // FIFO tie-break for equal timestamps
+    std::uint32_t slot = 0;
+    std::uint32_t generation = 0;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) {
-        return a.when > b.when;
-      }
-      return a.seq > b.seq;
-    }
+  // Per-slot record holding the callback and liveness.  `generation` is
+  // bumped on every allocation of the slot, so a ghost heap entry
+  // carrying an older generation can never be confused with the slot's
+  // current event.  (A slot would have to be recycled 2^32 times while
+  // one ghost sits in the heap for a stamp to collide — not a realistic
+  // calendar.)
+  struct Slot {
+    std::function<void()> action;
+    std::uint32_t generation = 0;
+    bool live = false;
   };
 
+  [[nodiscard]] static bool before(const Event& a, const Event& b) noexcept {
+    return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+  }
+  void heap_push(Event ev);
+  Event heap_pop_min();
   bool pop_and_run(Time limit);
+
+  // Slots live in fixed-size chunks so growing the table never moves a
+  // Slot (std::function moves during vector reallocation showed up as a
+  // quarter of the event loop in profiles).
+  static constexpr std::uint32_t kSlotChunkShift = 8;
+  static constexpr std::uint32_t kSlotChunkSize = 1u << kSlotChunkShift;
+  [[nodiscard]] Slot& slot(std::uint32_t s) noexcept {
+    return slot_chunks_[s >> kSlotChunkShift][s & (kSlotChunkSize - 1)];
+  }
+  [[nodiscard]] const Slot& slot(std::uint32_t s) const noexcept {
+    return slot_chunks_[s >> kSlotChunkShift][s & (kSlotChunkSize - 1)];
+  }
 
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  // Ids scheduled but not yet fired or cancelled.  cancel() moves an id
-  // from here to cancelled_, so double-cancel and cancel-after-fire are
-  // exact no-ops and neither list grows without bound.
-  std::unordered_set<EventId> pending_ids_;
-  std::vector<EventId> cancelled_;  // sorted insertion not needed; small
+  std::size_t live_ = 0;  // scheduled minus fired minus cancelled
+  std::vector<Event> heap_;  // binary min-heap on (when, seq)
+  // Monotone fast path: an event scheduled no earlier than the last
+  // entry here is appended in O(1) instead of heap-inserted.  The deque
+  // stays sorted by construction (appends are monotone, pops take the
+  // front), so the calendar minimum is min(tail_.front(), heap_.front())
+  // and a sim that schedules in time order never pays a sift at all.
+  std::deque<Event> tail_;
+  std::vector<std::unique_ptr<Slot[]>> slot_chunks_;
+  std::uint32_t slot_count_ = 0;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace pvc::sim

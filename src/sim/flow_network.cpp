@@ -14,52 +14,52 @@ namespace {
 // (Guards against floating-point residue after progress integration.)
 constexpr double kEpsilonBytes = 1e-6;
 
-constexpr std::size_t kLinkClasses =
-    static_cast<std::size_t>(LinkClass::Other) + 1;
-
-/// Handles into the global registry, resolved once per process so the
-/// per-flow cost is a pointer bump.  Every name registers up front,
-/// making the emitted-name set deterministic (docs/OBSERVABILITY.md).
+/// Handles into the active registry, re-resolved whenever the calling
+/// thread's registry changes (ParallelSweep installs a per-worker
+/// obs::ScopedRegistry), so the per-flow cost stays a pointer bump plus
+/// one thread-local comparison.  Every name registers up front, making
+/// the emitted-name set deterministic (docs/OBSERVABILITY.md).
 struct NetMetrics {
   obs::Counter* flows_started;
   obs::Counter* flows_completed;
   obs::Counter* bytes_total;
   obs::Counter* contention_events;
   obs::Counter* link_degradations;
-  obs::Counter* class_bytes[kLinkClasses];
+  obs::Counter* class_bytes[kLinkClassCount];
   obs::Gauge* flow_seconds;
-  obs::Gauge* class_flow_seconds[kLinkClasses];
+  obs::Gauge* class_flow_seconds[kLinkClassCount];
 };
 
 NetMetrics& net_metrics() {
-  static NetMetrics m = [] {
-    auto& reg = obs::Registry::global();
-    NetMetrics n;
-    n.flows_started = &reg.counter("net.flows_started", "flows",
+  thread_local NetMetrics m;
+  thread_local obs::Registry* bound = nullptr;
+  auto& reg = obs::Registry::active();
+  if (bound != &reg) {
+    m.flows_started = &reg.counter("net.flows_started", "flows",
                                    "flows offered to the network");
-    n.flows_completed = &reg.counter("net.flows_completed", "flows",
+    m.flows_completed = &reg.counter("net.flows_completed", "flows",
                                      "flows fully delivered");
-    n.bytes_total = &reg.counter(
+    m.bytes_total = &reg.counter(
         "net.bytes_total", "bytes", "payload bytes offered to link routes");
-    n.contention_events =
+    m.contention_events =
         &reg.counter("net.contention_events", "events",
                      "rate recomputations with >1 traversal on some link");
-    n.link_degradations =
+    m.link_degradations =
         &reg.counter("net.link_degradations", "events",
                      "set_link_scale calls that changed a link's scale");
-    n.flow_seconds = &reg.gauge("net.flow_seconds", "flow-seconds",
+    m.flow_seconds = &reg.gauge("net.flow_seconds", "flow-seconds",
                                 "integral of active flow count over time");
-    for (std::size_t c = 0; c < kLinkClasses; ++c) {
+    for (std::size_t c = 0; c < kLinkClassCount; ++c) {
       const std::string cls = link_class_name(static_cast<LinkClass>(c));
-      n.class_bytes[c] =
+      m.class_bytes[c] =
           &reg.counter("net." + cls + ".bytes", "bytes",
                        "payload bytes routed over " + cls + " links");
-      n.class_flow_seconds[c] =
+      m.class_flow_seconds[c] =
           &reg.gauge("net." + cls + ".flow_seconds", "flow-seconds",
                      "time flows spent crossing " + cls + " links");
     }
-    return n;
-  }();
+    bound = &reg;
+  }
   return m;
 }
 
@@ -108,6 +108,11 @@ LinkId FlowNetwork::add_link(std::string name, double capacity_bps) {
   ensure(capacity_bps > 0.0, "FlowNetwork: link capacity must be positive");
   const LinkClass cls = classify_link(name);
   links_.push_back(Link{std::move(name), capacity_bps, cls});
+  traversals_.push_back(0);
+  link_flows_.emplace_back();
+  link_pos_.push_back(kNoSlot);
+  residual_.push_back(0.0);
+  weight_.push_back(0.0);
   return links_.size() - 1;
 }
 
@@ -130,8 +135,7 @@ void FlowNetwork::set_link_scale(LinkId id, double scale) {
   advance_progress();
   link.scale = scale;
   net_metrics().link_degradations->add(1);
-  recompute_rates();
-  reschedule_completion();
+  mark_rates_dirty();
 }
 
 double FlowNetwork::link_scale(LinkId id) const {
@@ -148,7 +152,11 @@ FlowId FlowNetwork::start_flow(std::vector<LinkId> route, double bytes,
     ensure(id < links_.size(), "FlowNetwork: route uses unknown link");
   }
   const FlowId id = next_flow_id_++;
-  Flow flow{id, std::move(route), bytes, 0.0, std::move(on_complete)};
+  Flow flow;
+  flow.id = id;
+  flow.route = std::move(route);
+  flow.remaining = bytes;
+  flow.on_complete = std::move(on_complete);
   auto& metrics = net_metrics();
   metrics.flows_started->add(1);
 
@@ -172,7 +180,7 @@ FlowId FlowNetwork::start_flow(std::vector<LinkId> route, double bytes,
   }
   const auto payload = static_cast<std::uint64_t>(std::llround(bytes));
   metrics.bytes_total->add(payload);
-  for (std::size_t c = 0; c < kLinkClasses; ++c) {
+  for (std::size_t c = 0; c < kLinkClassCount; ++c) {
     if (flow.class_mask & (1u << c)) {
       metrics.class_bytes[c]->add(payload);
     }
@@ -190,59 +198,144 @@ FlowId FlowNetwork::start_flow(std::vector<LinkId> route, double bytes,
 
 void FlowNetwork::activate(Flow flow) {
   advance_progress();
-  flows_.emplace(flow.id, std::move(flow));
-  recompute_rates();
-  reschedule_completion();
+
+  // Distinct route links with traversal multiplicity (routes are a
+  // handful of hops, so the quadratic dedup never sees real n).
+  flow.incident.clear();
+  for (LinkId l : flow.route) {
+    bool found = false;
+    for (auto& [lid, count] : flow.incident) {
+      if (lid == l) {
+        ++count;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      flow.incident.emplace_back(l, 1u);
+    }
+  }
+
+  std::uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(std::move(flow));
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(flow);
+  }
+  const Flow& f = slots_[slot];
+
+  // Keep active_ sorted by FlowId — the iteration (and completion
+  // callback) order the original ordered-map storage provided.
+  const auto it = std::lower_bound(
+      active_.begin(), active_.end(), f.id,
+      [this](std::uint32_t s, FlowId want) { return slots_[s].id < want; });
+  active_.insert(it, slot);
+
+  for (const auto& [l, count] : f.incident) {
+    if (traversals_[l] == 0) {
+      link_pos_[l] = static_cast<std::uint32_t>(active_links_.size());
+      active_links_.push_back(l);
+    }
+    traversals_[l] += count;
+    link_flows_[l].push_back(Incidence{slot, count});
+  }
+  for (std::size_t c = 0; c < kLinkClassCount; ++c) {
+    if (f.class_mask & (1u << c)) {
+      ++class_active_[c];
+    }
+  }
+
+  mark_rates_dirty();
+}
+
+void FlowNetwork::deactivate(std::uint32_t slot) {
+  Flow& f = slots_[slot];
+  for (const auto& [l, count] : f.incident) {
+    traversals_[l] -= count;
+    auto& incidence = link_flows_[l];
+    for (auto& entry : incidence) {
+      if (entry.slot == slot) {
+        entry = incidence.back();
+        incidence.pop_back();
+        break;
+      }
+    }
+    if (traversals_[l] == 0) {
+      const std::uint32_t pos = link_pos_[l];
+      active_links_[pos] = active_links_.back();
+      link_pos_[active_links_[pos]] = pos;
+      active_links_.pop_back();
+      link_pos_[l] = kNoSlot;
+    }
+  }
+  for (std::size_t c = 0; c < kLinkClassCount; ++c) {
+    if (f.class_mask & (1u << c)) {
+      --class_active_[c];
+    }
+  }
+  const auto it = std::lower_bound(
+      active_.begin(), active_.end(), f.id,
+      [this](std::uint32_t s, FlowId want) { return slots_[s].id < want; });
+  active_.erase(it);
+  free_slots_.push_back(slot);
 }
 
 void FlowNetwork::advance_progress() {
   const Time now = engine_->now();
   const double dt = now - last_progress_time_;
-  if (dt > 0.0) {
+  if (dt > 0.0 && !active_.empty()) {
     auto& metrics = net_metrics();
-    metrics.flow_seconds->add(dt * static_cast<double>(flows_.size()));
-    for (auto& [id, flow] : flows_) {
-      flow.remaining = std::max(0.0, flow.remaining - flow.rate * dt);
-      for (std::size_t c = 0; c < kLinkClasses; ++c) {
-        if (flow.class_mask & (1u << c)) {
-          metrics.class_flow_seconds[c]->add(dt);
-        }
+    metrics.flow_seconds->add(dt * static_cast<double>(active_.size()));
+    // Per-class flow-seconds batch over the maintained active-flow
+    // counts — one gauge bump per class instead of flows × classes.
+    for (std::size_t c = 0; c < kLinkClassCount; ++c) {
+      if (class_active_[c] > 0) {
+        metrics.class_flow_seconds[c]->add(
+            dt * static_cast<double>(class_active_[c]));
       }
+    }
+    for (const std::uint32_t slot : active_) {
+      Flow& flow = slots_[slot];
+      flow.remaining = std::max(0.0, flow.remaining - flow.rate * dt);
     }
   }
   last_progress_time_ = now;
 }
 
 void FlowNetwork::recompute_rates() {
-  // Progressive filling with per-link traversal multiplicity.
-  std::vector<double> residual(links_.size());
-  for (std::size_t i = 0; i < links_.size(); ++i) {
-    residual[i] = links_[i].effective_capacity_bps();
+  if (active_.empty()) {
+    return;
   }
-  std::vector<double> weight(links_.size(), 0.0);  // unfrozen traversals
-  std::map<FlowId, std::size_t> multiplicity_cache;
-
-  std::vector<Flow*> unfrozen;
-  unfrozen.reserve(flows_.size());
-  for (auto& [id, flow] : flows_) {
-    flow.rate = 0.0;
-    unfrozen.push_back(&flow);
-    for (LinkId l : flow.route) {
-      weight[l] += 1.0;
-    }
+  // Progressive filling with per-link traversal multiplicity.  The
+  // scratch is seeded from the incrementally maintained traversal
+  // counts, and every loop walks the compact active-link list — links
+  // with no traffic are never touched, and nothing allocates.
+  bool contended = false;
+  for (const LinkId l : active_links_) {
+    residual_[l] = links_[l].effective_capacity_bps();
+    weight_[l] = static_cast<double>(traversals_[l]);
+    contended = contended || traversals_[l] > 1;
   }
-
-  if (std::any_of(weight.begin(), weight.end(),
-                  [](double w) { return w > 1.0; })) {
+  if (contended) {
     net_metrics().contention_events->add(1);
   }
 
-  while (!unfrozen.empty()) {
+  unfrozen_.clear();
+  for (const std::uint32_t slot : active_) {  // ascending FlowId
+    Flow& flow = slots_[slot];
+    flow.rate = 0.0;
+    unfrozen_.push_back(&flow);
+  }
+
+  while (!unfrozen_.empty()) {
     // Bottleneck link: smallest residual capacity per unit weight.
     double best_share = std::numeric_limits<double>::infinity();
-    for (std::size_t l = 0; l < links_.size(); ++l) {
-      if (weight[l] > 0.0) {
-        best_share = std::min(best_share, residual[l] / weight[l]);
+    for (const LinkId l : active_links_) {
+      if (weight_[l] > 0.0) {
+        best_share = std::min(best_share, residual_[l] / weight_[l]);
       }
     }
     ensure(best_share < std::numeric_limits<double>::infinity(),
@@ -252,14 +345,14 @@ void FlowNetwork::recompute_rates() {
     // Freeze every flow whose route crosses a bottleneck link.  A flow's
     // rate equals the per-traversal share (a flow crossing a bottleneck
     // twice still moves bytes end-to-end at one share; each traversal
-    // separately charges the link, which `weight` already accounts for).
-    std::vector<Flow*> still_unfrozen;
+    // separately charges the link, which `weight_` already accounts for).
+    still_unfrozen_.clear();
     bool froze_any = false;
-    for (Flow* flow : unfrozen) {
+    for (Flow* flow : unfrozen_) {
       bool bottlenecked = false;
-      for (LinkId l : flow->route) {
-        if (weight[l] > 0.0 &&
-            residual[l] / weight[l] <= best_share * (1.0 + 1e-12)) {
+      for (const LinkId l : flow->route) {
+        if (weight_[l] > 0.0 &&
+            residual_[l] / weight_[l] <= best_share * (1.0 + 1e-12)) {
           bottlenecked = true;
           break;
         }
@@ -267,16 +360,41 @@ void FlowNetwork::recompute_rates() {
       if (bottlenecked) {
         flow->rate = best_share;
         froze_any = true;
-        for (LinkId l : flow->route) {
-          residual[l] -= best_share;
-          weight[l] -= 1.0;
+        for (const LinkId l : flow->route) {
+          residual_[l] -= best_share;
+          weight_[l] -= 1.0;
         }
       } else {
-        still_unfrozen.push_back(flow);
+        still_unfrozen_.push_back(flow);
       }
     }
     ensure(froze_any, "FlowNetwork: progressive filling failed to converge");
-    unfrozen = std::move(still_unfrozen);
+    unfrozen_.swap(still_unfrozen_);
+  }
+}
+
+void FlowNetwork::mark_rates_dirty() {
+  rates_dirty_ = true;
+  if (resolve_scheduled_) {
+    return;
+  }
+  resolve_scheduled_ = true;
+  // Zero-delay event: it fires after every other mutation at this
+  // timestamp (same-time FIFO order), collapsing a burst of flow
+  // starts/finishes into one progressive-filling pass.  The final rates
+  // are a pure function of the surviving active set, so batching is
+  // bit-identical to solving after every mutation.
+  engine_->schedule_at(engine_->now(), [this] {
+    resolve_scheduled_ = false;
+    ensure_rates_current();
+    reschedule_completion();
+  });
+}
+
+void FlowNetwork::ensure_rates_current() const {
+  if (rates_dirty_) {
+    rates_dirty_ = false;
+    const_cast<FlowNetwork*>(this)->recompute_rates();
   }
 }
 
@@ -285,11 +403,12 @@ void FlowNetwork::reschedule_completion() {
     engine_->cancel(completion_event_);
     completion_scheduled_ = false;
   }
-  if (flows_.empty()) {
+  if (active_.empty()) {
     return;
   }
   double earliest = std::numeric_limits<double>::infinity();
-  for (const auto& [id, flow] : flows_) {
+  for (const std::uint32_t slot : active_) {
+    const Flow& flow = slots_[slot];
     if (flow.rate > 0.0) {
       earliest = std::min(earliest, flow.remaining / flow.rate);
     }
@@ -305,17 +424,21 @@ void FlowNetwork::on_completion_event() {
   completion_scheduled_ = false;
   advance_progress();
 
-  std::vector<Flow> finished;
-  for (auto it = flows_.begin(); it != flows_.end();) {
-    if (it->second.remaining <= kEpsilonBytes) {
-      finished.push_back(std::move(it->second));
-      it = flows_.erase(it);
-    } else {
-      ++it;
+  // Collect finished slots first (active_ iterates ascending FlowId, so
+  // completion callbacks keep firing in id order), then unlink them.
+  std::vector<std::uint32_t> finished_slots;
+  for (const std::uint32_t slot : active_) {
+    if (slots_[slot].remaining <= kEpsilonBytes) {
+      finished_slots.push_back(slot);
     }
   }
-  recompute_rates();
-  reschedule_completion();
+  std::vector<Flow> finished;
+  finished.reserve(finished_slots.size());
+  for (const std::uint32_t slot : finished_slots) {
+    deactivate(slot);
+    finished.push_back(std::move(slots_[slot]));
+  }
+  mark_rates_dirty();
 
   net_metrics().flows_completed->add(finished.size());
   const Time now = engine_->now();
@@ -326,22 +449,112 @@ void FlowNetwork::on_completion_event() {
   }
 }
 
+std::uint32_t FlowNetwork::find_active_slot(FlowId id) const {
+  const auto it = std::lower_bound(
+      active_.begin(), active_.end(), id,
+      [this](std::uint32_t s, FlowId want) { return slots_[s].id < want; });
+  if (it == active_.end() || slots_[*it].id != id) {
+    return kNoSlot;
+  }
+  return *it;
+}
+
 double FlowNetwork::flow_rate(FlowId id) const {
-  const auto it = flows_.find(id);
-  return it == flows_.end() ? 0.0 : it->second.rate;
+  ensure_rates_current();
+  const std::uint32_t slot = find_active_slot(id);
+  return slot == kNoSlot ? 0.0 : slots_[slot].rate;
 }
 
 double FlowNetwork::link_load(LinkId id) const {
   ensure(id < links_.size(), "FlowNetwork: bad link id");
+  ensure_rates_current();
   double load = 0.0;
-  for (const auto& [flow_id, flow] : flows_) {
-    for (LinkId l : flow.route) {
-      if (l == id) {
-        load += flow.rate;
-      }
-    }
+  for (const Incidence& entry : link_flows_[id]) {
+    load += slots_[entry.slot].rate * static_cast<double>(entry.count);
   }
   return load;
+}
+
+std::vector<std::pair<FlowId, double>> FlowNetwork::current_rates() const {
+  ensure_rates_current();
+  std::vector<std::pair<FlowId, double>> out;
+  out.reserve(active_.size());
+  for (const std::uint32_t slot : active_) {
+    out.emplace_back(slots_[slot].id, slots_[slot].rate);
+  }
+  return out;
+}
+
+std::vector<std::pair<FlowId, double>> FlowNetwork::reference_rates() const {
+  // The original from-scratch solver, kept verbatim as the oracle: fresh
+  // buffers over every link, weights re-derived by walking each route.
+  std::vector<double> residual(links_.size());
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    residual[i] = links_[i].effective_capacity_bps();
+  }
+  std::vector<double> weight(links_.size(), 0.0);
+
+  struct RefFlow {
+    const Flow* flow;
+    double rate;
+  };
+  std::vector<RefFlow> all;
+  all.reserve(active_.size());
+  for (const std::uint32_t slot : active_) {  // ascending FlowId
+    all.push_back(RefFlow{&slots_[slot], 0.0});
+    for (const LinkId l : slots_[slot].route) {
+      weight[l] += 1.0;
+    }
+  }
+  std::vector<RefFlow*> unfrozen;
+  unfrozen.reserve(all.size());
+  for (auto& rf : all) {
+    unfrozen.push_back(&rf);
+  }
+
+  while (!unfrozen.empty()) {
+    double best_share = std::numeric_limits<double>::infinity();
+    for (std::size_t l = 0; l < links_.size(); ++l) {
+      if (weight[l] > 0.0) {
+        best_share = std::min(best_share, residual[l] / weight[l]);
+      }
+    }
+    ensure(best_share < std::numeric_limits<double>::infinity(),
+           "FlowNetwork: active flow with no weighted links");
+    best_share = std::max(best_share, 0.0);
+
+    std::vector<RefFlow*> still_unfrozen;
+    bool froze_any = false;
+    for (RefFlow* rf : unfrozen) {
+      bool bottlenecked = false;
+      for (const LinkId l : rf->flow->route) {
+        if (weight[l] > 0.0 &&
+            residual[l] / weight[l] <= best_share * (1.0 + 1e-12)) {
+          bottlenecked = true;
+          break;
+        }
+      }
+      if (bottlenecked) {
+        rf->rate = best_share;
+        froze_any = true;
+        for (const LinkId l : rf->flow->route) {
+          residual[l] -= best_share;
+          weight[l] -= 1.0;
+        }
+      } else {
+        still_unfrozen.push_back(rf);
+      }
+    }
+    ensure(froze_any, "FlowNetwork: progressive filling failed to converge");
+    unfrozen = std::move(still_unfrozen);
+  }
+
+  std::vector<std::pair<FlowId, double>> out;
+  out.reserve(all.size());
+  for (const RefFlow& rf : all) {
+    out.emplace_back(rf.flow->id, rf.rate);
+  }
+  return out;
 }
 
 }  // namespace pvc::sim

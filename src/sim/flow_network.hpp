@@ -12,11 +12,24 @@
 //
 // Routes may traverse the same link more than once (2-hop Xe-Link routes);
 // each traversal consumes an extra share of that link's capacity.
+//
+// Hot-path design (docs/PERFORMANCE.md): flows live in slot-indexed
+// storage with a free list (no per-flow node allocations), the solver
+// maintains per-link active-traversal counts and a compact active-link
+// list incrementally across flow add/remove/scale changes, and the
+// progressive-filling scratch buffers are members reused across calls.
+// Rate recomputation is batched: mutations mark the rates dirty and a
+// zero-delay resolve event (or the first rate query, whichever comes
+// first) runs progressive filling once per simulated instant, so N
+// flows starting at the same timestamp cost one solve instead of N.
+// reference_rates() retains the original from-scratch solver as the
+// equivalence-test oracle.
 
+#include <array>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -37,6 +50,9 @@ enum class LinkClass : std::uint8_t {
   FabricAgg,  ///< node-wide fabric ceiling
   Other,
 };
+
+inline constexpr std::size_t kLinkClassCount =
+    static_cast<std::size_t>(LinkClass::Other) + 1;
 
 [[nodiscard]] LinkClass classify_link(const std::string& name);
 [[nodiscard]] const char* link_class_name(LinkClass c);
@@ -88,7 +104,7 @@ class FlowNetwork {
 
   /// Number of flows currently transferring (excludes latency phase).
   [[nodiscard]] std::size_t active_flows() const noexcept {
-    return flows_.size();
+    return active_.size();
   }
 
   /// Current fair-share rate of an active flow; 0 if unknown/finished.
@@ -96,32 +112,83 @@ class FlowNetwork {
 
   /// Instantaneous load on a link: the sum of active flow rates crossing
   /// it (counting multiplicity).  Never exceeds the link's capacity —
-  /// the invariant the property tests check.
+  /// the invariant the property tests check.  Served by the per-link
+  /// incidence list in O(flows on that link).
   [[nodiscard]] double link_load(LinkId id) const;
 
+  /// (id, rate) of every active flow, ascending id (test/introspection).
+  [[nodiscard]] std::vector<std::pair<FlowId, double>> current_rates() const;
+
+  /// Max-min rates re-derived from scratch by the retained reference
+  /// solver (full progressive filling over all links, fresh buffers).
+  /// The incremental hot path must agree with this oracle — asserted by
+  /// the randomized-churn equivalence test in tests/test_sim.cpp.
+  [[nodiscard]] std::vector<std::pair<FlowId, double>> reference_rates() const;
+
  private:
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
   struct Flow {
     FlowId id = 0;
     std::vector<LinkId> route;
+    /// Distinct links of `route` with traversal multiplicity, computed
+    /// once at activation; drives the incremental per-link bookkeeping.
+    std::vector<std::pair<LinkId, std::uint32_t>> incident;
     double remaining = 0.0;
     double rate = 0.0;
     std::function<void(Time)> on_complete;
     std::uint8_t class_mask = 0;  ///< distinct LinkClass bits of the route
   };
+  /// One active flow crossing a link (slot + traversal count).
+  struct Incidence {
+    std::uint32_t slot = 0;
+    std::uint32_t count = 0;
+  };
 
   void activate(Flow flow);
+  void deactivate(std::uint32_t slot);
   void advance_progress();
   void recompute_rates();
+  /// Flags the fair-share rates stale and (once per simulated instant)
+  /// schedules a zero-delay resolve event that recomputes them and
+  /// re-arms the completion event.  Progress never integrates across a
+  /// dirty window: time cannot advance past the resolve event.
+  void mark_rates_dirty();
+  /// Runs the deferred recompute now if the rates are stale (rate
+  /// queries between a mutation and its resolve event land here).
+  void ensure_rates_current() const;
   void reschedule_completion();
   void on_completion_event();
+  [[nodiscard]] std::uint32_t find_active_slot(FlowId id) const;
 
   Engine* engine_;
   std::vector<Link> links_;
-  std::map<FlowId, Flow> flows_;
   FlowId next_flow_id_ = 1;
   Time last_progress_time_ = 0.0;
   EventId completion_event_ = 0;
   bool completion_scheduled_ = false;
+  mutable bool rates_dirty_ = false;
+  bool resolve_scheduled_ = false;
+
+  // Slot-indexed flow storage with a free list; `active_` holds the live
+  // slots sorted by ascending FlowId (the iteration order the original
+  // std::map-based model used, preserved for determinism).
+  std::vector<Flow> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<std::uint32_t> active_;
+
+  // Incrementally maintained per-link state.
+  std::vector<std::uint32_t> traversals_;       ///< active traversal count
+  std::vector<std::vector<Incidence>> link_flows_;  ///< incidence lists
+  std::vector<LinkId> active_links_;            ///< links with traversals > 0
+  std::vector<std::uint32_t> link_pos_;         ///< index into active_links_
+  std::array<std::uint32_t, kLinkClassCount> class_active_ = {};
+
+  // Progressive-filling scratch, reused across recompute_rates() calls.
+  std::vector<double> residual_;
+  std::vector<double> weight_;
+  std::vector<Flow*> unfrozen_;
+  std::vector<Flow*> still_unfrozen_;
 };
 
 }  // namespace pvc::sim

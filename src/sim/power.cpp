@@ -21,8 +21,16 @@ struct PowerMetrics {
 };
 
 PowerMetrics& power_metrics() {
-  static PowerMetrics m = [] {
-    auto& reg = obs::Registry::global();
+  // Handles rebind whenever the thread's active registry changes
+  // (obs::ScopedRegistry isolates concurrent sweep workers).
+  thread_local PowerMetrics m;
+  thread_local obs::Registry* bound = nullptr;
+  auto& reg = obs::Registry::active();
+  if (bound == &reg) {
+    return m;
+  }
+  bound = &reg;
+  m = [&reg] {
     PowerMetrics p;
     p.governor_resolves =
         &reg.counter("power.governor_resolves", "calls",

@@ -1,0 +1,74 @@
+# ctest script: parallel-sweep determinism at the binary level.
+#
+# Asserts the ISSUE-3 acceptance criteria end to end: `threads=4` must
+# produce byte-identical stdout, CSV, and metrics snapshots to
+# `threads=1` on scaling_sweep and table3_p2p, and chaos_degradation
+# must be bit-reproducible across repeated runs of the same seed.
+#
+# Invoked as:
+#   cmake -DBENCH_DIR=<dir with bench binaries> -DWORK_DIR=<scratch dir>
+#         -P determinism_check.cmake
+
+foreach(var BENCH_DIR WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "determinism_check.cmake: ${var} not set")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(run_bench bin tag)
+  # Remaining arguments are passed to the binary; stdout lands in
+  # ${WORK_DIR}/${tag}.out.  Each run gets its own working directory so
+  # relative csv=/metrics= paths are identical strings in every run's
+  # stdout (the binaries echo the paths they write).
+  file(MAKE_DIRECTORY "${WORK_DIR}/${tag}")
+  execute_process(
+    COMMAND "${BENCH_DIR}/${bin}" ${ARGN}
+    WORKING_DIRECTORY "${WORK_DIR}/${tag}"
+    OUTPUT_FILE "${WORK_DIR}/${tag}.out"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${bin} ${ARGN} failed (exit ${rc})")
+  endif()
+endfunction()
+
+function(expect_identical a b what)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files "${a}" "${b}"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${what}: ${a} and ${b} differ")
+  endif()
+endfunction()
+
+# scaling_sweep and table3_p2p: threads=4 vs threads=1, stdout + CSV +
+# metrics snapshot all byte-identical.
+foreach(bin scaling_sweep table3_p2p)
+  run_bench(${bin} ${bin}_t1 threads=1 csv=out.csv metrics=out.met)
+  run_bench(${bin} ${bin}_t4 threads=4 csv=out.csv metrics=out.met)
+  expect_identical("${WORK_DIR}/${bin}_t1.out" "${WORK_DIR}/${bin}_t4.out"
+                   "${bin} stdout determinism")
+  expect_identical("${WORK_DIR}/${bin}_t1/out.csv"
+                   "${WORK_DIR}/${bin}_t4/out.csv"
+                   "${bin} CSV determinism")
+  expect_identical("${WORK_DIR}/${bin}_t1/out.met"
+                   "${WORK_DIR}/${bin}_t4/out.met"
+                   "${bin} metrics determinism")
+endforeach()
+
+# chaos_degradation: the default plan pins seed 42 — two threads=4 runs
+# must be bit-identical, and threads=1 must match as well.
+run_bench(chaos_degradation chaos_a threads=4 csv=out.csv)
+run_bench(chaos_degradation chaos_b threads=4 csv=out.csv)
+run_bench(chaos_degradation chaos_s threads=1 csv=out.csv)
+expect_identical("${WORK_DIR}/chaos_a.out" "${WORK_DIR}/chaos_b.out"
+                 "chaos_degradation seed reproducibility (stdout)")
+expect_identical("${WORK_DIR}/chaos_a/out.csv" "${WORK_DIR}/chaos_b/out.csv"
+                 "chaos_degradation seed reproducibility (CSV)")
+expect_identical("${WORK_DIR}/chaos_a.out" "${WORK_DIR}/chaos_s.out"
+                 "chaos_degradation threads=4 vs threads=1 (stdout)")
+expect_identical("${WORK_DIR}/chaos_a/out.csv" "${WORK_DIR}/chaos_s/out.csv"
+                 "chaos_degradation threads=4 vs threads=1 (CSV)")
+
+message(STATUS "parallel-sweep determinism checks passed")

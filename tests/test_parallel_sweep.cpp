@@ -1,0 +1,102 @@
+// Tests for the bench ParallelSweep runner: metrics snapshots must be
+// byte-identical for any thread count (task-index-order merge), worker
+// failures must propagate, and thread-count resolution must be sane.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "parallel_sweep.hpp"
+
+namespace {
+
+/// Runs eight metric-bumping tasks under `threads` workers and returns
+/// the merged snapshot of a private base registry.  The gauge sums are
+/// deliberately order-sensitive in floating point (1e16 + 1.0 + ...)
+/// so any merge-order nondeterminism shows up as a bit difference.
+pvc::obs::Snapshot run_sweep(std::size_t threads) {
+  pvc::obs::Registry base;
+  pvc::obs::ScopedRegistry scope(base);
+  pvcbench::ParallelSweep sweep(threads);
+  for (int t = 0; t < 8; ++t) {
+    sweep.add([t] {
+      auto& reg = pvc::obs::Registry::active();
+      reg.counter("sweep.tasks", "calls", "tasks executed").add(1);
+      reg.gauge("sweep.sum", "", "order-sensitive fold")
+          .add(t == 0 ? 1e16 : 1.0);
+      reg.histogram("sweep.bytes", "B", "per-task bytes")
+          .observe(static_cast<std::uint64_t>(1) << t);
+    });
+  }
+  sweep.run();
+  return base.snapshot();
+}
+
+void expect_identical(const pvc::obs::Snapshot& a,
+                      const pvc::obs::Snapshot& b) {
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    const auto& sa = a.samples[i];
+    const auto& sb = b.samples[i];
+    EXPECT_EQ(sa.name, sb.name);
+    EXPECT_EQ(sa.count, sb.count);
+    EXPECT_EQ(sa.value, sb.value);  // exact: determinism is the contract
+    ASSERT_EQ(sa.buckets.size(), sb.buckets.size());
+    for (std::size_t k = 0; k < sa.buckets.size(); ++k) {
+      EXPECT_EQ(sa.buckets[k].count, sb.buckets[k].count);
+      EXPECT_EQ(sa.buckets[k].weight, sb.buckets[k].weight);
+    }
+  }
+}
+
+TEST(ParallelSweep, MetricsSnapshotIdenticalAcrossThreadCounts) {
+  const auto serial = run_sweep(1);
+  EXPECT_EQ(serial.count("sweep.tasks"), 8u);
+  double expected_sum = 0.0;  // fold in task-index order, like the merge
+  for (int t = 0; t < 8; ++t) {
+    expected_sum += (t == 0 ? 1e16 : 1.0);
+  }
+  EXPECT_EQ(serial.value("sweep.sum"), expected_sum);
+  expect_identical(serial, run_sweep(2));
+  expect_identical(serial, run_sweep(4));
+  expect_identical(serial, run_sweep(16));  // more workers than tasks
+}
+
+TEST(ParallelSweep, TaskMetricsDoNotLeakIntoCallerMidRun) {
+  // Tasks write to private registries; the caller's registry only sees
+  // the fold after run() returns.
+  pvc::obs::Registry base;
+  pvc::obs::ScopedRegistry scope(base);
+  pvcbench::ParallelSweep sweep(1);
+  sweep.add([&base] {
+    auto& reg = pvc::obs::Registry::active();
+    EXPECT_NE(&reg, &base);
+    reg.counter("leak.check", "calls", "").add(3);
+  });
+  sweep.run();
+  EXPECT_EQ(base.snapshot().count("leak.check"), 3u);
+}
+
+TEST(ParallelSweep, FirstFailureByIndexPropagates) {
+  pvcbench::ParallelSweep sweep(4);
+  sweep.add([] {});
+  sweep.add([] { throw std::runtime_error("task one failed"); });
+  sweep.add([] { throw std::runtime_error("task two failed"); });
+  try {
+    sweep.run();
+    FAIL() << "run() should rethrow the first failure";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task one failed");
+  }
+}
+
+TEST(ParallelSweep, ThreadCountResolution) {
+  EXPECT_GE(pvcbench::ParallelSweep(0).thread_count(), 1u);
+  EXPECT_EQ(pvcbench::ParallelSweep(3).thread_count(), 3u);
+}
+
+}  // namespace

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/error.hpp"
+#include "core/rng.hpp"
 #include "sim/cache_model.hpp"
 #include "sim/compute_queue.hpp"
 #include "sim/engine.hpp"
@@ -104,6 +105,38 @@ TEST(Engine, CancelNeverScheduledIdIsExactNoOp) {
   engine.schedule_at(1.0, [&] { fired = true; });
   engine.run();
   EXPECT_TRUE(fired);
+}
+
+TEST(Engine, CancelChurnRunsOnlySurvivors) {
+  // Heavy schedule/cancel churn across slot recycling: only the
+  // uncancelled half may fire, in time order, and every retired id
+  // stays an exact no-op afterwards even once its slot is reused.
+  Engine engine;
+  std::vector<int> fired;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(
+        engine.schedule_at(static_cast<double>(i), [&fired, i] {
+          fired.push_back(i);
+        }));
+  }
+  for (int i = 0; i < 1000; i += 2) {
+    engine.cancel(ids[static_cast<std::size_t>(i)]);
+  }
+  engine.run();
+  ASSERT_EQ(fired.size(), 500u);
+  for (std::size_t k = 0; k < fired.size(); ++k) {
+    EXPECT_EQ(fired[k], static_cast<int>(2 * k + 1));
+  }
+  // All ids are stale now; cancelling them must not disturb new events
+  // that recycle the same slots.
+  for (const EventId id : ids) {
+    engine.cancel(id);
+  }
+  bool again = false;
+  engine.schedule_at(2000.0, [&again] { again = true; });
+  EXPECT_DOUBLE_EQ(engine.run(), 2000.0);
+  EXPECT_TRUE(again);
 }
 
 TEST(Engine, StepExecutesAtMostOneEventUpToLimit) {
@@ -291,6 +324,80 @@ TEST(FlowNetwork, InvalidInputsThrow) {
   const LinkId link = net.add_link("l", 1.0);
   EXPECT_THROW(net.start_flow({link + 10}, 1.0, 0.0, {}), pvc::Error);
   EXPECT_THROW(net.start_flow({link}, -1.0, 0.0, {}), pvc::Error);
+}
+
+TEST(FlowNetwork, LinkLoadCountsMultiTraversalRoutes) {
+  Engine engine;
+  FlowNetwork net(engine);
+  const LinkId link = net.add_link("l", 100.0);
+  // Flow A crosses the link twice (2-hop Xe-Link pattern), flow B once:
+  // three traversals share 100 B/s, so both flows run at 100/3 and the
+  // link is exactly full counting A's multiplicity.
+  const FlowId a = net.start_flow({link, link}, 300.0, 0.0, {});
+  const FlowId b = net.start_flow({link}, 300.0, 0.0, {});
+  engine.schedule_at(1.0, [&] {
+    EXPECT_DOUBLE_EQ(net.flow_rate(a), 100.0 / 3.0);
+    EXPECT_DOUBLE_EQ(net.flow_rate(b), 100.0 / 3.0);
+    EXPECT_DOUBLE_EQ(net.link_load(link), 100.0);
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(net.link_load(link), 0.0);
+}
+
+TEST(FlowNetwork, IncrementalMatchesReferenceUnderRandomChurn) {
+  // Randomized flow churn (starts, completions, multi-traversal routes,
+  // link degradations/restores): after every mutation the incremental
+  // solver's rates must match the retained from-scratch reference
+  // solver, and link loads must respect capacities.
+  Engine engine;
+  FlowNetwork net(engine);
+  pvc::Rng rng(0xC0FFEEu);
+
+  std::vector<LinkId> links;
+  for (int i = 0; i < 6; ++i) {
+    links.push_back(
+        net.add_link("l" + std::to_string(i), 50.0 * (1 + i % 3)));
+  }
+
+  const auto check = [&net, &links] {
+    const auto inc = net.current_rates();
+    const auto ref = net.reference_rates();
+    ASSERT_EQ(inc.size(), ref.size());
+    for (std::size_t i = 0; i < inc.size(); ++i) {
+      EXPECT_EQ(inc[i].first, ref[i].first);
+      EXPECT_DOUBLE_EQ(inc[i].second, ref[i].second);
+    }
+    for (const LinkId id : links) {
+      EXPECT_LE(net.link_load(id),
+                net.link(id).effective_capacity_bps() * (1.0 + 1e-9));
+    }
+  };
+
+  double t = 0.0;
+  for (int step = 0; step < 300; ++step) {
+    t += rng.uniform(0.0, 0.5);
+    engine.schedule_at(t, [&net, &links, &rng, &check] {
+      const double pick = rng.uniform();
+      if (pick < 0.7) {
+        // Random route of 1-3 hops, links drawn with replacement so the
+        // same link is regularly traversed more than once.
+        std::vector<LinkId> route;
+        const std::size_t hops = 1 + rng.uniform_index(3);
+        for (std::size_t h = 0; h < hops; ++h) {
+          route.push_back(links[rng.uniform_index(links.size())]);
+        }
+        net.start_flow(std::move(route), rng.uniform(10.0, 500.0),
+                       rng.uniform(0.0, 0.1), {});
+      } else {
+        net.set_link_scale(links[rng.uniform_index(links.size())],
+                           rng.uniform(0.25, 1.0));
+      }
+      check();
+    });
+  }
+  engine.run();
+  check();
+  EXPECT_EQ(net.active_flows(), 0u);
 }
 
 // --- compute queue -----------------------------------------------------------
