@@ -2,7 +2,7 @@
 // mechanism is switched off in turn and the headline quantity it explains
 // is re-measured, showing what the model would get wrong without it.
 //
-// Usage: ablation_model [csv=<path>]
+// Usage: ablation_model [csv=<path>] [threads=<n>]
 
 #include <cstdio>
 #include <iostream>
@@ -12,6 +12,7 @@
 #include "core/table.hpp"
 #include "kernels/pointer_chase.hpp"
 #include "micro/microbench.hpp"
+#include "parallel_sweep.hpp"
 #include "sim/cache_model.hpp"
 
 namespace {
@@ -22,14 +23,20 @@ int run(int argc, char** argv) {
   using arch::Scope;
   const auto config = Config::from_args(argc, argv);
 
-  Table table("Model ablations — mechanism off vs on (Aurora)");
-  table.set_header({"Ablation", "Quantity", "Mechanism ON", "Mechanism OFF",
-                    "Paper observation"});
-  CsvWriter csv;
-  csv.set_header({"ablation", "on", "off"});
+  // Each ablation re-runs an independent pair of simulations, so the
+  // five pairs compute concurrently into (on, off) slots; the table and
+  // CSV are assembled serially below in the fixed ablation order
+  // (ParallelSweep determinism contract).
+  double governor_on = 0.0, governor_off = 0.0;
+  double host_on = 0.0, host_off = 0.0;
+  double fabric_on = 0.0, fabric_off = 0.0;
+  double llc_on = 0.0, llc_off = 0.0;
+  double dgemm_on = 0.0, dgemm_off = 0.0;
+  pvcbench::ParallelSweep sweep(
+      pvcbench::ParallelSweep::threads_from_config(config));
 
   // 1. Power/frequency governor: FP32/FP64 peak ratio.
-  {
+  sweep.add([&] {
     const auto on = arch::aurora();
     auto off = on;
     off.power.stack_cap_w = 1e9;
@@ -41,15 +48,12 @@ int run(int argc, char** argv) {
              micro::measure_peak_flops(n, Precision::FP64,
                                        Scope::OneSubdevice);
     };
-    const double r_on = ratio(on), r_off = ratio(off);
-    table.add_row({"power governor", "FP32/FP64 peak ratio",
-                   format_value(r_on, 3), format_value(r_off, 3),
-                   "1.3x from TDP down-clock (§IV-B2)"});
-    csv.add_numeric_row("governor_fp_ratio", {r_on, r_off});
-  }
+    governor_on = ratio(on);
+    governor_off = ratio(off);
+  });
 
   // 2. Host-side I/O aggregate: full-node D2H scaling.
-  {
+  sweep.add([&] {
     const auto on = arch::aurora();
     auto off = on;
     off.host_io.d2h_total_bps = 1e15;
@@ -58,28 +62,21 @@ int run(int argc, char** argv) {
       return micro::measure_pcie_bandwidth(n, micro::PcieDirection::D2H,
                                            Scope::FullNode);
     };
-    const double on_bw = bw(on), off_bw = bw(off);
-    table.add_row({"host I/O aggregate cap", "full-node D2H",
-                   format_bandwidth(on_bw), format_bandwidth(off_bw),
-                   "264 GB/s, 40% per-rank efficiency (§IV-B4)"});
-    csv.add_numeric_row("host_cap_d2h", {on_bw, off_bw});
-  }
+    host_on = bw(on);
+    host_off = bw(off);
+  });
 
   // 3. Node fabric aggregate: six local stack pairs, bidirectional.
-  {
+  sweep.add([&] {
     const auto on = arch::aurora();
     auto off = on;
     off.fabric.aggregate_bps = 0.0;
-    const double on_bw = micro::measure_p2p(on, true).local_bidir_bps;
-    const double off_bw = micro::measure_p2p(off, true).local_bidir_bps;
-    table.add_row({"fabric aggregate ceiling", "6-pair local bidir",
-                   format_bandwidth(on_bw), format_bandwidth(off_bw),
-                   "1661 GB/s, ~95% parallel efficiency (Table III)"});
-    csv.add_numeric_row("fabric_agg_local", {on_bw, off_bw});
-  }
+    fabric_on = micro::measure_p2p(on, true).local_bidir_bps;
+    fabric_off = micro::measure_p2p(off, true).local_bidir_bps;
+  });
 
   // 4. LLC level in the latency hierarchy: mid-footprint chase latency.
-  {
+  sweep.add([&] {
     const auto node = arch::aurora();
     sim::CacheHierarchy with_llc(node.card.subdevice.caches,
                                  node.card.subdevice.hbm.latency_cycles);
@@ -88,31 +85,52 @@ int run(int argc, char** argv) {
     kernels::ChaseConfig cfg;
     cfg.footprint_bytes = static_cast<std::size_t>(16.0 * MiB);
     cfg.steps = 20000;
-    const double on_lat =
-        kernels::chase_simulated(with_llc, cfg).avg_latency_cycles;
-    const double off_lat =
-        kernels::chase_simulated(without_llc, cfg).avg_latency_cycles;
-    table.add_row({"192 MiB LLC level", "16 MiB-footprint latency",
-                   format_value(on_lat, 4) + " cyc",
-                   format_value(off_lat, 4) + " cyc",
-                   "LLC plateau in Figure 1"});
-    csv.add_numeric_row("llc_latency", {on_lat, off_lat});
-  }
+    llc_on = kernels::chase_simulated(with_llc, cfg).avg_latency_cycles;
+    llc_off = kernels::chase_simulated(without_llc, cfg).avg_latency_cycles;
+  });
 
   // 5. GEMM efficiency split by precision pipeline: DGEMM vs naive 100%.
-  {
+  sweep.add([&] {
     const auto on = arch::aurora();
     auto off = on;
     off.calib.gemm_eff_fp64 = 1.0;
-    const double on_rate =
-        micro::measure_gemm(on, Precision::FP64, Scope::OneSubdevice);
-    const double off_rate =
-        micro::measure_gemm(off, Precision::FP64, Scope::OneSubdevice);
-    table.add_row({"DGEMM library efficiency", "one-stack DGEMM",
-                   format_flops(on_rate), format_flops(off_rate),
-                   "13 TFlop/s, ~80% of measured peak (§IV-B5)"});
-    csv.add_numeric_row("dgemm_eff", {on_rate, off_rate});
-  }
+    dgemm_on = micro::measure_gemm(on, Precision::FP64, Scope::OneSubdevice);
+    dgemm_off = micro::measure_gemm(off, Precision::FP64, Scope::OneSubdevice);
+  });
+
+  sweep.run();
+
+  Table table("Model ablations — mechanism off vs on (Aurora)");
+  table.set_header({"Ablation", "Quantity", "Mechanism ON", "Mechanism OFF",
+                    "Paper observation"});
+  CsvWriter csv;
+  csv.set_header({"ablation", "on", "off"});
+
+  table.add_row({"power governor", "FP32/FP64 peak ratio",
+                 format_value(governor_on, 3), format_value(governor_off, 3),
+                 "1.3x from TDP down-clock (§IV-B2)"});
+  csv.add_numeric_row("governor_fp_ratio", {governor_on, governor_off});
+
+  table.add_row({"host I/O aggregate cap", "full-node D2H",
+                 format_bandwidth(host_on), format_bandwidth(host_off),
+                 "264 GB/s, 40% per-rank efficiency (§IV-B4)"});
+  csv.add_numeric_row("host_cap_d2h", {host_on, host_off});
+
+  table.add_row({"fabric aggregate ceiling", "6-pair local bidir",
+                 format_bandwidth(fabric_on), format_bandwidth(fabric_off),
+                 "1661 GB/s, ~95% parallel efficiency (Table III)"});
+  csv.add_numeric_row("fabric_agg_local", {fabric_on, fabric_off});
+
+  table.add_row({"192 MiB LLC level", "16 MiB-footprint latency",
+                 format_value(llc_on, 4) + " cyc",
+                 format_value(llc_off, 4) + " cyc",
+                 "LLC plateau in Figure 1"});
+  csv.add_numeric_row("llc_latency", {llc_on, llc_off});
+
+  table.add_row({"DGEMM library efficiency", "one-stack DGEMM",
+                 format_flops(dgemm_on), format_flops(dgemm_off),
+                 "13 TFlop/s, ~80% of measured peak (§IV-B5)"});
+  csv.add_numeric_row("dgemm_eff", {dgemm_on, dgemm_off});
 
   table.render(std::cout);
   pvcbench::maybe_write_csv(config, csv);

@@ -3,13 +3,15 @@
 // coalesced (16-work-item sub-group) mode the paper plots and the
 // original single-lane ring mode.
 //
-// Usage: fig1_latency [coalesced=true] [csv=<path>]
+// Usage: fig1_latency [coalesced=true] [csv=<path>] [threads=<n>]
 
 #include <cstdio>
 #include <iostream>
 
+#include "arch/systems.hpp"
 #include "bench_common.hpp"
 #include "core/ascii_plot.hpp"
+#include "parallel_sweep.hpp"
 #include "report/figures.hpp"
 
 namespace {
@@ -21,7 +23,19 @@ int run(int argc, char** argv) {
 
   std::printf("Figure 1 reproduction — memory latency (%s access mode)\n\n",
               coalesced ? "coalesced 16-wide" : "single-lane ring");
-  const auto series = report::figure1_series(coalesced);
+  // One task per system, rendered serially below in system order — the
+  // ParallelSweep determinism contract keeps output and metrics
+  // byte-identical to the serial sweep (tests/determinism_check.cmake).
+  const auto systems = arch::all_systems();
+  std::vector<report::LatencySeries> series(systems.size());
+  pvcbench::ParallelSweep sweep(
+      pvcbench::ParallelSweep::threads_from_config(config));
+  for (std::size_t i = 0; i < systems.size(); ++i) {
+    sweep.add([&, i] {
+      series[i] = report::figure1_system_series(systems[i], coalesced);
+    });
+  }
+  sweep.run();
 
   LinePlot plot("Memory latency vs footprint", "footprint (bytes)",
                 "latency (cycles)");

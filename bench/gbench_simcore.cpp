@@ -6,8 +6,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
 #include "arch/systems.hpp"
+#include "comm/communicator.hpp"
+#include "core/rng.hpp"
 #include "micro/microbench.hpp"
+#include "runtime/node_sim.hpp"
 #include "sim/cache_model.hpp"
 #include "sim/engine.hpp"
 #include "sim/flow_network.hpp"
@@ -86,6 +94,82 @@ void BM_CacheHierarchyAccess(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_CacheHierarchyAccess);
+
+// The Figure 1 workload shape: the address trace of a dependent pointer
+// chase (warmup lap + timed steps, as chase_simulated() issues it)
+// through the Aurora hierarchy at footprints resident in L1, in the
+// 192 MiB LLC, and beyond it in HBM.  The trace is precomputed so the
+// timed region is exactly the model hot path — reset() plus bulk
+// access_run() over block-buffered addresses — which is where the
+// latency sweeps spend their wall-clock.
+void BM_CacheChase(benchmark::State& state) {
+  const auto node = pvc::arch::aurora();
+  const std::size_t footprint = static_cast<std::size_t>(state.range(0));
+  pvc::sim::CacheHierarchy cache(node.card.subdevice.caches,
+                                 node.card.subdevice.hbm.latency_cycles);
+  const std::size_t nodes = footprint / 64;
+  const std::size_t steps = std::min<std::size_t>(200000, nodes * 4);
+  std::vector<std::uint32_t> next(nodes);
+  pvc::Rng rng(42);
+  pvc::sattolo_cycle(rng, next.data(), nodes);
+  std::vector<std::uint64_t> trace(nodes + steps);  // warmup lap + steps
+  std::uint32_t idx = 0;
+  for (auto& addr : trace) {
+    addr = static_cast<std::uint64_t>(idx) * 64;
+    idx = next[idx];
+  }
+  constexpr std::size_t kBlock = 4096;
+  for (auto _ : state) {
+    cache.reset();
+    double latency = 0.0;
+    for (std::size_t i = 0; i < trace.size(); i += kBlock) {
+      latency += cache.access_run(
+          {trace.data() + i, std::min(kBlock, trace.size() - i)});
+    }
+    cache.flush_metrics();
+    benchmark::DoNotOptimize(latency);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_CacheChase)
+    ->Arg(256 << 10)  // L1-resident (512 KiB L1)
+    ->Arg(16 << 20)   // LLC-resident (192 MiB LLC)
+    ->Arg(384 << 20)  // beyond the LLC: HBM
+    ->Unit(benchmark::kMillisecond);
+
+// Message-matching churn: every rank bursts `range(0)` receives, then
+// the matching sends arrive in reverse tag order, so each send faces
+// the deepest possible unmatched queue.  Guards the tag-matching path
+// the P2P/collective sweeps (Table III) stress under load.
+void BM_TagMatchChurn(benchmark::State& state) {
+  const auto node = pvc::arch::aurora();
+  const int burst = static_cast<int>(state.range(0));
+  std::int64_t messages = 0;
+  for (auto _ : state) {
+    pvc::rt::NodeSim sim(node);
+    auto comm = pvc::comm::Communicator::explicit_scaling(sim);
+    const int ranks = comm.size();
+    for (int dst = 0; dst < ranks; ++dst) {
+      for (int i = 0; i < burst; ++i) {
+        comm.irecv(dst, /*src=*/i % ranks, /*tag=*/i, /*bytes=*/64.0);
+      }
+    }
+    for (int dst = 0; dst < ranks; ++dst) {
+      for (int i = burst - 1; i >= 0; --i) {
+        comm.isend(i % ranks, dst, /*tag=*/i, /*bytes=*/64.0);
+      }
+    }
+    messages += static_cast<std::int64_t>(ranks) * burst;
+    benchmark::DoNotOptimize(comm.unmatched_sends());
+  }
+  state.SetItemsProcessed(messages);
+}
+BENCHMARK(BM_TagMatchChurn)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_MeasurePeakFlops(benchmark::State& state) {
   const auto node = pvc::arch::aurora();

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <iterator>
 #include <sstream>
 
 #include "comm/metrics_internal.hpp"
@@ -122,6 +121,50 @@ struct Communicator::Transfer {
   }
 };
 
+void Communicator::SeqTree::append_live(std::uint64_t seq) {
+  // Node j covers the element range (j - lowbit(j), j].  Because seqs
+  // arrive in order, everything below the new node is already
+  // summarised, so the node value is the new element (1, live) plus the
+  // live count over the rest of its range.
+  const std::size_t j = static_cast<std::size_t>(seq) + 1;
+  const std::size_t low = j & (0 - j);
+  std::uint64_t node = 1;
+  if (low > 1) {
+    node += prefix(j - 1) - prefix(j - low);
+  }
+  tree_.push_back(node);
+}
+
+void Communicator::SeqTree::remove(std::uint64_t seq) {
+  for (std::size_t j = static_cast<std::size_t>(seq) + 1; j <= tree_.size();
+       j += j & (0 - j)) {
+    --tree_[j - 1];
+  }
+}
+
+std::uint64_t Communicator::SeqTree::live_below(std::uint64_t seq) const {
+  return prefix(static_cast<std::size_t>(seq));
+}
+
+std::uint64_t Communicator::SeqTree::prefix(std::size_t count) const {
+  std::uint64_t total = 0;
+  for (std::size_t j = count; j > 0; j -= j & (0 - j)) {
+    total += tree_[j - 1];
+  }
+  return total;
+}
+
+namespace {
+
+/// Hash-bucket key for one (source rank, tag) matching class.
+std::uint64_t match_key(int src_rank, int tag) noexcept {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src_rank))
+          << 32) |
+         static_cast<std::uint32_t>(tag);
+}
+
+}  // namespace
+
 Communicator::Communicator(rt::NodeSim& node, std::vector<int> rank_to_device)
     : node_(&node), rank_to_device_(std::move(rank_to_device)) {
   ensure(!rank_to_device_.empty(), "Communicator: need at least one rank");
@@ -129,8 +172,7 @@ Communicator::Communicator(rt::NodeSim& node, std::vector<int> rank_to_device)
     ensure(dev >= 0 && dev < node.device_count(),
            "Communicator: rank bound to invalid device");
   }
-  sends_.resize(rank_to_device_.size());
-  recvs_.resize(rank_to_device_.size());
+  queues_.resize(rank_to_device_.size());
 }
 
 Communicator Communicator::explicit_scaling(rt::NodeSim& node) {
@@ -154,6 +196,8 @@ void Communicator::set_resilience(Resilience resilience) {
          "Communicator: max_retries must be non-negative");
   ensure(resilience.retry_backoff_s >= 0.0, ErrorCode::InvalidArgument,
          "Communicator: retry_backoff_s must be non-negative");
+  ensure(resilience.max_backoff_s >= 0.0, ErrorCode::InvalidArgument,
+         "Communicator: max_backoff_s must be non-negative");
   resilience_ = resilience;
 }
 
@@ -164,9 +208,7 @@ Request Communicator::isend(int rank, int dst, int tag, double bytes,
   ensure(bytes >= 0.0, "Communicator: negative message size");
   comm_metrics().sends_posted->add(1);
   auto state = std::make_shared<Request::State>();
-  sends_[static_cast<std::size_t>(dst)].push_back(
-      PendingSend{rank, tag, bytes, data, state});
-  try_match(dst);
+  post_send(dst, PendingSend{rank, tag, bytes, data, state});
   return Request(state);
 }
 
@@ -177,37 +219,63 @@ Request Communicator::irecv(int rank, int src, int tag, double bytes,
   ensure(bytes >= 0.0, "Communicator: negative message size");
   comm_metrics().recvs_posted->add(1);
   auto state = std::make_shared<Request::State>();
-  recvs_[static_cast<std::size_t>(rank)].push_back(
-      PendingRecv{src, tag, bytes, data, state});
-  try_match(rank);
+  post_recv(rank, PendingRecv{src, tag, bytes, data, state});
   return Request(state);
 }
 
-void Communicator::try_match(int dst_rank) {
-  auto& recv_queue = recvs_[static_cast<std::size_t>(dst_rank)];
-  auto& send_queue = sends_[static_cast<std::size_t>(dst_rank)];
-
-  bool matched = true;
-  while (matched) {
-    matched = false;
-    for (auto rit = recv_queue.begin(); rit != recv_queue.end(); ++rit) {
-      const auto sit = std::find_if(
-          send_queue.begin(), send_queue.end(), [&](const PendingSend& s) {
-            return s.src_rank == rit->src_rank && s.tag == rit->tag;
-          });
-      if (sit != send_queue.end()) {
-        ensure(sit->bytes == rit->bytes,
-               "Communicator: matched send/recv sizes differ");
-        comm_metrics().tag_match_depth->observe(static_cast<std::uint64_t>(
-            std::distance(send_queue.begin(), sit)));
-        launch(sit->src_rank, dst_rank, *sit, *rit);
-        send_queue.erase(sit);
-        recv_queue.erase(rit);
-        matched = true;
-        break;
-      }
+void Communicator::post_send(int dst_rank, PendingSend&& send) {
+  MatchQueues& q = queues_[static_cast<std::size_t>(dst_rank)];
+  const std::uint64_t key = match_key(send.src_rank, send.tag);
+  if (const auto it = q.recvs.find(key); it != q.recvs.end()) {
+    ensure(send.bytes == it->second.front().op.bytes,
+           "Communicator: matched send/recv sizes differ");
+    // The seed scan would have appended this send behind every live one
+    // before matching it, so its queue position is the live send count.
+    comm_metrics().tag_match_depth->observe(
+        static_cast<std::uint64_t>(q.send_count));
+    QueuedRecv recv = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty()) {
+      q.recvs.erase(it);
     }
+    --q.recv_count;
+    if (q.recv_count == 0) {
+      q.recv_seq = 0;
+    }
+    launch(send.src_rank, dst_rank, send, recv.op);
+    return;
   }
+  const std::uint64_t seq = q.send_seq++;
+  q.send_live.append_live(seq);
+  ++q.send_count;
+  q.sends[key].push_back(QueuedSend{std::move(send), seq});
+}
+
+void Communicator::post_recv(int dst_rank, PendingRecv&& recv) {
+  MatchQueues& q = queues_[static_cast<std::size_t>(dst_rank)];
+  const std::uint64_t key = match_key(recv.src_rank, recv.tag);
+  if (const auto it = q.sends.find(key); it != q.sends.end()) {
+    ensure(it->second.front().op.bytes == recv.bytes,
+           "Communicator: matched send/recv sizes differ");
+    QueuedSend send = std::move(it->second.front());
+    // The seed scan reported the matched send's queue position: the
+    // number of still-unmatched sends posted before it.
+    comm_metrics().tag_match_depth->observe(q.send_live.live_below(send.seq));
+    it->second.pop_front();
+    if (it->second.empty()) {
+      q.sends.erase(it);
+    }
+    q.send_live.remove(send.seq);
+    --q.send_count;
+    if (q.send_count == 0) {
+      q.send_live.clear();
+      q.send_seq = 0;
+    }
+    launch(send.op.src_rank, dst_rank, send.op, recv);
+    return;
+  }
+  q.recvs[key].push_back(QueuedRecv{std::move(recv), q.recv_seq++});
+  ++q.recv_count;
 }
 
 void Communicator::launch(int src_rank, int dst_rank,
@@ -296,10 +364,11 @@ void Communicator::on_transfer_complete(
     return;
   }
   // A drop is noticed at the expected completion time; back off before
-  // retransmitting, doubling per failed attempt.
+  // retransmitting, doubling per failed attempt up to max_backoff_s.
   const double backoff =
-      resilience_.retry_backoff_s *
-      std::pow(2.0, static_cast<double>(transfer->attempt - 1));
+      std::min(resilience_.max_backoff_s,
+               resilience_.retry_backoff_s *
+                   std::pow(2.0, static_cast<double>(transfer->attempt - 1)));
   node_->engine().schedule_at(now + backoff,
                               [this, transfer] { retry_transfer(transfer); });
 }
@@ -315,16 +384,16 @@ void Communicator::fail_transfer(const std::shared_ptr<Transfer>& transfer,
 
 std::size_t Communicator::unmatched_sends() const noexcept {
   std::size_t n = 0;
-  for (const auto& q : sends_) {
-    n += q.size();
+  for (const auto& q : queues_) {
+    n += q.send_count;
   }
   return n;
 }
 
 std::size_t Communicator::unmatched_recvs() const noexcept {
   std::size_t n = 0;
-  for (const auto& q : recvs_) {
-    n += q.size();
+  for (const auto& q : queues_) {
+    n += q.recv_count;
   }
   return n;
 }
@@ -333,14 +402,39 @@ std::string Communicator::pending_diagnostics() const {
   std::ostringstream out;
   out << unmatched_sends() << " unmatched send(s), " << unmatched_recvs()
       << " unmatched recv(s)";
+  // Flatten the hash buckets back into post order (by seq) so the
+  // report reads exactly as the seed's FIFO queues did.
   for (int dst = 0; dst < size(); ++dst) {
-    for (const auto& s : sends_[static_cast<std::size_t>(dst)]) {
-      out << "; unmatched send: rank " << s.src_rank << " -> rank " << dst
-          << " tag " << s.tag << " (" << s.bytes << " bytes)";
+    const MatchQueues& q = queues_[static_cast<std::size_t>(dst)];
+    std::vector<const QueuedSend*> pending_sends;
+    pending_sends.reserve(q.send_count);
+    for (const auto& [key, bucket] : q.sends) {
+      for (const auto& s : bucket) {
+        pending_sends.push_back(&s);
+      }
     }
-    for (const auto& r : recvs_[static_cast<std::size_t>(dst)]) {
-      out << "; unmatched recv: rank " << dst << " <- rank " << r.src_rank
-          << " tag " << r.tag << " (" << r.bytes << " bytes)";
+    std::sort(pending_sends.begin(), pending_sends.end(),
+              [](const QueuedSend* a, const QueuedSend* b) {
+                return a->seq < b->seq;
+              });
+    for (const auto* s : pending_sends) {
+      out << "; unmatched send: rank " << s->op.src_rank << " -> rank " << dst
+          << " tag " << s->op.tag << " (" << s->op.bytes << " bytes)";
+    }
+    std::vector<const QueuedRecv*> pending_recvs;
+    pending_recvs.reserve(q.recv_count);
+    for (const auto& [key, bucket] : q.recvs) {
+      for (const auto& r : bucket) {
+        pending_recvs.push_back(&r);
+      }
+    }
+    std::sort(pending_recvs.begin(), pending_recvs.end(),
+              [](const QueuedRecv* a, const QueuedRecv* b) {
+                return a->seq < b->seq;
+              });
+    for (const auto* r : pending_recvs) {
+      out << "; unmatched recv: rank " << dst << " <- rank " << r->op.src_rank
+          << " tag " << r->op.tag << " (" << r->op.bytes << " bytes)";
     }
   }
   return out.str();

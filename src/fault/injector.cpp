@@ -134,6 +134,9 @@ void Injector::attach(comm::Communicator& comm) {
   if (plan_.retry_backoff_s) {
     policy.retry_backoff_s = *plan_.retry_backoff_s;
   }
+  if (plan_.max_backoff_s) {
+    policy.max_backoff_s = *plan_.max_backoff_s;
+  }
   if (plan_.wait_timeout_s) {
     policy.wait_timeout_s = *plan_.wait_timeout_s;
   }

@@ -367,6 +367,12 @@ FaultPlan FaultPlan::parse(std::string_view spec) {
           bad_clause(clause, "'backoff' must be non-negative");
         }
       }
+      if (args.has("maxbackoff")) {
+        plan.max_backoff_s = parse_duration_s(args.required("maxbackoff"));
+        if (*plan.max_backoff_s < 0.0) {
+          bad_clause(clause, "'maxbackoff' must be non-negative");
+        }
+      }
       args.finish();
     } else if (name == "timeout") {
       Args args(clause, body, "wait");
@@ -392,7 +398,7 @@ bool FaultPlan::empty() const {
          drop_probability == 0.0 && corrupt_probability == 0.0 &&
          usm_fail_probability == 0.0 && !reroute_penalty.has_value() &&
          !max_retries.has_value() && !retry_backoff_s.has_value() &&
-         !wait_timeout_s.has_value();
+         !max_backoff_s.has_value() && !wait_timeout_s.has_value();
 }
 
 std::string FaultPlan::summary() const {
@@ -441,6 +447,9 @@ std::string FaultPlan::summary() const {
     out << "  retries max " << *max_retries;
     if (retry_backoff_s) {
       out << " backoff " << *retry_backoff_s << " s";
+    }
+    if (max_backoff_s) {
+      out << " maxbackoff " << *max_backoff_s << " s";
     }
     out << "\n";
   }

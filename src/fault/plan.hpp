@@ -23,7 +23,7 @@
 //   corrupt:0.05        | corrupt:p=0.05
 //   usmfail:p=0.01[,kind=device]              (kind: any|host|device|shared)
 //   reroute:0.2         | reroute:penalty=0.2
-//   retries:max=4[,backoff=2us]
+//   retries:max=4[,backoff=2us][,maxbackoff=1s]
 //   timeout:1ms         | timeout:wait=1ms
 
 #include <cstdint>
@@ -110,6 +110,7 @@ struct FaultPlan {
   /// Communicator Resilience overrides; unset fields keep defaults.
   std::optional<int> max_retries;
   std::optional<double> retry_backoff_s;
+  std::optional<double> max_backoff_s;
   std::optional<double> wait_timeout_s;
 
   /// Parses a `chaos=` spec.  Throws pvc::Error with

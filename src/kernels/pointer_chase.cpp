@@ -1,5 +1,6 @@
 #include "kernels/pointer_chase.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <vector>
 
@@ -30,23 +31,39 @@ ChaseResult chase_simulated(pvc::sim::CacheHierarchy& hierarchy,
                                    ? config.warmup_steps
                                    : static_cast<std::uint64_t>(nodes);
 
+  // Addresses depend only on the permutation, not on access results, so
+  // the chase fills fixed-size blocks and drives the hierarchy through
+  // the bulk access_run() entry point — one call per block instead of
+  // one per load.
+  constexpr std::size_t kBlock = 4096;
+  std::vector<std::uint64_t> block(kBlock);
   std::uint32_t idx = 0;
-  for (std::uint64_t s = 0; s < warmup; ++s) {
-    hierarchy.access(static_cast<std::uint64_t>(idx) * kLine);
-    idx = next[idx];
-  }
+  const auto run_steps = [&](std::uint64_t steps) {
+    double total = 0.0;
+    std::uint64_t remaining = steps;
+    while (remaining > 0) {
+      const std::size_t n =
+          static_cast<std::size_t>(std::min<std::uint64_t>(remaining, kBlock));
+      for (std::size_t b = 0; b < n; ++b) {
+        block[b] = static_cast<std::uint64_t>(idx) * kLine;
+        idx = next[idx];
+      }
+      total += hierarchy.access_run({block.data(), n});
+      remaining -= n;
+    }
+    return total;
+  };
+
+  run_steps(warmup);
 
   ChaseResult result;
-  double total = 0.0;
-  for (std::uint64_t s = 0; s < config.steps; ++s) {
-    // Both modes load exactly one line per step (the coalesced lanes
-    // fall inside one line); step latency is that load's latency.
-    total += hierarchy.access(static_cast<std::uint64_t>(idx) * kLine);
-    ++result.loads;
-    idx = next[idx];
-  }
+  // Both modes load exactly one line per step (the coalesced lanes
+  // fall inside one line); step latency is that load's latency.
+  const double total = run_steps(config.steps);
+  result.loads = config.steps;
   result.steps = config.steps;
   result.avg_latency_cycles = total / static_cast<double>(config.steps);
+  hierarchy.flush_metrics();
   return result;
 }
 

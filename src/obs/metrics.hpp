@@ -201,6 +201,46 @@ class Histogram {
   double weight_sum_ = 0.0;
 };
 
+/// Batches hot-path Counter updates.  Per-event `Counter::add(1)` calls
+/// cost an enabled-check (and an atomic RMW under PVC_METRICS_ATOMIC)
+/// on every event; layers with million-event hot loops (sim/cache_model)
+/// instead keep their own running totals and push them through
+/// `flush_total()` once per kernel/batch — one Counter::add for the
+/// whole delta, with totals identical to unbatched instrumentation
+/// (asserted by tests/test_obs.cpp, see docs/OBSERVABILITY.md).
+///
+/// `flush_total(total)` adds `total - <previous flush total>` to the
+/// bound counter, so the caller only maintains its monotone running
+/// total.  When the owner's totals restart at zero (e.g. a stats
+/// reset), call `rebase()` after flushing so the next flush does not
+/// double-count.
+class BatchedCounter {
+ public:
+  BatchedCounter() = default;
+  explicit BatchedCounter(Counter& target) : target_(&target) {}
+
+  void bind(Counter& target) noexcept { target_ = &target; }
+
+  /// Pushes the delta since the previous flush into the bound counter.
+  void flush_total(std::uint64_t total) noexcept {
+    if (target_ != nullptr && total != flushed_) {
+      target_->add(total - flushed_);
+    }
+    flushed_ = total;
+  }
+
+  /// Forgets the flush watermark; pair with the owner zeroing its total.
+  void rebase() noexcept { flushed_ = 0; }
+
+  [[nodiscard]] std::uint64_t flushed_total() const noexcept {
+    return flushed_;
+  }
+
+ private:
+  Counter* target_ = nullptr;
+  std::uint64_t flushed_ = 0;
+};
+
 /// One non-empty histogram bucket inside a snapshot.
 struct SnapshotBucket {
   std::uint64_t lower = 0;  ///< smallest value the bucket holds

@@ -200,13 +200,18 @@ std::vector<RelativeBar> figure4_bars(const Table6Column& peer_fom,
 std::vector<LatencySeries> figure1_series(bool coalesced) {
   std::vector<LatencySeries> series;
   for (const auto& node : arch::all_systems()) {
-    LatencySeries s;
-    s.system = node.system_name;
-    s.points = micro::measure_latency_curve(
-        node, coalesced, micro::default_latency_footprints(node));
-    series.push_back(std::move(s));
+    series.push_back(figure1_system_series(node, coalesced));
   }
   return series;
+}
+
+LatencySeries figure1_system_series(const arch::NodeSpec& node,
+                                    bool coalesced) {
+  LatencySeries s;
+  s.system = node.system_name;
+  s.points = micro::measure_latency_curve(
+      node, coalesced, micro::default_latency_footprints(node));
+  return s;
 }
 
 }  // namespace pvc::report

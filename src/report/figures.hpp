@@ -58,4 +58,10 @@ struct LatencySeries {
 };
 [[nodiscard]] std::vector<LatencySeries> figure1_series(bool coalesced);
 
+/// One system's Figure 1 curve — the per-task unit fig1_latency sweeps
+/// across worker threads (bench ParallelSweep); figure1_series() is the
+/// serial equivalent over arch::all_systems().
+[[nodiscard]] LatencySeries figure1_system_series(const arch::NodeSpec& node,
+                                                 bool coalesced);
+
 }  // namespace pvc::report

@@ -42,9 +42,10 @@ function(expect_identical a b what)
   endif()
 endfunction()
 
-# scaling_sweep and table3_p2p: threads=4 vs threads=1, stdout + CSV +
-# metrics snapshot all byte-identical.
-foreach(bin scaling_sweep table3_p2p)
+# Parallelized sweep binaries: threads=4 vs threads=1, stdout + CSV +
+# metrics snapshot all byte-identical.  fig1_latency additionally pins
+# the cache model's bulk access_run()/batched-metrics path (ISSUE-4).
+foreach(bin scaling_sweep table3_p2p fig1_latency ablation_model)
   run_bench(${bin} ${bin}_t1 threads=1 csv=out.csv metrics=out.met)
   run_bench(${bin} ${bin}_t4 threads=4 csv=out.csv metrics=out.met)
   expect_identical("${WORK_DIR}/${bin}_t1.out" "${WORK_DIR}/${bin}_t4.out"

@@ -11,6 +11,7 @@
 #include "comm/communicator.hpp"
 #include "core/error.hpp"
 #include "core/units.hpp"
+#include "obs/metrics.hpp"
 
 namespace pvc::comm {
 namespace {
@@ -226,6 +227,86 @@ TEST(Communicator, ResiliencePolicyIsValidated) {
   bad = Resilience{};
   bad.retry_backoff_s = -1e-6;
   EXPECT_THROW(comm.set_resilience(bad), pvc::Error);
+  bad = Resilience{};
+  bad.max_backoff_s = -1.0;
+  EXPECT_THROW(comm.set_resilience(bad), pvc::Error);
+}
+
+TEST(Communicator, ExponentialBackoffClampsAtMaxBackoff) {
+  // Four dropped attempts back off 1, 2, 4, 8 us unclamped; with
+  // max_backoff_s = 1 us every retry waits exactly 1 us, so the clamped
+  // run finishes (1+2+4+8) - 4 = 11 us of simulated time sooner.
+  const auto run = [](double max_backoff_s) {
+    rt::NodeSim sim(arch::aurora());
+    auto comm = Communicator::explicit_scaling(sim);
+    Resilience policy;
+    policy.max_retries = 6;
+    policy.retry_backoff_s = 1e-6;
+    policy.max_backoff_s = max_backoff_s;
+    comm.set_resilience(policy);
+    comm.set_fault_hook([](int, int, int, double, int attempt) {
+      return attempt <= 4 ? TransferVerdict::Drop : TransferVerdict::Deliver;
+    });
+    auto s = comm.isend(0, 1, 1, 8.0);
+    auto r = comm.irecv(1, 0, 1, 8.0);
+    comm.wait(r);
+    comm.wait(s);
+    EXPECT_EQ(r.attempts(), 5);
+    return r.complete_time();
+  };
+  const double clamped = run(1e-6);
+  const double unclamped = run(1.0);
+  EXPECT_NEAR(unclamped - clamped, 11e-6, 1e-9);
+}
+
+TEST(Communicator, SameKeySendsMatchInPostOrder) {
+  // Three sends with an identical (src, tag) key must pair with the
+  // receives in post order — MPI non-overtaking, preserved by the FIFO
+  // hash-bucket sub-queues.
+  rt::NodeSim sim(arch::aurora());
+  auto comm = Communicator::explicit_scaling(sim);
+  std::vector<double> a{1.0}, b{2.0}, c{3.0};
+  auto s1 = comm.isend(0, 1, 5, 8.0, a);
+  auto s2 = comm.isend(0, 1, 5, 8.0, b);
+  auto s3 = comm.isend(0, 1, 5, 8.0, c);
+  std::vector<double> r1(1), r2(1), r3(1);
+  auto q1 = comm.irecv(1, 0, 5, 8.0, r1);
+  auto q2 = comm.irecv(1, 0, 5, 8.0, r2);
+  auto q3 = comm.irecv(1, 0, 5, 8.0, r3);
+  std::vector<Request> all{s1, s2, s3, q1, q2, q3};
+  comm.wait_all(all);
+  EXPECT_DOUBLE_EQ(r1[0], 1.0);
+  EXPECT_DOUBLE_EQ(r2[0], 2.0);
+  EXPECT_DOUBLE_EQ(r3[0], 3.0);
+}
+
+TEST(Communicator, TagMatchDepthHistogramReportsQueuePositions) {
+  // The histogram must report the matched send's queue position — the
+  // count of still-unmatched sends posted before it (what the seed's
+  // linear rescan walked past) — and the live send count when a send
+  // matches a waiting receive on arrival.
+  obs::Registry local;
+  obs::ScopedRegistry scope(local);
+  rt::NodeSim sim(arch::aurora());
+  auto comm = Communicator::explicit_scaling(sim);
+  comm.isend(0, 1, 10, 8.0);    // seq 0
+  comm.isend(0, 1, 11, 8.0);    // seq 1
+  comm.isend(0, 1, 12, 8.0);    // seq 2
+  comm.irecv(1, 0, 11, 8.0);    // matches seq 1; seq 0 live ahead -> depth 1
+  comm.irecv(1, 0, 12, 8.0);    // matches seq 2; only seq 0 live  -> depth 1
+  comm.irecv(1, 0, 10, 8.0);    // matches seq 0; nothing earlier  -> depth 0
+  comm.irecv(1, 0, 99, 8.0);    // queues
+  comm.isend(0, 1, 99, 8.0);    // immediate match, empty queue    -> depth 0
+  const auto snap = local.snapshot();
+  const auto* depth = snap.find("comm.tag_match_depth");
+  ASSERT_NE(depth, nullptr);
+  EXPECT_EQ(depth->count, 4u);
+  ASSERT_EQ(depth->buckets.size(), 2u);
+  EXPECT_EQ(depth->buckets[0].lower, 0u);
+  EXPECT_EQ(depth->buckets[0].count, 2u);
+  EXPECT_EQ(depth->buckets[1].lower, 1u);
+  EXPECT_EQ(depth->buckets[1].upper, 1u);
+  EXPECT_EQ(depth->buckets[1].count, 2u);
 }
 
 TEST(Communicator, SizeMismatchThrows) {

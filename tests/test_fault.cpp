@@ -45,7 +45,7 @@ TEST(FaultPlan, ParsesEveryClauseKind) {
       "drop:0.1;corrupt:p=0.05;"
       "usmfail:p=0.01,kind=device;"
       "reroute:0.3;"
-      "retries:max=6,backoff=2us;"
+      "retries:max=6,backoff=2us,maxbackoff=5ms;"
       "timeout:1ms");
   EXPECT_EQ(plan.seed, 42u);
   ASSERT_EQ(plan.linkdowns.size(), 1u);
@@ -72,6 +72,7 @@ TEST(FaultPlan, ParsesEveryClauseKind) {
   EXPECT_DOUBLE_EQ(*plan.reroute_penalty, 0.3);
   EXPECT_EQ(plan.max_retries.value(), 6);
   EXPECT_DOUBLE_EQ(plan.retry_backoff_s.value(), 2e-6);
+  EXPECT_DOUBLE_EQ(plan.max_backoff_s.value(), 5e-3);
   EXPECT_DOUBLE_EQ(plan.wait_timeout_s.value(), 1e-3);
   EXPECT_FALSE(plan.empty());
 }
@@ -101,6 +102,7 @@ TEST(FaultPlan, RejectsMalformedSpecs) {
   expect_invalid("degrade:a=0,b=1,factor=2");
   expect_invalid("usmfail:p=0.5,kind=texture");
   expect_invalid("retries:max=-1");
+  expect_invalid("retries:max=4,maxbackoff=-1us");  // negative clamp
   expect_invalid("timeout:0");
   expect_invalid("devlost:dev=1,at=1ms,for=0");
 }
@@ -270,10 +272,11 @@ TEST(Injector, AttachAppliesResilienceOverrides) {
   rt::NodeSim sim(arch::aurora());
   auto comm = comm::Communicator::explicit_scaling(sim);
   Injector injector(
-      FaultPlan::parse("retries:max=7,backoff=3us;timeout:2ms"));
+      FaultPlan::parse("retries:max=7,backoff=3us,maxbackoff=9us;timeout:2ms"));
   injector.attach(comm);
   EXPECT_EQ(comm.resilience().max_retries, 7);
   EXPECT_DOUBLE_EQ(comm.resilience().retry_backoff_s, 3e-6);
+  EXPECT_DOUBLE_EQ(comm.resilience().max_backoff_s, 9e-6);
   EXPECT_DOUBLE_EQ(comm.resilience().wait_timeout_s, 2e-3);
 }
 

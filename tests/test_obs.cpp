@@ -232,6 +232,61 @@ TEST(Exporters, JsonMentionsEveryMetric) {
   EXPECT_NE(text.find("\"buckets\""), std::string::npos);
 }
 
+// --- batched counters --------------------------------------------------------
+
+TEST(BatchedCounter, FlushPushesDeltasAndRebaseForgetsTheWatermark) {
+  SKIP_IF_COMPILED_OUT();
+  Registry reg;
+  Counter& target = reg.counter("batched.events", "events", "test");
+  BatchedCounter batch(target);
+
+  batch.flush_total(10);
+  EXPECT_EQ(target.value(), 10u);
+  batch.flush_total(10);  // no new events: no-op
+  EXPECT_EQ(target.value(), 10u);
+  batch.flush_total(25);  // pushes only the 15-event delta
+  EXPECT_EQ(target.value(), 25u);
+  EXPECT_EQ(batch.flushed_total(), 25u);
+
+  // The owner zeroed its running total (e.g. CacheHierarchy::reset());
+  // rebase() realigns the watermark so already-flushed events are not
+  // subtracted from the registry.
+  batch.rebase();
+  batch.flush_total(5);
+  EXPECT_EQ(target.value(), 30u);
+}
+
+TEST(BatchedCounter, CacheFlushMatchesPerAccessTotals) {
+  SKIP_IF_COMPILED_OUT();
+  // Batched cache metrics must land the same registry totals the seed's
+  // per-access Counter::add calls produced: counters move only on
+  // flush_metrics(), and the deltas equal the model's own statistics.
+  Registry local;
+  ScopedRegistry scope(local);
+  sim::CacheHierarchy caches(arch::aurora().card.subdevice.caches,
+                             arch::aurora().card.subdevice.hbm.latency_cycles);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    caches.access((i % 64) * 64);
+  }
+  EXPECT_EQ(local.snapshot().count("cache.accesses"), 0u);  // not yet flushed
+  caches.flush_metrics();
+  const Snapshot snap = local.snapshot();
+  EXPECT_EQ(snap.count("cache.accesses"), 1000u);
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  for (std::size_t l = 0; l < caches.level_count(); ++l) {
+    hits += caches.level_stats(l).hits;
+    misses += caches.level_stats(l).misses;
+  }
+  EXPECT_EQ(snap.count("cache.l1.hits") + snap.count("cache.llc.hits"), hits);
+  EXPECT_EQ(snap.count("cache.l1.misses") + snap.count("cache.llc.misses"),
+            misses);
+  EXPECT_EQ(snap.count("cache.memory.fills"), caches.memory_fills());
+  // A second flush with no traffic in between must not move anything.
+  caches.flush_metrics();
+  EXPECT_EQ(local.snapshot().count("cache.accesses"), 1000u);
+}
+
 // --- layer integration -------------------------------------------------------
 
 TEST(Integration, MemcpyH2dCountsExactPayloadBytes) {
@@ -276,6 +331,7 @@ TEST(Integration, LayersPopulateTheGlobalRegistry) {
                              arch::aurora().card.subdevice.hbm.latency_cycles);
   caches.access(0);
   caches.access(0);
+  caches.flush_metrics();  // batched deltas land on flush (docs/PERFORMANCE.md)
 
   comm::Communicator comm = comm::Communicator::explicit_scaling(sim);
   comm::barrier(comm);

@@ -3,8 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
 #include <vector>
 
+#include "arch/systems.hpp"
 #include "core/error.hpp"
 #include "core/rng.hpp"
 #include "sim/cache_model.hpp"
@@ -555,6 +557,129 @@ TEST(CacheHierarchy, ResetClearsState) {
   cache.reset();
   EXPECT_EQ(cache.accesses(), 0u);
   EXPECT_DOUBLE_EQ(cache.access(0), 1000.0);
+}
+
+// --- cache oracle equivalence ------------------------------------------------
+// The optimized access path (shift/mask or fast-mod indexing, rank-byte
+// LRU, batched metrics) must be bit-identical to the seed algorithm kept
+// as reference_access(): same latency for every load and the same
+// per-level hit/miss totals, across odd geometries and both entry
+// points (docs/PERFORMANCE.md, docs/OBSERVABILITY.md oracle pattern).
+
+std::vector<std::uint64_t> random_trace(std::uint64_t seed, std::size_t n,
+                                        std::uint64_t span_bytes) {
+  pvc::Rng rng(seed);
+  std::vector<std::uint64_t> trace(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.uniform() < 0.4 && i > 0) {
+      // Revisit a recent address so hits and LRU refreshes occur.
+      trace[i] = trace[i - 1 - rng.uniform_index(std::min<std::size_t>(i, 32))];
+    } else {
+      trace[i] = rng.uniform_index(span_bytes);
+    }
+  }
+  return trace;
+}
+
+void expect_trace_equivalence(CacheHierarchy& cache,
+                              std::span<const std::uint64_t> trace) {
+  for (const std::uint64_t addr : trace) {
+    const double expected = cache.reference_access(addr);
+    ASSERT_DOUBLE_EQ(cache.access(addr), expected) << "addr " << addr;
+  }
+  for (std::size_t i = 0; i < cache.level_count(); ++i) {
+    EXPECT_EQ(cache.level_stats(i).hits, cache.reference_level_stats(i).hits)
+        << cache.level_spec(i).name;
+    EXPECT_EQ(cache.level_stats(i).misses,
+              cache.reference_level_stats(i).misses)
+        << cache.level_spec(i).name;
+  }
+}
+
+TEST(CacheOracle, DirectMappedMatchesReference) {
+  // assoc 1, 3072 sets — not a power of two, exercising the fast-mod
+  // indexing path with the degenerate no-LRU geometry.
+  CacheHierarchy cache({CacheLevelSpec{"L1", 3 * 64 * 1024, 64, 1, 10.0}},
+                       500.0);
+  const auto trace = random_trace(11, 20000, 12 * 64 * 1024);
+  expect_trace_equivalence(cache, trace);
+}
+
+TEST(CacheOracle, MidAssociativityMatchesReference) {
+  // assoc 4, power-of-two sets: the shift/mask path.
+  CacheHierarchy cache({CacheLevelSpec{"L1", 64 * 1024, 64, 4, 10.0}}, 500.0);
+  const auto trace = random_trace(12, 20000, 4 * 64 * 1024);
+  expect_trace_equivalence(cache, trace);
+}
+
+TEST(CacheOracle, OddAssociativityMatchesReference) {
+  // assoc 12 with 80 sets (5·16): both the way loop and the set mapping
+  // hit non-power-of-two shapes.
+  CacheHierarchy cache({CacheLevelSpec{"L1", 64 * 12 * 80, 64, 12, 10.0}},
+                       500.0);
+  const auto trace = random_trace(13, 20000, 4 * 64 * 12 * 80);
+  expect_trace_equivalence(cache, trace);
+}
+
+TEST(CacheOracle, MultiLevelInclusiveFillsMatchReference) {
+  CacheHierarchy cache(
+      {
+          CacheLevelSpec{"L1", 8192, 64, 2, 10.0},
+          CacheLevelSpec{"L2", 49152, 64, 12, 100.0},  // 64 sets, assoc 12
+      },
+      1000.0);
+  const auto trace = random_trace(14, 40000, 8 * 49152);
+  expect_trace_equivalence(cache, trace);
+  EXPECT_GT(cache.level_stats(0).hits, 0u);
+  EXPECT_GT(cache.level_stats(1).hits, 0u);
+  EXPECT_GT(cache.memory_fills(), 0u);
+}
+
+TEST(CacheOracle, AuroraHierarchyMatchesReference) {
+  // The real PVC geometry, including the 192 MiB LLC whose 196608 sets
+  // (3·2^16) are not a power of two.
+  const auto node = arch::aurora();
+  CacheHierarchy cache(node.card.subdevice.caches,
+                       node.card.subdevice.hbm.latency_cycles);
+  const auto trace = random_trace(15, 30000, 1ull << 30);
+  expect_trace_equivalence(cache, trace);
+}
+
+TEST(CacheOracle, ResetPreservesEquivalence) {
+  auto cache = small_hierarchy();
+  const auto trace = random_trace(16, 5000, 8 * 65536);
+  expect_trace_equivalence(cache, trace);
+  cache.reset();
+  EXPECT_EQ(cache.level_stats(0).hits, 0u);
+  EXPECT_EQ(cache.reference_level_stats(0).hits, 0u);
+  expect_trace_equivalence(cache, trace);
+}
+
+TEST(CacheOracle, AccessRunMatchesSerialAccess) {
+  auto bulk = small_hierarchy();
+  auto serial = small_hierarchy();
+  const auto trace = random_trace(17, 30000, 8 * 65536);
+  double serial_total = 0.0;
+  for (const std::uint64_t addr : trace) {
+    serial_total += serial.access(addr);
+  }
+  // Feed the same trace in uneven chunks through the bulk entry point.
+  double bulk_total = 0.0;
+  std::size_t pos = 0;
+  std::size_t chunk = 1;
+  while (pos < trace.size()) {
+    const std::size_t n = std::min(chunk, trace.size() - pos);
+    bulk_total += bulk.access_run({trace.data() + pos, n});
+    pos += n;
+    chunk = chunk * 2 + 1;
+  }
+  EXPECT_DOUBLE_EQ(bulk_total, serial_total);
+  EXPECT_EQ(bulk.accesses(), serial.accesses());
+  for (std::size_t i = 0; i < bulk.level_count(); ++i) {
+    EXPECT_EQ(bulk.level_stats(i).hits, serial.level_stats(i).hits);
+    EXPECT_EQ(bulk.level_stats(i).misses, serial.level_stats(i).misses);
+  }
+  EXPECT_EQ(bulk.memory_fills(), serial.memory_fills());
 }
 
 TEST(CacheHierarchy, ValidatesGeometry) {
