@@ -3,15 +3,17 @@
 // workload class and scope — why FP64 FMA runs at 1.2 GHz, why Dawn's
 // node scaling trails Aurora's.
 //
-// Usage: power_report [csv=<path>]
+// Usage: power_report [csv=<path>] [threads=<n>]
 
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "arch/peaks.hpp"
 #include "arch/systems.hpp"
 #include "bench_common.hpp"
 #include "core/table.hpp"
+#include "parallel_sweep.hpp"
 
 namespace {
 
@@ -32,16 +34,40 @@ int run(int argc, char** argv) {
   csv.set_header({"system", "workload", "scope", "frequency_hz",
                   "per_stack_w", "total_w"});
 
-  for (const auto& node : {arch::aurora(), arch::dawn()}) {
+  // Resolve every (system, workload) row as an independent sweep task
+  // into pre-sized slots; rendering below stays serial and in fixed
+  // order, so stdout/CSV are byte-identical at any threads=<n>.
+  const arch::NodeSpec nodes[] = {arch::aurora(), arch::dawn()};
+  constexpr std::size_t kKinds = std::size(kinds);
+  constexpr std::size_t kScopes = std::size(scopes);
+  std::vector<arch::PowerReport> reports(std::size(nodes) * kKinds * kScopes);
+  pvcbench::ParallelSweep sweep(
+      pvcbench::ParallelSweep::threads_from_config(config));
+  for (std::size_t n = 0; n < std::size(nodes); ++n) {
+    for (std::size_t k = 0; k < kKinds; ++k) {
+      sweep.add([&, n, k] {
+        for (std::size_t sc = 0; sc < kScopes; ++sc) {
+          reports[(n * kKinds + k) * kScopes + sc] =
+              arch::power_report(nodes[n], kinds[k], scopes[sc]);
+        }
+      });
+    }
+  }
+  sweep.run();
+
+  for (std::size_t n = 0; n < std::size(nodes); ++n) {
+    const auto& node = nodes[n];
     Table table("Modeled power / frequency — " + node.system_name +
                 " (card cap " + format_value(node.power.card_cap_w, 3) +
                 " W, node budget " + format_value(node.power.node_cap_w, 4) +
                 " W)");
     table.set_header({"Workload", "One Stack", "One PVC", "Full Node"});
-    for (const auto kind : kinds) {
+    for (std::size_t k = 0; k < kKinds; ++k) {
+      const auto kind = kinds[k];
       std::vector<std::string> row{arch::workload_name(kind)};
-      for (const auto scope : scopes) {
-        const auto r = arch::power_report(node, kind, scope);
+      for (std::size_t sc = 0; sc < kScopes; ++sc) {
+        const auto scope = scopes[sc];
+        const auto& r = reports[(n * kKinds + k) * kScopes + sc];
         char buf[96];
         std::snprintf(buf, sizeof buf, "%s, %.0f W/stack (%.0f W total)",
                       format_frequency(r.frequency_hz).c_str(),

@@ -2,14 +2,16 @@
 // figures-of-merit across Aurora, Dawn, JLSE-H100 and JLSE-MI250, with
 // paper values and deltas.  Cells the paper leaves blank print "-".
 //
-// Usage: table6_foms [csv=<path>]
+// Usage: table6_foms [csv=<path>] [threads=<n>]
 
 #include <iostream>
+#include <vector>
 
 #include "arch/systems.hpp"
 #include "bench_common.hpp"
 #include "core/table.hpp"
 #include "micro/paper_reference.hpp"
+#include "parallel_sweep.hpp"
 #include "report/table6.hpp"
 
 namespace {
@@ -57,7 +59,20 @@ int run(int argc, char** argv) {
   using namespace pvc;
   const auto config = Config::from_args(argc, argv);
 
-  const auto columns = report::compute_table6_all();
+  // Each system's Table VI column is an independent simulation — run
+  // the four as sweep tasks into pre-sized slots, then render serially
+  // in system order (byte-identical at any threads=<n>).
+  const auto systems = arch::all_systems();
+  std::vector<report::Table6Column> columns(systems.size());
+  pvcbench::ParallelSweep sweep(
+      pvcbench::ParallelSweep::threads_from_config(config));
+  for (std::size_t s = 0; s < systems.size(); ++s) {
+    sweep.add([&columns, &systems, s] {
+      columns[s] = report::compute_table6(systems[s]);
+    });
+  }
+  sweep.run();
+
   const Table6Reference refs[] = {
       micro::table6_aurora(), micro::table6_dawn(), micro::table6_h100(),
       micro::table6_mi250()};

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Runs the workload-layer benchmarks (mini-app kernels + collectives,
+# each paired with its reference_*() seed baseline) and stores the JSON
+# series at the repo root (BENCH_workloads.json).  Usage:
+#
+#   scripts/bench_workloads.sh [build-dir] [output.json]
+#
+# The build dir must be an optimised build (Release/RelWithDebInfo) —
+# numbers from -O0 builds are not comparable across commits.
+set -euo pipefail
+
+build_dir="${1:-build}"
+out="${2:-BENCH_workloads.json}"
+bench="${build_dir}/bench/gbench_workloads"
+
+if [[ ! -x "${bench}" ]]; then
+  echo "error: ${bench} not built (cmake --build ${build_dir} --target gbench_workloads)" >&2
+  exit 1
+fi
+
+"${bench}" \
+  --benchmark_min_time=0.5 \
+  --benchmark_format=json \
+  --benchmark_out="${out}" \
+  --benchmark_out_format=json \
+  >/dev/null
+
+echo "wrote ${out}:"
+python3 - "${out}" <<'EOF'
+import json, math, sys
+doc = json.load(open(sys.argv[1]))
+times = {}
+for b in doc.get("benchmarks", []):
+    times[b["name"]] = (b["real_time"], b["time_unit"])
+    print(f"  {b['name']:24s} {b['real_time']:12.0f} {b['time_unit']}"
+          f"  ({b.get('items_per_second', 0) / 1e6:.2f} M items/s)")
+ratios = []
+print("fast vs reference:")
+for name, (t, unit) in sorted(times.items()):
+    if name.endswith("Ref"):
+        continue
+    ref = times.get(name + "Ref")
+    if ref is None or ref[1] != unit or t <= 0:
+        continue
+    ratio = ref[0] / t
+    ratios.append(ratio)
+    print(f"  {name:24s} {ratio:6.2f}x")
+if ratios:
+    geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    print(f"  {'geomean':24s} {geomean:6.2f}x")
+EOF

@@ -4,6 +4,14 @@
 // Functionally correct (they really move and combine the payloads) and
 // timed through the flow network.  Used by the mini-apps' weak-scaled
 // phases and tested against analytic results.
+//
+// Hot path (docs/PERFORMANCE.md): each collective drives its rounds out
+// of the communicator's reusable scratch arena (request buffers,
+// payload rows, pairing flags) with request states recycled through an
+// internal pool, so a steady-state round allocates nothing.  The seed
+// allocate-per-round implementations survive as reference_*() oracles
+// with bit-equivalence tests over times, payloads, and comm.* metrics
+// (CollectiveOracle.*).
 
 #include <span>
 #include <vector>
@@ -51,5 +59,23 @@ sim::Time reduce_sum_to_root(Communicator& comm,
 /// Paired exchange between two ranks (both directions concurrently);
 /// returns completion time.  The Table III bidirectional measurement.
 sim::Time sendrecv(Communicator& comm, int rank_a, int rank_b, double bytes);
+
+/// Reference oracles: the seed implementations, kept verbatim, which
+/// allocate their request vectors and staging/incoming buffers afresh
+/// every round.  Identical message schedule (tags, bytes, posting
+/// order), so completion times, payload results, and comm.* metrics are
+/// bit-identical to the arena-backed versions above (test-asserted);
+/// the gbench workload suite benchmarks them as the baseline.
+sim::Time reference_barrier(Communicator& comm);
+sim::Time reference_allreduce_sum(Communicator& comm,
+                                  std::vector<std::vector<double>>& rank_data,
+                                  double element_bytes = 8.0);
+sim::Time reference_halo_exchange_ring(Communicator& comm, double halo_bytes);
+sim::Time reference_gather_to_root(Communicator& comm, double block_bytes);
+sim::Time reference_broadcast_from_root(Communicator& comm, double bytes);
+sim::Time reference_alltoall(Communicator& comm, double block_bytes);
+sim::Time reference_reduce_sum_to_root(
+    Communicator& comm, std::vector<std::vector<double>>& rank_data,
+    double element_bytes = 8.0);
 
 }  // namespace pvc::comm

@@ -1,56 +1,20 @@
+// Reference collectives: the seed implementations kept verbatim.  Every
+// round allocates its request vector (and staging/incoming payload
+// buffers) afresh — the behaviour the arena in collectives.cpp removes.
+// They post the identical message schedule, so times, payloads, and
+// comm.* metrics match the fast versions bit for bit; the equivalence
+// is asserted by CollectiveOracle.* and the cost difference measured by
+// bench/gbench_workloads.cpp.
+
 #include "comm/collectives.hpp"
 
 #include <algorithm>
-#include <cstring>
 
 #include "comm/metrics_internal.hpp"
 #include "core/error.hpp"
 
-#if defined(__x86_64__) && defined(__GNUC__)
-#include <immintrin.h>
-#define PVC_X86_DISPATCH 1
-#endif
-
 namespace pvc::comm {
 namespace {
-
-#if defined(PVC_X86_DISPATCH)
-
-bool cpu_has_avx512f() {
-  static const bool has = __builtin_cpu_supports("avx512f");
-  return has;
-}
-
-/// dst[i] += src[i]: elementwise, so lane width cannot change the
-/// per-element rounding — bit-identical to the scalar loop.
-__attribute__((target("avx512f"))) void add_into_avx512(double* dst,
-                                                        const double* src,
-                                                        std::size_t count) {
-  std::size_t i = 0;
-  for (; i + 8 <= count; i += 8) {
-    _mm512_storeu_pd(
-        dst + i,
-        _mm512_add_pd(_mm512_loadu_pd(dst + i), _mm512_loadu_pd(src + i)));
-  }
-  for (; i < count; ++i) {
-    dst[i] += src[i];
-  }
-}
-
-#endif  // PVC_X86_DISPATCH
-
-/// Elementwise sum-into used by the reduction combines.
-void add_into(double* dst, const double* src, std::size_t count) {
-#if defined(PVC_X86_DISPATCH)
-  if (cpu_has_avx512f()) {
-    add_into_avx512(dst, src, count);
-    return;
-  }
-#endif
-  for (std::size_t i = 0; i < count; ++i) {
-    dst[i] += src[i];
-  }
-}
 
 sim::Time max_completion(std::span<Request> requests) {
   sim::Time t = 0.0;
@@ -67,29 +31,17 @@ void count_round() { detail::comm_metrics().collective_rounds->add(1); }
 
 }  // namespace
 
-// Every collective below drives its rounds out of the communicator's
-// CollectiveScratch arena: the request vector, the per-rank payload
-// rows, the alltoall pairing flags, and the reduce-tree edge list are
-// reused across rounds and calls, and completed request states are
-// recycled through Communicator::acquire_state().  A steady-state round
-// therefore performs no heap allocation.  The message schedule — tags,
-// byte counts, and posting order — is the reference schedule verbatim
-// (collectives_reference.cpp), so completion times and every comm.*
-// metric stay bit-identical (CollectiveOracle.* tests).
-
-sim::Time barrier(Communicator& comm) {
+sim::Time reference_barrier(Communicator& comm) {
   count_collective();
   const int p = comm.size();
   if (p == 1) {
     return comm.node().engine().now();
   }
-  auto& requests = comm.collective_scratch().requests;
   sim::Time finish = 0.0;
   // Dissemination barrier: round k, rank r signals (r + 2^k) % p.
   for (int stride = 1; stride < p; stride *= 2) {
     count_round();
-    comm.recycle_requests(requests);
-    requests.reserve(2 * static_cast<std::size_t>(p));
+    std::vector<Request> requests;
     for (int r = 0; r < p; ++r) {
       const int peer = (r + stride) % p;
       const int from = (r - stride % p + p) % p;
@@ -102,16 +54,17 @@ sim::Time barrier(Communicator& comm) {
   return finish;
 }
 
-sim::Time allreduce_sum(Communicator& comm,
-                        std::vector<std::vector<double>>& rank_data,
-                        double element_bytes) {
+sim::Time reference_allreduce_sum(Communicator& comm,
+                                  std::vector<std::vector<double>>& rank_data,
+                                  double element_bytes) {
   count_collective();
   const int p = comm.size();
   ensure(static_cast<int>(rank_data.size()) == p,
-         "allreduce_sum: one vector per rank required");
+         "reference_allreduce_sum: one vector per rank required");
   const std::size_t n = rank_data.front().size();
   for (const auto& v : rank_data) {
-    ensure(v.size() == n, "allreduce_sum: vectors must be equal-sized");
+    ensure(v.size() == n,
+           "reference_allreduce_sum: vectors must be equal-sized");
   }
   if (p == 1) {
     return comm.node().engine().now();
@@ -127,48 +80,42 @@ sim::Time allreduce_sum(Communicator& comm,
     return std::pair<std::size_t, std::size_t>(lo, hi);
   };
 
-  auto& scratch = comm.collective_scratch();
-  auto& requests = scratch.requests;
-  auto& incoming = scratch.incoming;
-  if (incoming.size() < static_cast<std::size_t>(p)) {
-    incoming.resize(static_cast<std::size_t>(p));
-  }
+  std::vector<std::vector<double>> staging(static_cast<std::size_t>(p));
   sim::Time finish = 0.0;
 
   for (int phase = 0; phase < 2; ++phase) {
     for (int step = 0; step < p - 1; ++step) {
       count_round();
-      comm.recycle_requests(requests);
-      requests.reserve(2 * static_cast<std::size_t>(p));
+      std::vector<Request> requests;
       for (int r = 0; r < p; ++r) {
         const int dst = (r + 1) % p;
         // Block index this rank transmits at this step of this phase
-        // (standard ring-allreduce schedule).  The reference staged a
-        // copy of the block; sending a span straight from rank_data is
-        // safe because every delivery completes inside wait_all, before
-        // the combine loop below mutates any block.
+        // (standard ring-allreduce schedule).
         const int send_block =
             phase == 0 ? (r - step + p) % p : (r - step + 1 + p) % p;
         const auto [slo, shi] = block_range(send_block);
+        staging[static_cast<std::size_t>(r)].assign(
+            rank_data[static_cast<std::size_t>(r)].begin() +
+                static_cast<std::ptrdiff_t>(slo),
+            rank_data[static_cast<std::size_t>(r)].begin() +
+                static_cast<std::ptrdiff_t>(shi));
         const double bytes = static_cast<double>(shi - slo) * element_bytes;
         requests.push_back(comm.isend(
             r, dst, 100 + step, bytes,
-            std::span<const double>(
-                rank_data[static_cast<std::size_t>(r)].data() + slo,
-                shi - slo)));
+            std::span<const double>(staging[static_cast<std::size_t>(r)])));
       }
-      // Receives: each rank receives its predecessor's block into its
-      // reused arena row.
+      // Receives: each rank receives its predecessor's staged block.
+      std::vector<std::vector<double>> incoming(static_cast<std::size_t>(p));
       for (int r = 0; r < p; ++r) {
         const int src = (r - 1 + p) % p;
         const int send_block_of_src =
             phase == 0 ? (src - step + p) % p : (src - step + 1 + p) % p;
         const auto [lo, hi] = block_range(send_block_of_src);
-        auto& row = incoming[static_cast<std::size_t>(r)];
-        row.resize(hi - lo);
+        incoming[static_cast<std::size_t>(r)].resize(hi - lo);
         const double bytes = static_cast<double>(hi - lo) * element_bytes;
-        requests.push_back(
-            comm.irecv(r, src, 100 + step, bytes, std::span<double>(row)));
+        requests.push_back(comm.irecv(
+            r, src, 100 + step, bytes,
+            std::span<double>(incoming[static_cast<std::size_t>(r)])));
       }
       comm.wait_all(requests);
       finish = std::max(finish, max_completion(requests));
@@ -181,10 +128,12 @@ sim::Time allreduce_sum(Communicator& comm,
         const auto [lo, hi] = block_range(block_idx);
         auto& mine = rank_data[static_cast<std::size_t>(r)];
         const auto& in = incoming[static_cast<std::size_t>(r)];
-        if (phase == 0) {
-          add_into(mine.data() + lo, in.data(), hi - lo);
-        } else {
-          std::memcpy(mine.data() + lo, in.data(), (hi - lo) * sizeof(double));
+        for (std::size_t i = lo; i < hi; ++i) {
+          if (phase == 0) {
+            mine[i] += in[i - lo];
+          } else {
+            mine[i] = in[i - lo];
+          }
         }
       }
     }
@@ -192,16 +141,14 @@ sim::Time allreduce_sum(Communicator& comm,
   return finish;
 }
 
-sim::Time halo_exchange_ring(Communicator& comm, double halo_bytes) {
+sim::Time reference_halo_exchange_ring(Communicator& comm, double halo_bytes) {
   count_collective();
   const int p = comm.size();
   if (p == 1) {
     return comm.node().engine().now();
   }
   count_round();
-  auto& requests = comm.collective_scratch().requests;
-  comm.recycle_requests(requests);
-  requests.reserve(4 * static_cast<std::size_t>(p));
+  std::vector<Request> requests;
   for (int r = 0; r < p; ++r) {
     const int up = (r + 1) % p;
     const int down = (r - 1 + p) % p;
@@ -214,16 +161,14 @@ sim::Time halo_exchange_ring(Communicator& comm, double halo_bytes) {
   return max_completion(requests);
 }
 
-sim::Time gather_to_root(Communicator& comm, double block_bytes) {
+sim::Time reference_gather_to_root(Communicator& comm, double block_bytes) {
   count_collective();
   const int p = comm.size();
   if (p == 1) {
     return comm.node().engine().now();
   }
   count_round();
-  auto& requests = comm.collective_scratch().requests;
-  comm.recycle_requests(requests);
-  requests.reserve(2 * static_cast<std::size_t>(p));
+  std::vector<Request> requests;
   for (int r = 1; r < p; ++r) {
     requests.push_back(comm.isend(r, 0, 300 + r, block_bytes));
     requests.push_back(comm.irecv(0, r, 300 + r, block_bytes));
@@ -232,18 +177,16 @@ sim::Time gather_to_root(Communicator& comm, double block_bytes) {
   return max_completion(requests);
 }
 
-sim::Time broadcast_from_root(Communicator& comm, double bytes) {
+sim::Time reference_broadcast_from_root(Communicator& comm, double bytes) {
   count_collective();
   const int p = comm.size();
   if (p == 1) {
     return comm.node().engine().now();
   }
-  auto& requests = comm.collective_scratch().requests;
   sim::Time finish = 0.0;
   // Binomial tree: in round k, ranks < 2^k send to rank + 2^k.
   for (int stride = 1; stride < p; stride *= 2) {
-    comm.recycle_requests(requests);
-    requests.reserve(2 * static_cast<std::size_t>(p));
+    std::vector<Request> requests;
     for (int r = 0; r < stride && r + stride < p; ++r) {
       requests.push_back(comm.isend(r, r + stride, 400 + stride, bytes));
       requests.push_back(comm.irecv(r + stride, r, 400 + stride, bytes));
@@ -257,34 +200,30 @@ sim::Time broadcast_from_root(Communicator& comm, double bytes) {
   return finish;
 }
 
-sim::Time alltoall(Communicator& comm, double block_bytes) {
+sim::Time reference_alltoall(Communicator& comm, double block_bytes) {
   count_collective();
   const int p = comm.size();
   if (p == 1) {
     return comm.node().engine().now();
   }
-  auto& scratch = comm.collective_scratch();
-  auto& requests = scratch.requests;
-  auto& paired = scratch.paired;
   sim::Time finish = 0.0;
   // Pairwise exchange: in round k, rank r trades with r XOR k when that
   // partner exists (works perfectly for power-of-two P; other ranks sit
   // the round out and use a shifted partner in the ring fallback).
   for (int round = 1; round < p; ++round) {
-    comm.recycle_requests(requests);
-    requests.reserve(2 * static_cast<std::size_t>(p));
-    paired.assign(static_cast<std::size_t>(p), 0);
+    std::vector<Request> requests;
+    std::vector<bool> paired(static_cast<std::size_t>(p), false);
     for (int r = 0; r < p; ++r) {
       int partner = r ^ round;
       if (partner >= p) {
         partner = (r + round) % p;  // ring fallback for ragged sizes
       }
-      if (partner == r || paired[static_cast<std::size_t>(r)] != 0 ||
-          paired[static_cast<std::size_t>(partner)] != 0) {
+      if (partner == r || paired[static_cast<std::size_t>(r)] ||
+          paired[static_cast<std::size_t>(partner)]) {
         continue;
       }
-      paired[static_cast<std::size_t>(r)] = 1;
-      paired[static_cast<std::size_t>(partner)] = 1;
+      paired[static_cast<std::size_t>(r)] = true;
+      paired[static_cast<std::size_t>(partner)] = true;
       requests.push_back(comm.isend(r, partner, 500 + round, block_bytes));
       requests.push_back(comm.isend(partner, r, 500 + round, block_bytes));
       requests.push_back(comm.irecv(r, partner, 500 + round, block_bytes));
@@ -299,35 +238,29 @@ sim::Time alltoall(Communicator& comm, double block_bytes) {
   return finish;
 }
 
-sim::Time reduce_sum_to_root(Communicator& comm,
-                             std::vector<std::vector<double>>& rank_data,
-                             double element_bytes) {
+sim::Time reference_reduce_sum_to_root(
+    Communicator& comm, std::vector<std::vector<double>>& rank_data,
+    double element_bytes) {
   count_collective();
   const int p = comm.size();
   ensure(static_cast<int>(rank_data.size()) == p,
-         "reduce_sum_to_root: one vector per rank required");
+         "reference_reduce_sum_to_root: one vector per rank required");
   const std::size_t n = rank_data.front().size();
   for (const auto& v : rank_data) {
-    ensure(v.size() == n, "reduce_sum_to_root: vectors must be equal-sized");
+    ensure(v.size() == n,
+           "reference_reduce_sum_to_root: vectors must be equal-sized");
   }
   if (p == 1) {
     return comm.node().engine().now();
-  }
-  auto& scratch = comm.collective_scratch();
-  auto& requests = scratch.requests;
-  auto& edges = scratch.edges;
-  auto& incoming = scratch.incoming;
-  if (incoming.size() < static_cast<std::size_t>(p)) {
-    incoming.resize(static_cast<std::size_t>(p));
   }
   sim::Time finish = 0.0;
   const double bytes = static_cast<double>(n) * element_bytes;
   // Binomial tree: in round k (stride 2^k), rank r with r % 2^(k+1) ==
   // 2^k sends its partial to r - 2^k.
   for (int stride = 1; stride < p; stride *= 2) {
-    comm.recycle_requests(requests);
-    requests.reserve(2 * static_cast<std::size_t>(p));
-    edges.clear();
+    std::vector<Request> requests;
+    std::vector<std::pair<int, int>> edges;  // (sender, receiver)
+    std::vector<std::vector<double>> incoming(static_cast<std::size_t>(p));
     for (int r = 0; r < p; ++r) {
       if (r % (2 * stride) == stride) {
         const int dst = r - stride;
@@ -336,10 +269,10 @@ sim::Time reduce_sum_to_root(Communicator& comm,
             comm.isend(r, dst, 600 + stride, bytes,
                        std::span<const double>(
                            rank_data[static_cast<std::size_t>(r)])));
-        auto& row = incoming[static_cast<std::size_t>(dst)];
-        row.resize(n);
-        requests.push_back(
-            comm.irecv(dst, r, 600 + stride, bytes, std::span<double>(row)));
+        incoming[static_cast<std::size_t>(dst)].resize(n);
+        requests.push_back(comm.irecv(
+            dst, r, 600 + stride, bytes,
+            std::span<double>(incoming[static_cast<std::size_t>(dst)])));
       }
     }
     if (requests.empty()) {
@@ -351,23 +284,13 @@ sim::Time reduce_sum_to_root(Communicator& comm,
     for (const auto& [src, dst] : edges) {
       auto& acc = rank_data[static_cast<std::size_t>(dst)];
       const auto& in = incoming[static_cast<std::size_t>(dst)];
-      add_into(acc.data(), in.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        acc[i] += in[i];
+      }
       static_cast<void>(src);
     }
   }
   return finish;
-}
-
-sim::Time sendrecv(Communicator& comm, int rank_a, int rank_b, double bytes) {
-  auto& requests = comm.collective_scratch().requests;
-  comm.recycle_requests(requests);
-  requests.reserve(4);
-  requests.push_back(comm.isend(rank_a, rank_b, 700, bytes));
-  requests.push_back(comm.isend(rank_b, rank_a, 701, bytes));
-  requests.push_back(comm.irecv(rank_b, rank_a, 700, bytes));
-  requests.push_back(comm.irecv(rank_a, rank_b, 701, bytes));
-  comm.wait_all(requests);
-  return max_completion(requests);
 }
 
 }  // namespace pvc::comm

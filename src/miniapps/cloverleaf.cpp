@@ -10,7 +10,430 @@
 #include "core/units.hpp"
 #include "runtime/node_sim.hpp"
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#define PVC_X86_DISPATCH 1
+#endif
+
 namespace pvc::miniapps {
+
+// --- AVX-512 sweep kernels --------------------------------------------------
+// 8-wide double flavours of the raw-pointer row sweeps below, dispatched
+// at runtime.  Bit-identity with the scalar kernels (and hence with the
+// reference_*() oracles) holds because (a) every vector expression keeps
+// the scalar source's left-to-right association, (b) this TU is compiled
+// with -ffp-contract=off so no mul/add fuses into an FMA, (c) masked
+// stores write exactly the lanes the scalar branch would write, and
+// (d) vmax/vmin operand order reproduces std::max(c, v)/std::min
+// semantics bit-for-bit (the equal and NaN cases return the second
+// operand).  The min/max reductions commute exactly for the finite
+// values involved, so the horizontal reduction order is immaterial.
+namespace {
+#if defined(PVC_X86_DISPATCH)
+
+bool cpu_has_avx512f() {
+  static const bool has = __builtin_cpu_supports("avx512f");
+  return has;
+}
+
+__attribute__((target("avx512f"))) double update_pressure_avx512(
+    const double* rho, const double* en, double* pr, std::size_t count,
+    double gamma, double gm1) {
+  const __m512d vzero = _mm512_setzero_pd();
+  const __m512d vgm1 = _mm512_set1_pd(gm1);
+  const __m512d vgamma = _mm512_set1_pd(gamma);
+  __m512d vmax_c = _mm512_setzero_pd();
+  std::size_t idx = 0;
+  for (; idx + 8 <= count; idx += 8) {
+    const __m512d r = _mm512_loadu_pd(rho + idx);
+    const __m512d e = _mm512_max_pd(_mm512_loadu_pd(en + idx), vzero);
+    const __m512d p = _mm512_mul_pd(_mm512_mul_pd(vgm1, r), e);
+    _mm512_storeu_pd(pr + idx, p);
+    const __mmask8 m = _mm512_cmp_pd_mask(r, vzero, _CMP_GT_OQ);
+    const __m512d cand =
+        _mm512_sqrt_pd(_mm512_div_pd(_mm512_mul_pd(vgamma, p), r));
+    vmax_c = _mm512_max_pd(vmax_c, _mm512_maskz_mov_pd(m, cand));
+  }
+  double max_c = _mm512_reduce_max_pd(vmax_c);
+  for (; idx < count; ++idx) {
+    const double r = rho[idx];
+    const double e = std::max(0.0, en[idx]);
+    const double p = gm1 * r * e;
+    pr[idx] = p;
+    if (r > 0.0) {
+      max_c = std::max(max_c, std::sqrt(gamma * p / r));
+    }
+  }
+  return max_c;
+}
+
+__attribute__((target("avx512f"))) double timestep_avx512(
+    const double* en, const double* vx, const double* vy, std::size_t nx,
+    std::size_t ny, std::size_t cp, std::size_t np, double gg, double cfl_dx,
+    double cfl_dy) {
+  const __m512d vzero = _mm512_setzero_pd();
+  const __m512d vgg = _mm512_set1_pd(gg);
+  const __m512d veps = _mm512_set1_pd(1e-12);
+  const __m512d vcdx = _mm512_set1_pd(cfl_dx);
+  const __m512d vcdy = _mm512_set1_pd(cfl_dy);
+  __m512d vdt = _mm512_set1_pd(1e30);
+  double dt = 1e30;
+  for (std::size_t j = 1; j <= ny; ++j) {
+    const double* en_row = en + j * cp;
+    const double* vx_row = vx + j * np;
+    const double* vy_row = vy + j * np;
+    std::size_t i = 1;
+    for (; i + 8 <= nx + 1; i += 8) {
+      const __m512d e = _mm512_max_pd(_mm512_loadu_pd(en_row + i), vzero);
+      const __m512d c =
+          _mm512_add_pd(_mm512_sqrt_pd(_mm512_mul_pd(vgg, e)), veps);
+      const __m512d u = _mm512_abs_pd(_mm512_loadu_pd(vx_row + i));
+      const __m512d v = _mm512_abs_pd(_mm512_loadu_pd(vy_row + i));
+      vdt = _mm512_min_pd(
+          vdt, _mm512_div_pd(vcdx, _mm512_add_pd(_mm512_add_pd(c, u), veps)));
+      vdt = _mm512_min_pd(
+          vdt, _mm512_div_pd(vcdy, _mm512_add_pd(_mm512_add_pd(c, v), veps)));
+    }
+    for (; i <= nx; ++i) {
+      const double e = std::max(0.0, en_row[i]);
+      const double c = std::sqrt(gg * e) + 1e-12;
+      const double u = std::fabs(vx_row[i]);
+      const double v = std::fabs(vy_row[i]);
+      dt = std::min(dt, cfl_dx / (c + u + 1e-12));
+      dt = std::min(dt, cfl_dy / (c + v + 1e-12));
+    }
+  }
+  return std::min(dt, _mm512_reduce_min_pd(vdt));
+}
+
+__attribute__((target("avx512f"))) void viscosity_avx512(
+    const double* rho, const double* vx, const double* vy, double* pr,
+    std::size_t nx, std::size_t ny, std::size_t cp, std::size_t np, double dx,
+    double dy, double c_q) {
+  const double dl = std::min(dx, dy);
+  const __m512d vzero = _mm512_setzero_pd();
+  const __m512d vhalf = _mm512_set1_pd(0.5);
+  const __m512d vdx = _mm512_set1_pd(dx);
+  const __m512d vdy = _mm512_set1_pd(dy);
+  const __m512d vdl = _mm512_set1_pd(dl);
+  const __m512d vcq = _mm512_set1_pd(c_q);
+  for (std::size_t j = 1; j <= ny; ++j) {
+    const double* vx0 = vx + j * np;
+    const double* vx1 = vx + (j + 1) * np;
+    const double* vy0 = vy + j * np;
+    const double* vy1 = vy + (j + 1) * np;
+    const double* rho_row = rho + j * cp;
+    double* pr_row = pr + j * cp;
+    std::size_t i = 1;
+    for (; i + 8 <= nx + 1; i += 8) {
+      const __m512d du = _mm512_mul_pd(
+          vhalf, _mm512_sub_pd(_mm512_add_pd(_mm512_loadu_pd(vx0 + i + 1),
+                                             _mm512_loadu_pd(vx1 + i + 1)),
+                               _mm512_add_pd(_mm512_loadu_pd(vx0 + i),
+                                             _mm512_loadu_pd(vx1 + i))));
+      const __m512d dv = _mm512_mul_pd(
+          vhalf, _mm512_sub_pd(_mm512_add_pd(_mm512_loadu_pd(vy1 + i),
+                                             _mm512_loadu_pd(vy1 + i + 1)),
+                               _mm512_add_pd(_mm512_loadu_pd(vy0 + i),
+                                             _mm512_loadu_pd(vy0 + i + 1))));
+      const __m512d div_v =
+          _mm512_add_pd(_mm512_div_pd(du, vdx), _mm512_div_pd(dv, vdy));
+      const __mmask8 m = _mm512_cmp_pd_mask(div_v, vzero, _CMP_LT_OQ);
+      const __m512d dldiv = _mm512_mul_pd(vdl, div_v);
+      const __m512d q = _mm512_mul_pd(
+          _mm512_mul_pd(_mm512_mul_pd(vcq, _mm512_loadu_pd(rho_row + i)),
+                        dldiv),
+          dldiv);
+      _mm512_mask_storeu_pd(pr_row + i, m,
+                            _mm512_add_pd(_mm512_loadu_pd(pr_row + i), q));
+    }
+    for (; i <= nx; ++i) {
+      const double du = 0.5 * ((vx0[i + 1] + vx1[i + 1]) - (vx0[i] + vx1[i]));
+      const double dv = 0.5 * ((vy1[i] + vy1[i + 1]) - (vy0[i] + vy0[i + 1]));
+      const double div = du / dx + dv / dy;
+      if (div < 0.0) {
+        const double q = c_q * rho_row[i] * (dl * div) * (dl * div);
+        pr_row[i] += q;
+      }
+    }
+  }
+}
+
+__attribute__((target("avx512f"))) void accelerate_avx512(
+    const double* rho, const double* pr, double* vx, double* vy,
+    std::size_t nx, std::size_t ny, std::size_t cp, std::size_t np, double dx,
+    double dy, double dt) {
+  const __m512d vzero = _mm512_setzero_pd();
+  const __m512d vquarter = _mm512_set1_pd(0.25);
+  const __m512d vhalf = _mm512_set1_pd(0.5);
+  const __m512d vdt = _mm512_set1_pd(dt);
+  const __m512d vdx = _mm512_set1_pd(dx);
+  const __m512d vdy = _mm512_set1_pd(dy);
+  for (std::size_t j = 2; j <= ny; ++j) {
+    const double* rho0 = rho + (j - 1) * cp;
+    const double* rho1 = rho + j * cp;
+    const double* pr0 = pr + (j - 1) * cp;
+    const double* pr1 = pr + j * cp;
+    double* vx_row = vx + j * np;
+    double* vy_row = vy + j * np;
+    std::size_t i = 2;
+    for (; i + 8 <= nx + 1; i += 8) {
+      // Seed association: ((rho0[i-1] + rho0[i]) + rho1[i-1]) + rho1[i].
+      const __m512d rho_avg = _mm512_mul_pd(
+          vquarter,
+          _mm512_add_pd(
+              _mm512_add_pd(_mm512_add_pd(_mm512_loadu_pd(rho0 + i - 1),
+                                          _mm512_loadu_pd(rho0 + i)),
+                            _mm512_loadu_pd(rho1 + i - 1)),
+              _mm512_loadu_pd(rho1 + i)));
+      const __mmask8 m = _mm512_cmp_pd_mask(rho_avg, vzero, _CMP_GT_OQ);
+      const __m512d dpx = _mm512_mul_pd(
+          vhalf, _mm512_add_pd(_mm512_sub_pd(_mm512_loadu_pd(pr0 + i),
+                                             _mm512_loadu_pd(pr0 + i - 1)),
+                               _mm512_sub_pd(_mm512_loadu_pd(pr1 + i),
+                                             _mm512_loadu_pd(pr1 + i - 1))));
+      const __m512d dpy = _mm512_mul_pd(
+          vhalf, _mm512_add_pd(_mm512_sub_pd(_mm512_loadu_pd(pr1 + i - 1),
+                                             _mm512_loadu_pd(pr0 + i - 1)),
+                               _mm512_sub_pd(_mm512_loadu_pd(pr1 + i),
+                                             _mm512_loadu_pd(pr0 + i))));
+      _mm512_mask_storeu_pd(
+          vx_row + i, m,
+          _mm512_sub_pd(_mm512_loadu_pd(vx_row + i),
+                        _mm512_div_pd(_mm512_mul_pd(vdt, dpx),
+                                      _mm512_mul_pd(vdx, rho_avg))));
+      _mm512_mask_storeu_pd(
+          vy_row + i, m,
+          _mm512_sub_pd(_mm512_loadu_pd(vy_row + i),
+                        _mm512_div_pd(_mm512_mul_pd(vdt, dpy),
+                                      _mm512_mul_pd(vdy, rho_avg))));
+    }
+    for (; i <= nx; ++i) {
+      const double rho_avg =
+          0.25 * (rho0[i - 1] + rho0[i] + rho1[i - 1] + rho1[i]);
+      if (rho_avg <= 0.0) {
+        continue;
+      }
+      const double dpx = 0.5 * ((pr0[i] - pr0[i - 1]) + (pr1[i] - pr1[i - 1]));
+      const double dpy = 0.5 * ((pr1[i - 1] - pr0[i - 1]) + (pr1[i] - pr0[i]));
+      vx_row[i] -= dt * dpx / (dx * rho_avg);
+      vy_row[i] -= dt * dpy / (dy * rho_avg);
+    }
+  }
+}
+
+__attribute__((target("avx512f"))) void pdv_avx512(
+    const double* rho, const double* pr, const double* vx, const double* vy,
+    double* en, std::size_t nx, std::size_t ny, std::size_t cp,
+    std::size_t np, double dx, double dy, double dt) {
+  const __m512d vzero = _mm512_setzero_pd();
+  const __m512d vhalf = _mm512_set1_pd(0.5);
+  const __m512d vdt = _mm512_set1_pd(dt);
+  const __m512d vdx = _mm512_set1_pd(dx);
+  const __m512d vdy = _mm512_set1_pd(dy);
+  for (std::size_t j = 1; j <= ny; ++j) {
+    const double* vx0 = vx + j * np;
+    const double* vx1 = vx + (j + 1) * np;
+    const double* vy0 = vy + j * np;
+    const double* vy1 = vy + (j + 1) * np;
+    const double* rho_row = rho + j * cp;
+    const double* pr_row = pr + j * cp;
+    double* en_row = en + j * cp;
+    std::size_t i = 1;
+    for (; i + 8 <= nx + 1; i += 8) {
+      const __m512d du = _mm512_mul_pd(
+          vhalf, _mm512_sub_pd(_mm512_add_pd(_mm512_loadu_pd(vx0 + i + 1),
+                                             _mm512_loadu_pd(vx1 + i + 1)),
+                               _mm512_add_pd(_mm512_loadu_pd(vx0 + i),
+                                             _mm512_loadu_pd(vx1 + i))));
+      const __m512d dv = _mm512_mul_pd(
+          vhalf, _mm512_sub_pd(_mm512_add_pd(_mm512_loadu_pd(vy1 + i),
+                                             _mm512_loadu_pd(vy1 + i + 1)),
+                               _mm512_add_pd(_mm512_loadu_pd(vy0 + i),
+                                             _mm512_loadu_pd(vy0 + i + 1))));
+      const __m512d div_v =
+          _mm512_add_pd(_mm512_div_pd(du, vdx), _mm512_div_pd(dv, vdy));
+      const __m512d r = _mm512_loadu_pd(rho_row + i);
+      const __mmask8 m = _mm512_cmp_pd_mask(r, vzero, _CMP_GT_OQ);
+      const __m512d upd = _mm512_sub_pd(
+          _mm512_loadu_pd(en_row + i),
+          _mm512_div_pd(
+              _mm512_mul_pd(_mm512_mul_pd(vdt, _mm512_loadu_pd(pr_row + i)),
+                            div_v),
+              r));
+      _mm512_mask_storeu_pd(en_row + i, m, _mm512_max_pd(upd, vzero));
+    }
+    for (; i <= nx; ++i) {
+      const double du = 0.5 * ((vx0[i + 1] + vx1[i + 1]) - (vx0[i] + vx1[i]));
+      const double dv = 0.5 * ((vy1[i] + vy1[i + 1]) - (vy0[i] + vy0[i + 1]));
+      const double div = du / dx + dv / dy;
+      const double r = rho_row[i];
+      if (r <= 0.0) {
+        continue;
+      }
+      en_row[i] = std::max(0.0, en_row[i] - dt * pr_row[i] * div / r);
+    }
+  }
+}
+
+__attribute__((target("avx512f"))) void advect_avx512(
+    double* rho, double* en, const double* vx, const double* vy,
+    double* mass_flux, double* energy_flux, double* mass_flux_y,
+    double* energy_flux_y, std::size_t nx, std::size_t ny, std::size_t cp,
+    std::size_t np, double dx, double dy, double dt) {
+  const __m512d vzero = _mm512_setzero_pd();
+  const __m512d vhalf = _mm512_set1_pd(0.5);
+  const __m512d vdt = _mm512_set1_pd(dt);
+  const __m512d vdx = _mm512_set1_pd(dx);
+  const __m512d vdy = _mm512_set1_pd(dy);
+  const __m512d vfloor = _mm512_set1_pd(1e-12);
+
+  // X sweep: donor-cell mass and energy fluxes at vertical faces.
+  for (std::size_t j = 1; j <= ny; ++j) {
+    const double* vx0 = vx + j * np;
+    const double* vx1 = vx + (j + 1) * np;
+    const double* rho_row = rho + j * cp;
+    const double* en_row = en + j * cp;
+    double* mf = mass_flux + (j - 1) * (nx + 1);
+    double* ef = energy_flux + (j - 1) * (nx + 1);
+    std::size_t i = 1;
+    for (; i + 8 <= nx + 2; i += 8) {
+      const __m512d u_face = _mm512_mul_pd(
+          vhalf,
+          _mm512_add_pd(_mm512_loadu_pd(vx0 + i), _mm512_loadu_pd(vx1 + i)));
+      const __mmask8 up = _mm512_cmp_pd_mask(u_face, vzero, _CMP_GE_OQ);
+      const __m512d rho_d = _mm512_mask_blend_pd(
+          up, _mm512_loadu_pd(rho_row + i), _mm512_loadu_pd(rho_row + i - 1));
+      const __m512d e_d = _mm512_mask_blend_pd(
+          up, _mm512_loadu_pd(en_row + i), _mm512_loadu_pd(en_row + i - 1));
+      const __m512d flux = _mm512_mul_pd(
+          _mm512_div_pd(_mm512_mul_pd(u_face, vdt), vdx), rho_d);
+      _mm512_storeu_pd(mf + i - 1, flux);
+      _mm512_storeu_pd(ef + i - 1, _mm512_mul_pd(flux, e_d));
+    }
+    for (; i <= nx + 1; ++i) {
+      const double u_face = 0.5 * (vx0[i] + vx1[i]);
+      const std::size_t donor = u_face >= 0.0 ? i - 1 : i;
+      const double rho_d = rho_row[donor];
+      const double e_d = en_row[donor];
+      const double flux = u_face * dt / dx * rho_d;
+      mf[i - 1] = flux;
+      ef[i - 1] = flux * e_d;
+    }
+  }
+  for (std::size_t j = 1; j <= ny; ++j) {
+    double* rho_row = rho + j * cp;
+    double* en_row = en + j * cp;
+    const double* mf = mass_flux + (j - 1) * (nx + 1);
+    const double* ef = energy_flux + (j - 1) * (nx + 1);
+    std::size_t i = 1;
+    for (; i + 8 <= nx + 1; i += 8) {
+      const __m512d m_in = _mm512_loadu_pd(mf + i - 1);
+      const __m512d m_out = _mm512_loadu_pd(mf + i);
+      const __m512d e_in = _mm512_loadu_pd(ef + i - 1);
+      const __m512d e_out = _mm512_loadu_pd(ef + i);
+      const __m512d rho_old = _mm512_loadu_pd(rho_row + i);
+      const __m512d rho_new = _mm512_max_pd(
+          _mm512_sub_pd(_mm512_add_pd(rho_old, m_in), m_out), vfloor);
+      const __m512d rho_e_new = _mm512_max_pd(
+          _mm512_sub_pd(
+              _mm512_add_pd(_mm512_mul_pd(rho_old,
+                                          _mm512_loadu_pd(en_row + i)),
+                            e_in),
+              e_out),
+          vzero);
+      _mm512_storeu_pd(rho_row + i, rho_new);
+      _mm512_storeu_pd(en_row + i, _mm512_div_pd(rho_e_new, rho_new));
+    }
+    for (; i <= nx; ++i) {
+      const double m_in = mf[i - 1];
+      const double m_out = mf[i];
+      const double e_in = ef[i - 1];
+      const double e_out = ef[i];
+      const double rho_old = rho_row[i];
+      const double rho_new = std::max(1e-12, rho_old + m_in - m_out);
+      const double rho_e_new = std::max(0.0, rho_old * en_row[i] + e_in - e_out);
+      rho_row[i] = rho_new;
+      en_row[i] = rho_e_new / rho_new;
+    }
+  }
+
+  // Y sweep: donor-cell fluxes at horizontal faces.
+  for (std::size_t j = 1; j <= ny + 1; ++j) {
+    const double* vy_row = vy + j * np;
+    const double* rho_d0 = rho + (j - 1) * cp;
+    const double* rho_d1 = rho + j * cp;
+    const double* en_d0 = en + (j - 1) * cp;
+    const double* en_d1 = en + j * cp;
+    double* mf = mass_flux_y + (j - 1) * nx;
+    double* ef = energy_flux_y + (j - 1) * nx;
+    std::size_t i = 1;
+    for (; i + 8 <= nx + 1; i += 8) {
+      const __m512d v_face = _mm512_mul_pd(
+          vhalf, _mm512_add_pd(_mm512_loadu_pd(vy_row + i),
+                               _mm512_loadu_pd(vy_row + i + 1)));
+      const __mmask8 up = _mm512_cmp_pd_mask(v_face, vzero, _CMP_GE_OQ);
+      const __m512d rho_d = _mm512_mask_blend_pd(
+          up, _mm512_loadu_pd(rho_d1 + i), _mm512_loadu_pd(rho_d0 + i));
+      const __m512d e_d = _mm512_mask_blend_pd(
+          up, _mm512_loadu_pd(en_d1 + i), _mm512_loadu_pd(en_d0 + i));
+      const __m512d flux = _mm512_mul_pd(
+          _mm512_div_pd(_mm512_mul_pd(v_face, vdt), vdy), rho_d);
+      _mm512_storeu_pd(mf + i - 1, flux);
+      _mm512_storeu_pd(ef + i - 1, _mm512_mul_pd(flux, e_d));
+    }
+    for (; i <= nx; ++i) {
+      const double v_face = 0.5 * (vy_row[i] + vy_row[i + 1]);
+      const std::size_t donor = v_face >= 0.0 ? j - 1 : j;
+      const double rho_d = rho[donor * cp + i];
+      const double e_d = en[donor * cp + i];
+      const double flux = v_face * dt / dy * rho_d;
+      mf[i - 1] = flux;
+      ef[i - 1] = flux * e_d;
+    }
+  }
+  for (std::size_t j = 1; j <= ny; ++j) {
+    double* rho_row = rho + j * cp;
+    double* en_row = en + j * cp;
+    const double* mf0 = mass_flux_y + (j - 1) * nx;
+    const double* mf1 = mass_flux_y + j * nx;
+    const double* ef0 = energy_flux_y + (j - 1) * nx;
+    const double* ef1 = energy_flux_y + j * nx;
+    std::size_t i = 1;
+    for (; i + 8 <= nx + 1; i += 8) {
+      const __m512d m_in = _mm512_loadu_pd(mf0 + i - 1);
+      const __m512d m_out = _mm512_loadu_pd(mf1 + i - 1);
+      const __m512d e_in = _mm512_loadu_pd(ef0 + i - 1);
+      const __m512d e_out = _mm512_loadu_pd(ef1 + i - 1);
+      const __m512d rho_old = _mm512_loadu_pd(rho_row + i);
+      const __m512d rho_new = _mm512_max_pd(
+          _mm512_sub_pd(_mm512_add_pd(rho_old, m_in), m_out), vfloor);
+      const __m512d rho_e_new = _mm512_max_pd(
+          _mm512_sub_pd(
+              _mm512_add_pd(_mm512_mul_pd(rho_old,
+                                          _mm512_loadu_pd(en_row + i)),
+                            e_in),
+              e_out),
+          vzero);
+      _mm512_storeu_pd(rho_row + i, rho_new);
+      _mm512_storeu_pd(en_row + i, _mm512_div_pd(rho_e_new, rho_new));
+    }
+    for (; i <= nx; ++i) {
+      const double m_in = mf0[i - 1];
+      const double m_out = mf1[i - 1];
+      const double e_in = ef0[i - 1];
+      const double e_out = ef1[i - 1];
+      const double rho_old = rho_row[i];
+      const double rho_new = std::max(1e-12, rho_old + m_in - m_out);
+      const double rho_e_new = std::max(0.0, rho_old * en_row[i] + e_in - e_out);
+      rho_row[i] = rho_new;
+      en_row[i] = rho_e_new / rho_new;
+    }
+  }
+}
+
+#endif  // PVC_X86_DISPATCH
+}  // namespace
 
 CloverGrid::CloverGrid(std::size_t nx, std::size_t ny, double dx, double dy)
     : nx_(nx), ny_(ny), dx_(dx), dy_(dy) {
@@ -120,7 +543,310 @@ void CloverGrid::apply_reflective_boundaries() {
   }
 }
 
+// --- Swept kernels ----------------------------------------------------------
+// Raw-pointer row sweeps over the same traversal order as the seed
+// accessor loops; every floating-point expression is kept verbatim (a
+// hoisted subexpression is always the exact value the seed recomputed),
+// so each kernel is bit-identical to its reference_*() oracle.
+
 double update_pressure(CloverGrid& grid, double gamma) {
+  const double* rho = grid.density_data();
+  const double* en = grid.energy_data();
+  double* pr = grid.pressure_data();
+  const std::size_t count = grid.cell_pitch() * (grid.ny() + 2);
+  const double gm1 = gamma - 1.0;
+#if defined(PVC_X86_DISPATCH)
+  if (cpu_has_avx512f()) {
+    return update_pressure_avx512(rho, en, pr, count, gamma, gm1);
+  }
+#endif
+  double max_c = 0.0;
+  for (std::size_t idx = 0; idx < count; ++idx) {
+    const double r = rho[idx];
+    const double e = std::max(0.0, en[idx]);
+    const double p = gm1 * r * e;
+    pr[idx] = p;
+    if (r > 0.0) {
+      max_c = std::max(max_c, std::sqrt(gamma * p / r));
+    }
+  }
+  return max_c;
+}
+
+double compute_timestep(const CloverGrid& grid, double gamma, double cfl) {
+  const std::size_t nx = grid.nx();
+  const std::size_t ny = grid.ny();
+  const std::size_t cp = grid.cell_pitch();
+  const std::size_t np = grid.node_pitch();
+  const double* en = grid.energy_data();
+  const double* vx = grid.velocity_x_data();
+  const double* vy = grid.velocity_y_data();
+  const double gg = gamma * (gamma - 1.0);
+  const double cfl_dx = cfl * grid.dx();
+  const double cfl_dy = cfl * grid.dy();
+#if defined(PVC_X86_DISPATCH)
+  if (cpu_has_avx512f()) {
+    return timestep_avx512(en, vx, vy, nx, ny, cp, np, gg, cfl_dx, cfl_dy);
+  }
+#endif
+  double dt = 1e30;
+  for (std::size_t j = 1; j <= ny; ++j) {
+    const double* en_row = en + j * cp;
+    const double* vx_row = vx + j * np;
+    const double* vy_row = vy + j * np;
+    for (std::size_t i = 1; i <= nx; ++i) {
+      const double e = std::max(0.0, en_row[i]);
+      const double c = std::sqrt(gg * e) + 1e-12;
+      const double u = std::fabs(vx_row[i]);
+      const double v = std::fabs(vy_row[i]);
+      dt = std::min(dt, cfl_dx / (c + u + 1e-12));
+      dt = std::min(dt, cfl_dy / (c + v + 1e-12));
+    }
+  }
+  return dt;
+}
+
+void apply_artificial_viscosity(CloverGrid& grid, double c_q) {
+  const std::size_t nx = grid.nx();
+  const std::size_t ny = grid.ny();
+  const std::size_t cp = grid.cell_pitch();
+  const std::size_t np = grid.node_pitch();
+  const double* rho = grid.density_data();
+  const double* vx = grid.velocity_x_data();
+  const double* vy = grid.velocity_y_data();
+  double* pr = grid.pressure_data();
+  const double dx = grid.dx();
+  const double dy = grid.dy();
+#if defined(PVC_X86_DISPATCH)
+  if (cpu_has_avx512f()) {
+    viscosity_avx512(rho, vx, vy, pr, nx, ny, cp, np, dx, dy, c_q);
+    return;
+  }
+#endif
+  const double dl = std::min(dx, dy);
+  for (std::size_t j = 1; j <= ny; ++j) {
+    const double* vx0 = vx + j * np;
+    const double* vx1 = vx + (j + 1) * np;
+    const double* vy0 = vy + j * np;
+    const double* vy1 = vy + (j + 1) * np;
+    const double* rho_row = rho + j * cp;
+    double* pr_row = pr + j * cp;
+    for (std::size_t i = 1; i <= nx; ++i) {
+      const double du = 0.5 * ((vx0[i + 1] + vx1[i + 1]) - (vx0[i] + vx1[i]));
+      const double dv = 0.5 * ((vy1[i] + vy1[i + 1]) - (vy0[i] + vy0[i + 1]));
+      const double div = du / dx + dv / dy;
+      if (div < 0.0) {  // compression only
+        const double q = c_q * rho_row[i] * (dl * div) * (dl * div);
+        pr_row[i] += q;
+      }
+    }
+  }
+}
+
+void accelerate(CloverGrid& grid, double dt) {
+  const std::size_t nx = grid.nx();
+  const std::size_t ny = grid.ny();
+  const std::size_t cp = grid.cell_pitch();
+  const std::size_t np = grid.node_pitch();
+  const double* rho = grid.density_data();
+  const double* pr = grid.pressure_data();
+  double* vx = grid.velocity_x_data();
+  double* vy = grid.velocity_y_data();
+  const double dx = grid.dx();
+  const double dy = grid.dy();
+#if defined(PVC_X86_DISPATCH)
+  if (cpu_has_avx512f()) {
+    accelerate_avx512(rho, pr, vx, vy, nx, ny, cp, np, dx, dy, dt);
+    return;
+  }
+#endif
+  // Node acceleration from the pressure gradient of adjacent cells.
+  for (std::size_t j = 2; j <= ny; ++j) {
+    const double* rho0 = rho + (j - 1) * cp;  // cell row j-1
+    const double* rho1 = rho + j * cp;        // cell row j
+    const double* pr0 = pr + (j - 1) * cp;
+    const double* pr1 = pr + j * cp;
+    double* vx_row = vx + j * np;
+    double* vy_row = vy + j * np;
+    for (std::size_t i = 2; i <= nx; ++i) {
+      const double rho_avg =
+          0.25 * (rho0[i - 1] + rho0[i] + rho1[i - 1] + rho1[i]);
+      if (rho_avg <= 0.0) {
+        continue;
+      }
+      const double dpx = 0.5 * ((pr0[i] - pr0[i - 1]) + (pr1[i] - pr1[i - 1]));
+      const double dpy = 0.5 * ((pr1[i - 1] - pr0[i - 1]) + (pr1[i] - pr0[i]));
+      vx_row[i] -= dt * dpx / (dx * rho_avg);
+      vy_row[i] -= dt * dpy / (dy * rho_avg);
+    }
+  }
+}
+
+void pdv_update(CloverGrid& grid, double dt) {
+  const std::size_t nx = grid.nx();
+  const std::size_t ny = grid.ny();
+  const std::size_t cp = grid.cell_pitch();
+  const std::size_t np = grid.node_pitch();
+  const double* rho = grid.density_data();
+  const double* pr = grid.pressure_data();
+  const double* vx = grid.velocity_x_data();
+  const double* vy = grid.velocity_y_data();
+  double* en = grid.energy_data();
+  const double dx = grid.dx();
+  const double dy = grid.dy();
+#if defined(PVC_X86_DISPATCH)
+  if (cpu_has_avx512f()) {
+    pdv_avx512(rho, pr, vx, vy, en, nx, ny, cp, np, dx, dy, dt);
+    return;
+  }
+#endif
+  for (std::size_t j = 1; j <= ny; ++j) {
+    const double* vx0 = vx + j * np;
+    const double* vx1 = vx + (j + 1) * np;
+    const double* vy0 = vy + j * np;
+    const double* vy1 = vy + (j + 1) * np;
+    const double* rho_row = rho + j * cp;
+    const double* pr_row = pr + j * cp;
+    double* en_row = en + j * cp;
+    for (std::size_t i = 1; i <= nx; ++i) {
+      const double du = 0.5 * ((vx0[i + 1] + vx1[i + 1]) - (vx0[i] + vx1[i]));
+      const double dv = 0.5 * ((vy1[i] + vy1[i + 1]) - (vy0[i] + vy0[i + 1]));
+      const double div = du / dx + dv / dy;
+      const double r = rho_row[i];
+      if (r <= 0.0) {
+        continue;
+      }
+      // Internal energy loses p * div * dt / rho (PdV work).  On this
+      // fixed Eulerian grid, mass moves only through the advection
+      // fluxes — density is untouched here so that total mass is
+      // conserved exactly.
+      en_row[i] = std::max(0.0, en_row[i] - dt * pr_row[i] * div / r);
+    }
+  }
+}
+
+void advect(CloverGrid& grid, double dt) {
+  const std::size_t nx = grid.nx();
+  const std::size_t ny = grid.ny();
+  const std::size_t cp = grid.cell_pitch();
+  const std::size_t np = grid.node_pitch();
+  double* rho = grid.density_data();
+  double* en = grid.energy_data();
+  const double* vx = grid.velocity_x_data();
+  const double* vy = grid.velocity_y_data();
+  const double dx = grid.dx();
+  const double dy = grid.dy();
+
+  // Reused flux workspaces; every entry is overwritten by the face
+  // loops before the cell updates read it.
+  static thread_local std::vector<double> mass_flux, energy_flux;
+  mass_flux.resize((nx + 1) * ny);
+  energy_flux.resize((nx + 1) * ny);
+
+#if defined(PVC_X86_DISPATCH)
+  static thread_local std::vector<double> mass_flux_yv, energy_flux_yv;
+  if (cpu_has_avx512f()) {
+    mass_flux_yv.resize(nx * (ny + 1));
+    energy_flux_yv.resize(nx * (ny + 1));
+    advect_avx512(rho, en, vx, vy, mass_flux.data(), energy_flux.data(),
+                  mass_flux_yv.data(), energy_flux_yv.data(), nx, ny, cp, np,
+                  dx, dy, dt);
+    return;
+  }
+#endif
+
+  // X sweep: donor-cell mass and energy fluxes at vertical faces.
+  for (std::size_t j = 1; j <= ny; ++j) {
+    const double* vx0 = vx + j * np;
+    const double* vx1 = vx + (j + 1) * np;
+    const double* rho_row = rho + j * cp;
+    const double* en_row = en + j * cp;
+    double* mf = mass_flux.data() + (j - 1) * (nx + 1);
+    double* ef = energy_flux.data() + (j - 1) * (nx + 1);
+    for (std::size_t i = 1; i <= nx + 1; ++i) {
+      const double u_face = 0.5 * (vx0[i] + vx1[i]);
+      const std::size_t donor = u_face >= 0.0 ? i - 1 : i;
+      const double rho_d = rho_row[donor];
+      const double e_d = en_row[donor];
+      const double flux = u_face * dt / dx * rho_d;
+      mf[i - 1] = flux;
+      ef[i - 1] = flux * e_d;
+    }
+  }
+  for (std::size_t j = 1; j <= ny; ++j) {
+    double* rho_row = rho + j * cp;
+    double* en_row = en + j * cp;
+    const double* mf = mass_flux.data() + (j - 1) * (nx + 1);
+    const double* ef = energy_flux.data() + (j - 1) * (nx + 1);
+    for (std::size_t i = 1; i <= nx; ++i) {
+      const double m_in = mf[i - 1];
+      const double m_out = mf[i];
+      const double e_in = ef[i - 1];
+      const double e_out = ef[i];
+      const double rho_old = rho_row[i];
+      const double rho_new = std::max(1e-12, rho_old + m_in - m_out);
+      const double rho_e_new = std::max(0.0, rho_old * en_row[i] + e_in - e_out);
+      rho_row[i] = rho_new;
+      en_row[i] = rho_e_new / rho_new;
+    }
+  }
+
+  // Y sweep: donor-cell fluxes at horizontal faces.
+  static thread_local std::vector<double> mass_flux_y, energy_flux_y;
+  mass_flux_y.resize(nx * (ny + 1));
+  energy_flux_y.resize(nx * (ny + 1));
+  for (std::size_t j = 1; j <= ny + 1; ++j) {
+    const double* vy_row = vy + j * np;
+    double* mf = mass_flux_y.data() + (j - 1) * nx;
+    double* ef = energy_flux_y.data() + (j - 1) * nx;
+    for (std::size_t i = 1; i <= nx; ++i) {
+      const double v_face = 0.5 * (vy_row[i] + vy_row[i + 1]);
+      const std::size_t donor = v_face >= 0.0 ? j - 1 : j;
+      const double rho_d = rho[donor * cp + i];
+      const double e_d = en[donor * cp + i];
+      const double flux = v_face * dt / dy * rho_d;
+      mf[i - 1] = flux;
+      ef[i - 1] = flux * e_d;
+    }
+  }
+  for (std::size_t j = 1; j <= ny; ++j) {
+    double* rho_row = rho + j * cp;
+    double* en_row = en + j * cp;
+    const double* mf0 = mass_flux_y.data() + (j - 1) * nx;
+    const double* mf1 = mass_flux_y.data() + j * nx;
+    const double* ef0 = energy_flux_y.data() + (j - 1) * nx;
+    const double* ef1 = energy_flux_y.data() + j * nx;
+    for (std::size_t i = 1; i <= nx; ++i) {
+      const double m_in = mf0[i - 1];
+      const double m_out = mf1[i - 1];
+      const double e_in = ef0[i - 1];
+      const double e_out = ef1[i - 1];
+      const double rho_old = rho_row[i];
+      const double rho_new = std::max(1e-12, rho_old + m_in - m_out);
+      const double rho_e_new = std::max(0.0, rho_old * en_row[i] + e_in - e_out);
+      rho_row[i] = rho_new;
+      en_row[i] = rho_e_new / rho_new;
+    }
+  }
+}
+
+double hydro_step(CloverGrid& grid, double gamma) {
+  grid.apply_reflective_boundaries();
+  update_pressure(grid, gamma);
+  apply_artificial_viscosity(grid);
+  const double dt = compute_timestep(grid, gamma);
+  accelerate(grid, dt);
+  pdv_update(grid, dt);
+  update_pressure(grid, gamma);
+  advect(grid, dt);
+  return dt;
+}
+
+// --- Reference oracles ------------------------------------------------------
+// The seed kernels, verbatim: one accessor call (and its index multiply)
+// per field touch.
+
+double reference_update_pressure(CloverGrid& grid, double gamma) {
   double max_c = 0.0;
   for (std::size_t j = 0; j < grid.ny() + 2; ++j) {
     for (std::size_t i = 0; i < grid.nx() + 2; ++i) {
@@ -136,7 +862,8 @@ double update_pressure(CloverGrid& grid, double gamma) {
   return max_c;
 }
 
-double compute_timestep(const CloverGrid& grid, double gamma, double cfl) {
+double reference_compute_timestep(const CloverGrid& grid, double gamma,
+                                  double cfl) {
   double dt = 1e30;
   for (std::size_t j = 1; j <= grid.ny(); ++j) {
     for (std::size_t i = 1; i <= grid.nx(); ++i) {
@@ -153,7 +880,7 @@ double compute_timestep(const CloverGrid& grid, double gamma, double cfl) {
   return dt;
 }
 
-void apply_artificial_viscosity(CloverGrid& grid, double c_q) {
+void reference_apply_artificial_viscosity(CloverGrid& grid, double c_q) {
   for (std::size_t j = 1; j <= grid.ny(); ++j) {
     for (std::size_t i = 1; i <= grid.nx(); ++i) {
       const double du = 0.5 * ((grid.velocity_x(i + 1, j) +
@@ -174,8 +901,7 @@ void apply_artificial_viscosity(CloverGrid& grid, double c_q) {
   }
 }
 
-void accelerate(CloverGrid& grid, double dt) {
-  // Node acceleration from the pressure gradient of adjacent cells.
+void reference_accelerate(CloverGrid& grid, double dt) {
   for (std::size_t j = 2; j <= grid.ny(); ++j) {
     for (std::size_t i = 2; i <= grid.nx(); ++i) {
       const double rho_avg =
@@ -196,7 +922,7 @@ void accelerate(CloverGrid& grid, double dt) {
   }
 }
 
-void pdv_update(CloverGrid& grid, double dt) {
+void reference_pdv_update(CloverGrid& grid, double dt) {
   for (std::size_t j = 1; j <= grid.ny(); ++j) {
     for (std::size_t i = 1; i <= grid.nx(); ++i) {
       const double du = 0.5 * ((grid.velocity_x(i + 1, j) +
@@ -212,10 +938,6 @@ void pdv_update(CloverGrid& grid, double dt) {
       if (rho <= 0.0) {
         continue;
       }
-      // Internal energy loses p * div * dt / rho (PdV work).  On this
-      // fixed Eulerian grid, mass moves only through the advection
-      // fluxes — density is untouched here so that total mass is
-      // conserved exactly.
       grid.energy(i, j) =
           std::max(0.0, grid.energy(i, j) -
                             dt * grid.pressure(i, j) * div / rho);
@@ -223,7 +945,7 @@ void pdv_update(CloverGrid& grid, double dt) {
   }
 }
 
-void advect(CloverGrid& grid, double dt) {
+void reference_advect(CloverGrid& grid, double dt) {
   const std::size_t nx = grid.nx();
   const std::size_t ny = grid.ny();
 
@@ -288,15 +1010,15 @@ void advect(CloverGrid& grid, double dt) {
   }
 }
 
-double hydro_step(CloverGrid& grid, double gamma) {
+double reference_hydro_step(CloverGrid& grid, double gamma) {
   grid.apply_reflective_boundaries();
-  update_pressure(grid, gamma);
-  apply_artificial_viscosity(grid);
-  const double dt = compute_timestep(grid, gamma);
-  accelerate(grid, dt);
-  pdv_update(grid, dt);
-  update_pressure(grid, gamma);
-  advect(grid, dt);
+  reference_update_pressure(grid, gamma);
+  reference_apply_artificial_viscosity(grid);
+  const double dt = reference_compute_timestep(grid, gamma);
+  reference_accelerate(grid, dt);
+  reference_pdv_update(grid, dt);
+  reference_update_pressure(grid, gamma);
+  reference_advect(grid, dt);
   return dt;
 }
 

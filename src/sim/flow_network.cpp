@@ -432,6 +432,24 @@ void FlowNetwork::on_completion_event() {
       finished_slots.push_back(slot);
     }
   }
+  if (finished_slots.empty()) {
+    // The event fired but integration finished nothing: the minimum
+    // remaining/rate rounded below one ulp of now, so the completion
+    // landed on the current timestamp with dt == 0.  Left alone, the
+    // resolve/completion pair would respin at this instant forever
+    // (long-lived sims accumulate enough `now` that a byte residue
+    // above kEpsilonBytes can still be un-representable as a time
+    // advance).  Finish exactly the flows whose residue cannot advance
+    // the clock — in any run that terminates without this rescue, the
+    // condition never holds, so previously-valid timings are unchanged.
+    const Time now_ts = engine_->now();
+    for (const std::uint32_t slot : active_) {
+      const Flow& flow = slots_[slot];
+      if (flow.rate > 0.0 && now_ts + flow.remaining / flow.rate == now_ts) {
+        finished_slots.push_back(slot);
+      }
+    }
+  }
   std::vector<Flow> finished;
   finished.reserve(finished_slots.size());
   for (const std::uint32_t slot : finished_slots) {
