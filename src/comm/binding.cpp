@@ -1,5 +1,7 @@
 #include "comm/binding.hpp"
 
+#include <algorithm>
+
 #include "core/error.hpp"
 
 namespace pvc::comm {
@@ -43,6 +45,44 @@ double cores_per_rank(const arch::NodeSpec& node, int ranks) {
 double host_bandwidth_per_rank(const arch::NodeSpec& node, int ranks) {
   ensure(ranks >= 1, "host_bandwidth_per_rank: need at least one rank");
   return node.cpu.ddr_bandwidth_bps / static_cast<double>(ranks);
+}
+
+int nodes_for_ranks(const arch::NodeSpec& node, int ranks) {
+  ensure(ranks >= 1, ErrorCode::InvalidArgument,
+         "nodes_for_ranks: need at least one rank");
+  const int per_node = node.total_subdevices();
+  return (ranks + per_node - 1) / per_node;
+}
+
+std::vector<GlobalBinding> bind_ranks_multinode(const arch::NodeSpec& node,
+                                                int nics_per_node,
+                                                int ranks) {
+  ensure(ranks >= 1, ErrorCode::InvalidArgument,
+         "bind_ranks_multinode: need at least one rank");
+  ensure(nics_per_node >= 1, ErrorCode::InvalidArgument,
+         "bind_ranks_multinode: need at least one NIC per node");
+  const int per_node = node.total_subdevices();
+  std::vector<GlobalBinding> out;
+  out.reserve(static_cast<std::size_t>(ranks));
+  for (int first = 0; first < ranks; first += per_node) {
+    const int count = std::min(per_node, ranks - first);
+    // Reuse the single-node policy for this node's slice, so cards,
+    // sockets, and cores match what bind_ranks() reports.
+    const auto local = bind_ranks(node, count);
+    for (const CpuBinding& b : local) {
+      GlobalBinding g;
+      g.rank = first + b.rank;
+      g.node = first / per_node;
+      g.local_rank = b.rank;
+      g.device = b.device;
+      g.card = b.card;
+      g.stack = b.device % node.card.subdevice_count;
+      g.core = b.core;
+      g.nic = b.rank % nics_per_node;
+      out.push_back(g);
+    }
+  }
+  return out;
 }
 
 }  // namespace pvc::comm

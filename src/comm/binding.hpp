@@ -1,5 +1,5 @@
 #pragma once
-// Rank-to-CPU-core binding (paper §IV-A).
+// Rank-to-CPU-core binding (paper §IV-A) and multi-node placement.
 //
 // "Binding the MPI ranks to the CPU closest to the GPU ensures data
 // transfer doesn't happen between CPU sockets.  For example, Aurora uses
@@ -7,6 +7,13 @@
 // threads.  Therefore, rank 0 is bound to CPU core 1 and PVC 0 Stack 0."
 // This module reproduces that policy and reports per-rank CPU-resource
 // shares, which the miniQMC model uses for its CPU-congestion bottleneck.
+//
+// For cluster-scale runs (docs/SCALING.md) the same policy extends to a
+// rank→(node, card, stack, core, NIC) placement: ranks fill nodes in
+// order (node 0 gets ranks 0..subdevices-1, and so on), each node's
+// ranks reuse the single-node core/GPU policy above, and NICs are dealt
+// round-robin over a node's local ranks — the PALS-style default the
+// Aurora scaling study assumes.
 
 #include <vector>
 
@@ -40,5 +47,27 @@ struct CpuBinding {
 /// Host DDR bandwidth share per rank (bytes/s).
 [[nodiscard]] double host_bandwidth_per_rank(const arch::NodeSpec& node,
                                              int ranks);
+
+/// One rank's placement in a multi-node job (docs/SCALING.md).
+struct GlobalBinding {
+  int rank = 0;
+  int node = 0;        ///< cluster node index
+  int local_rank = 0;  ///< rank index within its node
+  int device = 0;      ///< flat subdevice index within the node
+  int card = 0;
+  int stack = 0;
+  int core = 0;  ///< global core index within the node
+  int nic = 0;   ///< NIC index within the node (local_rank % nics)
+};
+
+/// Nodes needed to host `ranks` ranks at one rank per subdevice.
+[[nodiscard]] int nodes_for_ranks(const arch::NodeSpec& node, int ranks);
+
+/// Extends bind_ranks() across nodes: ranks fill nodes in order, every
+/// full node reuses the single-node placement (cards split across
+/// sockets, OS cores skipped), and each rank's NIC is local_rank %
+/// `nics_per_node`.  Throws when ranks < 1 or nics_per_node < 1.
+[[nodiscard]] std::vector<GlobalBinding> bind_ranks_multinode(
+    const arch::NodeSpec& node, int nics_per_node, int ranks);
 
 }  // namespace pvc::comm

@@ -1,0 +1,427 @@
+#include "comm/cluster.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "comm/metrics_internal.hpp"
+#include "core/error.hpp"
+
+namespace pvc::comm {
+
+namespace detail {
+
+FabricMetrics& fabric_metrics() {
+  // Handles rebind whenever the thread's active registry changes
+  // (obs::ScopedRegistry isolates concurrent sweep workers).
+  thread_local FabricMetrics m;
+  thread_local obs::Registry* bound = nullptr;
+  auto& reg = obs::Registry::active();
+  if (bound == &reg) {
+    return m;
+  }
+  bound = &reg;
+  m = [&reg] {
+    FabricMetrics f;
+    f.messages = &reg.counter("fabric.messages", "messages",
+                              "messages delivered over the cluster fabric");
+    f.bytes = &reg.counter("fabric.bytes", "bytes",
+                           "payload bytes delivered over the cluster fabric");
+    f.routes_intra_node =
+        &reg.counter("fabric.routes.intra_node", "messages",
+                     "messages whose endpoints shared a node (NIC bypass)");
+    f.routes_minimal =
+        &reg.counter("fabric.routes.minimal", "messages",
+                     "inter-node messages on the minimal dragonfly route");
+    f.routes_nonminimal = &reg.counter(
+        "fabric.routes.nonminimal", "messages",
+        "inter-node messages detoured over the Valiant route");
+    f.hops_local = &reg.counter("fabric.hops.local", "hops",
+                                "router uplink/downlink traversals");
+    f.hops_global = &reg.counter("fabric.hops.global", "hops",
+                                 "inter-group global-link traversals");
+    f.nic_failovers = &reg.counter(
+        "fabric.nic.failovers", "messages",
+        "messages re-steered from a downed NIC to a healthy sibling");
+    f.nic_stall_seconds = &reg.gauge(
+        "fabric.nic.stall_seconds", "seconds",
+        "cumulative injection delay behind the per-NIC message-rate gate");
+    return f;
+  }();
+  return m;
+}
+
+}  // namespace detail
+
+ClusterComm::ClusterComm(const arch::NodeSpec& node,
+                         const sim::FabricSpec& fabric, int ranks)
+    : node_spec_(node),
+      fabric_(fabric),
+      binding_(bind_ranks_multinode(node, fabric.nic.per_node, ranks)),
+      nodes_(nodes_for_ranks(node, ranks)),
+      topology_(fabric.topo, nodes_),
+      network_(engine_) {
+  ensure(fabric_.intra_node_bps > 0.0, ErrorCode::InvalidArgument,
+         "ClusterComm: fabric intra_node_bps must be positive");
+  ensure(fabric_.nic.injection_bps > 0.0, ErrorCode::InvalidArgument,
+         "ClusterComm: NIC injection bandwidth must be positive");
+  build_links();
+}
+
+void ClusterComm::build_links() {
+  const int per_node = fabric_.nic.per_node;
+  nics_.resize(static_cast<std::size_t>(nodes_) * per_node);
+  intra_.reserve(static_cast<std::size_t>(nodes_));
+  uplinks_.reserve(static_cast<std::size_t>(nodes_));
+  downlinks_.reserve(static_cast<std::size_t>(nodes_));
+  for (int n = 0; n < nodes_; ++n) {
+    const std::string base = "node" + std::to_string(n);
+    intra_.push_back(network_.add_link(base + ".intra", fabric_.intra_node_bps));
+    uplinks_.push_back(
+        network_.add_link(base + ".uplink", fabric_.topo.local_link_bps));
+    downlinks_.push_back(
+        network_.add_link(base + ".downlink", fabric_.topo.local_link_bps));
+    for (int i = 0; i < per_node; ++i) {
+      NicState& nic = nics_[nic_index(n, i)];
+      const std::string nic_base = base + ".nic" + std::to_string(i);
+      nic.egress =
+          network_.add_link(nic_base + ".egress", fabric_.nic.injection_bps);
+      nic.ingress =
+          network_.add_link(nic_base + ".ingress", fabric_.nic.injection_bps);
+    }
+  }
+  // One aggregated global link per group pair (dragonfly all-to-all
+  // between groups); both directions share the aggregate.
+  const int groups = topology_.groups();
+  globals_.assign(static_cast<std::size_t>(groups) * groups, 0);
+  global_scale_.assign(static_cast<std::size_t>(groups) * groups, 1.0);
+  for (int a = 0; a < groups; ++a) {
+    for (int b = a + 1; b < groups; ++b) {
+      const sim::LinkId id = network_.add_link(
+          "global.g" + std::to_string(a) + "-g" + std::to_string(b),
+          fabric_.topo.global_link_bps);
+      globals_[static_cast<std::size_t>(a) * groups + b] = id;
+      globals_[static_cast<std::size_t>(b) * groups + a] = id;
+    }
+  }
+}
+
+const GlobalBinding& ClusterComm::binding(int rank) const {
+  ensure(rank >= 0 && rank < size(), ErrorCode::InvalidArgument,
+         "ClusterComm::binding: rank " + std::to_string(rank) +
+             " out of range [0, " + std::to_string(size()) + ")");
+  return binding_[static_cast<std::size_t>(rank)];
+}
+
+std::size_t ClusterComm::nic_index(int node, int nic) const {
+  ensure(node >= 0 && node < nodes_, ErrorCode::InvalidArgument,
+         "ClusterComm: node " + std::to_string(node) + " out of range [0, " +
+             std::to_string(nodes_) + ")");
+  ensure(nic >= 0 && nic < fabric_.nic.per_node, ErrorCode::InvalidArgument,
+         "ClusterComm: NIC " + std::to_string(nic) + " out of range [0, " +
+             std::to_string(fabric_.nic.per_node) + ")");
+  return static_cast<std::size_t>(node) * fabric_.nic.per_node + nic;
+}
+
+sim::LinkId ClusterComm::global_link(int group_a, int group_b) const {
+  ensure(group_a != group_b, ErrorCode::InvalidArgument,
+         "ClusterComm: no global link inside one group");
+  return globals_[static_cast<std::size_t>(group_a) * topology_.groups() +
+                  group_b];
+}
+
+namespace {
+
+/// First healthy NIC index at or after `preferred`, scanning round-robin;
+/// -1 when every NIC of the node is down.
+[[nodiscard]] int scan_healthy(const std::vector<bool>& down, int per_node,
+                               int preferred) {
+  for (int k = 0; k < per_node; ++k) {
+    const int i = (preferred + k) % per_node;
+    if (!down[static_cast<std::size_t>(i)]) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+int ClusterComm::healthy_nic(int node, int preferred) {
+  const int per_node = fabric_.nic.per_node;
+  for (int k = 0; k < per_node; ++k) {
+    const int i = (preferred + k) % per_node;
+    if (!nics_[nic_index(node, i)].down) {
+      if (k > 0) {
+        detail::fabric_metrics().nic_failovers->add();
+      }
+      return i;
+    }
+  }
+  raise(ErrorCode::LinkDown, "ClusterComm: every NIC of node " +
+                                 std::to_string(node) + " is down");
+}
+
+ClusterComm::ExchangeResult ClusterComm::exchange(
+    std::span<const Message> messages) {
+  auto& fm = detail::fabric_metrics();
+  injection_log_.clear();
+  injection_log_.reserve(messages.size());
+  ExchangeResult result;
+  result.completion_s.assign(messages.size(), 0.0);
+  const double post = engine_.now();
+  const double gap = sim::nic_message_gap_s(fabric_);
+
+  for (std::size_t idx = 0; idx < messages.size(); ++idx) {
+    const Message& msg = messages[idx];
+    ensure(msg.src >= 0 && msg.src < size() && msg.dst >= 0 &&
+               msg.dst < size(),
+           ErrorCode::InvalidArgument,
+           "ClusterComm::exchange: message rank out of range");
+    ensure(msg.bytes >= 0.0, ErrorCode::InvalidArgument,
+           "ClusterComm::exchange: negative byte count");
+    const GlobalBinding& src = binding_[static_cast<std::size_t>(msg.src)];
+    const GlobalBinding& dst = binding_[static_cast<std::size_t>(msg.dst)];
+    auto on_complete = [this, &fm, idx, &result,
+                        bytes = msg.bytes](sim::Time t) {
+      result.completion_s[idx] = t;
+      result.finish = std::max(result.finish, t);
+      ++delivered_;
+      fm.messages->add();
+      fm.bytes->add(static_cast<std::uint64_t>(bytes));
+    };
+
+    if (msg.src == msg.dst) {
+      // Self-message: local copy, no fabric traversal.
+      network_.start_flow({}, msg.bytes, 0.0, on_complete);
+      continue;
+    }
+    if (src.node == dst.node) {
+      fm.routes_intra_node->add();
+      network_.start_flow({intra_[static_cast<std::size_t>(src.node)]},
+                          msg.bytes, fabric_.intra_node_latency_s,
+                          on_complete);
+      continue;
+    }
+
+    // Inter-node: pick the NIC (failing over around downed ones), gate
+    // the injection behind the NIC's message-rate FIFO, then route.
+    const int src_nic = healthy_nic(src.node, src.nic);
+    const int dst_nic = healthy_nic(dst.node, dst.nic);
+    NicState& nic = nics_[nic_index(src.node, src_nic)];
+    const double start = std::max(post, nic.next_free_s);
+    nic.next_free_s = start + gap;
+    injection_log_.push_back({src.node, src_nic, post, start});
+    fm.nic_stall_seconds->add(start - post);
+
+    const int gs = topology_.group_of(src.node);
+    const int gd = topology_.group_of(dst.node);
+    const bool degraded =
+        gs != gd &&
+        global_scale_[static_cast<std::size_t>(gs) * topology_.groups() +
+                      gd] < kAdaptiveThreshold;
+    const sim::FabricRoute route = topology_.route(src.node, dst.node, degraded);
+    if (route.global_hops == 2) {
+      fm.routes_nonminimal->add();
+    } else {
+      fm.routes_minimal->add();
+    }
+    fm.hops_local->add(static_cast<std::uint64_t>(route.local_hops));
+    fm.hops_global->add(static_cast<std::uint64_t>(route.global_hops));
+
+    std::vector<sim::LinkId> links;
+    links.reserve(6);
+    links.push_back(nic.egress);
+    links.push_back(uplinks_[static_cast<std::size_t>(src.node)]);
+    if (route.global_hops == 1) {
+      links.push_back(global_link(gs, gd));
+    } else if (route.global_hops == 2) {
+      links.push_back(global_link(gs, route.via_group));
+      links.push_back(global_link(route.via_group, gd));
+    }
+    links.push_back(downlinks_[static_cast<std::size_t>(dst.node)]);
+    links.push_back(nics_[nic_index(dst.node, dst_nic)].ingress);
+
+    const double latency = (start - post) + 2.0 * fabric_.nic.latency_s +
+                           route.latency_s;
+    network_.start_flow(std::move(links), msg.bytes, latency, on_complete);
+  }
+
+  engine_.run();
+  return result;
+}
+
+std::vector<sim::LinkId> ClusterComm::route_links(int src_rank,
+                                                  int dst_rank) const {
+  const GlobalBinding& src = binding(src_rank);
+  const GlobalBinding& dst = binding(dst_rank);
+  if (src_rank == dst_rank) {
+    return {};
+  }
+  if (src.node == dst.node) {
+    return {intra_[static_cast<std::size_t>(src.node)]};
+  }
+  const int per_node = fabric_.nic.per_node;
+  std::vector<bool> down(static_cast<std::size_t>(per_node));
+  const auto pick = [&](int node, int preferred) {
+    for (int i = 0; i < per_node; ++i) {
+      down[static_cast<std::size_t>(i)] = nics_[nic_index(node, i)].down;
+    }
+    const int nic = scan_healthy(down, per_node, preferred);
+    ensure(nic >= 0, ErrorCode::LinkDown,
+           "ClusterComm: every NIC of node " + std::to_string(node) +
+               " is down");
+    return nic;
+  };
+  const int src_nic = pick(src.node, src.nic);
+  const int dst_nic = pick(dst.node, dst.nic);
+  const int gs = topology_.group_of(src.node);
+  const int gd = topology_.group_of(dst.node);
+  const bool degraded =
+      gs != gd &&
+      global_scale_[static_cast<std::size_t>(gs) * topology_.groups() + gd] <
+          kAdaptiveThreshold;
+  const sim::FabricRoute route = topology_.route(src.node, dst.node, degraded);
+  std::vector<sim::LinkId> links;
+  links.push_back(nics_[nic_index(src.node, src_nic)].egress);
+  links.push_back(uplinks_[static_cast<std::size_t>(src.node)]);
+  if (route.global_hops == 1) {
+    links.push_back(global_link(gs, gd));
+  } else if (route.global_hops == 2) {
+    links.push_back(global_link(gs, route.via_group));
+    links.push_back(global_link(route.via_group, gd));
+  }
+  links.push_back(downlinks_[static_cast<std::size_t>(dst.node)]);
+  links.push_back(nics_[nic_index(dst.node, dst_nic)].ingress);
+  return links;
+}
+
+void ClusterComm::set_nic_down(int node, int nic, bool down) {
+  nics_[nic_index(node, nic)].down = down;
+}
+
+bool ClusterComm::nic_down(int node, int nic) const {
+  return nics_[nic_index(node, nic)].down;
+}
+
+void ClusterComm::set_nic_degradation(int node, int nic, double factor) {
+  ensure(factor > 0.0 && factor <= 1.0, ErrorCode::InvalidArgument,
+         "ClusterComm: NIC degradation factor must be in (0, 1]");
+  const NicState& state = nics_[nic_index(node, nic)];
+  network_.set_link_scale(state.egress, factor);
+  network_.set_link_scale(state.ingress, factor);
+}
+
+void ClusterComm::set_global_link_degradation(int group_a, int group_b,
+                                              double factor) {
+  const int groups = topology_.groups();
+  ensure(group_a >= 0 && group_a < groups && group_b >= 0 &&
+             group_b < groups && group_a != group_b,
+         ErrorCode::InvalidArgument,
+         "ClusterComm: invalid group pair for global-link degradation");
+  ensure(factor > 0.0 && factor <= 1.0, ErrorCode::InvalidArgument,
+         "ClusterComm: global-link degradation factor must be in (0, 1]");
+  network_.set_link_scale(global_link(group_a, group_b), factor);
+  global_scale_[static_cast<std::size_t>(group_a) * groups + group_b] = factor;
+  global_scale_[static_cast<std::size_t>(group_b) * groups + group_a] = factor;
+}
+
+std::vector<double> ClusterComm::reference_injection_schedule(
+    const sim::FabricSpec& fabric, std::span<const InjectionRecord> log) {
+  // From-scratch replay: one FIFO cursor per (node, NIC), advanced in
+  // log (= post) order.  Must agree with the O(1) cursors exchange()
+  // kept — the FabricOracle equivalence test.
+  const double gap = sim::nic_message_gap_s(fabric);
+  std::vector<double> out;
+  out.reserve(log.size());
+  std::vector<std::pair<std::pair<int, int>, double>> cursors;
+  for (const InjectionRecord& rec : log) {
+    const std::pair<int, int> key{rec.node, rec.nic};
+    auto it = std::find_if(cursors.begin(), cursors.end(),
+                           [&](const auto& c) { return c.first == key; });
+    if (it == cursors.end()) {
+      cursors.push_back({key, 0.0});
+      it = cursors.end() - 1;
+    }
+    const double start = std::max(rec.post_s, it->second);
+    it->second = start + gap;
+    out.push_back(start);
+  }
+  return out;
+}
+
+sim::Time cluster_halo_exchange(ClusterComm& cluster, double halo_bytes) {
+  const int p = cluster.size();
+  std::vector<ClusterComm::Message> messages;
+  messages.reserve(static_cast<std::size_t>(p) * 2);
+  for (int r = 0; r < p; ++r) {
+    messages.push_back({r, (r + 1) % p, halo_bytes});
+    messages.push_back({r, (r - 1 + p) % p, halo_bytes});
+  }
+  const sim::Time t0 = cluster.engine().now();
+  const auto result = cluster.exchange(messages);
+  return result.finish - t0;
+}
+
+sim::Time cluster_allreduce(ClusterComm& cluster, double bytes,
+                            sim::CollectiveAlgo algo) {
+  const int p = cluster.size();
+  const sim::Time t0 = cluster.engine().now();
+  if (p <= 1) {
+    return 0.0;
+  }
+  std::vector<ClusterComm::Message> round;
+  sim::Time finish = t0;
+  const auto run_round = [&] {
+    finish = std::max(finish, cluster.exchange(round).finish);
+    round.clear();
+  };
+  switch (algo) {
+    case sim::CollectiveAlgo::Ring: {
+      // Reduce-scatter then allgather: 2(p-1) neighbour rounds of one
+      // bytes/p block per rank.
+      const double block = bytes / static_cast<double>(p);
+      for (int step = 0; step < 2 * (p - 1); ++step) {
+        for (int r = 0; r < p; ++r) {
+          round.push_back({r, (r + 1) % p, block});
+        }
+        run_round();
+      }
+      break;
+    }
+    case sim::CollectiveAlgo::RecursiveDoubling: {
+      ensure((p & (p - 1)) == 0, ErrorCode::InvalidArgument,
+             "cluster_allreduce: recursive doubling needs a power-of-two "
+             "rank count");
+      for (int stride = 1; stride < p; stride *= 2) {
+        for (int r = 0; r < p; ++r) {
+          round.push_back({r, r ^ stride, bytes});
+        }
+        run_round();
+      }
+      break;
+    }
+    case sim::CollectiveAlgo::BinomialTree: {
+      // Binomial reduce to rank 0, then the mirrored broadcast.
+      for (int stride = 1; stride < p; stride *= 2) {
+        for (int r = stride; r < p; r += 2 * stride) {
+          round.push_back({r, r - stride, bytes});
+        }
+        run_round();
+      }
+      int top = 1;
+      while (top < p) {
+        top *= 2;
+      }
+      for (int stride = top / 2; stride >= 1; stride /= 2) {
+        for (int r = stride; r < p; r += 2 * stride) {
+          round.push_back({r - stride, r, bytes});
+        }
+        run_round();
+      }
+      break;
+    }
+  }
+  return finish - t0;
+}
+
+}  // namespace pvc::comm

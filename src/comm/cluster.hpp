@@ -1,0 +1,184 @@
+#pragma once
+// Multi-node communicator: ranks spanning nodes, traffic through NICs.
+//
+// Communicator (communicator.hpp) binds ranks to the subdevices of ONE
+// NodeSim and routes messages over Xe-Link flows.  ClusterComm is its
+// cluster-scale sibling (ROADMAP item 1, docs/SCALING.md): ranks are
+// placed by bind_ranks_multinode() across an Aurora-style cluster, and
+// every inter-node message is injected through a Slingshot-like NIC
+// queue — per-NIC injection bandwidth as a FlowNetwork link, per-NIC
+// message rate as a FIFO serialization gate — then routed over the
+// dragonfly group topology (sim/fabric.hpp): router uplink, at most one
+// global hop minimal (two for the Valiant detour around a degraded
+// link), router downlink, destination NIC.  Intra-node messages bypass
+// the NICs over the node's aggregated Xe-Link capacity.
+//
+// The model is bulk-synchronous: exchange() posts a batch of messages
+// at the current simulated time, runs the calendar dry, and reports
+// per-message completions — the shape every halo/collective schedule in
+// bench/scaling_multinode needs.  Per-NIC injection gating keeps a
+// next-free cursor per NIC (O(1) per message); the retained from-scratch
+// recompute reference_injection_schedule() is the equivalence-test
+// oracle, same pattern as FlowNetwork::reference_rates().
+//
+// Fault model (docs/ROBUSTNESS.md): a downed NIC (chaos `nicdown`)
+// fails traffic over to the node's next healthy NIC at post time
+// (fabric.nic.failovers counts them); a degraded NIC (`nicdegrade`)
+// scales its injection/ejection links.  A degraded global link flips
+// adaptive routing to the non-minimal Valiant route.
+
+#include <span>
+#include <vector>
+
+#include "comm/binding.hpp"
+#include "sim/engine.hpp"
+#include "sim/fabric.hpp"
+#include "sim/flow_network.hpp"
+
+namespace pvc::comm {
+
+/// Rank-addressed bulk-synchronous communicator over a simulated
+/// multi-node fabric.
+class ClusterComm {
+ public:
+  /// Places `ranks` ranks (one per subdevice, nodes filled in order) on
+  /// a cluster of `node`-shaped nodes joined by `fabric`.
+  ClusterComm(const arch::NodeSpec& node, const sim::FabricSpec& fabric,
+              int ranks);
+  ClusterComm(const ClusterComm&) = delete;
+  ClusterComm& operator=(const ClusterComm&) = delete;
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(binding_.size());
+  }
+  [[nodiscard]] int node_count() const noexcept { return nodes_; }
+  [[nodiscard]] const sim::FabricSpec& fabric() const noexcept {
+    return fabric_;
+  }
+  [[nodiscard]] const GlobalBinding& binding(int rank) const;
+  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] sim::FlowNetwork& network() noexcept { return network_; }
+  [[nodiscard]] const sim::DragonflyTopology& topology() const noexcept {
+    return topology_;
+  }
+
+  /// One point-to-point message of a bulk exchange.
+  struct Message {
+    int src = 0;
+    int dst = 0;
+    double bytes = 0.0;
+  };
+
+  /// What one exchange() did, index-aligned with its message span.
+  struct ExchangeResult {
+    std::vector<double> completion_s;  ///< absolute completion times
+    sim::Time finish = 0.0;            ///< completion of the last message
+  };
+
+  /// Posts every message at the current simulated time (in span order —
+  /// NIC injection FIFOs serialize in this order), runs the calendar
+  /// dry, and returns per-message completion times.
+  ExchangeResult exchange(std::span<const Message> messages);
+
+  /// Links a message between two ranks would traverse right now
+  /// (routing introspection for tests; empty for src == dst).
+  [[nodiscard]] std::vector<sim::LinkId> route_links(int src_rank,
+                                                     int dst_rank) const;
+
+  // --- fault state (armed by fault::Injector, docs/ROBUSTNESS.md) ----------
+
+  /// Downs (or restores) one NIC: subsequent messages assigned to it
+  /// fail over to the node's next healthy NIC at post time.  Throws
+  /// ErrorCode::LinkDown at post time if every NIC of a node is down.
+  void set_nic_down(int node, int nic, bool down);
+  [[nodiscard]] bool nic_down(int node, int nic) const;
+
+  /// Scales one NIC's injection/ejection capacity to `factor` of
+  /// healthy (0 < factor <= 1; 1 restores).
+  void set_nic_degradation(int node, int nic, double factor);
+
+  /// Scales the global link between two groups; below
+  /// `kAdaptiveThreshold` new messages between the groups take the
+  /// non-minimal Valiant route (two global hops).
+  void set_global_link_degradation(int group_a, int group_b, double factor);
+
+  /// Scale under which adaptive routing abandons the minimal route.
+  static constexpr double kAdaptiveThreshold = 0.5;
+
+  /// NIC injection bookkeeping of one posted message, in post order
+  /// (cleared at the start of every exchange).  Intra-node messages do
+  /// not appear — they bypass the NICs.
+  struct InjectionRecord {
+    int node = 0;       ///< source node
+    int nic = 0;        ///< NIC actually used (after failover)
+    double post_s = 0.0;
+    double start_s = 0.0;  ///< injection start the O(1) cursor computed
+  };
+  [[nodiscard]] const std::vector<InjectionRecord>& injection_log()
+      const noexcept {
+    return injection_log_;
+  }
+
+  /// Injection starts re-derived from scratch: per-NIC FIFO replay of
+  /// the log (start = max(post, previous start + 1/message_rate)).
+  /// The O(1) next-free cursors must agree — asserted by the
+  /// FabricOracle tests in tests/test_fabric.cpp.
+  [[nodiscard]] static std::vector<double> reference_injection_schedule(
+      const sim::FabricSpec& fabric,
+      std::span<const InjectionRecord> log);
+
+  /// Messages fully delivered so far (diagnostics).
+  [[nodiscard]] std::uint64_t messages_delivered() const noexcept {
+    return delivered_;
+  }
+
+ private:
+  struct NicState {
+    sim::LinkId egress = 0;
+    sim::LinkId ingress = 0;
+    bool down = false;
+    double next_free_s = 0.0;  ///< injection FIFO cursor
+  };
+
+  void build_links();
+  [[nodiscard]] std::size_t nic_index(int node, int nic) const;
+  [[nodiscard]] sim::LinkId global_link(int group_a, int group_b) const;
+  /// First healthy NIC at or after `preferred` on `node`; throws
+  /// ErrorCode::LinkDown when none is left.  Bumps the failover counter
+  /// when it had to move.
+  [[nodiscard]] int healthy_nic(int node, int preferred);
+
+  arch::NodeSpec node_spec_;
+  sim::FabricSpec fabric_;
+  std::vector<GlobalBinding> binding_;
+  int nodes_ = 0;
+  sim::DragonflyTopology topology_;
+  sim::Engine engine_;
+  sim::FlowNetwork network_;
+
+  std::vector<NicState> nics_;          // node-major [node * per_node + nic]
+  std::vector<sim::LinkId> uplinks_;    // per node
+  std::vector<sim::LinkId> downlinks_;  // per node
+  std::vector<sim::LinkId> intra_;      // per node
+  std::vector<sim::LinkId> globals_;    // group-pair matrix (a < b mirrored)
+  std::vector<double> global_scale_;    // parallel to globals_
+
+  std::vector<InjectionRecord> injection_log_;
+  std::uint64_t delivered_ = 0;
+};
+
+/// 1-D ring halo exchange over the cluster: every rank sends
+/// `halo_bytes` to both ring neighbours (rank order, so most pairs are
+/// intra-node and node boundaries cross the fabric).  Returns the
+/// elapsed simulated seconds until the slowest rank finishes.
+sim::Time cluster_halo_exchange(ClusterComm& cluster, double halo_bytes);
+
+/// Allreduce of one `bytes`-sized vector per rank over the cluster,
+/// executed round by round as bulk exchanges with the given algorithm
+/// (timing model; payloads are not carried at cluster scale).  Returns
+/// elapsed simulated seconds.  RecursiveDoubling requires a
+/// power-of-two rank count.
+sim::Time cluster_allreduce(ClusterComm& cluster, double bytes,
+                            sim::CollectiveAlgo algo);
+
+}  // namespace pvc::comm

@@ -102,9 +102,11 @@ sim::Time barrier(Communicator& comm) {
   return finish;
 }
 
-sim::Time allreduce_sum(Communicator& comm,
-                        std::vector<std::vector<double>>& rank_data,
-                        double element_bytes) {
+/// The seed ring schedule, kept verbatim (CollectiveOracle
+/// bit-equivalence against reference_allreduce_sum).
+static sim::Time allreduce_ring(Communicator& comm,
+                                std::vector<std::vector<double>>& rank_data,
+                                double element_bytes) {
   count_collective();
   const int p = comm.size();
   ensure(static_cast<int>(rank_data.size()) == p,
@@ -190,6 +192,140 @@ sim::Time allreduce_sum(Communicator& comm,
     }
   }
   return finish;
+}
+
+/// Recursive doubling: log2(p) rounds; in round k every rank swaps its
+/// full current vector with rank XOR 2^k and combines.  Latency-optimal
+/// for small vectors on power-of-two rank counts.  Tags 150+stride sit
+/// between the barrier (9000+) and ring (100+) ranges.
+static sim::Time allreduce_recursive_doubling(
+    Communicator& comm, std::vector<std::vector<double>>& rank_data,
+    double element_bytes) {
+  count_collective();
+  const int p = comm.size();
+  ensure(static_cast<int>(rank_data.size()) == p,
+         "allreduce_sum: one vector per rank required");
+  const std::size_t n = rank_data.front().size();
+  for (const auto& v : rank_data) {
+    ensure(v.size() == n, "allreduce_sum: vectors must be equal-sized");
+  }
+  if (p == 1) {
+    return comm.node().engine().now();
+  }
+  ensure((p & (p - 1)) == 0, ErrorCode::InvalidArgument,
+         "allreduce_sum: recursive doubling needs a power-of-two rank count");
+  const double bytes = static_cast<double>(n) * element_bytes;
+  auto& scratch = comm.collective_scratch();
+  auto& requests = scratch.requests;
+  auto& incoming = scratch.incoming;
+  if (incoming.size() < static_cast<std::size_t>(p)) {
+    incoming.resize(static_cast<std::size_t>(p));
+  }
+  sim::Time finish = 0.0;
+  for (int stride = 1; stride < p; stride *= 2) {
+    count_round();
+    comm.recycle_requests(requests);
+    requests.reserve(2 * static_cast<std::size_t>(p));
+    // Sends straight from rank_data are safe: every delivery completes
+    // inside wait_all, before the combine below mutates any vector.
+    for (int r = 0; r < p; ++r) {
+      const int peer = r ^ stride;
+      requests.push_back(comm.isend(
+          r, peer, 150 + stride, bytes,
+          std::span<const double>(rank_data[static_cast<std::size_t>(r)])));
+    }
+    for (int r = 0; r < p; ++r) {
+      const int peer = r ^ stride;
+      auto& row = incoming[static_cast<std::size_t>(r)];
+      row.resize(n);
+      requests.push_back(
+          comm.irecv(r, peer, 150 + stride, bytes, std::span<double>(row)));
+    }
+    comm.wait_all(requests);
+    finish = std::max(finish, max_completion(requests));
+    for (int r = 0; r < p; ++r) {
+      add_into(rank_data[static_cast<std::size_t>(r)].data(),
+               incoming[static_cast<std::size_t>(r)].data(), n);
+    }
+  }
+  return finish;
+}
+
+/// Reduce to rank 0 then broadcast: the classic small-message composite.
+/// Counts as its two constituent collectives in the comm.* metrics.
+static sim::Time allreduce_reduce_broadcast(
+    Communicator& comm, std::vector<std::vector<double>>& rank_data,
+    double element_bytes) {
+  const int p = comm.size();
+  ensure(static_cast<int>(rank_data.size()) == p,
+         "allreduce_sum: one vector per rank required");
+  const std::size_t n = rank_data.front().size();
+  const double bytes = static_cast<double>(n) * element_bytes;
+  sim::Time finish = reduce_sum_to_root(comm, rank_data, element_bytes);
+  finish = std::max(finish, broadcast_from_root(comm, bytes));
+  // broadcast_from_root times the tree but moves no payload — mirror the
+  // root's sums into every rank so the result matches the other
+  // algorithms bit for bit.
+  for (int r = 1; r < p; ++r) {
+    rank_data[static_cast<std::size_t>(r)] = rank_data[0];
+  }
+  return finish;
+}
+
+const char* allreduce_algorithm_name(AllreduceAlgorithm algo) {
+  switch (algo) {
+    case AllreduceAlgorithm::Auto:
+      return "auto";
+    case AllreduceAlgorithm::Ring:
+      return "ring";
+    case AllreduceAlgorithm::RecursiveDoubling:
+      return "recursive-doubling";
+    case AllreduceAlgorithm::ReduceBroadcast:
+      return "reduce-broadcast";
+  }
+  return "?";
+}
+
+AllreduceAlgorithm allreduce_algorithm_for(double total_bytes, int ranks) {
+  ensure(ranks >= 1, ErrorCode::InvalidArgument,
+         "allreduce_algorithm_for: need at least one rank");
+  ensure(total_bytes >= 0.0, ErrorCode::InvalidArgument,
+         "allreduce_algorithm_for: negative byte count");
+  if (ranks == 1) {
+    return AllreduceAlgorithm::Ring;  // degenerate; any algorithm is a no-op
+  }
+  const bool pow2 = (ranks & (ranks - 1)) == 0;
+  // The MPI-library switchover shape: latency-optimal algorithms win
+  // while the vector is small, the bandwidth-optimal ring wins once the
+  // 2(p-1) small blocks beat log2(p) full-vector rounds.
+  if (pow2 && total_bytes <= 64.0 * 1024.0) {
+    return AllreduceAlgorithm::RecursiveDoubling;
+  }
+  if (total_bytes <= 8.0 * 1024.0) {
+    return AllreduceAlgorithm::ReduceBroadcast;
+  }
+  return AllreduceAlgorithm::Ring;
+}
+
+sim::Time allreduce_sum(Communicator& comm,
+                        std::vector<std::vector<double>>& rank_data,
+                        double element_bytes, AllreduceAlgorithm algo) {
+  if (algo == AllreduceAlgorithm::Auto) {
+    ensure(!rank_data.empty(), "allreduce_sum: one vector per rank required");
+    const double total =
+        static_cast<double>(rank_data.front().size()) * element_bytes;
+    algo = allreduce_algorithm_for(total, comm.size());
+  }
+  switch (algo) {
+    case AllreduceAlgorithm::RecursiveDoubling:
+      return allreduce_recursive_doubling(comm, rank_data, element_bytes);
+    case AllreduceAlgorithm::ReduceBroadcast:
+      return allreduce_reduce_broadcast(comm, rank_data, element_bytes);
+    case AllreduceAlgorithm::Auto:
+    case AllreduceAlgorithm::Ring:
+      break;
+  }
+  return allreduce_ring(comm, rank_data, element_bytes);
 }
 
 sim::Time halo_exchange_ring(Communicator& comm, double halo_bytes) {

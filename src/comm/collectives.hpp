@@ -24,13 +24,38 @@ namespace pvc::comm {
 /// zero-byte messages).  Returns the simulated completion time.
 sim::Time barrier(Communicator& comm);
 
-/// Ring all-reduce (sum) over per-rank vectors of equal length.  On
-/// return every rank's vector holds the element-wise sum; the reported
-/// time is the completion of the slowest rank.  `element_bytes` prices
-/// the wire traffic (8 for FP64 payloads).
+/// Allreduce algorithm selection (docs/SCALING.md).  Real MPI libraries
+/// switch algorithm by message size and rank count; `Auto` reproduces
+/// that switchover via allreduce_algorithm_for().  `Ring` remains the
+/// default so existing callers (and the CollectiveOracle bit-equivalence
+/// tests) keep the seed schedule verbatim.
+enum class AllreduceAlgorithm {
+  Auto,               ///< pick by total vector size and rank count
+  Ring,               ///< 2(p-1) rounds of bytes/p blocks — bandwidth-bound
+  RecursiveDoubling,  ///< log2(p) full-vector rounds — latency-bound, pow2
+  ReduceBroadcast,    ///< binomial reduce + broadcast — tiny payloads
+};
+
+[[nodiscard]] const char* allreduce_algorithm_name(AllreduceAlgorithm algo);
+
+/// The switchover rule: recursive doubling for small vectors on
+/// power-of-two rank counts, reduce+broadcast for tiny vectors on other
+/// counts, ring for everything bandwidth-bound.  `total_bytes` is the
+/// per-rank vector size in bytes.  Never returns Auto.
+[[nodiscard]] AllreduceAlgorithm allreduce_algorithm_for(double total_bytes,
+                                                         int ranks);
+
+/// All-reduce (sum) over per-rank vectors of equal length.  On return
+/// every rank's vector holds the element-wise sum; the reported time is
+/// the completion of the slowest rank.  `element_bytes` prices the wire
+/// traffic (8 for FP64 payloads).  The default `Ring` keeps the seed
+/// ring schedule; `Auto` switches algorithm by size and rank count, and
+/// `RecursiveDoubling` requires a power-of-two rank count (throws
+/// ErrorCode::InvalidArgument otherwise).
 sim::Time allreduce_sum(Communicator& comm,
                         std::vector<std::vector<double>>& rank_data,
-                        double element_bytes = 8.0);
+                        double element_bytes = 8.0,
+                        AllreduceAlgorithm algo = AllreduceAlgorithm::Ring);
 
 /// Neighbour halo exchange on a 1-D ring: every rank sends `halo_bytes`
 /// to both neighbours and receives the same (CloverLeaf's communication

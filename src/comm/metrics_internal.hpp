@@ -27,4 +27,21 @@ struct CommMetrics {
 /// Resolves the handles in the global registry on first use.
 CommMetrics& comm_metrics();
 
+/// Multi-node fabric handles (cluster.cpp registers and bumps them; see
+/// docs/OBSERVABILITY.md "Fabric").
+struct FabricMetrics {
+  obs::Counter* messages;
+  obs::Counter* bytes;
+  obs::Counter* routes_intra_node;
+  obs::Counter* routes_minimal;
+  obs::Counter* routes_nonminimal;
+  obs::Counter* hops_local;
+  obs::Counter* hops_global;
+  obs::Counter* nic_failovers;
+  obs::Gauge* nic_stall_seconds;
+};
+
+/// Resolves the fabric handles in the active registry on first use.
+FabricMetrics& fabric_metrics();
+
 }  // namespace pvc::comm::detail

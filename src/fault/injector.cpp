@@ -126,6 +126,52 @@ void Injector::arm(rt::NodeSim& node) {
   }
 }
 
+void Injector::schedule_cluster(comm::ClusterComm& cluster, double at_s,
+                                std::function<void()> fire) {
+  // exchange() picks NICs at post time, before the engine runs, so a
+  // fault landing at (or before) the current simulated instant must
+  // apply immediately — scheduling it would leave the very exchange it
+  // targets blind to it.
+  if (at_s <= cluster.engine().now()) {
+    fire();
+  } else {
+    cluster.engine().schedule_at(at_s, std::move(fire));
+  }
+  ++events_armed_;
+  injector_metrics().events_armed->add(1);
+}
+
+void Injector::arm(comm::ClusterComm& cluster) {
+  const int nodes = cluster.node_count();
+  const int nics = cluster.fabric().nic.per_node;
+  for (const auto& ev : plan_.nic_downs) {
+    if (ev.node >= nodes || ev.nic >= nics) {
+      continue;  // plan written for a larger cluster than this slice
+    }
+    schedule_cluster(cluster, ev.at_s, [&cluster, ev] {
+      cluster.set_nic_down(ev.node, ev.nic, true);
+    });
+    if (!ev.permanent) {
+      schedule_cluster(cluster, ev.at_s + ev.duration_s, [&cluster, ev] {
+        cluster.set_nic_down(ev.node, ev.nic, false);
+      });
+    }
+  }
+  for (const auto& ev : plan_.nic_degradations) {
+    if (ev.node >= nodes || ev.nic >= nics) {
+      continue;
+    }
+    schedule_cluster(cluster, ev.at_s, [&cluster, ev] {
+      cluster.set_nic_degradation(ev.node, ev.nic, ev.factor);
+    });
+    if (!ev.permanent) {
+      schedule_cluster(cluster, ev.at_s + ev.duration_s, [&cluster, ev] {
+        cluster.set_nic_degradation(ev.node, ev.nic, 1.0);
+      });
+    }
+  }
+}
+
 void Injector::attach(comm::Communicator& comm) {
   comm::Resilience policy = comm.resilience();
   if (plan_.max_retries) {

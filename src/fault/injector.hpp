@@ -19,6 +19,7 @@
 // reproducible under workload refactors.  The injector owns the
 // streams, so it must outlive the NodeSim/Communicator it is armed on.
 
+#include "comm/cluster.hpp"
 #include "comm/communicator.hpp"
 #include "core/rng.hpp"
 #include "fault/plan.hpp"
@@ -37,6 +38,12 @@ class Injector {
   /// Call once, before running the workload.
   void arm(rt::NodeSim& node);
 
+  /// Schedules the cluster-scale events (`nicdown`, `nicdegrade`) on
+  /// `cluster`'s engine.  Events naming a node or NIC the cluster does
+  /// not have are skipped — a plan written for 4096 ranks stays valid
+  /// on the small discrete-event slice of a sweep.
+  void arm(comm::ClusterComm& cluster);
+
   /// Installs the message-verdict hook and Resilience overrides.
   void attach(comm::Communicator& comm);
 
@@ -45,6 +52,8 @@ class Injector {
 
  private:
   void schedule(rt::NodeSim& node, double at_s, std::function<void()> fire);
+  void schedule_cluster(comm::ClusterComm& cluster, double at_s,
+                        std::function<void()> fire);
 
   FaultPlan plan_;
   Rng comm_rng_;

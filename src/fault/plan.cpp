@@ -321,6 +321,35 @@ FaultPlan FaultPlan::parse(std::string_view spec) {
       ev.permanent = w.permanent;
       args.finish();
       plan.device_losses.push_back(ev);
+    } else if (name == "nicdown") {
+      Args args(clause, body, "");
+      NicDownEvent ev;
+      ev.node = parse_int(clause, args.required("node"));
+      ev.nic = parse_int(clause, args.required("nic"));
+      const Window w = parse_window(clause, args);
+      ev.at_s = w.at_s;
+      ev.duration_s = w.duration_s;
+      ev.permanent = w.permanent;
+      args.finish();
+      if (ev.node < 0 || ev.nic < 0) {
+        bad_clause(clause, "'node' and 'nic' must be non-negative");
+      }
+      plan.nic_downs.push_back(ev);
+    } else if (name == "nicdegrade") {
+      Args args(clause, body, "");
+      NicDegradeEvent ev;
+      ev.node = parse_int(clause, args.required("node"));
+      ev.nic = parse_int(clause, args.required("nic"));
+      ev.factor = parse_factor(clause, args.required("factor"));
+      const Window w = parse_window(clause, args);
+      ev.at_s = w.at_s;
+      ev.duration_s = w.duration_s;
+      ev.permanent = w.permanent;
+      args.finish();
+      if (ev.node < 0 || ev.nic < 0) {
+        bad_clause(clause, "'node' and 'nic' must be non-negative");
+      }
+      plan.nic_degradations.push_back(ev);
     } else if (name == "drop") {
       Args args(clause, body, "p");
       plan.drop_probability = parse_probability(clause, args.required("p"));
@@ -394,7 +423,8 @@ FaultPlan FaultPlan::parse(std::string_view spec) {
 
 bool FaultPlan::empty() const {
   return linkdowns.empty() && flaps.empty() && degradations.empty() &&
-         throttles.empty() && device_losses.empty() &&
+         throttles.empty() && device_losses.empty() && nic_downs.empty() &&
+         nic_degradations.empty() &&
          drop_probability == 0.0 && corrupt_probability == 0.0 &&
          usm_fail_probability == 0.0 && !reroute_penalty.has_value() &&
          !max_retries.has_value() && !retry_backoff_s.has_value() &&
@@ -427,6 +457,17 @@ std::string FaultPlan::summary() const {
   }
   for (const auto& ev : device_losses) {
     out << "  devlost subdevice " << ev.device;
+    append_window(out, ev.at_s, ev.duration_s, ev.permanent);
+    out << "\n";
+  }
+  for (const auto& ev : nic_downs) {
+    out << "  nicdown node " << ev.node << " nic " << ev.nic;
+    append_window(out, ev.at_s, ev.duration_s, ev.permanent);
+    out << "\n";
+  }
+  for (const auto& ev : nic_degradations) {
+    out << "  nicdegrade node " << ev.node << " nic " << ev.nic << " to "
+        << ev.factor << "x";
     append_window(out, ev.at_s, ev.duration_s, ev.permanent);
     out << "\n";
   }

@@ -25,6 +25,8 @@
 //   reroute:0.2         | reroute:penalty=0.2
 //   retries:max=4[,backoff=2us][,maxbackoff=1s]
 //   timeout:1ms         | timeout:wait=1ms
+//   nicdown:node=0,nic=3,at=1ms[,for=5ms]     (cluster runs only)
+//   nicdegrade:node=0,nic=3,factor=0.5,at=1ms[,for=5ms]
 
 #include <cstdint>
 #include <optional>
@@ -86,6 +88,26 @@ struct DeviceLostEvent {
   bool permanent = true;
 };
 
+/// One cluster NIC down: traffic fails over to the node's next healthy
+/// NIC (comm::ClusterComm).  Only meaningful for multi-node runs.
+struct NicDownEvent {
+  int node = 0;
+  int nic = 0;
+  double at_s = 0.0;
+  double duration_s = 0.0;
+  bool permanent = true;
+};
+
+/// One cluster NIC's injection/ejection capacity scaled to `factor`.
+struct NicDegradeEvent {
+  int node = 0;
+  int nic = 0;
+  double factor = 1.0;  // (0, 1]
+  double at_s = 0.0;
+  double duration_s = 0.0;
+  bool permanent = true;
+};
+
 /// Parsed chaos specification.  Zero-initialised = no faults.
 struct FaultPlan {
   std::uint64_t seed = 0;
@@ -95,6 +117,8 @@ struct FaultPlan {
   std::vector<DegradeEvent> degradations;
   std::vector<ThrottleEvent> throttles;
   std::vector<DeviceLostEvent> device_losses;
+  std::vector<NicDownEvent> nic_downs;
+  std::vector<NicDegradeEvent> nic_degradations;
 
   /// Per-attempt message fault probabilities, in [0, 1] with sum <= 1.
   double drop_probability = 0.0;

@@ -46,9 +46,11 @@ endfunction()
 # metrics snapshot all byte-identical.  fig1_latency additionally pins
 # the cache model's bulk access_run()/batched-metrics path (ISSUE-4);
 # table6_foms and power_report pin the per-system/per-row sweeps added
-# with the workload-layer optimisation PR (ISSUE-5).
+# with the workload-layer optimisation PR (ISSUE-5); scaling_multinode
+# pins the multi-node fabric sweep (discrete-event ClusterComm points
+# plus the analytic tail) added with the fabric-model PR (ISSUE-6).
 foreach(bin scaling_sweep table3_p2p fig1_latency ablation_model
-        table6_foms power_report)
+        table6_foms power_report scaling_multinode)
   run_bench(${bin} ${bin}_t1 threads=1 csv=out.csv metrics=out.met)
   run_bench(${bin} ${bin}_t4 threads=4 csv=out.csv metrics=out.met)
   expect_identical("${WORK_DIR}/${bin}_t1.out" "${WORK_DIR}/${bin}_t4.out"
