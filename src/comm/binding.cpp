@@ -85,4 +85,19 @@ std::vector<GlobalBinding> bind_ranks_multinode(const arch::NodeSpec& node,
   return out;
 }
 
+int remap_node_bindings(std::vector<GlobalBinding>& bindings, int from_node,
+                        int to_node) {
+  ensure(from_node >= 0 && to_node >= 0 && from_node != to_node,
+         ErrorCode::InvalidArgument,
+         "remap_node_bindings: need two distinct non-negative nodes");
+  int moved = 0;
+  for (GlobalBinding& b : bindings) {
+    if (b.node == from_node) {
+      b.node = to_node;
+      ++moved;
+    }
+  }
+  return moved;
+}
+
 }  // namespace pvc::comm

@@ -70,4 +70,11 @@ struct GlobalBinding {
 [[nodiscard]] std::vector<GlobalBinding> bind_ranks_multinode(
     const arch::NodeSpec& node, int nics_per_node, int ranks);
 
+/// Spare-node failover (docs/ROBUSTNESS.md): rebinds every rank placed
+/// on `from_node` onto `to_node`, keeping the local placement (card,
+/// stack, core, NIC) identical — the spare is hardware-identical, only
+/// the node index changes.  Returns how many ranks moved.
+int remap_node_bindings(std::vector<GlobalBinding>& bindings, int from_node,
+                        int to_node);
+
 }  // namespace pvc::comm

@@ -45,6 +45,21 @@ FabricMetrics& fabric_metrics() {
     f.nic_stall_seconds = &reg.gauge(
         "fabric.nic.stall_seconds", "seconds",
         "cumulative injection delay behind the per-NIC message-rate gate");
+    f.node_down_events = &reg.counter(
+        "fabric.node_down_events", "events",
+        "whole-node outages applied to the cluster (down edges only)");
+    f.flows_killed =
+        &reg.counter("fabric.flows_killed", "flows",
+                     "in-flight flows killed by a node or rank fault");
+    f.messages_refused = &reg.counter(
+        "fabric.messages_refused", "messages",
+        "messages refused at post time because an endpoint rank was dead");
+    f.spare_activations =
+        &reg.counter("fabric.spare_activations", "nodes",
+                     "spare nodes activated by failover recovery");
+    f.ckpt_bytes = &reg.counter(
+        "fabric.ckpt.bytes", "bytes",
+        "checkpoint payload bytes drained through the NIC links");
     return f;
   }();
   return m;
@@ -53,17 +68,23 @@ FabricMetrics& fabric_metrics() {
 }  // namespace detail
 
 ClusterComm::ClusterComm(const arch::NodeSpec& node,
-                         const sim::FabricSpec& fabric, int ranks)
+                         const sim::FabricSpec& fabric, int ranks,
+                         int spare_nodes)
     : node_spec_(node),
       fabric_(fabric),
       binding_(bind_ranks_multinode(node, fabric.nic.per_node, ranks)),
-      nodes_(nodes_for_ranks(node, ranks)),
+      nodes_(nodes_for_ranks(node, ranks) + spare_nodes),
+      compute_nodes_(nodes_for_ranks(node, ranks)),
       topology_(fabric.topo, nodes_),
       network_(engine_) {
+  ensure(spare_nodes >= 0, ErrorCode::InvalidArgument,
+         "ClusterComm: spare_nodes must be non-negative");
   ensure(fabric_.intra_node_bps > 0.0, ErrorCode::InvalidArgument,
          "ClusterComm: fabric intra_node_bps must be positive");
   ensure(fabric_.nic.injection_bps > 0.0, ErrorCode::InvalidArgument,
          "ClusterComm: NIC injection bandwidth must be positive");
+  rank_state_.assign(binding_.size(), 0);
+  node_down_.assign(static_cast<std::size_t>(nodes_), 0);
   build_links();
 }
 
@@ -168,8 +189,24 @@ ClusterComm::ExchangeResult ClusterComm::exchange(
   injection_log_.reserve(messages.size());
   ExchangeResult result;
   result.completion_s.assign(messages.size(), 0.0);
+  result.failed.assign(messages.size(), 0);
   const double post = engine_.now();
   const double gap = sim::nic_message_gap_s(fabric_);
+
+  // Expose the in-progress result to the fault paths (set_node_down /
+  // set_rank_failed fired by armed chaos events during engine_.run())
+  // so killed messages are reported per index.  The guard also clears
+  // the in-flight registry if an exception (e.g. LinkDown at post time)
+  // unwinds mid-exchange.
+  struct ResultScope {
+    ClusterComm* comm;
+    ~ResultScope() {
+      comm->current_result_ = nullptr;
+      comm->inflight_.clear();
+    }
+  } scope{this};
+  current_result_ = &result;
+  inflight_.clear();
 
   for (std::size_t idx = 0; idx < messages.size(); ++idx) {
     const Message& msg = messages[idx];
@@ -179,6 +216,14 @@ ClusterComm::ExchangeResult ClusterComm::exchange(
            "ClusterComm::exchange: message rank out of range");
     ensure(msg.bytes >= 0.0, ErrorCode::InvalidArgument,
            "ClusterComm::exchange: negative byte count");
+    if (!rank_alive(msg.src) || !rank_alive(msg.dst)) {
+      // Dead endpoint: refuse at post time — the typed-error analogue of
+      // MPI failing a send to a dead process, never a hang.
+      result.failed[idx] = 1;
+      ++result.failures;
+      fm.messages_refused->add();
+      continue;
+    }
     const GlobalBinding& src = binding_[static_cast<std::size_t>(msg.src)];
     const GlobalBinding& dst = binding_[static_cast<std::size_t>(msg.dst)];
     auto on_complete = [this, &fm, idx, &result,
@@ -188,18 +233,29 @@ ClusterComm::ExchangeResult ClusterComm::exchange(
       ++delivered_;
       fm.messages->add();
       fm.bytes->add(static_cast<std::uint64_t>(bytes));
+      const auto it = std::find_if(
+          inflight_.begin(), inflight_.end(),
+          [idx](const InFlight& f) { return f.idx == idx; });
+      if (it != inflight_.end()) {
+        *it = inflight_.back();
+        inflight_.pop_back();
+      }
+    };
+    const auto track = [this, idx, &msg, &src, &dst](sim::FlowId flow) {
+      inflight_.push_back(
+          InFlight{flow, idx, msg.src, msg.dst, src.node, dst.node});
     };
 
     if (msg.src == msg.dst) {
       // Self-message: local copy, no fabric traversal.
-      network_.start_flow({}, msg.bytes, 0.0, on_complete);
+      track(network_.start_flow({}, msg.bytes, 0.0, on_complete));
       continue;
     }
     if (src.node == dst.node) {
       fm.routes_intra_node->add();
-      network_.start_flow({intra_[static_cast<std::size_t>(src.node)]},
-                          msg.bytes, fabric_.intra_node_latency_s,
-                          on_complete);
+      track(network_.start_flow({intra_[static_cast<std::size_t>(src.node)]},
+                                msg.bytes, fabric_.intra_node_latency_s,
+                                on_complete));
       continue;
     }
 
@@ -243,7 +299,8 @@ ClusterComm::ExchangeResult ClusterComm::exchange(
 
     const double latency = (start - post) + 2.0 * fabric_.nic.latency_s +
                            route.latency_s;
-    network_.start_flow(std::move(links), msg.bytes, latency, on_complete);
+    track(network_.start_flow(std::move(links), msg.bytes, latency,
+                              on_complete));
   }
 
   engine_.run();
@@ -297,6 +354,152 @@ std::vector<sim::LinkId> ClusterComm::route_links(int src_rank,
 
 void ClusterComm::set_nic_down(int node, int nic, bool down) {
   nics_[nic_index(node, nic)].down = down;
+}
+
+template <typename Pred>
+void ClusterComm::kill_inflight(Pred&& pred) {
+  auto& fm = detail::fabric_metrics();
+  for (std::size_t i = 0; i < inflight_.size();) {
+    const InFlight& entry = inflight_[i];
+    if (!pred(entry)) {
+      ++i;
+      continue;
+    }
+    // The abort drops the completion callback, so the message simply
+    // never arrives; the result records it as failed instead of hanging.
+    network_.abort_flow(entry.flow);
+    fm.flows_killed->add();
+    if (current_result_ != nullptr) {
+      if (!current_result_->failed[entry.idx]) {
+        current_result_->failed[entry.idx] = 1;
+        ++current_result_->failures;
+      }
+    }
+    inflight_[i] = inflight_.back();
+    inflight_.pop_back();
+  }
+}
+
+void ClusterComm::set_node_down(int node, bool down) {
+  ensure(node >= 0 && node < nodes_, ErrorCode::InvalidArgument,
+         "ClusterComm: node " + std::to_string(node) + " out of range [0, " +
+             std::to_string(nodes_) + ")");
+  node_down_[static_cast<std::size_t>(node)] = down ? 1 : 0;
+  for (std::size_t r = 0; r < binding_.size(); ++r) {
+    if (binding_[r].node == node) {
+      if (down) {
+        rank_state_[r] |= 1;
+      } else {
+        rank_state_[r] &= static_cast<std::uint8_t>(~1u);
+      }
+    }
+  }
+  if (down) {
+    detail::fabric_metrics().node_down_events->add();
+    kill_inflight([node](const InFlight& f) {
+      return f.src_node == node || f.dst_node == node;
+    });
+  }
+}
+
+bool ClusterComm::node_down(int node) const {
+  ensure(node >= 0 && node < nodes_, ErrorCode::InvalidArgument,
+         "ClusterComm: node " + std::to_string(node) + " out of range [0, " +
+             std::to_string(nodes_) + ")");
+  return node_down_[static_cast<std::size_t>(node)] != 0;
+}
+
+void ClusterComm::set_rank_failed(int rank) {
+  ensure(rank >= 0 && rank < size(), ErrorCode::InvalidArgument,
+         "ClusterComm: rank " + std::to_string(rank) + " out of range [0, " +
+             std::to_string(size()) + ")");
+  rank_state_[static_cast<std::size_t>(rank)] |= 2;
+  kill_inflight([rank](const InFlight& f) {
+    return f.src_rank == rank || f.dst_rank == rank;
+  });
+}
+
+bool ClusterComm::rank_alive(int rank) const {
+  ensure(rank >= 0 && rank < size(), ErrorCode::InvalidArgument,
+         "ClusterComm: rank " + std::to_string(rank) + " out of range [0, " +
+             std::to_string(size()) + ")");
+  return rank_state_[static_cast<std::size_t>(rank)] == 0;
+}
+
+int ClusterComm::failed_ranks() const noexcept {
+  int dead = 0;
+  for (const std::uint8_t s : rank_state_) {
+    dead += s != 0;
+  }
+  return dead;
+}
+
+int ClusterComm::activate_spare(int failed_node) {
+  ensure(failed_node >= 0 && failed_node < nodes_, ErrorCode::InvalidArgument,
+         "ClusterComm: failed node out of range");
+  ensure(spares_available() > 0, ErrorCode::RankFailed,
+         "ClusterComm: no spare node left to fail node " +
+             std::to_string(failed_node) + " over to");
+  const int spare = compute_nodes_ + used_spares_;
+  ++used_spares_;
+  remap_node_bindings(binding_, failed_node, spare);
+  // The moved ranks come back alive on the spare (their checkpointed
+  // state is restored there); the abandoned node stays marked down.
+  for (std::size_t r = 0; r < binding_.size(); ++r) {
+    if (binding_[r].node == spare) {
+      rank_state_[r] = 0;
+    }
+  }
+  node_down_[static_cast<std::size_t>(failed_node)] = 1;
+  failover_log_.push_back(FailoverRecord{failed_node, spare});
+  detail::fabric_metrics().spare_activations->add();
+  return spare;
+}
+
+std::vector<GlobalBinding> ClusterComm::reference_failover_binding(
+    const arch::NodeSpec& node, int nics_per_node, int ranks,
+    std::span<const FailoverRecord> log) {
+  // From-scratch oracle: rebuild the pristine placement and replay every
+  // failover with a plain loop (no shared code with activate_spare's
+  // incremental path beyond the remap helper's contract).
+  std::vector<GlobalBinding> out =
+      bind_ranks_multinode(node, nics_per_node, ranks);
+  for (const FailoverRecord& rec : log) {
+    for (GlobalBinding& b : out) {
+      if (b.node == rec.failed_node) {
+        b.node = rec.spare_node;
+      }
+    }
+  }
+  return out;
+}
+
+sim::Time ClusterComm::checkpoint_write(double bytes_per_rank) {
+  ensure(bytes_per_rank > 0.0, ErrorCode::InvalidArgument,
+         "ClusterComm: checkpoint bytes per rank must be positive");
+  auto& fm = detail::fabric_metrics();
+  const double post = engine_.now();
+  const double gap = sim::nic_message_gap_s(fabric_);
+  sim::Time finish = post;
+  for (std::size_t r = 0; r < binding_.size(); ++r) {
+    if (rank_state_[r] != 0) {
+      continue;  // dead ranks have nothing to save
+    }
+    const GlobalBinding& b = binding_[r];
+    const int nic_id = healthy_nic(b.node, b.nic);
+    NicState& nic = nics_[nic_index(b.node, nic_id)];
+    const double start = std::max(post, nic.next_free_s);
+    nic.next_free_s = start + gap;
+    const double latency = (start - post) + fabric_.nic.latency_s +
+                           fabric_.topo.local_hop_latency_s;
+    network_.start_flow({nic.egress, uplinks_[static_cast<std::size_t>(b.node)]},
+                        bytes_per_rank, latency, [&finish](sim::Time t) {
+                          finish = std::max(finish, t);
+                        });
+    fm.ckpt_bytes->add(static_cast<std::uint64_t>(bytes_per_rank));
+  }
+  engine_.run();
+  return finish - post;
 }
 
 bool ClusterComm::nic_down(int node, int nic) const {
@@ -359,6 +562,10 @@ sim::Time cluster_halo_exchange(ClusterComm& cluster, double halo_bytes) {
   }
   const sim::Time t0 = cluster.engine().now();
   const auto result = cluster.exchange(messages);
+  ensure(result.failures == 0, ErrorCode::RankFailed,
+         "cluster_halo_exchange: " + std::to_string(result.failures) +
+             " message(s) failed — a rank or node died (use the "
+             "fault-tolerant driver in fault/recovery.hpp to recover)");
   return result.finish - t0;
 }
 
@@ -372,7 +579,12 @@ sim::Time cluster_allreduce(ClusterComm& cluster, double bytes,
   std::vector<ClusterComm::Message> round;
   sim::Time finish = t0;
   const auto run_round = [&] {
-    finish = std::max(finish, cluster.exchange(round).finish);
+    const auto result = cluster.exchange(round);
+    ensure(result.failures == 0, ErrorCode::RankFailed,
+           "cluster_allreduce: " + std::to_string(result.failures) +
+               " message(s) failed — a rank or node died (use the "
+               "fault-tolerant driver in fault/recovery.hpp to recover)");
+    finish = std::max(finish, result.finish);
     round.clear();
   };
   switch (algo) {

@@ -26,6 +26,18 @@
 // (fabric.nic.failovers counts them); a degraded NIC (`nicdegrade`)
 // scales its injection/ejection links.  A degraded global link flips
 // adaptive routing to the non-minimal Valiant route.
+//
+// Whole-node faults (chaos `nodedown`/`rankfail`): a downed node kills
+// every in-flight flow touching its ranks (FlowNetwork::abort_flow — the
+// completions never fire, no hangs) and subsequent messages to or from a
+// dead rank are refused at post time, reported per message in
+// ExchangeResult::failed.  Recovery is the caller's choice: the plain
+// cluster_halo_exchange()/cluster_allreduce() wrappers raise
+// ErrorCode::RankFailed, while fault/recovery.hpp rebuilds the schedule
+// over the survivors (shrink) or rebinds the dead node's ranks onto a
+// spare node (activate_spare + binding remap).  Checkpoint traffic
+// (fault/checkpoint.hpp) is injected through the same NIC links by
+// checkpoint_write().
 
 #include <span>
 #include <vector>
@@ -42,9 +54,11 @@ namespace pvc::comm {
 class ClusterComm {
  public:
   /// Places `ranks` ranks (one per subdevice, nodes filled in order) on
-  /// a cluster of `node`-shaped nodes joined by `fabric`.
+  /// a cluster of `node`-shaped nodes joined by `fabric`.  `spare_nodes`
+  /// idle hot-spare nodes are built into the fabric after the compute
+  /// nodes, available to activate_spare().
   ClusterComm(const arch::NodeSpec& node, const sim::FabricSpec& fabric,
-              int ranks);
+              int ranks, int spare_nodes = 0);
   ClusterComm(const ClusterComm&) = delete;
   ClusterComm& operator=(const ClusterComm&) = delete;
 
@@ -52,6 +66,15 @@ class ClusterComm {
     return static_cast<int>(binding_.size());
   }
   [[nodiscard]] int node_count() const noexcept { return nodes_; }
+  [[nodiscard]] int compute_node_count() const noexcept {
+    return compute_nodes_;
+  }
+  [[nodiscard]] int spare_node_count() const noexcept {
+    return nodes_ - compute_nodes_;
+  }
+  [[nodiscard]] int spares_available() const noexcept {
+    return spare_node_count() - used_spares_;
+  }
   [[nodiscard]] const sim::FabricSpec& fabric() const noexcept {
     return fabric_;
   }
@@ -72,7 +95,11 @@ class ClusterComm {
   /// What one exchange() did, index-aligned with its message span.
   struct ExchangeResult {
     std::vector<double> completion_s;  ///< absolute completion times
-    sim::Time finish = 0.0;            ///< completion of the last message
+    /// 1 when the message failed: refused at post time (dead endpoint)
+    /// or killed in flight by a node/rank fault.  completion_s stays 0.
+    std::vector<std::uint8_t> failed;
+    int failures = 0;        ///< number of set entries in `failed`
+    sim::Time finish = 0.0;  ///< completion of the last delivered message
   };
 
   /// Posts every message at the current simulated time (in span order —
@@ -104,6 +131,57 @@ class ClusterComm {
 
   /// Scale under which adaptive routing abandons the minimal route.
   static constexpr double kAdaptiveThreshold = 0.5;
+
+  /// Downs (or restores) a whole node: every rank bound to it dies, its
+  /// in-flight flows are killed (their completions never fire), and
+  /// later messages touching its ranks are refused at post time.
+  /// Restoring revives the node's ranks unless they also failed
+  /// individually (`rankfail`).
+  void set_node_down(int node, bool down);
+  [[nodiscard]] bool node_down(int node) const;
+
+  /// Kills one rank for the rest of the run (process abort): its
+  /// in-flight flows die and later messages touching it are refused.
+  void set_rank_failed(int rank);
+
+  /// True when the rank can send and receive.
+  [[nodiscard]] bool rank_alive(int rank) const;
+  /// Number of currently dead ranks.
+  [[nodiscard]] int failed_ranks() const noexcept;
+
+  /// One spare-node failover (docs/ROBUSTNESS.md).
+  struct FailoverRecord {
+    int failed_node = 0;
+    int spare_node = 0;
+  };
+
+  /// Fails `failed_node`'s ranks over to the next unused spare node:
+  /// their bindings move (remap_node_bindings — local placement
+  /// unchanged), the ranks are revived, and the failed node is left
+  /// abandoned.  Returns the spare's node index; throws
+  /// ErrorCode::RankFailed when no spare is left.
+  int activate_spare(int failed_node);
+
+  /// Every activate_spare() so far, in activation order.
+  [[nodiscard]] const std::vector<FailoverRecord>& failover_log()
+      const noexcept {
+    return failover_log_;
+  }
+
+  /// The rank→node binding re-derived from scratch: a fresh
+  /// bind_ranks_multinode() placement with the failover log replayed by
+  /// a plain loop.  Must equal binding() field-for-field after any
+  /// sequence of failovers — the resilience oracle test.
+  [[nodiscard]] static std::vector<GlobalBinding> reference_failover_binding(
+      const arch::NodeSpec& node, int nics_per_node, int ranks,
+      std::span<const FailoverRecord> log);
+
+  /// Writes one checkpoint: every live rank pushes `bytes_per_rank`
+  /// through its NIC egress and router uplink (same injection FIFO gate
+  /// as exchange()), modelling a parallel-filesystem drain out of the
+  /// group.  Returns the elapsed simulated seconds until the slowest
+  /// rank's data is out.
+  sim::Time checkpoint_write(double bytes_per_rank);
 
   /// NIC injection bookkeeping of one posted message, in post order
   /// (cleared at the start of every exchange).  Intra-node messages do
@@ -140,7 +218,23 @@ class ClusterComm {
     double next_free_s = 0.0;  ///< injection FIFO cursor
   };
 
+  /// One posted message still in flight (registered at post, erased at
+  /// completion): the node/rank endpoints recorded at post time drive
+  /// the fault kill paths even after a failover rebinds the ranks.
+  struct InFlight {
+    sim::FlowId flow = 0;
+    std::size_t idx = 0;  ///< index into the current exchange's span
+    int src_rank = 0;
+    int dst_rank = 0;
+    int src_node = 0;
+    int dst_node = 0;
+  };
+
   void build_links();
+  /// Kills every in-flight flow `pred(entry)` selects, marking the
+  /// message failed in the current exchange's result.
+  template <typename Pred>
+  void kill_inflight(Pred&& pred);
   [[nodiscard]] std::size_t nic_index(int node, int nic) const;
   [[nodiscard]] sim::LinkId global_link(int group_a, int group_b) const;
   /// First healthy NIC at or after `preferred` on `node`; throws
@@ -151,7 +245,9 @@ class ClusterComm {
   arch::NodeSpec node_spec_;
   sim::FabricSpec fabric_;
   std::vector<GlobalBinding> binding_;
-  int nodes_ = 0;
+  int nodes_ = 0;          ///< compute + spare nodes (fabric size)
+  int compute_nodes_ = 0;  ///< nodes hosting ranks at construction
+  int used_spares_ = 0;
   sim::DragonflyTopology topology_;
   sim::Engine engine_;
   sim::FlowNetwork network_;
@@ -165,12 +261,22 @@ class ClusterComm {
 
   std::vector<InjectionRecord> injection_log_;
   std::uint64_t delivered_ = 0;
+
+  /// Per-rank fault state: bit 0 = node down, bit 1 = rank failed.
+  /// Alive ⇔ 0.  Sized to size().
+  std::vector<std::uint8_t> rank_state_;
+  std::vector<std::uint8_t> node_down_;  // per node
+  std::vector<FailoverRecord> failover_log_;
+  std::vector<InFlight> inflight_;
+  ExchangeResult* current_result_ = nullptr;  // non-null inside exchange()
 };
 
 /// 1-D ring halo exchange over the cluster: every rank sends
 /// `halo_bytes` to both ring neighbours (rank order, so most pairs are
 /// intra-node and node boundaries cross the fabric).  Returns the
-/// elapsed simulated seconds until the slowest rank finishes.
+/// elapsed simulated seconds until the slowest rank finishes.  Raises
+/// ErrorCode::RankFailed if any message fails (use fault/recovery.hpp
+/// for the fault-tolerant variant).
 sim::Time cluster_halo_exchange(ClusterComm& cluster, double halo_bytes);
 
 /// Allreduce of one `bytes`-sized vector per rank over the cluster,

@@ -307,6 +307,44 @@ AllreduceAlgorithm allreduce_algorithm_for(double total_bytes, int ranks) {
   return AllreduceAlgorithm::Ring;
 }
 
+int allreduce_round_count(AllreduceAlgorithm algo, int ranks) {
+  ensure(ranks >= 1, ErrorCode::InvalidArgument,
+         "allreduce_round_count: need at least one rank");
+  ensure(algo != AllreduceAlgorithm::Auto, ErrorCode::InvalidArgument,
+         "allreduce_round_count: resolve Auto with allreduce_algorithm_for "
+         "first");
+  if (ranks == 1) {
+    return 0;
+  }
+  const auto log2_floor = [](int n) {
+    int bits = 0;
+    while ((1 << (bits + 1)) <= n) {
+      ++bits;
+    }
+    return bits;
+  };
+  switch (algo) {
+    case AllreduceAlgorithm::Ring:
+      return 2 * (ranks - 1);
+    case AllreduceAlgorithm::RecursiveDoubling: {
+      const int q = 1 << log2_floor(ranks);
+      return log2_floor(q) + (ranks > q ? 2 : 0);
+    }
+    case AllreduceAlgorithm::ReduceBroadcast: {
+      int top = 1;
+      int rounds = 0;
+      while (top < ranks) {
+        top *= 2;
+        ++rounds;  // ceil(log2(ranks)) reduce rounds
+      }
+      return rounds + log2_floor(top);  // + broadcast rounds
+    }
+    case AllreduceAlgorithm::Auto:
+      break;
+  }
+  unreachable("allreduce_round_count: bad algorithm");
+}
+
 sim::Time allreduce_sum(Communicator& comm,
                         std::vector<std::vector<double>>& rank_data,
                         double element_bytes, AllreduceAlgorithm algo) {

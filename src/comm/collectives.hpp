@@ -45,6 +45,16 @@ enum class AllreduceAlgorithm {
 [[nodiscard]] AllreduceAlgorithm allreduce_algorithm_for(double total_bytes,
                                                          int ranks);
 
+/// Bulk-synchronous rounds the algorithm runs over `ranks` participants
+/// (the fault-tolerant cluster driver in fault/recovery.hpp sizes its
+/// schedule with this): ring is 2(ranks-1); recursive doubling folds
+/// non-power-of-two counts into the largest power of two q with one
+/// pre- and one post-round for the extras, so log2(q) [+2]; reduce +
+/// broadcast is ceil(log2(ranks)) reduce rounds plus log2(top)
+/// broadcast rounds with top the smallest power of two >= ranks.
+/// `algo` must not be Auto.  Returns 0 for a single rank.
+[[nodiscard]] int allreduce_round_count(AllreduceAlgorithm algo, int ranks);
+
 /// All-reduce (sum) over per-rank vectors of equal length.  On return
 /// every rank's vector holds the element-wise sum; the reported time is
 /// the completion of the slowest rank.  `element_bytes` prices the wire

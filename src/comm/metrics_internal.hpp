@@ -39,6 +39,12 @@ struct FabricMetrics {
   obs::Counter* hops_global;
   obs::Counter* nic_failovers;
   obs::Gauge* nic_stall_seconds;
+  // Node/rank faults and checkpointing (docs/ROBUSTNESS.md).
+  obs::Counter* node_down_events;
+  obs::Counter* flows_killed;
+  obs::Counter* messages_refused;
+  obs::Counter* spare_activations;
+  obs::Counter* ckpt_bytes;
 };
 
 /// Resolves the fabric handles in the active registry on first use.

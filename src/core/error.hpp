@@ -29,6 +29,7 @@ enum class ErrorCode {
   LinkDown,           ///< route unavailable and no fallback exists
   Timeout,            ///< wait exceeded its simulated-time deadline
   TransferAborted,    ///< transfer failed after exhausting retries
+  RankFailed,         ///< peer rank (or its whole node) is dead
 };
 
 [[nodiscard]] constexpr const char* error_code_name(ErrorCode code) noexcept {
@@ -49,6 +50,8 @@ enum class ErrorCode {
       return "timeout";
     case ErrorCode::TransferAborted:
       return "transfer_aborted";
+    case ErrorCode::RankFailed:
+      return "rank_failed";
   }
   return "?";
 }

@@ -1,0 +1,142 @@
+#include "fault/checkpoint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "fault/metrics_internal.hpp"
+
+namespace pvc::fault {
+
+double daly_optimal_interval_s(double checkpoint_s, double mtbf_s) {
+  ensure(checkpoint_s > 0.0 && mtbf_s > 0.0, ErrorCode::InvalidArgument,
+         "daly_optimal_interval_s: checkpoint cost and MTBF must be positive");
+  if (checkpoint_s >= 2.0 * mtbf_s) {
+    return mtbf_s;
+  }
+  // Daly's higher-order perturbation solution of dT/dτ = 0.
+  const double ratio = checkpoint_s / (2.0 * mtbf_s);
+  return std::sqrt(2.0 * checkpoint_s * mtbf_s) *
+             (1.0 + std::sqrt(ratio) / 3.0 + ratio / 9.0) -
+         checkpoint_s;
+}
+
+double daly_expected_runtime_s(double work_s, double interval_s,
+                               double checkpoint_s, double restart_s,
+                               double mtbf_s) {
+  ensure(work_s > 0.0 && interval_s > 0.0 && mtbf_s > 0.0,
+         ErrorCode::InvalidArgument,
+         "daly_expected_runtime_s: work, interval, and MTBF must be positive");
+  ensure(checkpoint_s >= 0.0 && restart_s >= 0.0, ErrorCode::InvalidArgument,
+         "daly_expected_runtime_s: costs must be non-negative");
+  // T = M e^{R/M} (e^{(τ+C)/M} − 1) · W/τ: each of the W/τ segments is an
+  // exponential race between finishing (τ+C) and failing, restart cost R.
+  return mtbf_s * std::exp(restart_s / mtbf_s) *
+         (std::exp((interval_s + checkpoint_s) / mtbf_s) - 1.0) *
+         (work_s / interval_s);
+}
+
+double checkpoint_write_model_s(const sim::FabricSpec& fabric,
+                                int ranks_per_node, double bytes_per_rank) {
+  ensure(ranks_per_node >= 1, ErrorCode::InvalidArgument,
+         "checkpoint_write_model_s: need at least one rank per node");
+  ensure(bytes_per_rank > 0.0, ErrorCode::InvalidArgument,
+         "checkpoint_write_model_s: bytes per rank must be positive");
+  // Every node drains in parallel, so one node bounds the cluster: the
+  // heaviest NIC carries ceil(ranks/NICs) flows against its injection
+  // bandwidth, all ranks share the router uplink, and the injection
+  // FIFO staggers the heaviest NIC's flows by the message gap.
+  const int heavy = (ranks_per_node + fabric.nic.per_node - 1) /
+                    fabric.nic.per_node;
+  const double serial_bps =
+      std::min(fabric.nic.injection_bps / static_cast<double>(heavy),
+               fabric.topo.local_link_bps / static_cast<double>(ranks_per_node));
+  return fabric.nic.latency_s + fabric.topo.local_hop_latency_s +
+         static_cast<double>(heavy - 1) * sim::nic_message_gap_s(fabric) +
+         bytes_per_rank / serial_bps;
+}
+
+double resolved_interval_s(const CheckpointPlan& plan, double write_cost_s) {
+  if (plan.interval_s > 0.0) {
+    return plan.interval_s;
+  }
+  ensure(plan.mtbf_s > 0.0, ErrorCode::InvalidArgument,
+         "resolved_interval_s: ckpt interval=0 (Daly-optimal) needs mtbf=");
+  return daly_optimal_interval_s(write_cost_s, plan.mtbf_s);
+}
+
+RestartStats simulate_checkpoint_restart(double work_s, double interval_s,
+                                         double checkpoint_s, double restart_s,
+                                         double mtbf_s, std::uint64_t seed,
+                                         int trials) {
+  ensure(work_s > 0.0 && interval_s > 0.0, ErrorCode::InvalidArgument,
+         "simulate_checkpoint_restart: work and interval must be positive");
+  ensure(checkpoint_s >= 0.0 && restart_s >= 0.0 && mtbf_s >= 0.0,
+         ErrorCode::InvalidArgument,
+         "simulate_checkpoint_restart: costs must be non-negative");
+  ensure(trials >= 1, ErrorCode::InvalidArgument,
+         "simulate_checkpoint_restart: need at least one trial");
+  Rng rng(seed ^ 0xda1e0fda11ull);
+  const auto draw_failure = [&] {
+    return -mtbf_s * std::log(1.0 - rng.uniform());
+  };
+
+  RestartStats total;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t failures = 0;
+  double lost = 0.0;
+  for (int trial = 0; trial < trials; ++trial) {
+    double t = 0.0;
+    double done = 0.0;      // durable (checkpointed) work
+    double ckpt_time = 0.0;
+    double wasted = 0.0;
+    std::uint64_t trial_ckpts = 0;
+    std::uint64_t trial_fails = 0;
+    double next_fail = mtbf_s > 0.0 ? draw_failure()
+                                    : std::numeric_limits<double>::infinity();
+    while (done < work_s) {
+      const double segment = std::min(interval_s, work_s - done);
+      const bool final_segment = done + segment >= work_s;
+      const double cost = segment + (final_segment ? 0.0 : checkpoint_s);
+      if (next_fail < t + cost) {
+        // The failure lands before the segment (and its checkpoint)
+        // become durable: everything since the last checkpoint is lost.
+        wasted += next_fail - t;
+        t = next_fail + restart_s;
+        ++trial_fails;
+        next_fail = t + draw_failure();
+        continue;
+      }
+      t += cost;
+      done += segment;
+      if (!final_segment) {
+        ckpt_time += checkpoint_s;
+        ++trial_ckpts;
+      }
+    }
+    total.elapsed_s += t;
+    total.wasted_s += wasted;
+    total.checkpoint_s += ckpt_time;
+    total.checkpoints += static_cast<double>(trial_ckpts);
+    total.failures += static_cast<double>(trial_fails);
+    checkpoints += trial_ckpts;
+    failures += trial_fails;
+    lost += wasted;
+  }
+  const double n = static_cast<double>(trials);
+  total.elapsed_s /= n;
+  total.wasted_s /= n;
+  total.checkpoint_s /= n;
+  total.checkpoints /= n;
+  total.failures /= n;
+
+  auto& fm = detail::fault_metrics();
+  fm.checkpoints->add(checkpoints);
+  fm.restarts->add(failures);
+  fm.lost_work_seconds->add(lost);
+  return total;
+}
+
+}  // namespace pvc::fault

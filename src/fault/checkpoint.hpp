@@ -1,0 +1,73 @@
+#pragma once
+// Checkpoint/restart cost model (docs/ROBUSTNESS.md).
+//
+// Aurora-class jobs survive node loss by writing periodic checkpoints
+// and restarting the lost work from the last one.  This module prices
+// that discipline three ways, cross-validated against each other:
+//
+//  * the analytic first-principles model — Daly's expected runtime
+//    T(τ) = M e^{R/M} (e^{(τ+C)/M} − 1) W/τ and his perturbation-series
+//    optimal interval τ* ≈ sqrt(2CM)[1 + sqrt(C/2M)/3 + C/18M] − C
+//    (J. T. Daly, FGCS 2006);
+//  * a seeded Monte-Carlo discrete model (simulate_checkpoint_restart)
+//    drawing exponential failure times, whose swept minimum must land
+//    within one grid step of τ* — the ResilienceDaly test;
+//  * the real flow-level write cost: ClusterComm::checkpoint_write()
+//    drains the bytes through the NIC links, and the closed-form
+//    checkpoint_write_model_s() here must track it.
+
+#include <cstdint>
+
+#include "fault/plan.hpp"
+#include "sim/fabric.hpp"
+
+namespace pvc::fault {
+
+/// Daly's optimal checkpoint interval for write cost `checkpoint_s` and
+/// exponential failures of mean `mtbf_s`; clamps to `mtbf_s` when the
+/// write cost exceeds 2×MTBF (checkpointing can no longer pay off).
+[[nodiscard]] double daly_optimal_interval_s(double checkpoint_s,
+                                             double mtbf_s);
+
+/// Daly's expected time-to-solution for `work_s` of useful work
+/// checkpointed every `interval_s`, with per-checkpoint cost
+/// `checkpoint_s`, restart cost `restart_s`, and MTBF `mtbf_s`.
+[[nodiscard]] double daly_expected_runtime_s(double work_s, double interval_s,
+                                             double checkpoint_s,
+                                             double restart_s, double mtbf_s);
+
+/// Closed-form estimate of one cluster-wide checkpoint write:
+/// `ranks_per_node` ranks each drain `bytes_per_rank` through the
+/// node's NICs (heaviest NIC carries ceil(ranks/NICs) flows) and the
+/// shared router uplink — whichever is the bottleneck — behind the
+/// per-NIC injection FIFO.  Must track ClusterComm::checkpoint_write().
+[[nodiscard]] double checkpoint_write_model_s(const sim::FabricSpec& fabric,
+                                              int ranks_per_node,
+                                              double bytes_per_rank);
+
+/// The interval a CheckpointPlan asks for: its explicit `interval=`, or
+/// the Daly optimum for (write cost, MTBF) when it said 0.
+[[nodiscard]] double resolved_interval_s(const CheckpointPlan& plan,
+                                         double write_cost_s);
+
+/// What the Monte-Carlo C/R engine observed, averaged over its trials.
+struct RestartStats {
+  double elapsed_s = 0.0;     ///< mean time-to-solution
+  double wasted_s = 0.0;      ///< mean work+checkpoint time lost to failures
+  double checkpoint_s = 0.0;  ///< mean time spent writing checkpoints
+  double checkpoints = 0.0;   ///< mean checkpoints written
+  double failures = 0.0;      ///< mean failures struck
+};
+
+/// Runs `trials` seeded executions of the segment-by-segment C/R
+/// discipline: work `interval_s`, checkpoint at cost `checkpoint_s`
+/// (skipped after the final segment), and on a failure — drawn from an
+/// exponential of mean `mtbf_s` — pay `restart_s` and resume from the
+/// last checkpoint.  `mtbf_s` 0 disables random failures.  Bumps the
+/// fault.checkpoints / fault.restarts / fault.lost_work_seconds
+/// metrics with the trial totals.
+[[nodiscard]] RestartStats simulate_checkpoint_restart(
+    double work_s, double interval_s, double checkpoint_s, double restart_s,
+    double mtbf_s, std::uint64_t seed, int trials);
+
+}  // namespace pvc::fault

@@ -1,20 +1,17 @@
 #include "fault/injector.hpp"
 
 #include "core/error.hpp"
+#include "fault/metrics_internal.hpp"
 #include "obs/metrics.hpp"
 
 namespace pvc::fault {
 
-namespace {
+namespace detail {
 
-struct InjectorMetrics {
-  obs::Counter* events_armed;
-};
-
-InjectorMetrics& injector_metrics() {
+FaultMetrics& fault_metrics() {
   // Handles rebind whenever the thread's active registry changes
   // (obs::ScopedRegistry isolates concurrent sweep workers).
-  thread_local InjectorMetrics m;
+  thread_local FaultMetrics m;
   thread_local obs::Registry* bound = nullptr;
   auto& reg = obs::Registry::active();
   if (bound == &reg) {
@@ -22,14 +19,32 @@ InjectorMetrics& injector_metrics() {
   }
   bound = &reg;
   m = [&reg] {
-    InjectorMetrics im;
-    im.events_armed = &reg.counter(
+    FaultMetrics fm;
+    fm.events_armed = &reg.counter(
         "fault.events_armed", "events",
         "fault-plan calendar entries scheduled by the injector");
-    return im;
+    fm.rank_failures =
+        &reg.counter("fault.rank_failures", "ranks",
+                     "rankfail clauses fired against a cluster");
+    fm.recoveries = &reg.counter(
+        "fault.recoveries", "events",
+        "fault-tolerant collective recoveries (shrink or spare failover)");
+    fm.checkpoints = &reg.counter("fault.checkpoints", "checkpoints",
+                                  "checkpoints written by the C/R model");
+    fm.restarts = &reg.counter(
+        "fault.restarts", "events",
+        "restarts from the last checkpoint after a failure");
+    fm.lost_work_seconds = &reg.gauge(
+        "fault.lost_work_seconds", "seconds",
+        "work redone because it post-dated the last checkpoint");
+    return fm;
   }();
   return m;
 }
+
+}  // namespace detail
+
+namespace {
 
 [[nodiscard]] bool kind_matches(UsmKindFilter filter, rt::MemKind kind) {
   switch (filter) {
@@ -58,7 +73,7 @@ void Injector::schedule(rt::NodeSim& node, double at_s,
                         std::function<void()> fire) {
   node.engine().schedule_at(at_s, std::move(fire));
   ++events_armed_;
-  injector_metrics().events_armed->add(1);
+  detail::fault_metrics().events_armed->add(1);
 }
 
 void Injector::arm(rt::NodeSim& node) {
@@ -117,13 +132,29 @@ void Injector::arm(rt::NodeSim& node) {
 
   if (plan_.usm_fail_probability > 0.0) {
     node.memory().set_failure_hook(
-        [this](rt::MemKind kind, int /*device*/, double /*bytes*/) {
-          if (!kind_matches(plan_.usm_fail_kind, kind)) {
+        [tok = std::weak_ptr<Injector*>(token_)](rt::MemKind kind,
+                                                 int /*device*/,
+                                                 double /*bytes*/) {
+          const auto locked = tok.lock();
+          ensure(locked != nullptr,
+                 "fault::Injector destroyed while its USM failure hook was "
+                 "still installed — detach() the NodeSim (or keep the "
+                 "injector alive) before destroying it (docs/ROBUSTNESS.md)");
+          Injector* self = *locked;
+          if (!kind_matches(self->plan_.usm_fail_kind, kind)) {
             return false;
           }
-          return mem_rng_.uniform() < plan_.usm_fail_probability;
+          return self->mem_rng_.uniform() < self->plan_.usm_fail_probability;
         });
   }
+}
+
+void Injector::detach(rt::NodeSim& node) {
+  node.memory().set_failure_hook({});
+}
+
+void Injector::detach(comm::Communicator& comm) {
+  comm.set_fault_hook({});
 }
 
 void Injector::schedule_cluster(comm::ClusterComm& cluster, double at_s,
@@ -138,7 +169,7 @@ void Injector::schedule_cluster(comm::ClusterComm& cluster, double at_s,
     cluster.engine().schedule_at(at_s, std::move(fire));
   }
   ++events_armed_;
-  injector_metrics().events_armed->add(1);
+  detail::fault_metrics().events_armed->add(1);
 }
 
 void Injector::arm(comm::ClusterComm& cluster) {
@@ -170,6 +201,27 @@ void Injector::arm(comm::ClusterComm& cluster) {
       });
     }
   }
+  for (const auto& ev : plan_.node_downs) {
+    if (ev.node >= nodes) {
+      continue;
+    }
+    schedule_cluster(cluster, ev.at_s,
+                     [&cluster, ev] { cluster.set_node_down(ev.node, true); });
+    if (!ev.permanent) {
+      schedule_cluster(cluster, ev.at_s + ev.duration_s, [&cluster, ev] {
+        cluster.set_node_down(ev.node, false);
+      });
+    }
+  }
+  for (const auto& ev : plan_.rank_fails) {
+    if (ev.rank >= cluster.size()) {
+      continue;
+    }
+    schedule_cluster(cluster, ev.at_s, [&cluster, ev] {
+      detail::fault_metrics().rank_failures->add(1);
+      cluster.set_rank_failed(ev.rank);
+    });
+  }
 }
 
 void Injector::attach(comm::Communicator& comm) {
@@ -189,13 +241,20 @@ void Injector::attach(comm::Communicator& comm) {
   comm.set_resilience(policy);
 
   if (plan_.drop_probability > 0.0 || plan_.corrupt_probability > 0.0) {
-    comm.set_fault_hook([this](int /*src*/, int /*dst*/, int /*tag*/,
-                               double /*bytes*/, int /*attempt*/) {
-      const double u = comm_rng_.uniform();
-      if (u < plan_.drop_probability) {
+    comm.set_fault_hook([tok = std::weak_ptr<Injector*>(token_)](
+                            int /*src*/, int /*dst*/, int /*tag*/,
+                            double /*bytes*/, int /*attempt*/) {
+      const auto locked = tok.lock();
+      ensure(locked != nullptr,
+             "fault::Injector destroyed while its message fault hook was "
+             "still installed — detach() the Communicator (or keep the "
+             "injector alive) before destroying it (docs/ROBUSTNESS.md)");
+      Injector* self = *locked;
+      const double u = self->comm_rng_.uniform();
+      if (u < self->plan_.drop_probability) {
         return comm::TransferVerdict::Drop;
       }
-      if (u < plan_.drop_probability + plan_.corrupt_probability) {
+      if (u < self->plan_.drop_probability + self->plan_.corrupt_probability) {
         return comm::TransferVerdict::Corrupt;
       }
       return comm::TransferVerdict::Deliver;

@@ -17,7 +17,12 @@
 // Separate streams keep the two probabilistic hooks decoupled: adding
 // allocations never perturbs message verdicts, so runs stay
 // reproducible under workload refactors.  The injector owns the
-// streams, so it must outlive the NodeSim/Communicator it is armed on.
+// streams, so it must outlive the NodeSim/Communicator it is armed on —
+// or be detach()ed first.  The probabilistic hooks hold a weak
+// registration token: a hook firing after its injector died raises a
+// loud pvc::Error instead of dereferencing a dangling pointer.
+
+#include <memory>
 
 #include "comm/cluster.hpp"
 #include "comm/communicator.hpp"
@@ -30,6 +35,10 @@ namespace pvc::fault {
 class Injector {
  public:
   explicit Injector(FaultPlan plan);
+  /// Non-copyable/movable: installed hooks track this exact instance
+  /// through the registration token.
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
 
   [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
 
@@ -38,14 +47,22 @@ class Injector {
   /// Call once, before running the workload.
   void arm(rt::NodeSim& node);
 
-  /// Schedules the cluster-scale events (`nicdown`, `nicdegrade`) on
-  /// `cluster`'s engine.  Events naming a node or NIC the cluster does
-  /// not have are skipped — a plan written for 4096 ranks stays valid
-  /// on the small discrete-event slice of a sweep.
+  /// Schedules the cluster-scale events (`nicdown`, `nicdegrade`,
+  /// `nodedown`, `rankfail`) on `cluster`'s engine.  Events naming a
+  /// node, NIC, or rank the cluster does not have are skipped — a plan
+  /// written for 4096 ranks stays valid on the small discrete-event
+  /// slice of a sweep.
   void arm(comm::ClusterComm& cluster);
 
   /// Installs the message-verdict hook and Resilience overrides.
   void attach(comm::Communicator& comm);
+
+  /// Uninstalls the USM failure hook from `node`.  Call when `node`
+  /// outlives this injector.
+  void detach(rt::NodeSim& node);
+
+  /// Uninstalls the message-verdict hook from `comm`.
+  void detach(comm::Communicator& comm);
 
   /// Calendar entries scheduled by arm() (diagnostics).
   [[nodiscard]] int events_armed() const noexcept { return events_armed_; }
@@ -59,6 +76,9 @@ class Injector {
   Rng comm_rng_;
   Rng mem_rng_;
   int events_armed_ = 0;
+  /// Lifetime token the probabilistic hooks weakly capture; dies with
+  /// the injector, turning use-after-destruction into a typed error.
+  std::shared_ptr<Injector*> token_ = std::make_shared<Injector*>(this);
 };
 
 }  // namespace pvc::fault

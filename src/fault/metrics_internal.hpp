@@ -1,0 +1,25 @@
+#pragma once
+// Shared obs handles for the fault layer (injector.cpp registers and
+// owns them; recovery.cpp and checkpoint.cpp bump the recovery and
+// checkpoint counters).  Internal — read metric values through
+// obs::Registry snapshots.  See docs/OBSERVABILITY.md "Faults".
+
+#include "obs/metrics.hpp"
+
+namespace pvc::fault::detail {
+
+struct FaultMetrics {
+  obs::Counter* events_armed;
+  obs::Counter* rank_failures;
+  obs::Counter* recoveries;
+  obs::Counter* checkpoints;
+  obs::Counter* restarts;
+  obs::Gauge* lost_work_seconds;
+};
+
+/// Resolves the handles in the active registry on first use (handles
+/// rebind whenever the thread's active registry changes, the same
+/// pattern as comm::detail::fabric_metrics).
+FaultMetrics& fault_metrics();
+
+}  // namespace pvc::fault::detail

@@ -197,6 +197,16 @@ void append_window(std::ostringstream& out, double at_s, double duration_s,
 
 }  // namespace
 
+const char* recovery_policy_name(RecoveryPolicy policy) {
+  switch (policy) {
+    case RecoveryPolicy::Shrink:
+      return "shrink";
+    case RecoveryPolicy::Spare:
+      return "spare";
+  }
+  return "?";
+}
+
 const char* usm_kind_filter_name(UsmKindFilter filter) {
   switch (filter) {
     case UsmKindFilter::Any:
@@ -350,6 +360,58 @@ FaultPlan FaultPlan::parse(std::string_view spec) {
         bad_clause(clause, "'node' and 'nic' must be non-negative");
       }
       plan.nic_degradations.push_back(ev);
+    } else if (name == "nodedown") {
+      Args args(clause, body, "node");
+      NodeDownEvent ev;
+      ev.node = parse_int(clause, args.required("node"));
+      const Window w = parse_window(clause, args);
+      ev.at_s = w.at_s;
+      ev.duration_s = w.duration_s;
+      ev.permanent = w.permanent;
+      args.finish();
+      if (ev.node < 0) {
+        bad_clause(clause, "'node' must be non-negative");
+      }
+      plan.node_downs.push_back(ev);
+    } else if (name == "rankfail") {
+      Args args(clause, body, "rank");
+      RankFailEvent ev;
+      ev.rank = parse_int(clause, args.required("rank"));
+      ev.at_s = parse_duration_s(args.optional("at", "0"));
+      args.finish();
+      if (ev.rank < 0) {
+        bad_clause(clause, "'rank' must be non-negative");
+      }
+      if (ev.at_s < 0.0) {
+        bad_clause(clause, "'at' time must be non-negative");
+      }
+      plan.rank_fails.push_back(ev);
+    } else if (name == "ckpt") {
+      Args args(clause, body, "bytes");
+      CheckpointPlan ck;
+      ck.bytes_per_rank = parse_double(clause, args.required("bytes"));
+      ck.interval_s = parse_duration_s(args.optional("interval", "0"));
+      ck.restart_s = parse_duration_s(args.optional("restart", "0"));
+      ck.mtbf_s = parse_duration_s(args.optional("mtbf", "0"));
+      args.finish();
+      if (ck.bytes_per_rank <= 0.0) {
+        bad_clause(clause, "'bytes' must be positive");
+      }
+      if (ck.interval_s < 0.0 || ck.restart_s < 0.0 || ck.mtbf_s < 0.0) {
+        bad_clause(clause, "durations must be non-negative");
+      }
+      plan.checkpoint = ck;
+    } else if (name == "recovery") {
+      Args args(clause, body, "policy");
+      const std::string_view policy = args.required("policy");
+      if (policy == "shrink") {
+        plan.recovery = RecoveryPolicy::Shrink;
+      } else if (policy == "spare") {
+        plan.recovery = RecoveryPolicy::Spare;
+      } else {
+        bad_clause(clause, "policy must be shrink|spare");
+      }
+      args.finish();
     } else if (name == "drop") {
       Args args(clause, body, "p");
       plan.drop_probability = parse_probability(clause, args.required("p"));
@@ -424,7 +486,9 @@ FaultPlan FaultPlan::parse(std::string_view spec) {
 bool FaultPlan::empty() const {
   return linkdowns.empty() && flaps.empty() && degradations.empty() &&
          throttles.empty() && device_losses.empty() && nic_downs.empty() &&
-         nic_degradations.empty() &&
+         nic_degradations.empty() && node_downs.empty() &&
+         rank_fails.empty() && !checkpoint.has_value() &&
+         !recovery.has_value() &&
          drop_probability == 0.0 && corrupt_probability == 0.0 &&
          usm_fail_probability == 0.0 && !reroute_penalty.has_value() &&
          !max_retries.has_value() && !retry_backoff_s.has_value() &&
@@ -470,6 +534,27 @@ std::string FaultPlan::summary() const {
         << ev.factor << "x";
     append_window(out, ev.at_s, ev.duration_s, ev.permanent);
     out << "\n";
+  }
+  for (const auto& ev : node_downs) {
+    out << "  nodedown node " << ev.node;
+    append_window(out, ev.at_s, ev.duration_s, ev.permanent);
+    out << "\n";
+  }
+  for (const auto& ev : rank_fails) {
+    out << "  rankfail rank " << ev.rank << " at " << ev.at_s << " s\n";
+  }
+  if (checkpoint) {
+    out << "  ckpt " << checkpoint->bytes_per_rank << " B/rank interval ";
+    if (checkpoint->interval_s > 0.0) {
+      out << checkpoint->interval_s << " s";
+    } else {
+      out << "daly-optimal";
+    }
+    out << " restart " << checkpoint->restart_s << " s mtbf "
+        << checkpoint->mtbf_s << " s\n";
+  }
+  if (recovery) {
+    out << "  recovery " << recovery_policy_name(*recovery) << "\n";
   }
   if (drop_probability > 0.0) {
     out << "  drop p=" << drop_probability << "\n";

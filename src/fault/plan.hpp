@@ -27,6 +27,10 @@
 //   timeout:1ms         | timeout:wait=1ms
 //   nicdown:node=0,nic=3,at=1ms[,for=5ms]     (cluster runs only)
 //   nicdegrade:node=0,nic=3,factor=0.5,at=1ms[,for=5ms]
+//   nodedown:node=3,at=1ms[,for=5ms]          (cluster runs only)
+//   rankfail:rank=7[,at=1ms]                  (cluster runs only)
+//   ckpt:bytes=64e6[,interval=2s][,restart=30s][,mtbf=1000s]
+//   recovery:shrink     | recovery:policy=spare
 
 #include <cstdint>
 #include <optional>
@@ -108,6 +112,40 @@ struct NicDegradeEvent {
   bool permanent = true;
 };
 
+/// Whole-node outage: every rank bound to the node dies, its in-flight
+/// flows are killed, and (with `for=`) the node rejoins afterwards.
+struct NodeDownEvent {
+  int node = 0;
+  double at_s = 0.0;
+  double duration_s = 0.0;
+  bool permanent = true;
+};
+
+/// Single-rank failure (process abort): the rank stays dead for the rest
+/// of the run even if its node is healthy.
+struct RankFailEvent {
+  int rank = 0;
+  double at_s = 0.0;
+};
+
+/// Checkpoint/restart discipline (docs/ROBUSTNESS.md): `bytes_per_rank`
+/// written through the NIC links every `interval_s` of useful work;
+/// interval 0 = use the analytic Daly optimum for (write cost, mtbf).
+struct CheckpointPlan {
+  double bytes_per_rank = 0.0;
+  double interval_s = 0.0;  ///< 0 = Daly-optimal
+  double restart_s = 0.0;
+  double mtbf_s = 0.0;  ///< 0 = no random failures (scheduled faults only)
+};
+
+/// How fault-tolerant collectives respond to dead ranks.
+enum class RecoveryPolicy : std::uint8_t {
+  Shrink,  ///< survivors rebuild the schedule and continue without the dead
+  Spare,   ///< dead ranks are rebound onto spare nodes and revived
+};
+
+[[nodiscard]] const char* recovery_policy_name(RecoveryPolicy policy);
+
 /// Parsed chaos specification.  Zero-initialised = no faults.
 struct FaultPlan {
   std::uint64_t seed = 0;
@@ -119,6 +157,14 @@ struct FaultPlan {
   std::vector<DeviceLostEvent> device_losses;
   std::vector<NicDownEvent> nic_downs;
   std::vector<NicDegradeEvent> nic_degradations;
+  std::vector<NodeDownEvent> node_downs;
+  std::vector<RankFailEvent> rank_fails;
+
+  /// Checkpoint/restart discipline; unset = no checkpointing.
+  std::optional<CheckpointPlan> checkpoint;
+
+  /// Recovery policy for fault-tolerant collectives; unset = Shrink.
+  std::optional<RecoveryPolicy> recovery;
 
   /// Per-attempt message fault probabilities, in [0, 1] with sum <= 1.
   double drop_probability = 0.0;

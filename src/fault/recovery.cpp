@@ -1,0 +1,307 @@
+#include "fault/recovery.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "fault/metrics_internal.hpp"
+
+namespace pvc::fault {
+
+namespace {
+
+using comm::AllreduceAlgorithm;
+using Message = comm::ClusterComm::Message;
+
+[[nodiscard]] int log2_floor(int n) {
+  int bits = 0;
+  while ((1 << (bits + 1)) <= n) {
+    ++bits;
+  }
+  return bits;
+}
+
+/// Repairs the participant set after a failed exchange.  Shrink drops
+/// the dead ranks; Spare fails every *downed node* hosting a dead
+/// participant over to a fresh spare (which revives its ranks).  A rank
+/// that died individually (rankfail) on a healthy node never consumes a
+/// spare — it is shrunk out below, whichever the policy.
+void recover(comm::ClusterComm& cluster, RecoveryPolicy policy,
+             std::vector<int>& participants) {
+  detail::fault_metrics().recoveries->add(1);
+  if (policy == RecoveryPolicy::Spare) {
+    std::vector<int> dead_nodes;
+    for (const int r : participants) {
+      if (cluster.rank_alive(r)) {
+        continue;
+      }
+      const int n = cluster.binding(r).node;
+      if (cluster.node_down(n) &&
+          std::find(dead_nodes.begin(), dead_nodes.end(), n) ==
+              dead_nodes.end()) {
+        dead_nodes.push_back(n);
+      }
+    }
+    for (const int n : dead_nodes) {
+      cluster.activate_spare(n);
+    }
+  }
+  // Shrink (and, for Spare, drop any rank still dead after failover —
+  // an individually failed rank whose node never came back).
+  participants.erase(
+      std::remove_if(participants.begin(), participants.end(),
+                     [&](int r) { return !cluster.rank_alive(r); }),
+      participants.end());
+}
+
+/// Shared restart loop: reruns the round sequence from 0 whenever an
+/// exchange reports failures, repairing the membership in between.
+FtResult drive(comm::ClusterComm& cluster, RecoveryPolicy policy,
+               AllreduceAlgorithm requested, double bytes, bool allreduce) {
+  FtResult out;
+  out.participants = surviving_ranks(cluster);
+  const sim::Time t0 = cluster.engine().now();
+  sim::Time finish = t0;
+
+  while (true) {
+    const int m = static_cast<int>(out.participants.size());
+    if (m <= 1) {
+      break;  // nothing left to exchange with
+    }
+    out.algo = allreduce
+                   ? (requested == AllreduceAlgorithm::Auto
+                          ? comm::allreduce_algorithm_for(bytes, m)
+                          : requested)
+                   : AllreduceAlgorithm::Ring;
+    const int rounds =
+        allreduce ? comm::allreduce_round_count(out.algo, m) : 1;
+    bool clean = true;
+    for (int round = 0; round < rounds; ++round) {
+      std::vector<Message> messages;
+      if (allreduce) {
+        messages = ft_round_messages(out.participants, out.algo, round, bytes);
+      } else {
+        messages.reserve(static_cast<std::size_t>(m) * 2);
+        for (int i = 0; i < m; ++i) {
+          messages.push_back(
+              {out.participants[static_cast<std::size_t>(i)],
+               out.participants[static_cast<std::size_t>((i + 1) % m)],
+               bytes});
+          messages.push_back(
+              {out.participants[static_cast<std::size_t>(i)],
+               out.participants[static_cast<std::size_t>((i - 1 + m) % m)],
+               bytes});
+        }
+      }
+      const auto result = cluster.exchange(messages);
+      ++out.rounds_run;
+      if (result.failures > 0) {
+        out.failures += result.failures;
+        ++out.recoveries;
+        recover(cluster, policy, out.participants);
+        clean = false;
+        break;  // roll back to the last consistent state and rerun
+      }
+      finish = std::max(finish, result.finish);
+    }
+    if (clean) {
+      break;
+    }
+  }
+  out.elapsed_s = finish - t0;
+  return out;
+}
+
+}  // namespace
+
+std::vector<int> surviving_ranks(const comm::ClusterComm& cluster) {
+  std::vector<int> alive;
+  alive.reserve(static_cast<std::size_t>(cluster.size()));
+  for (int r = 0; r < cluster.size(); ++r) {
+    if (cluster.rank_alive(r)) {
+      alive.push_back(r);
+    }
+  }
+  return alive;
+}
+
+std::vector<Message> ft_round_messages(std::span<const int> participants,
+                                       AllreduceAlgorithm algo, int round,
+                                       double bytes) {
+  const int m = static_cast<int>(participants.size());
+  ensure(m >= 1, ErrorCode::InvalidArgument,
+         "ft_round_messages: empty participant set");
+  ensure(algo != AllreduceAlgorithm::Auto, ErrorCode::InvalidArgument,
+         "ft_round_messages: resolve Auto first");
+  ensure(round >= 0 && round < comm::allreduce_round_count(algo, m),
+         ErrorCode::InvalidArgument, "ft_round_messages: round out of range");
+  const auto p = [&](int i) {
+    return participants[static_cast<std::size_t>(i)];
+  };
+  std::vector<Message> out;
+  switch (algo) {
+    case AllreduceAlgorithm::Ring: {
+      // Reduce-scatter + allgather: every round ships one bytes/m block
+      // to the next virtual rank.
+      const double block = bytes / static_cast<double>(m);
+      out.reserve(static_cast<std::size_t>(m));
+      for (int i = 0; i < m; ++i) {
+        out.push_back({p(i), p((i + 1) % m), block});
+      }
+      break;
+    }
+    case AllreduceAlgorithm::RecursiveDoubling: {
+      // Fold the extras beyond the largest power of two q into the
+      // first q ranks (pre-round), run the q-wide butterfly, then
+      // unfold the result back out (post-round).
+      const int q = 1 << log2_floor(m);
+      const int extras = m - q;
+      const int core_rounds = log2_floor(q);
+      if (extras > 0 && round == 0) {
+        for (int j = 0; j < extras; ++j) {
+          out.push_back({p(q + j), p(j), bytes});
+        }
+        break;
+      }
+      const int core = round - (extras > 0 ? 1 : 0);
+      if (core < core_rounds) {
+        const int stride = 1 << core;
+        out.reserve(static_cast<std::size_t>(q));
+        for (int i = 0; i < q; ++i) {
+          out.push_back({p(i), p(i ^ stride), bytes});
+        }
+        break;
+      }
+      for (int j = 0; j < extras; ++j) {  // post-round
+        out.push_back({p(j), p(q + j), bytes});
+      }
+      break;
+    }
+    case AllreduceAlgorithm::ReduceBroadcast: {
+      // Binomial reduce onto p(0), then the mirrored broadcast over the
+      // padded power of two.
+      int reduce_rounds = 0;
+      int top = 1;
+      while (top < m) {
+        top *= 2;
+        ++reduce_rounds;
+      }
+      if (round < reduce_rounds) {
+        const int stride = 1 << round;
+        for (int i = stride; i < m; i += 2 * stride) {
+          out.push_back({p(i), p(i - stride), bytes});
+        }
+      } else {
+        const int stride = top >> (round - reduce_rounds + 1);
+        for (int i = stride; i < m; i += 2 * stride) {
+          out.push_back({p(i - stride), p(i), bytes});
+        }
+      }
+      break;
+    }
+    case AllreduceAlgorithm::Auto:
+      unreachable("ft_round_messages: Auto");
+  }
+  return out;
+}
+
+std::vector<std::vector<Message>> reference_ft_schedule(
+    std::span<const int> participants, AllreduceAlgorithm algo,
+    double bytes) {
+  // From-scratch oracle: independent plain loops per algorithm, no code
+  // shared with ft_round_messages beyond the participant indexing.
+  const int m = static_cast<int>(participants.size());
+  ensure(m >= 1, ErrorCode::InvalidArgument,
+         "reference_ft_schedule: empty participant set");
+  ensure(algo != AllreduceAlgorithm::Auto, ErrorCode::InvalidArgument,
+         "reference_ft_schedule: resolve Auto first");
+  const auto p = [&](int i) {
+    return participants[static_cast<std::size_t>(i)];
+  };
+  std::vector<std::vector<Message>> rounds;
+  if (m == 1) {
+    return rounds;
+  }
+  switch (algo) {
+    case AllreduceAlgorithm::Ring: {
+      const double block = bytes / static_cast<double>(m);
+      for (int step = 0; step < 2 * (m - 1); ++step) {
+        std::vector<Message> round;
+        for (int i = 0; i < m; ++i) {
+          round.push_back({p(i), p((i + 1) % m), block});
+        }
+        rounds.push_back(std::move(round));
+      }
+      break;
+    }
+    case AllreduceAlgorithm::RecursiveDoubling: {
+      int q = 1;
+      while (q * 2 <= m) {
+        q *= 2;
+      }
+      const int extras = m - q;
+      if (extras > 0) {
+        std::vector<Message> pre;
+        for (int j = 0; j < extras; ++j) {
+          pre.push_back({p(q + j), p(j), bytes});
+        }
+        rounds.push_back(std::move(pre));
+      }
+      for (int stride = 1; stride < q; stride *= 2) {
+        std::vector<Message> round;
+        for (int i = 0; i < q; ++i) {
+          round.push_back({p(i), p(i ^ stride), bytes});
+        }
+        rounds.push_back(std::move(round));
+      }
+      if (extras > 0) {
+        std::vector<Message> post;
+        for (int j = 0; j < extras; ++j) {
+          post.push_back({p(j), p(q + j), bytes});
+        }
+        rounds.push_back(std::move(post));
+      }
+      break;
+    }
+    case AllreduceAlgorithm::ReduceBroadcast: {
+      for (int stride = 1; stride < m; stride *= 2) {
+        std::vector<Message> round;
+        for (int i = stride; i < m; i += 2 * stride) {
+          round.push_back({p(i), p(i - stride), bytes});
+        }
+        rounds.push_back(std::move(round));
+      }
+      int top = 1;
+      while (top < m) {
+        top *= 2;
+      }
+      for (int stride = top / 2; stride >= 1; stride /= 2) {
+        std::vector<Message> round;
+        for (int i = stride; i < m; i += 2 * stride) {
+          round.push_back({p(i - stride), p(i), bytes});
+        }
+        rounds.push_back(std::move(round));
+      }
+      break;
+    }
+    case AllreduceAlgorithm::Auto:
+      unreachable("reference_ft_schedule: Auto");
+  }
+  return rounds;
+}
+
+FtResult ft_allreduce(comm::ClusterComm& cluster, double bytes,
+                      AllreduceAlgorithm algo, RecoveryPolicy policy) {
+  ensure(bytes >= 0.0, ErrorCode::InvalidArgument,
+         "ft_allreduce: negative byte count");
+  return drive(cluster, policy, algo, bytes, /*allreduce=*/true);
+}
+
+FtResult ft_halo_exchange(comm::ClusterComm& cluster, double halo_bytes,
+                          RecoveryPolicy policy) {
+  ensure(halo_bytes >= 0.0, ErrorCode::InvalidArgument,
+         "ft_halo_exchange: negative byte count");
+  return drive(cluster, policy, AllreduceAlgorithm::Ring, halo_bytes,
+               /*allreduce=*/false);
+}
+
+}  // namespace pvc::fault

@@ -161,9 +161,14 @@ FlowId FlowNetwork::start_flow(std::vector<LinkId> route, double bytes,
   metrics.flows_started->add(1);
 
   if (flow.route.empty() || bytes <= kEpsilonBytes) {
-    // Pure-latency operation.
+    // Pure-latency operation.  The id stays in the latent registry until
+    // the completion event fires so abort_flow() can still cancel it.
+    latent_.push_back(id);
     auto cb = std::move(flow.on_complete);
-    engine_->schedule_after(latency_s, [cb = std::move(cb), this] {
+    engine_->schedule_after(latency_s, [cb = std::move(cb), this, id] {
+      if (!unlatent(id)) {
+        return;  // aborted while pending
+      }
       net_metrics().flows_completed->add(1);
       if (cb) {
         cb(engine_->now());
@@ -187,13 +192,49 @@ FlowId FlowNetwork::start_flow(std::vector<LinkId> route, double bytes,
   }
 
   if (latency_s > 0.0) {
+    latent_.push_back(id);
     engine_->schedule_after(latency_s, [this, flow = std::move(flow)]() mutable {
+      if (!unlatent(flow.id)) {
+        return;  // aborted during the latency phase
+      }
       activate(std::move(flow));
     });
   } else {
     activate(std::move(flow));
   }
   return id;
+}
+
+bool FlowNetwork::unlatent(FlowId id) {
+  const auto it = std::find(latent_.begin(), latent_.end(), id);
+  if (it == latent_.end()) {
+    return false;
+  }
+  *it = latent_.back();
+  latent_.pop_back();
+  return true;
+}
+
+bool FlowNetwork::abort_flow(FlowId id) {
+  const std::uint32_t slot = find_active_slot(id);
+  if (slot != kNoSlot) {
+    // Integrate progress at the current rates, unlink the flow, and drop
+    // its state (the callback must never fire); survivors re-share the
+    // freed capacity at this same instant.
+    advance_progress();
+    deactivate(slot);
+    slots_[slot] = Flow{};
+    mark_rates_dirty();
+    ++flows_aborted_;
+    return true;
+  }
+  if (unlatent(id)) {
+    // Still in the latency phase: the scheduled activation/completion
+    // event will find the id gone and bail.
+    ++flows_aborted_;
+    return true;
+  }
+  return false;
 }
 
 void FlowNetwork::activate(Flow flow) {

@@ -102,6 +102,19 @@ class FlowNetwork {
   FlowId start_flow(std::vector<LinkId> route, double bytes, double latency_s,
                     std::function<void(Time)> on_complete);
 
+  /// Aborts an in-flight flow: it stops consuming capacity and its
+  /// on_complete callback never fires (the caller reports the failure
+  /// through its own typed-error channel — docs/ROBUSTNESS.md node
+  /// faults).  Works in both the latency phase and the transfer phase.
+  /// Returns false when the id is unknown or already finished.  Remaining
+  /// active flows are re-shared immediately.
+  bool abort_flow(FlowId id);
+
+  /// Flows killed by abort_flow() so far (diagnostics).
+  [[nodiscard]] std::uint64_t flows_aborted() const noexcept {
+    return flows_aborted_;
+  }
+
   /// Number of flows currently transferring (excludes latency phase).
   [[nodiscard]] std::size_t active_flows() const noexcept {
     return active_.size();
@@ -147,6 +160,9 @@ class FlowNetwork {
 
   void activate(Flow flow);
   void deactivate(std::uint32_t slot);
+  /// Removes `id` from the latency-phase registry; false when absent
+  /// (the flow was aborted — its activation/completion event must bail).
+  [[nodiscard]] bool unlatent(FlowId id);
   void advance_progress();
   void recompute_rates();
   /// Flags the fair-share rates stale and (once per simulated instant)
@@ -176,6 +192,11 @@ class FlowNetwork {
   std::vector<Flow> slots_;
   std::vector<std::uint32_t> free_slots_;
   std::vector<std::uint32_t> active_;
+  /// Flows still in their latency phase (activation or pure-latency
+  /// completion event pending).  abort_flow() removes the id here so the
+  /// pending event finds it gone and bails.
+  std::vector<FlowId> latent_;
+  std::uint64_t flows_aborted_ = 0;
 
   // Incrementally maintained per-link state.
   std::vector<std::uint32_t> traversals_;       ///< active traversal count

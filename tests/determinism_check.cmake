@@ -48,9 +48,14 @@ endfunction()
 # table6_foms and power_report pin the per-system/per-row sweeps added
 # with the workload-layer optimisation PR (ISSUE-5); scaling_multinode
 # pins the multi-node fabric sweep (discrete-event ClusterComm points
-# plus the analytic tail) added with the fabric-model PR (ISSUE-6).
+# plus the analytic tail) added with the fabric-model PR (ISSUE-6);
+# resilience_sweep pins the checkpoint/restart Monte-Carlo and the
+# fault-tolerant recovery runs added with the failure-model PR
+# (ISSUE-7) — its per-cell Monte-Carlo seeds derive from the plan seed
+# plus the sweep-slot index, so any threads= value must reproduce the
+# same bytes.
 foreach(bin scaling_sweep table3_p2p fig1_latency ablation_model
-        table6_foms power_report scaling_multinode)
+        table6_foms power_report scaling_multinode resilience_sweep)
   run_bench(${bin} ${bin}_t1 threads=1 csv=out.csv metrics=out.met)
   run_bench(${bin} ${bin}_t4 threads=4 csv=out.csv metrics=out.met)
   expect_identical("${WORK_DIR}/${bin}_t1.out" "${WORK_DIR}/${bin}_t4.out"

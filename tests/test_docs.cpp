@@ -117,10 +117,23 @@ TEST(Documentation, ScalingDocCoversTheMultinodeBenchOptions) {
 
 TEST(Documentation, RobustnessDocCoversTheNicFaultClauses) {
   const std::string robustness = slurp(kRoot / "docs" / "ROBUSTNESS.md");
-  for (const char* clause : {"nicdown", "nicdegrade"}) {
+  for (const char* clause :
+       {"nicdown", "nicdegrade", "nodedown", "rankfail", "ckpt", "recovery"}) {
     EXPECT_NE(robustness.find(clause), std::string::npos)
         << "docs/ROBUSTNESS.md does not document the `" << clause
         << "` chaos clause";
+  }
+}
+
+TEST(Documentation, ScalingDocCoversTheResilienceBenchOptions) {
+  const std::string scaling = slurp(kRoot / "docs" / "SCALING.md");
+  EXPECT_NE(scaling.find("resilience_sweep"), std::string::npos);
+  const std::string bench_source =
+      slurp(kRoot / "bench" / "resilience_sweep.cpp");
+  for (const auto& key : config_keys_in(bench_source)) {
+    EXPECT_NE(scaling.find("`" + key + "="), std::string::npos)
+        << "docs/SCALING.md does not document resilience_sweep's `" << key
+        << "=` option";
   }
 }
 

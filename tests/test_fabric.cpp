@@ -329,6 +329,30 @@ TEST(ClusterCommFaults, AllNicsDownRaisesLinkDown) {
       std::vector<ClusterComm::Message>{{0, 5, 1024.0}}));
 }
 
+TEST(ClusterCommFaults, CollectiveInProgressHitsAllNicsDownPromptly) {
+  // Chaos downs every NIC of node 1 two microseconds into a multi-round
+  // ring allreduce: the rounds posted after the window opens find no
+  // healthy NIC and the collective must raise a typed LinkDown right
+  // away — no hang, no silent completion.
+  ClusterComm cluster(arch::aurora(), aurora_fabric(), 24);
+  std::string spec;
+  for (int nic = 0; nic < 8; ++nic) {
+    spec += (nic ? ";" : "") + std::string("nicdown:node=1,nic=") +
+            std::to_string(nic) + ",at=2us";
+  }
+  fault::Injector injector(fault::FaultPlan::parse(spec));
+  injector.arm(cluster);
+  try {
+    static_cast<void>(
+        cluster_allreduce(cluster, 64.0 * 1024.0, sim::CollectiveAlgo::Ring));
+    FAIL() << "expected LinkDown mid-collective";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::LinkDown);
+    EXPECT_NE(std::string(e.what()).find("NIC"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(ClusterCommFaults, DegradedNicSlowsItsFlows) {
   const auto run = [](double factor) {
     ClusterComm cluster(arch::aurora(), aurora_fabric(), 24);

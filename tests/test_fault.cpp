@@ -11,6 +11,7 @@
 #include "arch/systems.hpp"
 #include "comm/communicator.hpp"
 #include "core/error.hpp"
+#include "core/rng.hpp"
 #include "core/units.hpp"
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"
@@ -105,6 +106,117 @@ TEST(FaultPlan, RejectsMalformedSpecs) {
   expect_invalid("retries:max=4,maxbackoff=-1us");  // negative clamp
   expect_invalid("timeout:0");
   expect_invalid("devlost:dev=1,at=1ms,for=0");
+  expect_invalid("nodedown:node=-1");                // negative node
+  expect_invalid("nodedown:node=0,rank=1");          // unknown key
+  expect_invalid("rankfail:rank=-2");                // negative rank
+  expect_invalid("rankfail:rank=1,for=1ms");         // rankfail has no window
+  expect_invalid("ckpt:bytes=0");                    // bytes must be positive
+  expect_invalid("ckpt:interval=60s");               // missing bytes
+  expect_invalid("recovery:policy=rollback");        // unknown policy
+}
+
+TEST(FaultPlan, ParsesNodeAndRankFailureClauses) {
+  const auto plan = FaultPlan::parse(
+      "nodedown:node=3,at=1ms,for=5ms;nodedown:7;"
+      "rankfail:rank=9,at=2us;rankfail:4");
+  ASSERT_EQ(plan.node_downs.size(), 2u);
+  EXPECT_EQ(plan.node_downs[0].node, 3);
+  EXPECT_DOUBLE_EQ(plan.node_downs[0].at_s, 1e-3);
+  EXPECT_DOUBLE_EQ(plan.node_downs[0].duration_s, 5e-3);
+  EXPECT_FALSE(plan.node_downs[0].permanent);
+  EXPECT_EQ(plan.node_downs[1].node, 7);  // shorthand
+  EXPECT_TRUE(plan.node_downs[1].permanent);
+  ASSERT_EQ(plan.rank_fails.size(), 2u);
+  EXPECT_EQ(plan.rank_fails[0].rank, 9);
+  EXPECT_DOUBLE_EQ(plan.rank_fails[0].at_s, 2e-6);
+  EXPECT_EQ(plan.rank_fails[1].rank, 4);  // shorthand
+  EXPECT_DOUBLE_EQ(plan.rank_fails[1].at_s, 0.0);
+  EXPECT_FALSE(plan.empty());
+  EXPECT_NE(plan.summary().find("nodedown node 3"), std::string::npos);
+  EXPECT_NE(plan.summary().find("rankfail rank 9"), std::string::npos);
+}
+
+TEST(FaultPlan, ParsesCheckpointAndRecoveryClauses) {
+  const auto plan = FaultPlan::parse(
+      "ckpt:bytes=1e9,interval=60s,restart=30s,mtbf=1000s;recovery:spare");
+  ASSERT_TRUE(plan.checkpoint.has_value());
+  EXPECT_DOUBLE_EQ(plan.checkpoint->bytes_per_rank, 1e9);
+  EXPECT_DOUBLE_EQ(plan.checkpoint->interval_s, 60.0);
+  EXPECT_DOUBLE_EQ(plan.checkpoint->restart_s, 30.0);
+  EXPECT_DOUBLE_EQ(plan.checkpoint->mtbf_s, 1000.0);
+  ASSERT_TRUE(plan.recovery.has_value());
+  EXPECT_EQ(*plan.recovery, RecoveryPolicy::Spare);
+  EXPECT_NE(plan.summary().find("recovery spare"), std::string::npos);
+
+  // Shorthand bytes; interval 0 means "Daly-optimal at run time".
+  const auto shorthand = FaultPlan::parse("ckpt:5e8;recovery:shrink");
+  ASSERT_TRUE(shorthand.checkpoint.has_value());
+  EXPECT_DOUBLE_EQ(shorthand.checkpoint->bytes_per_rank, 5e8);
+  EXPECT_DOUBLE_EQ(shorthand.checkpoint->interval_s, 0.0);
+  EXPECT_EQ(*shorthand.recovery, RecoveryPolicy::Shrink);
+  EXPECT_STREQ(recovery_policy_name(RecoveryPolicy::Shrink), "shrink");
+  EXPECT_STREQ(recovery_policy_name(RecoveryPolicy::Spare), "spare");
+}
+
+TEST(FaultPlan, FuzzedClausesRoundTripAndMutationsNameTheClause) {
+  // Property test over the node-failure grammar: every generated
+  // well-formed spec parses back to the values it was built from, and a
+  // mutated sibling throws InvalidArgument whose message embeds the
+  // offending clause text.
+  pvc::Rng rng(0xc1a05f00dull);
+  const auto randint = [&](int lo, int hi) {
+    return lo + static_cast<int>(rng.uniform() * (hi - lo) + 0.5);
+  };
+  for (int iter = 0; iter < 200; ++iter) {
+    const int node = randint(0, 63);
+    const int rank = randint(0, 1023);
+    const int at_us = randint(0, 999);
+    const int for_us = randint(1, 500);
+    const bool windowed = randint(0, 1) == 1;
+    const int bytes = randint(1, 1000000);
+    const bool spare = randint(0, 1) == 1;
+    std::string spec = "nodedown:node=" + std::to_string(node) +
+                       ",at=" + std::to_string(at_us) + "us";
+    if (windowed) {
+      spec += ",for=" + std::to_string(for_us) + "us";
+    }
+    spec += ";rankfail:rank=" + std::to_string(rank) +
+            ",at=" + std::to_string(at_us) + "us";
+    spec += ";ckpt:bytes=" + std::to_string(bytes);
+    spec += std::string(";recovery:") + (spare ? "spare" : "shrink");
+
+    const auto plan = FaultPlan::parse(spec);
+    ASSERT_EQ(plan.node_downs.size(), 1u) << spec;
+    EXPECT_EQ(plan.node_downs[0].node, node);
+    EXPECT_DOUBLE_EQ(plan.node_downs[0].at_s, at_us * 1e-6);
+    EXPECT_EQ(plan.node_downs[0].permanent, !windowed);
+    if (windowed) {
+      EXPECT_DOUBLE_EQ(plan.node_downs[0].duration_s, for_us * 1e-6);
+    }
+    ASSERT_EQ(plan.rank_fails.size(), 1u);
+    EXPECT_EQ(plan.rank_fails[0].rank, rank);
+    ASSERT_TRUE(plan.checkpoint.has_value());
+    EXPECT_DOUBLE_EQ(plan.checkpoint->bytes_per_rank, bytes);
+    EXPECT_EQ(*plan.recovery,
+              spare ? RecoveryPolicy::Spare : RecoveryPolicy::Shrink);
+
+    const char* mutations[] = {
+        "nodedown:node=-1",
+        "nodedown:node=1,node=2",
+        "rankfail:rank=1,bogus=1",
+        "ckpt:bytes=0",
+        "recovery:policy=chaos",
+    };
+    const char* mutation = mutations[randint(0, 4)];
+    try {
+      (void)FaultPlan::parse(spec + ";" + mutation);
+      FAIL() << "expected rejection of mutation: " << mutation;
+    } catch (const pvc::Error& e) {
+      EXPECT_EQ(e.code(), pvc::ErrorCode::InvalidArgument);
+      EXPECT_NE(std::string(e.what()).find(mutation), std::string::npos)
+          << "error must name the clause: " << e.what();
+    }
+  }
 }
 
 TEST(FaultPlan, SummaryNamesEveryClause) {

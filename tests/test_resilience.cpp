@@ -1,0 +1,514 @@
+// Cluster-scale failure & recovery (docs/ROBUSTNESS.md): flow aborts,
+// whole-node faults on ClusterComm, spare-node failover and its
+// from-scratch binding oracle, fault-tolerant collective schedules vs
+// their reference oracles, the checkpoint/restart cost model
+// (Daly analytic vs the seeded discrete model vs the flow-level write),
+// and the injector's lifetime registration token.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "arch/systems.hpp"
+#include "comm/cluster.hpp"
+#include "comm/collectives.hpp"
+#include "core/error.hpp"
+#include "core/units.hpp"
+#include "fault/checkpoint.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "fault/recovery.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/node_sim.hpp"
+#include "sim/engine.hpp"
+#include "sim/fabric.hpp"
+#include "sim/flow_network.hpp"
+
+namespace pvc {
+namespace {
+
+using comm::AllreduceAlgorithm;
+using comm::ClusterComm;
+
+sim::FabricSpec aurora_fabric() {
+  return sim::FabricSpec::for_node(arch::aurora());
+}
+
+// --- FlowNetwork::abort_flow -------------------------------------------------
+
+TEST(FlowAbort, ActiveFlowDiesWithoutCompleting) {
+  sim::Engine engine;
+  sim::FlowNetwork net(engine);
+  const sim::LinkId link = net.add_link("l", 100.0);
+  bool completed = false;
+  const sim::FlowId id =
+      net.start_flow({link}, 500.0, 0.0, [&](sim::Time) { completed = true; });
+  engine.schedule_after(1.0, [&] { EXPECT_TRUE(net.abort_flow(id)); });
+  engine.run();
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(net.flows_aborted(), 1u);
+}
+
+TEST(FlowAbort, AbortReleasesBandwidthToSurvivors) {
+  sim::Engine engine;
+  sim::FlowNetwork net(engine);
+  const sim::LinkId link = net.add_link("l", 100.0);
+  double done_at = -1.0;
+  const sim::FlowId victim = net.start_flow({link}, 1000.0, 0.0, {});
+  net.start_flow({link}, 150.0, 0.0, [&](sim::Time t) { done_at = t; });
+  engine.schedule_after(1.0, [&] { net.abort_flow(victim); });
+  engine.run();
+  // 50 B shared in the first second, the remaining 100 B at full rate.
+  EXPECT_DOUBLE_EQ(done_at, 2.0);
+}
+
+TEST(FlowAbort, LatencyPhaseFlowNeverActivates) {
+  sim::Engine engine;
+  sim::FlowNetwork net(engine);
+  const sim::LinkId link = net.add_link("l", 100.0);
+  bool completed = false;
+  const sim::FlowId id =
+      net.start_flow({link}, 100.0, 2.0, [&](sim::Time) { completed = true; });
+  engine.schedule_after(1.0, [&] { EXPECT_TRUE(net.abort_flow(id)); });
+  engine.run();
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(net.flows_aborted(), 1u);
+}
+
+TEST(FlowAbort, UnknownOrFinishedIdReturnsFalse) {
+  sim::Engine engine;
+  sim::FlowNetwork net(engine);
+  const sim::LinkId link = net.add_link("l", 100.0);
+  const sim::FlowId id = net.start_flow({link}, 100.0, 0.0, {});
+  engine.run();
+  EXPECT_FALSE(net.abort_flow(id));      // already completed
+  EXPECT_FALSE(net.abort_flow(id + 7));  // never existed
+  EXPECT_EQ(net.flows_aborted(), 0u);
+}
+
+// --- whole-node faults on ClusterComm ---------------------------------------
+
+TEST(ClusterFaults, NodeDownKillsInflightFlowsAndWrapperRaisesRankFailed) {
+  ClusterComm cluster(arch::aurora(), aurora_fabric(), 24);
+  fault::Injector injector(fault::FaultPlan::parse("nodedown:node=1,at=2us"));
+  injector.arm(cluster);
+  // 256 KiB inter-node flows span ~10 us, so the 2 us event lands while
+  // node 1's flows are in flight — they die, the exchange still returns.
+  try {
+    (void)comm::cluster_halo_exchange(cluster, 256.0 * KB);
+    FAIL() << "expected RankFailed";
+  } catch (const pvc::Error& e) {
+    EXPECT_EQ(e.code(), pvc::ErrorCode::RankFailed);
+  }
+  EXPECT_FALSE(cluster.rank_alive(12));
+  EXPECT_EQ(cluster.failed_ranks(), 12);
+  EXPECT_GT(cluster.network().flows_aborted(), 0u);
+}
+
+TEST(ClusterFaults, DeadEndpointMessagesAreRefusedAtPostTime) {
+  ClusterComm cluster(arch::aurora(), aurora_fabric(), 24);
+  cluster.set_rank_failed(5);
+  const ClusterComm::Message msgs[] = {{5, 18, 1024.0},   // dead source
+                                       {18, 5, 1024.0},   // dead destination
+                                       {1, 2, 1024.0}};   // healthy
+  const auto result = cluster.exchange(msgs);
+  EXPECT_EQ(result.failures, 2);
+  EXPECT_EQ(result.failed[0], 1);
+  EXPECT_EQ(result.failed[1], 1);
+  EXPECT_EQ(result.failed[2], 0);
+  EXPECT_DOUBLE_EQ(result.completion_s[0], 0.0);
+  EXPECT_GT(result.completion_s[2], 0.0);
+}
+
+TEST(ClusterFaults, RestoringANodeRevivesAllButIndividuallyFailedRanks) {
+  ClusterComm cluster(arch::aurora(), aurora_fabric(), 24);
+  cluster.set_rank_failed(13);
+  cluster.set_node_down(1, true);
+  EXPECT_FALSE(cluster.rank_alive(12));
+  EXPECT_EQ(cluster.failed_ranks(), 12);
+  cluster.set_node_down(1, false);
+  EXPECT_TRUE(cluster.rank_alive(12));
+  EXPECT_FALSE(cluster.rank_alive(13));  // rankfail is permanent
+  EXPECT_EQ(cluster.failed_ranks(), 1);
+}
+
+// --- spare-node failover -----------------------------------------------------
+
+TEST(Failover, ActivateSpareMatchesTheReferenceBindingOracle) {
+  const auto node = arch::aurora();
+  const auto fabric = aurora_fabric();
+  ClusterComm cluster(node, fabric, 36, /*spare_nodes=*/2);
+  EXPECT_EQ(cluster.compute_node_count(), 3);
+  EXPECT_EQ(cluster.node_count(), 5);
+
+  cluster.set_node_down(1, true);
+  EXPECT_EQ(cluster.activate_spare(1), 3);
+  cluster.set_node_down(0, true);
+  EXPECT_EQ(cluster.activate_spare(0), 4);
+  for (int r = 0; r < cluster.size(); ++r) {
+    EXPECT_TRUE(cluster.rank_alive(r)) << "rank " << r;
+  }
+
+  const auto reference = ClusterComm::reference_failover_binding(
+      node, fabric.nic.per_node, 36, cluster.failover_log());
+  ASSERT_EQ(reference.size(), 36u);
+  for (int r = 0; r < 36; ++r) {
+    const auto& got = cluster.binding(r);
+    const auto& want = reference[static_cast<std::size_t>(r)];
+    EXPECT_EQ(got.node, want.node) << "rank " << r;
+    EXPECT_EQ(got.local_rank, want.local_rank);
+    EXPECT_EQ(got.card, want.card);
+    EXPECT_EQ(got.stack, want.stack);
+    EXPECT_EQ(got.core, want.core);
+    EXPECT_EQ(got.nic, want.nic);
+  }
+}
+
+TEST(Failover, ExhaustedSparesRaiseRankFailed) {
+  ClusterComm cluster(arch::aurora(), aurora_fabric(), 24, /*spare_nodes=*/1);
+  (void)cluster.activate_spare(0);
+  try {
+    (void)cluster.activate_spare(1);
+    FAIL() << "expected RankFailed";
+  } catch (const pvc::Error& e) {
+    EXPECT_EQ(e.code(), pvc::ErrorCode::RankFailed);
+  }
+}
+
+TEST(Failover, SpareNodeCarriesRealTrafficAfterRemap) {
+  ClusterComm cluster(arch::aurora(), aurora_fabric(), 24, /*spare_nodes=*/1);
+  cluster.set_node_down(1, true);
+  (void)cluster.activate_spare(1);
+  // Rank 12 now lives on node 2 (the spare); the exchange must succeed.
+  const ClusterComm::Message msgs[] = {{0, 12, 64.0 * KB}};
+  const auto result = cluster.exchange(msgs);
+  EXPECT_EQ(result.failures, 0);
+  EXPECT_GT(result.completion_s[0], 0.0);
+  EXPECT_EQ(cluster.binding(12).node, 2);
+}
+
+// --- fault-tolerant schedules vs oracle --------------------------------------
+
+void expect_schedule_matches_oracle(AllreduceAlgorithm algo, int m) {
+  std::vector<int> participants;
+  for (int i = 0; i < m; ++i) {
+    participants.push_back(i * 3 + 1);  // non-trivial rank labels
+  }
+  const auto reference =
+      fault::reference_ft_schedule(participants, algo, 4096.0);
+  ASSERT_EQ(static_cast<int>(reference.size()),
+            m == 1 ? 0 : comm::allreduce_round_count(algo, m))
+      << comm::allreduce_algorithm_name(algo) << " m=" << m;
+  for (int round = 0; round < static_cast<int>(reference.size()); ++round) {
+    const auto built =
+        fault::ft_round_messages(participants, algo, round, 4096.0);
+    const auto& want = reference[static_cast<std::size_t>(round)];
+    ASSERT_EQ(built.size(), want.size())
+        << comm::allreduce_algorithm_name(algo) << " m=" << m
+        << " round=" << round;
+    for (std::size_t i = 0; i < built.size(); ++i) {
+      EXPECT_EQ(built[i].src, want[i].src);
+      EXPECT_EQ(built[i].dst, want[i].dst);
+      EXPECT_DOUBLE_EQ(built[i].bytes, want[i].bytes);
+    }
+  }
+}
+
+TEST(FtSchedule, EveryAlgorithmMatchesItsFromScratchOracle) {
+  for (const auto algo :
+       {AllreduceAlgorithm::Ring, AllreduceAlgorithm::RecursiveDoubling,
+        AllreduceAlgorithm::ReduceBroadcast}) {
+    for (const int m : {2, 3, 5, 8, 12, 13, 31, 64}) {
+      expect_schedule_matches_oracle(algo, m);
+    }
+  }
+}
+
+TEST(FtSchedule, RejectsAutoAndOutOfRangeRounds) {
+  const std::vector<int> participants{0, 1, 2, 3};
+  EXPECT_THROW((void)fault::ft_round_messages(
+                   participants, AllreduceAlgorithm::Auto, 0, 8.0),
+               pvc::Error);
+  EXPECT_THROW((void)fault::ft_round_messages(
+                   participants, AllreduceAlgorithm::Ring, 6, 8.0),
+               pvc::Error);
+  EXPECT_THROW(
+      (void)fault::reference_ft_schedule(participants,
+                                         AllreduceAlgorithm::Auto, 8.0),
+      pvc::Error);
+}
+
+TEST(FtSchedule, RoundCountsFollowTheClosedForms) {
+  EXPECT_EQ(comm::allreduce_round_count(AllreduceAlgorithm::Ring, 8), 14);
+  EXPECT_EQ(
+      comm::allreduce_round_count(AllreduceAlgorithm::RecursiveDoubling, 8),
+      3);
+  EXPECT_EQ(
+      comm::allreduce_round_count(AllreduceAlgorithm::RecursiveDoubling, 12),
+      5);  // fold + 3 butterfly rounds + unfold
+  EXPECT_EQ(
+      comm::allreduce_round_count(AllreduceAlgorithm::ReduceBroadcast, 12),
+      8);  // ceil(log2 12)=4 reduce + log2(16)=4 broadcast
+  EXPECT_EQ(comm::allreduce_round_count(AllreduceAlgorithm::Ring, 1), 0);
+  EXPECT_THROW(
+      (void)comm::allreduce_round_count(AllreduceAlgorithm::Auto, 8),
+      pvc::Error);
+}
+
+// --- fault-tolerant recovery -------------------------------------------------
+
+TEST(FtRecovery, ShrinkDropsTheDeadNodeAndCompletes) {
+  ClusterComm cluster(arch::aurora(), aurora_fabric(), 36);
+  fault::Injector injector(
+      fault::FaultPlan::parse("seed:7;nodedown:node=1,at=2us"));
+  injector.arm(cluster);
+  const auto result = fault::ft_halo_exchange(cluster, 256.0 * KB,
+                                              fault::RecoveryPolicy::Shrink);
+  EXPECT_GE(result.recoveries, 1);
+  EXPECT_GT(result.failures, 0);
+  EXPECT_EQ(result.participants.size(), 24u);
+  EXPECT_EQ(result.participants, fault::surviving_ranks(cluster));
+  for (const int r : result.participants) {
+    EXPECT_TRUE(r < 12 || r >= 24) << "rank " << r;  // node 1 gone
+  }
+}
+
+TEST(FtRecovery, SpareFailoverKeepsTheFullWidth) {
+  ClusterComm cluster(arch::aurora(), aurora_fabric(), 36, /*spare_nodes=*/1);
+  fault::Injector injector(
+      fault::FaultPlan::parse("seed:7;nodedown:node=1,at=2us"));
+  injector.arm(cluster);
+  const auto result = fault::ft_halo_exchange(cluster, 256.0 * KB,
+                                              fault::RecoveryPolicy::Spare);
+  EXPECT_GE(result.recoveries, 1);
+  EXPECT_EQ(result.participants.size(), 36u);
+  ASSERT_EQ(cluster.failover_log().size(), 1u);
+  EXPECT_EQ(cluster.failover_log()[0].failed_node, 1);
+  EXPECT_EQ(cluster.failover_log()[0].spare_node, 3);
+  EXPECT_EQ(result.participants, fault::surviving_ranks(cluster));
+}
+
+TEST(FtRecovery, SpareNeverBurnsASpareOnAnIndividuallyFailedRank) {
+  // A rankfail on a healthy node alongside a real nodedown: the single
+  // spare must go to the downed node, and the individually failed rank
+  // is shrunk out instead of dragging its (healthy) node through
+  // failover.
+  ClusterComm cluster(arch::aurora(), aurora_fabric(), 36, /*spare_nodes=*/1);
+  fault::Injector injector(fault::FaultPlan::parse(
+      "seed:7;rankfail:rank=5,at=1us;nodedown:node=1,at=2us"));
+  injector.arm(cluster);
+  const auto result = fault::ft_halo_exchange(cluster, 256.0 * KB,
+                                              fault::RecoveryPolicy::Spare);
+  ASSERT_EQ(cluster.failover_log().size(), 1u);
+  EXPECT_EQ(cluster.failover_log()[0].failed_node, 1);
+  EXPECT_EQ(result.participants.size(), 35u);  // rank 5 shrunk, node 1 back
+  EXPECT_FALSE(cluster.rank_alive(5));
+  EXPECT_EQ(result.participants, fault::surviving_ranks(cluster));
+}
+
+TEST(FtRecovery, AllreduceReResolvesAutoAfterAShrink) {
+  ClusterComm cluster(arch::aurora(), aurora_fabric(), 24);
+  fault::Injector injector(
+      fault::FaultPlan::parse("seed:7;rankfail:rank=3,at=1us"));
+  injector.arm(cluster);
+  const auto result = fault::ft_allreduce(
+      cluster, 8.0, AllreduceAlgorithm::Auto, fault::RecoveryPolicy::Shrink);
+  // 24 ranks pick reduce-broadcast (small, non-power-of-two); after the
+  // shrink to 23 the re-resolved choice stays reduce-broadcast.
+  EXPECT_EQ(result.algo, AllreduceAlgorithm::ReduceBroadcast);
+  EXPECT_EQ(result.participants.size(), 23u);
+}
+
+fault::FtResult recovery_at_scale(bool allreduce, fault::RecoveryPolicy policy) {
+  const auto node = arch::aurora();
+  ClusterComm cluster(
+      node, sim::FabricSpec::for_node(node), 768,
+      policy == fault::RecoveryPolicy::Spare ? 1 : 0);
+  fault::Injector injector(
+      fault::FaultPlan::parse("seed:7;nodedown:node=3,at=2us"));
+  injector.arm(cluster);
+  return allreduce ? fault::ft_allreduce(cluster, 8.0,
+                                         AllreduceAlgorithm::Auto, policy)
+                   : fault::ft_halo_exchange(cluster, 256.0 * KB, policy);
+}
+
+TEST(FtRecovery, BothPoliciesAreBitReproducibleAt768Ranks) {
+  for (const bool allreduce : {false, true}) {
+    for (const auto policy :
+         {fault::RecoveryPolicy::Shrink, fault::RecoveryPolicy::Spare}) {
+      const auto first = recovery_at_scale(allreduce, policy);
+      const auto second = recovery_at_scale(allreduce, policy);
+      // Bit-identical, not approximately equal: same spec, seed, and
+      // policy must reproduce the run exactly (acceptance criterion).
+      EXPECT_EQ(std::memcmp(&first.elapsed_s, &second.elapsed_s,
+                            sizeof(double)),
+                0);
+      EXPECT_EQ(first.rounds_run, second.rounds_run);
+      EXPECT_EQ(first.failures, second.failures);
+      EXPECT_EQ(first.recoveries, second.recoveries);
+      EXPECT_EQ(first.participants, second.participants);
+      EXPECT_EQ(first.algo, second.algo);
+      EXPECT_GE(first.recoveries, 1);
+      EXPECT_EQ(first.participants.size(),
+                policy == fault::RecoveryPolicy::Spare ? 768u : 756u);
+    }
+  }
+}
+
+// --- checkpoint/restart model ------------------------------------------------
+
+TEST(Checkpoint, FlowLevelWriteTracksTheClosedFormModel) {
+  const auto node = arch::aurora();
+  const auto fabric = aurora_fabric();
+  const double bytes = 64.0 * MB;
+  for (const int ranks : {12, 24, 48}) {
+    ClusterComm cluster(node, fabric, ranks);
+    const double sim_s = cluster.checkpoint_write(bytes);
+    const double model_s = fault::checkpoint_write_model_s(
+        fabric, std::min(ranks, node.total_subdevices()), bytes);
+    EXPECT_NEAR(sim_s, model_s, 0.05 * model_s) << ranks << " ranks";
+  }
+}
+
+TEST(Checkpoint, WriteSkipsDeadRanks) {
+  ClusterComm cluster(arch::aurora(), aurora_fabric(), 24);
+  const double healthy = cluster.checkpoint_write(16.0 * MB);
+  cluster.set_node_down(1, true);
+  const double degraded = cluster.checkpoint_write(16.0 * MB);
+  EXPECT_GT(healthy, 0.0);
+  EXPECT_GT(degraded, 0.0);
+  EXPECT_LE(degraded, healthy);  // half the ranks, never slower
+}
+
+TEST(Checkpoint, DalyOptimalIntervalClampsAndValidates) {
+  // Closed form: sqrt(2CM)(1 + sqrt(C/2M)/3 + C/18M) - C.
+  const double tau = fault::daly_optimal_interval_s(10.0, 1000.0);
+  EXPECT_NEAR(tau, std::sqrt(2.0 * 10.0 * 1000.0) *
+                       (1.0 + std::sqrt(0.005) / 3.0 + 0.005 / 9.0) -
+                       10.0,
+              1e-9);
+  // Write cost beyond 2x MTBF: checkpointing cannot pay off, clamp.
+  EXPECT_DOUBLE_EQ(fault::daly_optimal_interval_s(500.0, 100.0), 100.0);
+  EXPECT_THROW((void)fault::daly_optimal_interval_s(0.0, 100.0), pvc::Error);
+}
+
+TEST(Checkpoint, ResolvedIntervalHonoursExplicitThenDaly) {
+  fault::CheckpointPlan plan;
+  plan.bytes_per_rank = 1.0;
+  plan.interval_s = 42.0;
+  EXPECT_DOUBLE_EQ(fault::resolved_interval_s(plan, 10.0), 42.0);
+  plan.interval_s = 0.0;
+  plan.mtbf_s = 1000.0;
+  EXPECT_DOUBLE_EQ(fault::resolved_interval_s(plan, 10.0),
+                   fault::daly_optimal_interval_s(10.0, 1000.0));
+  plan.mtbf_s = 0.0;
+  EXPECT_THROW((void)fault::resolved_interval_s(plan, 10.0), pvc::Error);
+}
+
+TEST(Checkpoint, DiscreteEventMinimumLandsWithinOneStepOfDaly) {
+  // The acceptance grid: W=10000 s, C=10 s, R=30 s, M=1000 s over
+  // doubling intervals.  Daly's analytic argmin is 140 s; the seeded
+  // Monte-Carlo minimum must land within one grid step.
+  const double work = 10000.0, ckpt = 10.0, restart = 30.0, mtbf = 1000.0;
+  const double grid[] = {35.0, 70.0, 140.0, 280.0, 560.0};
+  int analytic_best = 0;
+  int sim_best = 0;
+  double analytic_min = 0.0;
+  double sim_min = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    const double analytic =
+        fault::daly_expected_runtime_s(work, grid[i], ckpt, restart, mtbf);
+    const auto stats = fault::simulate_checkpoint_restart(
+        work, grid[i], ckpt, restart, mtbf, 2026, 500);
+    if (i == 0 || analytic < analytic_min) {
+      analytic_min = analytic;
+      analytic_best = i;
+    }
+    if (i == 0 || stats.elapsed_s < sim_min) {
+      sim_min = stats.elapsed_s;
+      sim_best = i;
+    }
+    // The two estimators agree pointwise too (Monte-Carlo tolerance).
+    EXPECT_NEAR(stats.elapsed_s, analytic, 0.05 * analytic) << grid[i];
+  }
+  EXPECT_EQ(analytic_best, 2);  // tau* ~ 132 s -> 140 s on this grid
+  EXPECT_LE(std::abs(analytic_best - sim_best), 1);
+}
+
+TEST(Checkpoint, MonteCarloIsSeedDeterministicAndFailureFreeWithoutMtbf) {
+  const auto a =
+      fault::simulate_checkpoint_restart(1000.0, 100.0, 5.0, 20.0, 300.0, 11, 64);
+  const auto b =
+      fault::simulate_checkpoint_restart(1000.0, 100.0, 5.0, 20.0, 300.0, 11, 64);
+  EXPECT_EQ(std::memcmp(&a.elapsed_s, &b.elapsed_s, sizeof(double)), 0);
+  EXPECT_EQ(a.failures, b.failures);
+
+  const auto calm =
+      fault::simulate_checkpoint_restart(1000.0, 100.0, 5.0, 20.0, 0.0, 11, 4);
+  EXPECT_DOUBLE_EQ(calm.failures, 0.0);
+  EXPECT_DOUBLE_EQ(calm.wasted_s, 0.0);
+  // 10 segments, 9 checkpoints (the final segment skips its write).
+  EXPECT_DOUBLE_EQ(calm.checkpoints, 9.0);
+  EXPECT_DOUBLE_EQ(calm.elapsed_s, 1000.0 + 9.0 * 5.0);
+}
+
+// --- injector lifetime token -------------------------------------------------
+
+TEST(InjectorLifetime, HookFiringAfterDestructionFailsLoudly) {
+  rt::NodeSim sim(arch::aurora());
+  {
+    fault::Injector injector(fault::FaultPlan::parse("usmfail:p=1"));
+    injector.arm(sim);
+  }  // injector destroyed, hook still installed
+  try {
+    (void)sim.memory().allocate(rt::MemKind::Device, 0, 1.0 * MB);
+    FAIL() << "expected a loud lifetime error";
+  } catch (const pvc::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("detach"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(InjectorLifetime, DetachDisarmsTheHookCleanly) {
+  rt::NodeSim sim(arch::aurora());
+  {
+    fault::Injector injector(fault::FaultPlan::parse("usmfail:p=1"));
+    injector.arm(sim);
+    injector.detach(sim);
+  }
+  auto block = sim.memory().allocate(rt::MemKind::Device, 0, 1.0 * MB);
+  EXPECT_TRUE(block.valid());
+}
+
+// --- fault.* metrics ---------------------------------------------------------
+
+TEST(FaultMetrics, RecoveryAndCheckpointBumpTheFaultCounters) {
+  ClusterComm cluster(arch::aurora(), aurora_fabric(), 24, /*spare_nodes=*/1);
+  fault::Injector injector(
+      fault::FaultPlan::parse("seed:7;nodedown:node=1,at=2us"));
+  injector.arm(cluster);
+  (void)fault::ft_halo_exchange(cluster, 256.0 * KB,
+                                fault::RecoveryPolicy::Spare);
+  (void)fault::simulate_checkpoint_restart(100.0, 10.0, 1.0, 2.0, 0.0, 1, 1);
+
+  const auto snapshot = obs::Registry::global().snapshot();
+  const auto value = [&](const char* name) {
+    for (const auto& s : snapshot.samples) {
+      if (s.name == name) {
+        return s.value;
+      }
+    }
+    return -1.0;
+  };
+  EXPECT_GE(value("fault.recoveries"), 1.0);
+  EXPECT_GE(value("fault.checkpoints"), 9.0);
+  EXPECT_GE(value("fabric.spare_activations"), 1.0);
+  EXPECT_GE(value("fabric.flows_killed"), 1.0);
+  EXPECT_GE(value("fabric.node_down_events"), 1.0);
+}
+
+}  // namespace
+}  // namespace pvc
