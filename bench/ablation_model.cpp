@@ -22,6 +22,7 @@ int run(int argc, char** argv) {
   using arch::Precision;
   using arch::Scope;
   const auto config = Config::from_args(argc, argv);
+  pvcbench::require_known_keys(config, {"csv", "metrics", "threads"});
 
   // Each ablation re-runs an independent pair of simulations, so the
   // five pairs compute concurrently into (on, off) slots; the table and

@@ -3,8 +3,10 @@
 // model-vs-paper cells, CSV dumping controlled by `csv=<path>`, and
 // metrics dumping controlled by `metrics=<path>` (docs/OBSERVABILITY.md).
 
+#include <algorithm>
 #include <cstdio>
 #include <exception>
+#include <initializer_list>
 #include <optional>
 #include <string>
 
@@ -34,6 +36,29 @@ inline int guarded_main(const char* name, int argc, char** argv,
     std::fprintf(stderr, "%s: unknown fatal exception\n", name);
   }
   return 1;
+}
+
+/// Rejects unknown `key=value` options: every key the user passed must
+/// appear in `accepted`, or the bench exits with an error naming the
+/// offending key (a typo like `simranks=512` used to be silently
+/// ignored).  Call right after Config::from_args with the bench's full
+/// accepted-key list — test_docs.cpp cross-checks these lists against
+/// the keys each bench actually reads and the README option table.
+inline void require_known_keys(const pvc::Config& config,
+                               std::initializer_list<const char*> accepted) {
+  for (const std::string& key : config.keys()) {
+    const bool known =
+        std::any_of(accepted.begin(), accepted.end(),
+                    [&key](const char* a) { return key == a; });
+    if (!known) {
+      std::string list;
+      for (const char* a : accepted) {
+        list += list.empty() ? a : std::string(", ") + a;
+      }
+      throw pvc::Error("unknown option '" + key + "' (accepted: " + list + ")",
+                       std::source_location::current());
+    }
+  }
 }
 
 /// "17.2 TFlop/s (paper 17, +1.2%)" — the standard cell format.

@@ -79,6 +79,7 @@ std::string slowdown_cell(double healthy_bps, double degraded_bps) {
 
 int run(int argc, char** argv) {
   const auto config = pvc::Config::from_args(argc, argv);
+  pvcbench::require_known_keys(config, {"chaos", "csv", "metrics", "threads"});
   const auto spec = pvc::arch::aurora();
 
   const std::pair<int, int> local{0, 1};

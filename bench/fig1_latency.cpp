@@ -19,6 +19,7 @@ namespace {
 int run(int argc, char** argv) {
   using namespace pvc;
   const auto config = Config::from_args(argc, argv);
+  pvcbench::require_known_keys(config, {"coalesced", "csv", "metrics", "threads"});
   const bool coalesced = config.get_bool("coalesced", true);
 
   std::printf("Figure 1 reproduction — memory latency (%s access mode)\n\n",

@@ -17,6 +17,7 @@ namespace {
 int run(int argc, char** argv) {
   using namespace pvc;
   const auto config = Config::from_args(argc, argv);
+  pvcbench::require_known_keys(config, {"csv", "metrics", "threads"});
 
   // The two Table VI simulations are independent — run them as sweep
   // tasks, then assemble the bars serially from the precomputed columns.

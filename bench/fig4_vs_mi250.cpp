@@ -19,6 +19,7 @@ namespace {
 int run(int argc, char** argv) {
   using namespace pvc;
   const auto config = Config::from_args(argc, argv);
+  pvcbench::require_known_keys(config, {"csv", "metrics", "threads"});
 
   // Three independent Table VI simulations (MI250, Aurora, Dawn) as
   // sweep tasks; bar assembly stays serial over the precomputed columns.

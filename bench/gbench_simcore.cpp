@@ -9,15 +9,18 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "arch/systems.hpp"
+#include "comm/cluster.hpp"
 #include "comm/communicator.hpp"
 #include "core/rng.hpp"
 #include "micro/microbench.hpp"
 #include "runtime/node_sim.hpp"
 #include "sim/cache_model.hpp"
 #include "sim/engine.hpp"
+#include "sim/fabric.hpp"
 #include "sim/flow_network.hpp"
 
 namespace {
@@ -169,6 +172,59 @@ BENCHMARK(BM_TagMatchChurn)
     ->Arg(256)
     ->Arg(1024)
     ->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+// One full DES cluster step at 768 ranks (64 Aurora nodes), the
+// scaling_multinode hot path, priced by the serial engine (arg 0) and
+// the sharded engine at 1/2/4/8 workers.  The step is the x-pass of a
+// 2D many-field stencil (24 species/field halos per rank, the
+// combustion-code regime): ranks laid out on an 8x8 node grid, each
+// rank exchanging every field's halo with the same sub-device slot on
+// the x-neighbour nodes, so all 36864 messages cross nodes and each
+// grid row is an independent traffic island.  The sharded engine
+// decomposes that into 8 heavyweight components (sim/shard.hpp),
+// replacing one global max-min solve — superlinear in active flows —
+// with 8 small ones it runs on the worker pool.  The cluster is
+// constructed once outside the timing loop; each iteration prices one
+// step on the advancing simulated clock.  Guards the >= 2.5x shards=4
+// speedup recorded in BENCH_simcore.json.
+void BM_ShardedClusterStep(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  const auto node = pvc::arch::aurora();
+  const int ranks = 768;  // 64 nodes x 12 sub-devices
+  const auto fabric = pvc::sim::FabricSpec::for_node(node);
+  constexpr double kHaloBytes = 256.0 * 1024.0;
+  constexpr int kFields = 24;
+  constexpr int kRowRanks = 8 * 12;  // 8 nodes per grid row
+  std::vector<pvc::comm::ClusterComm::Message> messages;
+  messages.reserve(static_cast<std::size_t>(ranks) * kFields * 2);
+  for (int f = 0; f < kFields; ++f) {
+    for (int r = 0; r < ranks; ++r) {
+      const int row = r / kRowRanks;
+      const int pos = r % kRowRanks;
+      const int east = row * kRowRanks + (pos + 12) % kRowRanks;
+      const int west = row * kRowRanks + (pos - 12 + kRowRanks) % kRowRanks;
+      messages.push_back({r, east, kHaloBytes});
+      messages.push_back({r, west, kHaloBytes});
+    }
+  }
+  pvc::comm::ClusterComm cluster(node, fabric, ranks);
+  cluster.set_shards(shards);
+  for (auto _ : state) {
+    const auto result = cluster.exchange(messages);
+    benchmark::DoNotOptimize(result.finish);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(messages.size()));
+  state.SetLabel(shards == 0 ? "serial oracle"
+                             : std::to_string(shards) + " shard worker(s)");
+}
+BENCHMARK(BM_ShardedClusterStep)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
 void BM_MeasurePeakFlops(benchmark::State& state) {

@@ -22,6 +22,7 @@ int run(int argc, char** argv) {
   using arch::Scope;
   using arch::WorkloadKind;
   const auto config = Config::from_args(argc, argv);
+  pvcbench::require_known_keys(config, {"csv", "metrics", "threads"});
 
   const WorkloadKind kinds[] = {WorkloadKind::Fp64Fma, WorkloadKind::Fp32Fma,
                                 WorkloadKind::GemmFp64,

@@ -19,6 +19,12 @@
 // Usage: resilience_sweep [csv=<path>] [metrics=<path>] [threads=<n>]
 //                         [system=<name>] [sim_ranks=<cap>]
 //                         [chaos=<spec>] [work=<s>] [trials=<n>]
+//                         [shards=<n>]
+//
+// shards= selects the DES execution mode for the checkpoint and
+// recovery sections: 0 runs the serial engine (the oracle), n >= 1 the
+// sharded engine (docs/PERFORMANCE.md "Sharded engine"); output is
+// byte-identical for every n >= 1 (tests/determinism_check.cmake).
 
 #include <cstdio>
 #include <iostream>
@@ -66,7 +72,7 @@ struct CkptPoint {
 
 CkptPoint ckpt_point(const pvc::arch::NodeSpec& node,
                      const pvc::sim::FabricSpec& fabric, int ranks,
-                     int sim_cap, double bytes) {
+                     int sim_cap, double bytes, int shards) {
   using namespace pvc;
   CkptPoint pt;
   pt.ranks = ranks;
@@ -75,6 +81,7 @@ CkptPoint ckpt_point(const pvc::arch::NodeSpec& node,
       fabric, std::min(ranks, node.total_subdevices()), bytes);
   if (ranks <= sim_cap) {
     comm::ClusterComm cluster(node, fabric, ranks);
+    cluster.set_shards(shards);
     pt.sim_s = cluster.checkpoint_write(bytes);
   }
   return pt;
@@ -101,7 +108,7 @@ RecoveryRun recovery_run(const pvc::arch::NodeSpec& node,
                          const pvc::sim::FabricSpec& fabric,
                          const pvc::fault::FaultPlan& plan, int ranks,
                          bool allreduce, pvc::fault::RecoveryPolicy policy,
-                         int spares) {
+                         int spares, int shards) {
   using namespace pvc;
   RecoveryRun run;
   run.op = allreduce ? "allreduce" : "halo";
@@ -110,6 +117,7 @@ RecoveryRun recovery_run(const pvc::arch::NodeSpec& node,
   const int spare_nodes =
       policy == fault::RecoveryPolicy::Spare ? spares : 0;
   comm::ClusterComm cluster(node, fabric, ranks, spare_nodes);
+  cluster.set_shards(shards);
   fault::Injector injector(plan);
   injector.arm(cluster);
   run.result =
@@ -124,10 +132,14 @@ RecoveryRun recovery_run(const pvc::arch::NodeSpec& node,
 int run(int argc, char** argv) {
   using namespace pvc;
   const auto config = Config::from_args(argc, argv);
+  pvcbench::require_known_keys(config, {"chaos", "csv", "metrics", "shards", "sim_ranks", "system", "threads", "trials", "work"});
   const std::string system = config.get("system").value_or("Aurora");
   const arch::NodeSpec node = arch::system_by_name(system);
   const sim::FabricSpec fabric = sim::FabricSpec::for_node(node);
-  const int sim_cap = static_cast<int>(config.get_int("sim_ranks", 192));
+  // Sharded DES pricing (shards >= 1, the default) is what affords the
+  // 768 sim_ranks default; the serial oracle capped out at 192.
+  const int sim_cap = static_cast<int>(config.get_int("sim_ranks", 768));
+  const int shards = static_cast<int>(config.get_int("shards", 1));
   const double work_s = config.get_double("work", 10000.0);
   const int trials = static_cast<int>(config.get_int("trials", 400));
   const fault::FaultPlan plan =
@@ -157,7 +169,8 @@ int run(int argc, char** argv) {
   std::vector<CkptPoint> ckpt(rank_counts.size());
   for (std::size_t i = 0; i < rank_counts.size(); ++i) {
     sweep.add([&, i] {
-      ckpt[i] = ckpt_point(node, fabric, rank_counts[i], sim_cap, ckpt_bytes);
+      ckpt[i] = ckpt_point(node, fabric, rank_counts[i], sim_cap, ckpt_bytes,
+                           shards);
     });
   }
   sweep.run();
@@ -302,7 +315,8 @@ int run(int argc, char** argv) {
       const std::size_t slot = pi * 2 + op;
       sweep.add([&, slot, pi, op] {
         runs[slot] = recovery_run(node, fabric, plan, job_ranks,
-                                  /*allreduce=*/op == 1, policies[pi], spares);
+                                  /*allreduce=*/op == 1, policies[pi], spares,
+                                  shards);
       });
     }
   }

@@ -18,6 +18,7 @@ namespace {
 int run(int argc, char** argv) {
   using namespace pvc;
   const auto config = Config::from_args(argc, argv);
+  pvcbench::require_known_keys(config, {"csv", "metrics"});
 
   CsvWriter csv;
   csv.set_header({"system", "workload", "precision", "arithmetic_intensity",

@@ -10,7 +10,13 @@
 //
 // Usage: scaling_multinode [csv=<path>] [metrics=<path>] [threads=<n>]
 //                          [system=<name>] [sim_ranks=<cap>]
-//                          [chaos=<spec>]
+//                          [chaos=<spec>] [shards=<n>]
+//
+// shards= selects the DES execution mode: 0 runs the serial engine (the
+// oracle), n >= 1 runs the sharded engine with an n-wide worker pool
+// (docs/PERFORMANCE.md "Sharded engine") — output is byte-identical for
+// every n >= 1 (tests/determinism_check.cmake).  The sharded default is
+// what lets sim_ranks default to 768 ranks of true DES coverage.
 
 #include <cstdio>
 #include <iostream>
@@ -48,7 +54,7 @@ struct HaloPoint {
 HaloPoint halo_point(const pvc::arch::NodeSpec& node,
                      const pvc::sim::FabricSpec& fabric,
                      const pvc::fault::FaultPlan& plan, int ranks,
-                     int sim_cap) {
+                     int sim_cap, int shards) {
   using namespace pvc;
   HaloPoint pt;
   pt.ranks = ranks;
@@ -58,6 +64,7 @@ HaloPoint halo_point(const pvc::arch::NodeSpec& node,
   pt.model_s = sim::halo_model_seconds(fabric, shape, kHaloBytes);
   if (ranks <= sim_cap) {
     comm::ClusterComm cluster(node, fabric, ranks);
+    cluster.set_shards(shards);
     fault::Injector injector(plan);
     injector.arm(cluster);
     pt.sim_s = comm::cluster_halo_exchange(cluster, kHaloBytes);
@@ -87,10 +94,15 @@ double step_seconds(const pvc::arch::NodeSpec& node,
 int run(int argc, char** argv) {
   using namespace pvc;
   const auto config = Config::from_args(argc, argv);
+  pvcbench::require_known_keys(config, {"chaos", "csv", "metrics", "shards", "sim_ranks", "system", "threads"});
   const std::string system = config.get("system").value_or("Aurora");
   const arch::NodeSpec node = arch::system_by_name(system);
   const sim::FabricSpec fabric = sim::FabricSpec::for_node(node);
-  const int sim_cap = static_cast<int>(config.get_int("sim_ranks", 192));
+  // The sharded engine (shards >= 1, the default) prices the DES points
+  // in parallel per connected component, which is what affords a 768
+  // default where the serial engine capped out at 192.
+  const int sim_cap = static_cast<int>(config.get_int("sim_ranks", 768));
+  const int shards = static_cast<int>(config.get_int("shards", 1));
   fault::FaultPlan plan;
   if (const auto chaos = config.get("chaos")) {
     plan = fault::FaultPlan::parse(*chaos);
@@ -122,7 +134,7 @@ int run(int argc, char** argv) {
       pvcbench::ParallelSweep::threads_from_config(config));
   for (std::size_t i = 0; i < rank_counts.size(); ++i) {
     sweep.add([&, i] {
-      halo[i] = halo_point(node, fabric, plan, rank_counts[i], sim_cap);
+      halo[i] = halo_point(node, fabric, plan, rank_counts[i], sim_cap, shards);
     });
   }
   sweep.run();

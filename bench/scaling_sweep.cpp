@@ -93,6 +93,7 @@ SystemCurves sweep_system(const pvc::arch::NodeSpec& node) {
 int run(int argc, char** argv) {
   using namespace pvc;
   const auto config = Config::from_args(argc, argv);
+  pvcbench::require_known_keys(config, {"csv", "metrics", "threads"});
 
   CsvWriter csv;
   csv.set_header({"system", "app", "ranks", "fom", "parallel_efficiency"});

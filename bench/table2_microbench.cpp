@@ -129,6 +129,7 @@ namespace {
 
 int run(int argc, char** argv) {
   const auto config = pvc::Config::from_args(argc, argv);
+  pvcbench::require_known_keys(config, {"csv", "metrics"});
   pvc::CsvWriter csv;
   csv.set_header({"system", "benchmark", "model_one_stack", "model_one_card",
                   "model_full_node", "paper_one_stack", "paper_one_card",

@@ -30,6 +30,7 @@ namespace {
 
 int run(int argc, char** argv) {
   const auto config = pvc::Config::from_args(argc, argv);
+  pvcbench::require_known_keys(config, {"csv", "metrics", "threads"});
 
   // The two systems simulate independently — one sweep task each.
   pvc::micro::Table3Reference aurora, dawn;

@@ -16,6 +16,7 @@ namespace {
 int run(int argc, char** argv) {
   using namespace pvc;
   const auto config = Config::from_args(argc, argv);
+  pvcbench::require_known_keys(config, {"csv", "metrics"});
 
   const auto h100 = arch::jlse_h100();
   const auto mi250 = arch::jlse_mi250();

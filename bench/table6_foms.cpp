@@ -58,6 +58,7 @@ namespace {
 int run(int argc, char** argv) {
   using namespace pvc;
   const auto config = Config::from_args(argc, argv);
+  pvcbench::require_known_keys(config, {"csv", "metrics", "threads"});
 
   // Each system's Table VI column is an independent simulation — run
   // the four as sweep tasks into pre-sized slots, then render serially

@@ -19,7 +19,7 @@ if [[ ! -x "${bench}" ]]; then
 fi
 
 "${bench}" \
-  --benchmark_filter='BM_Engine|BM_FlowNetworkContention|BM_CacheChase|BM_TagMatchChurn' \
+  --benchmark_filter='BM_Engine|BM_FlowNetworkContention|BM_CacheChase|BM_TagMatchChurn|BM_ShardedClusterStep' \
   --benchmark_min_time=0.5 \
   --benchmark_format=json \
   --benchmark_out="${out}" \
@@ -29,8 +29,18 @@ fi
 echo "wrote ${out}:"
 python3 - "${out}" <<'EOF'
 import json, sys
-doc = json.load(open(sys.argv[1]))
+path = sys.argv[1]
+doc = json.load(open(path))
 for b in doc.get("benchmarks", []):
+    # BM_ShardedClusterStep/<n> prices the same step at n shard workers
+    # (0 = serial oracle); store the count as a first-class field so the
+    # perf trajectory can plot speedup-vs-shards without re-parsing
+    # benchmark names.
+    if b["name"].startswith("BM_ShardedClusterStep/"):
+        b["shards"] = int(b["name"].rsplit("/", 1)[1])
+json.dump(doc, open(path, "w"), indent=1)
+for b in doc.get("benchmarks", []):
+    shards = f"  shards={b['shards']}" if "shards" in b else ""
     print(f"  {b['name']:34s} {b['real_time']:12.0f} {b['time_unit']}"
-          f"  ({b.get('items_per_second', 0) / 1e6:.2f} M items/s)")
+          f"  ({b.get('items_per_second', 0) / 1e6:.2f} M items/s){shards}")
 EOF

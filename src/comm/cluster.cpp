@@ -1,8 +1,10 @@
 #include "comm/cluster.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <string>
 
+#include "comm/collectives.hpp"
 #include "comm/metrics_internal.hpp"
 #include "core/error.hpp"
 
@@ -12,14 +14,16 @@ namespace detail {
 
 FabricMetrics& fabric_metrics() {
   // Handles rebind whenever the thread's active registry changes
-  // (obs::ScopedRegistry isolates concurrent sweep workers).
+  // (obs::ScopedRegistry isolates concurrent sweep workers).  Keyed on
+  // the registry's unique id: a new registry can reuse a freed one's
+  // address, which an address compare mistakes for "still bound".
   thread_local FabricMetrics m;
-  thread_local obs::Registry* bound = nullptr;
+  thread_local std::uint64_t bound = 0;  // Registry::id(), never an address
   auto& reg = obs::Registry::active();
-  if (bound == &reg) {
+  if (bound == reg.id()) {
     return m;
   }
-  bound = &reg;
+  bound = reg.id();
   m = [&reg] {
     FabricMetrics f;
     f.messages = &reg.counter("fabric.messages", "messages",
@@ -182,6 +186,49 @@ int ClusterComm::healthy_nic(int node, int preferred) {
                                  std::to_string(node) + " is down");
 }
 
+void ClusterComm::set_shards(int shards) {
+  ensure(shards >= 0, ErrorCode::InvalidArgument,
+         "ClusterComm: shards must be non-negative (0 = serial)");
+  shards_ = shards;
+}
+
+void ClusterComm::drive_sharded(
+    sim::ShardedRun& run,
+    const std::function<void(std::uint64_t, sim::Time)>& apply) {
+  sharded_active_ = &run;
+  struct ActiveScope {
+    ClusterComm* comm;
+    ~ActiveScope() { comm->sharded_active_ = nullptr; }
+  } scope{this};
+
+  // YAWNS-style conservative windows: the coordinating engine holds only
+  // control events (armed faults, base-network housekeeping), so its
+  // next event time is a safe horizon — components may run every event
+  // strictly before it without ever seeing a state change out of order.
+  // The fabric guarantees the horizon is never degenerate: consecutive
+  // cross-node interactions sit at least conservative_lookahead_s()
+  // apart (sim/fabric.cpp).  Completions are applied between windows in
+  // (time, key) order and control events fire after same-instant
+  // deliveries are withheld, reproducing the serial engine's FIFO
+  // tie-break (faults carry older sequence numbers than the completions
+  // they race).
+  for (;;) {
+    const auto t_ctl = engine_.next_event_time();
+    const sim::Time horizon =
+        t_ctl ? *t_ctl : sim::ShardedRun::kNoHorizon;
+    run.run_window(horizon);
+    for (const sim::ShardCompletion& c : run.take_completions()) {
+      apply(c.key, c.time_s);
+    }
+    if (!t_ctl) {
+      break;
+    }
+    engine_.run_until(*t_ctl);
+  }
+  engine_.run_until(std::max(engine_.now(), run.max_now()));
+  run.merge_metrics();
+}
+
 ClusterComm::ExchangeResult ClusterComm::exchange(
     std::span<const Message> messages) {
   auto& fm = detail::fabric_metrics();
@@ -192,6 +239,10 @@ ClusterComm::ExchangeResult ClusterComm::exchange(
   result.failed.assign(messages.size(), 0);
   const double post = engine_.now();
   const double gap = sim::nic_message_gap_s(fabric_);
+  std::optional<sim::ShardedRun> run;
+  if (shards_ > 0) {
+    run.emplace(network_, post, shards_);
+  }
 
   // Expose the in-progress result to the fault paths (set_node_down /
   // set_rank_failed fired by armed chaos events during engine_.run())
@@ -203,10 +254,12 @@ ClusterComm::ExchangeResult ClusterComm::exchange(
     ~ResultScope() {
       comm->current_result_ = nullptr;
       comm->inflight_.clear();
+      comm->inflight_pos_.clear();
     }
   } scope{this};
   current_result_ = &result;
   inflight_.clear();
+  inflight_pos_.assign(messages.size(), 0);
 
   for (std::size_t idx = 0; idx < messages.size(); ++idx) {
     const Message& msg = messages[idx];
@@ -233,29 +286,38 @@ ClusterComm::ExchangeResult ClusterComm::exchange(
       ++delivered_;
       fm.messages->add();
       fm.bytes->add(static_cast<std::uint64_t>(bytes));
-      const auto it = std::find_if(
-          inflight_.begin(), inflight_.end(),
-          [idx](const InFlight& f) { return f.idx == idx; });
-      if (it != inflight_.end()) {
-        *it = inflight_.back();
-        inflight_.pop_back();
-      }
+      erase_inflight(idx);
     };
     const auto track = [this, idx, &msg, &src, &dst](sim::FlowId flow) {
       inflight_.push_back(
           InFlight{flow, idx, msg.src, msg.dst, src.node, dst.node});
+      inflight_pos_[idx] = static_cast<std::uint32_t>(inflight_.size());
+    };
+    // Sharded mode registers the flow with the run (keyed by the post
+    // index) instead of starting it in the serial network; the InFlight
+    // entry's flow id is unused there — kill_inflight routes aborts by
+    // key through sharded_active_.
+    const auto post_flow = [&](std::vector<sim::LinkId> links,
+                               double latency) {
+      if (run) {
+        run->add_flow(sim::ShardFlowSpec{std::move(links), msg.bytes, latency,
+                                         static_cast<std::uint64_t>(idx)});
+        track(0);
+      } else {
+        track(network_.start_flow(std::move(links), msg.bytes, latency,
+                                  on_complete));
+      }
     };
 
     if (msg.src == msg.dst) {
       // Self-message: local copy, no fabric traversal.
-      track(network_.start_flow({}, msg.bytes, 0.0, on_complete));
+      post_flow({}, 0.0);
       continue;
     }
     if (src.node == dst.node) {
       fm.routes_intra_node->add();
-      track(network_.start_flow({intra_[static_cast<std::size_t>(src.node)]},
-                                msg.bytes, fabric_.intra_node_latency_s,
-                                on_complete));
+      post_flow({intra_[static_cast<std::size_t>(src.node)]},
+                fabric_.intra_node_latency_s);
       continue;
     }
 
@@ -299,11 +361,24 @@ ClusterComm::ExchangeResult ClusterComm::exchange(
 
     const double latency = (start - post) + 2.0 * fabric_.nic.latency_s +
                            route.latency_s;
-    track(network_.start_flow(std::move(links), msg.bytes, latency,
-                              on_complete));
+    post_flow(std::move(links), latency);
   }
 
-  engine_.run();
+  if (run) {
+    drive_sharded(*run, [&](std::uint64_t key, sim::Time t) {
+      // Identical bookkeeping to the serial on_complete above, applied
+      // on the main thread in the deterministic (time, key) order.
+      const auto idx = static_cast<std::size_t>(key);
+      result.completion_s[idx] = t;
+      result.finish = std::max(result.finish, t);
+      ++delivered_;
+      fm.messages->add();
+      fm.bytes->add(static_cast<std::uint64_t>(messages[idx].bytes));
+      erase_inflight(idx);
+    });
+  } else {
+    engine_.run();
+  }
   return result;
 }
 
@@ -356,6 +431,21 @@ void ClusterComm::set_nic_down(int node, int nic, bool down) {
   nics_[nic_index(node, nic)].down = down;
 }
 
+void ClusterComm::erase_inflight(std::size_t idx) {
+  const std::uint32_t pos1 = inflight_pos_[idx];
+  if (pos1 == 0) {
+    return;
+  }
+  const std::size_t pos = pos1 - 1;
+  inflight_pos_[idx] = 0;
+  const InFlight last = inflight_.back();
+  inflight_.pop_back();
+  if (pos < inflight_.size()) {
+    inflight_[pos] = last;
+    inflight_pos_[last.idx] = static_cast<std::uint32_t>(pos) + 1;
+  }
+}
+
 template <typename Pred>
 void ClusterComm::kill_inflight(Pred&& pred) {
   auto& fm = detail::fabric_metrics();
@@ -367,7 +457,11 @@ void ClusterComm::kill_inflight(Pred&& pred) {
     }
     // The abort drops the completion callback, so the message simply
     // never arrives; the result records it as failed instead of hanging.
-    network_.abort_flow(entry.flow);
+    if (sharded_active_ != nullptr) {
+      sharded_active_->abort(static_cast<std::uint64_t>(entry.idx));
+    } else {
+      network_.abort_flow(entry.flow);
+    }
     fm.flows_killed->add();
     if (current_result_ != nullptr) {
       if (!current_result_->failed[entry.idx]) {
@@ -375,8 +469,8 @@ void ClusterComm::kill_inflight(Pred&& pred) {
         ++current_result_->failures;
       }
     }
-    inflight_[i] = inflight_.back();
-    inflight_.pop_back();
+    // Swaps the tail entry into position i, so i is not advanced.
+    erase_inflight(entry.idx);
   }
 }
 
@@ -480,7 +574,12 @@ sim::Time ClusterComm::checkpoint_write(double bytes_per_rank) {
   auto& fm = detail::fabric_metrics();
   const double post = engine_.now();
   const double gap = sim::nic_message_gap_s(fabric_);
+  std::optional<sim::ShardedRun> run;
+  if (shards_ > 0) {
+    run.emplace(network_, post, shards_);
+  }
   sim::Time finish = post;
+  std::uint64_t key = 0;
   for (std::size_t r = 0; r < binding_.size(); ++r) {
     if (rank_state_[r] != 0) {
       continue;  // dead ranks have nothing to save
@@ -492,13 +591,26 @@ sim::Time ClusterComm::checkpoint_write(double bytes_per_rank) {
     nic.next_free_s = start + gap;
     const double latency = (start - post) + fabric_.nic.latency_s +
                            fabric_.topo.local_hop_latency_s;
-    network_.start_flow({nic.egress, uplinks_[static_cast<std::size_t>(b.node)]},
-                        bytes_per_rank, latency, [&finish](sim::Time t) {
-                          finish = std::max(finish, t);
-                        });
+    std::vector<sim::LinkId> route{nic.egress,
+                                   uplinks_[static_cast<std::size_t>(b.node)]};
+    if (run) {
+      run->add_flow(
+          sim::ShardFlowSpec{std::move(route), bytes_per_rank, latency, key++});
+    } else {
+      network_.start_flow(std::move(route), bytes_per_rank, latency,
+                          [&finish](sim::Time t) {
+                            finish = std::max(finish, t);
+                          });
+    }
     fm.ckpt_bytes->add(static_cast<std::uint64_t>(bytes_per_rank));
   }
-  engine_.run();
+  if (run) {
+    drive_sharded(*run, [&finish](std::uint64_t, sim::Time t) {
+      finish = std::max(finish, t);
+    });
+  } else {
+    engine_.run();
+  }
   return finish - post;
 }
 
@@ -512,6 +624,13 @@ void ClusterComm::set_nic_degradation(int node, int nic, double factor) {
   const NicState& state = nics_[nic_index(node, nic)];
   network_.set_link_scale(state.egress, factor);
   network_.set_link_scale(state.ingress, factor);
+  if (sharded_active_ != nullptr) {
+    // Mid-drive fault: the flows live in component replicas, so the
+    // rescale must reach the owning replica too (the base network above
+    // stays the source of truth for later runs).
+    sharded_active_->set_link_scale(state.egress, factor);
+    sharded_active_->set_link_scale(state.ingress, factor);
+  }
 }
 
 void ClusterComm::set_global_link_degradation(int group_a, int group_b,
@@ -524,6 +643,9 @@ void ClusterComm::set_global_link_degradation(int group_a, int group_b,
   ensure(factor > 0.0 && factor <= 1.0, ErrorCode::InvalidArgument,
          "ClusterComm: global-link degradation factor must be in (0, 1]");
   network_.set_link_scale(global_link(group_a, group_b), factor);
+  if (sharded_active_ != nullptr) {
+    sharded_active_->set_link_scale(global_link(group_a, group_b), factor);
+  }
   global_scale_[static_cast<std::size_t>(group_a) * groups + group_b] = factor;
   global_scale_[static_cast<std::size_t>(group_b) * groups + group_a] = factor;
 }
@@ -576,62 +698,26 @@ sim::Time cluster_allreduce(ClusterComm& cluster, double bytes,
   if (p <= 1) {
     return 0.0;
   }
-  std::vector<ClusterComm::Message> round;
+  ensure(algo != sim::CollectiveAlgo::RecursiveDoubling ||
+             (p & (p - 1)) == 0,
+         ErrorCode::InvalidArgument,
+         "cluster_allreduce: recursive doubling needs a power-of-two "
+         "rank count");
+  // One authoritative schedule shared with the fault-tolerant driver
+  // and the tests: cluster_allreduce_round() (comm/collectives.cpp)
+  // rebuilds the exact per-round message lists the inline loops here
+  // used to emit.
   sim::Time finish = t0;
-  const auto run_round = [&] {
-    const auto result = cluster.exchange(round);
+  const int rounds = cluster_allreduce_rounds(algo, p);
+  for (int round = 0; round < rounds; ++round) {
+    const std::vector<ClusterComm::Message> messages =
+        cluster_allreduce_round(algo, p, round, bytes);
+    const auto result = cluster.exchange(messages);
     ensure(result.failures == 0, ErrorCode::RankFailed,
            "cluster_allreduce: " + std::to_string(result.failures) +
                " message(s) failed — a rank or node died (use the "
                "fault-tolerant driver in fault/recovery.hpp to recover)");
     finish = std::max(finish, result.finish);
-    round.clear();
-  };
-  switch (algo) {
-    case sim::CollectiveAlgo::Ring: {
-      // Reduce-scatter then allgather: 2(p-1) neighbour rounds of one
-      // bytes/p block per rank.
-      const double block = bytes / static_cast<double>(p);
-      for (int step = 0; step < 2 * (p - 1); ++step) {
-        for (int r = 0; r < p; ++r) {
-          round.push_back({r, (r + 1) % p, block});
-        }
-        run_round();
-      }
-      break;
-    }
-    case sim::CollectiveAlgo::RecursiveDoubling: {
-      ensure((p & (p - 1)) == 0, ErrorCode::InvalidArgument,
-             "cluster_allreduce: recursive doubling needs a power-of-two "
-             "rank count");
-      for (int stride = 1; stride < p; stride *= 2) {
-        for (int r = 0; r < p; ++r) {
-          round.push_back({r, r ^ stride, bytes});
-        }
-        run_round();
-      }
-      break;
-    }
-    case sim::CollectiveAlgo::BinomialTree: {
-      // Binomial reduce to rank 0, then the mirrored broadcast.
-      for (int stride = 1; stride < p; stride *= 2) {
-        for (int r = stride; r < p; r += 2 * stride) {
-          round.push_back({r, r - stride, bytes});
-        }
-        run_round();
-      }
-      int top = 1;
-      while (top < p) {
-        top *= 2;
-      }
-      for (int stride = top / 2; stride >= 1; stride /= 2) {
-        for (int r = stride; r < p; r += 2 * stride) {
-          round.push_back({r - stride, r, bytes});
-        }
-        run_round();
-      }
-      break;
-    }
   }
   return finish - t0;
 }

@@ -46,6 +46,7 @@
 #include "sim/engine.hpp"
 #include "sim/fabric.hpp"
 #include "sim/flow_network.hpp"
+#include "sim/shard.hpp"
 
 namespace pvc::comm {
 
@@ -106,6 +107,15 @@ class ClusterComm {
   /// NIC injection FIFOs serialize in this order), runs the calendar
   /// dry, and returns per-message completion times.
   ExchangeResult exchange(std::span<const Message> messages);
+
+  /// Selects the execution mode of exchange()/checkpoint_write():
+  /// 0 (default) runs the serial engine — the oracle; n >= 1 runs the
+  /// sharded engine (sim::ShardedRun) with an n-wide worker pool.
+  /// Sharded results are byte-identical at every n (docs/PERFORMANCE.md
+  /// "Sharded engine"); against the serial oracle they agree to solver
+  /// tolerance (the ShardOracle suite in tests/test_sim.cpp).
+  void set_shards(int shards);
+  [[nodiscard]] int shards() const noexcept { return shards_; }
 
   /// Links a message between two ranks would traverse right now
   /// (routing introspection for tests; empty for src == dst).
@@ -231,10 +241,25 @@ class ClusterComm {
   };
 
   void build_links();
+  /// O(1) removal of message `idx`'s InFlight entry (no-op if absent):
+  /// swap-remove plus the position index.  A linear find here made
+  /// every completion O(inflight), turning large exchanges quadratic.
+  void erase_inflight(std::size_t idx);
   /// Kills every in-flight flow `pred(entry)` selects, marking the
-  /// message failed in the current exchange's result.
+  /// message failed in the current exchange's result.  Routes the abort
+  /// to the serial network or, mid-sharded-drive, to the owning
+  /// component of the active sim::ShardedRun.
   template <typename Pred>
   void kill_inflight(Pred&& pred);
+  /// The conservative-time-window loop around a populated ShardedRun:
+  /// alternates component windows bounded by the coordinating engine's
+  /// next control event (fault events armed by fault::Injector) with
+  /// `apply(key, time)` calls for every delivered flow, in the serial
+  /// engine's (time, key) order.  Leaves engine_.now() at the later of
+  /// the last control event and the last delivery, then merges the
+  /// per-component metric registries.
+  void drive_sharded(sim::ShardedRun& run,
+                     const std::function<void(std::uint64_t, sim::Time)>& apply);
   [[nodiscard]] std::size_t nic_index(int node, int nic) const;
   [[nodiscard]] sim::LinkId global_link(int group_a, int group_b) const;
   /// First healthy NIC at or after `preferred` on `node`; throws
@@ -261,6 +286,10 @@ class ClusterComm {
 
   std::vector<InjectionRecord> injection_log_;
   std::uint64_t delivered_ = 0;
+  int shards_ = 0;  ///< 0 = serial oracle; >= 1 = sharded worker width
+  /// Non-null while drive_sharded() runs: the fault paths route flow
+  /// aborts and link rescales into the owning component replica.
+  sim::ShardedRun* sharded_active_ = nullptr;
 
   /// Per-rank fault state: bit 0 = node down, bit 1 = rank failed.
   /// Alive ⇔ 0.  Sized to size().
@@ -268,6 +297,8 @@ class ClusterComm {
   std::vector<std::uint8_t> node_down_;  // per node
   std::vector<FailoverRecord> failover_log_;
   std::vector<InFlight> inflight_;
+  /// message idx -> position+1 in inflight_ (0 = not in flight).
+  std::vector<std::uint32_t> inflight_pos_;
   ExchangeResult* current_result_ = nullptr;  // non-null inside exchange()
 };
 

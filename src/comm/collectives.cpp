@@ -544,4 +544,91 @@ sim::Time sendrecv(Communicator& comm, int rank_a, int rank_b, double bytes) {
   return max_completion(requests);
 }
 
+namespace {
+
+/// Smallest power of two >= p (p >= 1), and its exponent.
+[[nodiscard]] int pow2_ceil(int p) {
+  int top = 1;
+  while (top < p) {
+    top *= 2;
+  }
+  return top;
+}
+
+[[nodiscard]] int log2_exact(int pow2) {
+  int e = 0;
+  while ((1 << e) < pow2) {
+    ++e;
+  }
+  return e;
+}
+
+}  // namespace
+
+int cluster_allreduce_rounds(sim::CollectiveAlgo algo, int ranks) {
+  ensure(ranks >= 1, ErrorCode::InvalidArgument,
+         "cluster_allreduce_rounds: ranks must be positive");
+  if (ranks <= 1) {
+    return 0;
+  }
+  switch (algo) {
+    case sim::CollectiveAlgo::Ring:
+      return 2 * (ranks - 1);
+    case sim::CollectiveAlgo::RecursiveDoubling:
+      ensure((ranks & (ranks - 1)) == 0, ErrorCode::InvalidArgument,
+             "cluster_allreduce_rounds: recursive doubling needs a "
+             "power-of-two rank count");
+      return log2_exact(ranks);
+    case sim::CollectiveAlgo::BinomialTree:
+      return 2 * log2_exact(pow2_ceil(ranks));
+  }
+  unreachable("cluster_allreduce_rounds: bad algo");
+}
+
+std::vector<ClusterComm::Message> cluster_allreduce_round(
+    sim::CollectiveAlgo algo, int ranks, int round, double bytes) {
+  ensure(round >= 0 && round < cluster_allreduce_rounds(algo, ranks),
+         ErrorCode::InvalidArgument,
+         "cluster_allreduce_round: round out of range");
+  std::vector<ClusterComm::Message> out;
+  switch (algo) {
+    case sim::CollectiveAlgo::Ring: {
+      // Reduce-scatter then allgather: every round ships one bytes/p
+      // block from each rank to its ring successor.
+      const double block = bytes / static_cast<double>(ranks);
+      out.reserve(static_cast<std::size_t>(ranks));
+      for (int r = 0; r < ranks; ++r) {
+        out.push_back({r, (r + 1) % ranks, block});
+      }
+      break;
+    }
+    case sim::CollectiveAlgo::RecursiveDoubling: {
+      const int stride = 1 << round;
+      out.reserve(static_cast<std::size_t>(ranks));
+      for (int r = 0; r < ranks; ++r) {
+        out.push_back({r, r ^ stride, bytes});
+      }
+      break;
+    }
+    case sim::CollectiveAlgo::BinomialTree: {
+      // Binomial reduce onto rank 0, then the mirrored broadcast over
+      // the padded power of two.
+      const int reduce_rounds = log2_exact(pow2_ceil(ranks));
+      if (round < reduce_rounds) {
+        const int stride = 1 << round;
+        for (int r = stride; r < ranks; r += 2 * stride) {
+          out.push_back({r, r - stride, bytes});
+        }
+      } else {
+        const int stride = pow2_ceil(ranks) >> (round - reduce_rounds + 1);
+        for (int r = stride; r < ranks; r += 2 * stride) {
+          out.push_back({r - stride, r, bytes});
+        }
+      }
+      break;
+    }
+  }
+  return out;
+}
+
 }  // namespace pvc::comm

@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "comm/cluster.hpp"
 #include "comm/communicator.hpp"
 
 namespace pvc::comm {
@@ -112,5 +113,26 @@ sim::Time reference_alltoall(Communicator& comm, double block_bytes);
 sim::Time reference_reduce_sum_to_root(
     Communicator& comm, std::vector<std::vector<double>>& rank_data,
     double element_bytes = 8.0);
+
+// --- cluster-scale allreduce schedules (docs/SCALING.md) -------------------
+//
+// cluster_allreduce() (comm/cluster.cpp) runs round by round as bulk
+// exchanges; the round builders live here so the schedule is one
+// authoritative function of (algo, ranks, round) shared by the plain
+// driver, the sharded execution mode, and the tests that pin it.
+
+/// Bulk-synchronous rounds cluster_allreduce() runs with `algo` over
+/// `ranks` dense ranks: 2(ranks-1) for Ring, log2(ranks) for
+/// RecursiveDoubling (power-of-two counts only, else throws
+/// ErrorCode::InvalidArgument), 2*ceil(log2(ranks)) for BinomialTree
+/// (binomial reduce plus mirrored broadcast).  0 when ranks <= 1.
+[[nodiscard]] int cluster_allreduce_rounds(sim::CollectiveAlgo algo,
+                                           int ranks);
+
+/// Messages of round `round` (in [0, cluster_allreduce_rounds())) of a
+/// cluster allreduce of `bytes` per rank, in the posting order
+/// cluster_allreduce() uses — ascending source rank within the round.
+[[nodiscard]] std::vector<ClusterComm::Message> cluster_allreduce_round(
+    sim::CollectiveAlgo algo, int ranks, int round, double bytes);
 
 }  // namespace pvc::comm

@@ -36,6 +36,15 @@ bool Config::has(const std::string& key) const {
   return values_.count(key) != 0;
 }
 
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [key, value] : values_) {
+    out.push_back(key);
+  }
+  return out;
+}
+
 std::optional<std::string> Config::get(const std::string& key) const {
   const auto it = values_.find(key);
   if (it == values_.end()) {

@@ -41,6 +41,11 @@ class Config {
     return positional_;
   }
 
+  /// Every option key that was set, sorted ascending (the map order).
+  /// Benches validate these against their accepted-key sets so a typo
+  /// like `simranks=512` fails loudly instead of being ignored.
+  [[nodiscard]] std::vector<std::string> keys() const;
+
   [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
 
  private:

@@ -10,14 +10,16 @@ namespace detail {
 
 FaultMetrics& fault_metrics() {
   // Handles rebind whenever the thread's active registry changes
-  // (obs::ScopedRegistry isolates concurrent sweep workers).
+  // (obs::ScopedRegistry isolates concurrent sweep workers).  Keyed on
+  // the registry's unique id: a new registry can reuse a freed one's
+  // address, which an address compare mistakes for "still bound".
   thread_local FaultMetrics m;
-  thread_local obs::Registry* bound = nullptr;
+  thread_local std::uint64_t bound = 0;  // Registry::id(), never an address
   auto& reg = obs::Registry::active();
-  if (bound == &reg) {
+  if (bound == reg.id()) {
     return m;
   }
-  bound = &reg;
+  bound = reg.id();
   m = [&reg] {
     FaultMetrics fm;
     fm.events_armed = &reg.counter(
@@ -163,6 +165,14 @@ void Injector::schedule_cluster(comm::ClusterComm& cluster, double at_s,
   // fault landing at (or before) the current simulated instant must
   // apply immediately — scheduling it would leave the very exchange it
   // targets blind to it.
+  //
+  // The events armed here always live on the cluster's coordinating
+  // engine, never on a shard: under sharded execution
+  // (ClusterComm::set_shards) they are exactly the control events whose
+  // timestamps bound the conservative windows, and the fault setters
+  // they invoke route flow kills / link rescales into the owning
+  // component replica (kill_inflight / set_link_scale forwarding in
+  // comm/cluster.cpp) between windows, when no worker is running.
   if (at_s <= cluster.engine().now()) {
     fire();
   } else {

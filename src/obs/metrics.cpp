@@ -1,11 +1,20 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 
 #include "core/error.hpp"
 
 namespace pvc::obs {
+
+Registry::Registry() {
+  // Monotone and process-wide: an id is never handed out twice, so a
+  // stale thread_local cache bound to a destroyed registry can never
+  // collide with a live one (the address of a freed registry can).
+  static std::atomic<std::uint64_t> next{1};
+  id_ = next.fetch_add(1, std::memory_order_relaxed);
+}
 
 std::string metric_type_name(MetricType t) {
   switch (t) {

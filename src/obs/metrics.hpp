@@ -282,9 +282,19 @@ struct Snapshot {
 /// cells are made atomic with -DPVC_METRICS_ATOMIC=ON).
 class Registry {
  public:
-  Registry() = default;
+  Registry();
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
+
+  /// Process-unique, never-reused identity (a fresh value per
+  /// construction).  The thread_local metric caches hot layers keep
+  /// (sim/flow_network.cpp, comm/cluster.cpp, ...) must key their
+  /// rebind check on this id, NOT on the registry's address: a
+  /// short-lived registry (per-shard, per-sweep-task) can be freed and
+  /// the next one malloc'd at the same address, which an address
+  /// compare mistakes for "still bound" — leaving the cache pointing at
+  /// handles of the dead registry.
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
 
   /// The process-wide registry every instrumented layer reports into.
   [[nodiscard]] static Registry& global();
@@ -334,6 +344,7 @@ class Registry {
     std::unique_ptr<Histogram> histogram;
   };
   std::vector<std::unique_ptr<Entry>> entries_;  // insertion order
+  std::uint64_t id_ = 0;
 };
 
 /// RAII scope that routes Registry::active() on the constructing thread

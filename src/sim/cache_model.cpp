@@ -362,14 +362,16 @@ struct CacheMetrics {
 
 CacheMetrics& cache_metrics() {
   // Handles rebind whenever the thread's active registry changes
-  // (obs::ScopedRegistry isolates concurrent sweep workers).
+  // (obs::ScopedRegistry isolates concurrent sweep workers).  Keyed on
+  // the registry's unique id: a new registry can reuse a freed one's
+  // address, which an address compare mistakes for "still bound".
   thread_local CacheMetrics m;
-  thread_local obs::Registry* bound = nullptr;
+  thread_local std::uint64_t bound = 0;  // Registry::id(), never an address
   auto& reg = obs::Registry::active();
-  if (bound == &reg) {
+  if (bound == reg.id()) {
     return m;
   }
-  bound = &reg;
+  bound = reg.id();
   m = [&reg] {
     CacheMetrics c;
     c.accesses = &reg.counter("cache.accesses", "loads",

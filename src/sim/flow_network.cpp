@@ -31,10 +31,14 @@ struct NetMetrics {
 };
 
 NetMetrics& net_metrics() {
+  // Rebinds whenever the thread's active registry changes.  Keyed on
+  // the registry's unique id: a new registry (per-shard, per-sweep-task)
+  // can reuse a freed one's address, which an address compare mistakes
+  // for "still bound", leaving m pointing at dead handles.
   thread_local NetMetrics m;
-  thread_local obs::Registry* bound = nullptr;
+  thread_local std::uint64_t bound = 0;
   auto& reg = obs::Registry::active();
-  if (bound != &reg) {
+  if (bound != reg.id()) {
     m.flows_started = &reg.counter("net.flows_started", "flows",
                                    "flows offered to the network");
     m.flows_completed = &reg.counter("net.flows_completed", "flows",
@@ -58,7 +62,7 @@ NetMetrics& net_metrics() {
           &reg.gauge("net." + cls + ".flow_seconds", "flow-seconds",
                      "time flows spent crossing " + cls + " links");
     }
-    bound = &reg;
+    bound = reg.id();
   }
   return m;
 }
@@ -104,10 +108,13 @@ const char* link_class_name(LinkClass c) {
   return "?";
 }
 
-LinkId FlowNetwork::add_link(std::string name, double capacity_bps) {
+LinkId FlowNetwork::add_link(std::string name, double capacity_bps,
+                             double initial_scale) {
   ensure(capacity_bps > 0.0, "FlowNetwork: link capacity must be positive");
+  ensure(initial_scale > 0.0 && initial_scale <= 1.0,
+         "FlowNetwork: initial link scale must be in (0, 1]");
   const LinkClass cls = classify_link(name);
-  links_.push_back(Link{std::move(name), capacity_bps, cls});
+  links_.push_back(Link{std::move(name), capacity_bps, cls, initial_scale});
   traversals_.push_back(0);
   link_flows_.emplace_back();
   link_pos_.push_back(kNoSlot);
@@ -467,13 +474,17 @@ void FlowNetwork::on_completion_event() {
 
   // Collect finished slots first (active_ iterates ascending FlowId, so
   // completion callbacks keep firing in id order), then unlink them.
-  std::vector<std::uint32_t> finished_slots;
+  // Both collections are member scratch: this path runs once per
+  // completing flow, and per-event heap churn here is a fixed cost every
+  // shard pays (sim/shard.hpp) no matter how well the flow set
+  // decomposes.
+  finished_slots_.clear();
   for (const std::uint32_t slot : active_) {
     if (slots_[slot].remaining <= kEpsilonBytes) {
-      finished_slots.push_back(slot);
+      finished_slots_.push_back(slot);
     }
   }
-  if (finished_slots.empty()) {
+  if (finished_slots_.empty()) {
     // The event fired but integration finished nothing: the minimum
     // remaining/rate rounded below one ulp of now, so the completion
     // landed on the current timestamp with dt == 0.  Left alone, the
@@ -487,25 +498,26 @@ void FlowNetwork::on_completion_event() {
     for (const std::uint32_t slot : active_) {
       const Flow& flow = slots_[slot];
       if (flow.rate > 0.0 && now_ts + flow.remaining / flow.rate == now_ts) {
-        finished_slots.push_back(slot);
+        finished_slots_.push_back(slot);
       }
     }
   }
-  std::vector<Flow> finished;
-  finished.reserve(finished_slots.size());
-  for (const std::uint32_t slot : finished_slots) {
+  finished_.clear();
+  finished_.reserve(finished_slots_.size());
+  for (const std::uint32_t slot : finished_slots_) {
     deactivate(slot);
-    finished.push_back(std::move(slots_[slot]));
+    finished_.push_back(std::move(slots_[slot]));
   }
   mark_rates_dirty();
 
-  net_metrics().flows_completed->add(finished.size());
+  net_metrics().flows_completed->add(finished_.size());
   const Time now = engine_->now();
-  for (auto& flow : finished) {
+  for (auto& flow : finished_) {
     if (flow.on_complete) {
       flow.on_complete(now);
     }
   }
+  finished_.clear();
 }
 
 std::uint32_t FlowNetwork::find_active_slot(FlowId id) const {

@@ -80,7 +80,12 @@ class FlowNetwork {
   FlowNetwork& operator=(const FlowNetwork&) = delete;
 
   /// Adds a link with the given capacity (> 0) and returns its id.
-  LinkId add_link(std::string name, double capacity_bps);
+  /// `initial_scale` seeds the degradation factor in (0, 1] without the
+  /// side effects of set_link_scale() (no resolve event, no
+  /// net.link_degradations bump) — shard replicas use it to inherit the
+  /// base network's current fault state (src/sim/shard.hpp).
+  LinkId add_link(std::string name, double capacity_bps,
+                  double initial_scale = 1.0);
 
   [[nodiscard]] std::size_t link_count() const noexcept {
     return links_.size();
@@ -210,6 +215,15 @@ class FlowNetwork {
   std::vector<double> weight_;
   std::vector<Flow*> unfrozen_;
   std::vector<Flow*> still_unfrozen_;
+
+  // Completion-event scratch, reused across on_completion_event() calls
+  // (two heap allocations per completion event otherwise — a fixed
+  // per-event cost the sharded engine pays once per flow per window).
+  // on_completion_event() cannot re-enter itself (events fire only from
+  // the engine loop), so reuse is safe even when completion callbacks
+  // start or abort flows.
+  std::vector<std::uint32_t> finished_slots_;
+  std::vector<Flow> finished_;
 };
 
 }  // namespace pvc::sim

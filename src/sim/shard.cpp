@@ -1,0 +1,258 @@
+#include "sim/shard.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "core/error.hpp"
+
+namespace pvc::sim {
+
+namespace {
+constexpr std::uint32_t kNoComp = 0xffffffffu;
+}  // namespace
+
+namespace {
+// Pool width actually worth spawning: threads beyond the hardware's
+// concurrency can never run in parallel, they only add spawn/join and
+// scheduling overhead to every window barrier.  Decomposition (many
+// small solves instead of one superlinear global solve) is the primary
+// win and is independent of the pool width, so clamping here keeps
+// shards=N profitable even on narrow machines.
+int clamp_workers(int workers) {
+  const unsigned hw = std::thread::hardware_concurrency();  // 0 = unknown
+  const int cap = hw == 0 ? 1 : static_cast<int>(hw);
+  return std::max(1, std::min(workers, cap));
+}
+}  // namespace
+
+ShardedRun::ShardedRun(const FlowNetwork& base, Time post_s, int workers)
+    : base_(&base), post_s_(post_s), workers_(clamp_workers(workers)) {
+  // One virtual union-find element past the last real link collects the
+  // empty-route (pure latency) flows into a single shared component.
+  uf_parent_.resize(base.link_count() + 1);
+  for (std::size_t i = 0; i < uf_parent_.size(); ++i) {
+    uf_parent_[i] = i;
+  }
+}
+
+std::size_t ShardedRun::uf_find(std::size_t x) {
+  while (uf_parent_[x] != x) {
+    uf_parent_[x] = uf_parent_[uf_parent_[x]];  // path halving
+    x = uf_parent_[x];
+  }
+  return x;
+}
+
+void ShardedRun::add_flow(ShardFlowSpec spec) {
+  ensure(!assigned_, "ShardedRun: add_flow after the first window");
+  ensure(spec.bytes >= 0.0, "ShardedRun: negative flow size");
+  ensure(spec.latency_s >= 0.0, "ShardedRun: negative latency");
+  for (const LinkId l : spec.route) {
+    ensure(l < base_->link_count(), "ShardedRun: route uses unknown link");
+  }
+  const auto idx = static_cast<std::uint32_t>(flows_.size());
+  const bool inserted = key_index_.emplace(spec.key, idx).second;
+  ensure(inserted, "ShardedRun: duplicate flow key");
+
+  // Union every link of the route (empty routes join the virtual local
+  // element), so links reachable through any chain of shared flows end
+  // up in one component.
+  const std::size_t first =
+      spec.route.empty() ? base_->link_count() : spec.route.front();
+  std::size_t root = uf_find(first);
+  for (const LinkId l : spec.route) {
+    const std::size_t r = uf_find(l);
+    if (r != root) {
+      uf_parent_[r] = root;
+    }
+  }
+  flows_.push_back(FlowRec{std::move(spec), 0, 0, false});
+}
+
+void ShardedRun::assign_components() {
+  // Component indices follow first-flow add order — ClusterComm posts
+  // messages in rank order, so the decomposition (and every later merge
+  // keyed on it) is a pure function of the flow set.
+  elem_comp_.assign(uf_parent_.size(), kNoComp);
+  for (std::uint32_t i = 0; i < flows_.size(); ++i) {
+    FlowRec& f = flows_[i];
+    const std::size_t elem =
+        f.spec.route.empty() ? base_->link_count() : f.spec.route.front();
+    const std::size_t root = uf_find(elem);
+    std::uint32_t comp = elem_comp_[root];
+    if (comp == kNoComp) {
+      comp = static_cast<std::uint32_t>(comps_.size());
+      elem_comp_[root] = comp;
+      comps_.push_back(std::make_unique<Component>());
+    }
+    f.comp = comp;
+    comps_[comp]->flow_indices.push_back(i);
+  }
+  // Re-point every element at its component and give each component its
+  // used-link list in ascending base id (the private-link creation
+  // order, so replica link ids are reproducible).
+  for (std::size_t l = 0; l < base_->link_count(); ++l) {
+    const std::uint32_t comp = elem_comp_[uf_find(l)];
+    elem_comp_[l] = comp;
+    if (comp != kNoComp) {
+      comps_[comp]->link_map.emplace_back(l, 0);
+    }
+  }
+  elem_comp_[base_->link_count()] = elem_comp_[uf_find(base_->link_count())];
+  assigned_ = true;
+}
+
+void ShardedRun::build_component(Component& comp) {
+  comp.engine = std::make_unique<Engine>();
+  comp.net = std::make_unique<FlowNetwork>(*comp.engine);
+  // Replicate the used links with the base network's *current* scale:
+  // degradations applied before this run started must price flows here
+  // exactly as they would in the serial network.
+  for (auto& [base_id, private_id] : comp.link_map) {
+    const Link& l = base_->link(base_id);
+    private_id = comp.net->add_link(l.name, l.capacity_bps, l.scale);
+  }
+  comp.engine->run_until(post_s_);
+  for (const std::uint32_t fi : comp.flow_indices) {
+    FlowRec& f = flows_[fi];
+    if (f.aborted_early) {
+      continue;
+    }
+    std::vector<LinkId> route;
+    route.reserve(f.spec.route.size());
+    for (const LinkId l : f.spec.route) {
+      const auto it = std::lower_bound(
+          comp.link_map.begin(), comp.link_map.end(), l,
+          [](const std::pair<LinkId, LinkId>& e, LinkId want) {
+            return e.first < want;
+          });
+      route.push_back(it->second);
+    }
+    const std::uint64_t key = f.spec.key;
+    f.private_id = comp.net->start_flow(
+        std::move(route), f.spec.bytes, f.spec.latency_s,
+        [&comp, key](Time t) {
+          comp.completions.push_back(ShardCompletion{key, t});
+        });
+  }
+  comp.built = true;
+}
+
+void ShardedRun::run_window(Time horizon) {
+  if (!assigned_) {
+    assign_components();
+  }
+  const std::size_t n = comps_.size();
+  if (n == 0) {
+    return;
+  }
+  // Each worker claims components off a shared cursor and runs them to
+  // the horizon under the component's own registry.  The join below is
+  // the window barrier: after it, every component's clock sits at the
+  // horizon and the main thread owns all component state again.
+  std::atomic<std::size_t> next{0};
+  auto work = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) {
+        return;
+      }
+      Component& comp = *comps_[i];
+      obs::ScopedRegistry scope(comp.registry);
+      if (!comp.built) {
+        build_component(comp);
+      }
+      if (horizon >= kNoHorizon) {
+        comp.engine->run();
+      } else {
+        comp.engine->run_before(horizon);
+      }
+    }
+  };
+  const int nthreads =
+      static_cast<int>(std::min<std::size_t>(workers_, n));
+  if (nthreads <= 1) {
+    work();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(nthreads);
+    for (int t = 0; t < nthreads; ++t) {
+      pool.emplace_back(work);
+    }
+    for (auto& t : pool) {
+      t.join();
+    }
+  }
+}
+
+std::vector<ShardCompletion> ShardedRun::take_completions() {
+  std::vector<ShardCompletion> out;
+  for (auto& comp : comps_) {
+    out.insert(out.end(), comp->completions.begin(), comp->completions.end());
+    comp->completions.clear();
+  }
+  // (time, key) is the serial engine's firing order: flows live in one
+  // network there and same-instant completions fire in ascending FlowId
+  // order, which is post order, which is key order.
+  std::sort(out.begin(), out.end(),
+            [](const ShardCompletion& a, const ShardCompletion& b) {
+              return a.time_s != b.time_s ? a.time_s < b.time_s
+                                          : a.key < b.key;
+            });
+  return out;
+}
+
+bool ShardedRun::abort(std::uint64_t key) {
+  const auto it = key_index_.find(key);
+  if (it == key_index_.end()) {
+    return false;
+  }
+  FlowRec& f = flows_[it->second];
+  if (!assigned_ || !comps_[f.comp]->built) {
+    // Killed before its component ever ran: never start it.
+    if (f.aborted_early) {
+      return false;
+    }
+    f.aborted_early = true;
+    return true;
+  }
+  return comps_[f.comp]->net->abort_flow(f.private_id);
+}
+
+void ShardedRun::set_link_scale(LinkId base_link, double scale) {
+  ensure(base_link < base_->link_count(), "ShardedRun: bad link id");
+  if (!assigned_) {
+    return;  // unbuilt replicas inherit the base scale at build time
+  }
+  const std::uint32_t comp = elem_comp_[base_link];
+  if (comp == kNoComp || !comps_[comp]->built) {
+    return;
+  }
+  Component& c = *comps_[comp];
+  const auto it = std::lower_bound(
+      c.link_map.begin(), c.link_map.end(), base_link,
+      [](const std::pair<LinkId, LinkId>& e, LinkId want) {
+        return e.first < want;
+      });
+  c.net->set_link_scale(it->second, scale);
+}
+
+Time ShardedRun::max_now() const {
+  Time t = post_s_;
+  for (const auto& comp : comps_) {
+    if (comp->built) {
+      t = std::max(t, comp->engine->now());
+    }
+  }
+  return t;
+}
+
+void ShardedRun::merge_metrics() {
+  auto& target = obs::Registry::active();
+  for (const auto& comp : comps_) {
+    target.merge_from(comp->registry);
+  }
+}
+
+}  // namespace pvc::sim

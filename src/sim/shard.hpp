@@ -1,0 +1,169 @@
+#pragma once
+// Sharded discrete-event execution for cluster simulations (ROADMAP
+// item 2, docs/PERFORMANCE.md "Sharded engine").
+//
+// A single multi-node exchange posts hundreds of flows into one
+// FlowNetwork, and the serial engine prices every event on one thread —
+// the scaling wall that capped DES coverage at sim_ranks=192.  The key
+// structural fact this layer exploits: the cluster link graph decomposes
+// into many small connected components (per-node NIC/uplink islands for
+// halo traffic, per-group islands for intra-group collectives), and a
+// max-min fair allocation of a disconnected network is exactly the
+// union of the allocations of its components.  ShardedRun therefore
+//  * partitions the posted flows by connected component of their routes
+//    (union-find over base-network LinkIds),
+//  * replicates each component into a private Engine + FlowNetwork
+//    (links keep the base network's name, capacity and current
+//    degradation scale),
+//  * runs components on a worker pool between conservative-time-window
+//    barriers (YAWNS-style): every window ends strictly before the
+//    coordinating engine's next control event, whose minimum distance is
+//    bounded below by sim::conservative_lookahead_s(),
+//  * hands completions back in a fully deterministic (time, key) order
+//    and merges per-component obs::Registry instances in component-index
+//    order, so output is byte-identical at any worker count.
+//
+// Determinism contract: results depend only on the flow set and the
+// window sequence, never on thread scheduling — shards=1 and shards=8
+// produce identical CSVs, metric snapshots and schedules.  The serial
+// path (ClusterComm with shards=0) is retained as the oracle, the same
+// pattern as FlowNetwork::reference_rates(); the randomized ShardOracle
+// suite in tests/test_sim.cpp holds the two within solver tolerance of
+// each other (the per-component progressive filling visits bottlenecks
+// in a different order than the whole-network solve, so agreement is
+// exact in value but not guaranteed to the last ulp).
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/engine.hpp"
+#include "sim/flow_network.hpp"
+
+namespace pvc::sim {
+
+/// One flow to run under sharded execution.  `route` names links of the
+/// *base* network; `key` is a caller-chosen unique id (ClusterComm uses
+/// the message's post index) that orders same-instant completions and
+/// addresses abort().
+struct ShardFlowSpec {
+  std::vector<LinkId> route;
+  double bytes = 0.0;
+  double latency_s = 0.0;
+  std::uint64_t key = 0;
+};
+
+/// A delivered flow: its key and the simulated completion time.
+struct ShardCompletion {
+  std::uint64_t key = 0;
+  Time time_s = 0.0;
+};
+
+/// One sharded execution of a fixed flow set posted at one instant.
+///
+/// Lifecycle: construct against the base network, add_flow() every
+/// message, then alternate run_window() / take_completions() (with
+/// control events fired on the coordinating engine between windows,
+/// routing abort()/set_link_scale() calls here), and finally
+/// merge_metrics() once.  All methods are main-thread only; worker
+/// threads exist only inside run_window(), which is a full barrier.
+class ShardedRun {
+ public:
+  /// Runs to completion when passed as the run_window() horizon.
+  static constexpr Time kNoHorizon = 1e300;
+
+  /// `base` supplies link names/capacities/scales for the component
+  /// replicas; `post_s` is the simulated instant every flow starts at;
+  /// `workers` (>= 1) caps the worker-pool width.
+  ShardedRun(const FlowNetwork& base, Time post_s, int workers);
+  ShardedRun(const ShardedRun&) = delete;
+  ShardedRun& operator=(const ShardedRun&) = delete;
+
+  /// Registers a flow.  Must precede the first run_window(); keys must
+  /// be unique.  Empty routes (pure-latency operations) are grouped
+  /// into one shared local component.
+  void add_flow(ShardFlowSpec spec);
+
+  /// Builds the components on first call, then runs every component's
+  /// engine — events strictly before `horizon`, or to completion when
+  /// `horizon` >= kNoHorizon.  Returns only after all components reach
+  /// the horizon (window barrier).  Horizons must not decrease.
+  void run_window(Time horizon);
+
+  /// Drains completions recorded by finished windows, globally sorted
+  /// by (time, key) — the same order the serial engine fires them in.
+  [[nodiscard]] std::vector<ShardCompletion> take_completions();
+
+  /// Aborts the flow with `key` in its owning component (node faults
+  /// killing in-flight traffic).  False when the key is unknown or the
+  /// flow already completed.  Call only between windows.
+  bool abort(std::uint64_t key);
+
+  /// Propagates a base-network link degradation into the owning
+  /// component's replica.  Links no component uses are ignored (the
+  /// base network remains the source of truth; replicas built later
+  /// inherit the scale at build time).  Call only between windows.
+  void set_link_scale(LinkId base_link, double scale);
+
+  /// Latest simulated time across all component engines (post time when
+  /// no components exist).  The coordinating engine advances to at
+  /// least this after the final window.
+  [[nodiscard]] Time max_now() const;
+
+  /// Connected components the flow set decomposed into (available after
+  /// the first run_window()).
+  [[nodiscard]] std::size_t component_count() const noexcept {
+    return comps_.size();
+  }
+
+  /// Merges every component's private registry into the calling
+  /// thread's active registry, in component-index order — the fixed
+  /// merge order that keeps metric totals independent of the worker
+  /// count (the ParallelSweep pattern, docs/OBSERVABILITY.md).  Call
+  /// exactly once, after the final window.
+  void merge_metrics();
+
+ private:
+  struct FlowRec {
+    ShardFlowSpec spec;
+    std::uint32_t comp = 0;    ///< owning component (set at build)
+    FlowId private_id = 0;     ///< id inside the component's network
+    bool aborted_early = false;  ///< aborted before the build — never start
+  };
+  /// One connected component: a private engine + network replica, the
+  /// flows it owns, its metric registry, and the completions its
+  /// windows recorded.  Workers touch exactly one component at a time;
+  /// the main thread touches them only between windows.
+  struct Component {
+    std::unique_ptr<Engine> engine;
+    std::unique_ptr<FlowNetwork> net;
+    obs::Registry registry;
+    std::vector<std::uint32_t> flow_indices;  // into flows_, add order
+    std::vector<ShardCompletion> completions;
+    /// base LinkId -> private LinkId, ascending base id.
+    std::vector<std::pair<LinkId, LinkId>> link_map;
+    bool built = false;
+  };
+
+  [[nodiscard]] std::size_t uf_find(std::size_t x);
+  void assign_components();
+  void build_component(Component& comp);
+
+  const FlowNetwork* base_;
+  Time post_s_ = 0.0;
+  int workers_ = 1;
+  bool assigned_ = false;
+
+  std::vector<FlowRec> flows_;                       // add order
+  std::unordered_map<std::uint64_t, std::uint32_t> key_index_;
+  /// Union-find parents over base LinkIds; one extra virtual element at
+  /// index link_count() groups all empty-route flows together.
+  std::vector<std::size_t> uf_parent_;
+  std::vector<std::unique_ptr<Component>> comps_;    // first-flow order
+  /// base LinkId (plus the virtual local element) -> component index.
+  std::vector<std::uint32_t> elem_comp_;
+};
+
+}  // namespace pvc::sim

@@ -68,6 +68,49 @@ foreach(bin scaling_sweep table3_p2p fig1_latency ablation_model
                    "${bin} metrics determinism")
 endforeach()
 
+# Sharded-engine determinism (ISSUE-8): shards=4 must produce
+# byte-identical stdout, CSV, and metrics to shards=1 — the sharded
+# path's (time, shard, sequence) merge order is a pure function of the
+# flow set, never of the worker count (sim/shard.hpp).  The
+# scaling_multinode run layers failover chaos (a NIC death and a NIC
+# degradation mid-exchange) on top, so the cross-shard control-event
+# path — faults applied at window barriers — is pinned too;
+# resilience_sweep exercises the fault-tolerant collectives and
+# checkpoint/restart paths under sharding.  sim_ranks=384 keeps the DES
+# portion large enough to decompose (32 nodes) while bounding runtime.
+# The chaos spec is quoted directly at the call (its clause-separating
+# semicolons would be split as list separators if routed through a
+# variable or ARGN).
+function(run_multinode_chaos tag shards)
+  file(MAKE_DIRECTORY "${WORK_DIR}/${tag}")
+  execute_process(
+    COMMAND "${BENCH_DIR}/scaling_multinode" sim_ranks=384 shards=${shards}
+            "chaos=seed:7;nicdown:node=3,nic=0,at=2us;nicdegrade:node=5,nic=1,factor=0.5,at=3us"
+            csv=out.csv metrics=out.met
+    WORKING_DIRECTORY "${WORK_DIR}/${tag}"
+    OUTPUT_FILE "${WORK_DIR}/${tag}.out"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "scaling_multinode shards=${shards} failed (exit ${rc})")
+  endif()
+endfunction()
+run_multinode_chaos(smn_s1 1)
+run_multinode_chaos(smn_s4 4)
+run_bench(resilience_sweep res_s1 sim_ranks=384 shards=1
+          csv=out.csv metrics=out.met)
+run_bench(resilience_sweep res_s4 sim_ranks=384 shards=4
+          csv=out.csv metrics=out.met)
+function(expect_shard_identical one four name)
+  expect_identical("${WORK_DIR}/${one}.out" "${WORK_DIR}/${four}.out"
+                   "${name} shards=1 vs shards=4 (stdout)")
+  expect_identical("${WORK_DIR}/${one}/out.csv" "${WORK_DIR}/${four}/out.csv"
+                   "${name} shards=1 vs shards=4 (CSV)")
+  expect_identical("${WORK_DIR}/${one}/out.met" "${WORK_DIR}/${four}/out.met"
+                   "${name} shards=1 vs shards=4 (metrics)")
+endfunction()
+expect_shard_identical(smn_s1 smn_s4 scaling_multinode)
+expect_shard_identical(res_s1 res_s4 resilience_sweep)
+
 # chaos_degradation: the default plan pins seed 42 — two threads=4 runs
 # must be bit-identical, and threads=1 must match as well.
 run_bench(chaos_degradation chaos_a threads=4 csv=out.csv)

@@ -75,6 +75,63 @@ TEST(Documentation, ReadmeDocumentsEveryBenchOption) {
   }
 }
 
+TEST(Documentation, AcceptedKeyListsMatchParsedKeysAndReadme) {
+  // Every bench that parses key=value options must reject unknown keys
+  // through pvcbench::require_known_keys (bench_common.hpp), and its
+  // accepted-key list must (a) cover every key the source actually
+  // reads — directly or through the bench_common/ParallelSweep helpers
+  // it calls — and (b) consist only of keys the README option table
+  // documents as `key=...`.  A key parsed but not accepted would make
+  // the bench reject its own documented options; an accepted key absent
+  // from the README is an undocumented knob.
+  static const std::regex accepted_pattern(
+      R"(require_known_keys\(config,\s*\{([^}]*)\})");
+  static const std::regex quoted(R"(\"([a-z0-9_]+)\")");
+  const std::string readme = slurp(kRoot / "README.md");
+  std::size_t benches_checked = 0;
+  for (const auto& entry : fs::directory_iterator(kRoot / "bench")) {
+    if (entry.path().extension() != ".cpp") {
+      continue;
+    }
+    const std::string source = slurp(entry.path());
+    if (source.find("from_args") == std::string::npos) {
+      continue;  // not an option-parsing binary (gbench_*, helpers)
+    }
+    ++benches_checked;
+    const std::string name = entry.path().filename().string();
+    std::smatch match;
+    ASSERT_TRUE(std::regex_search(source, match, accepted_pattern))
+        << name << " parses options but never calls require_known_keys";
+    std::set<std::string> accepted;
+    const std::string list = match[1].str();
+    for (std::sregex_iterator it(list.begin(), list.end(), quoted), end;
+         it != end; ++it) {
+      accepted.insert((*it)[1].str());
+    }
+    std::set<std::string> parsed = config_keys_in(source);
+    if (source.find("maybe_write_csv") != std::string::npos) {
+      parsed.insert("csv");
+    }
+    if (source.find("maybe_write_metrics") != std::string::npos) {
+      parsed.insert("metrics");
+    }
+    if (source.find("threads_from_config") != std::string::npos) {
+      parsed.insert("threads");
+    }
+    for (const auto& key : parsed) {
+      EXPECT_TRUE(accepted.count(key))
+          << name << " parses `" << key
+          << "=` but its require_known_keys list would reject it";
+    }
+    for (const auto& key : accepted) {
+      EXPECT_NE(readme.find("`" + key + "="), std::string::npos)
+          << name << " accepts `" << key
+          << "=` but the README options table does not document it";
+    }
+  }
+  EXPECT_GE(benches_checked, 16u);
+}
+
 TEST(Documentation, ReadmeLinksTheDocsPages) {
   const std::string readme = slurp(kRoot / "README.md");
   for (const char* doc :

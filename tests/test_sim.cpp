@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "arch/systems.hpp"
@@ -14,6 +17,7 @@
 #include "sim/engine.hpp"
 #include "sim/flow_network.hpp"
 #include "sim/power.hpp"
+#include "sim/shard.hpp"
 
 namespace pvc::sim {
 namespace {
@@ -400,6 +404,211 @@ TEST(FlowNetwork, IncrementalMatchesReferenceUnderRandomChurn) {
   engine.run();
   check();
   EXPECT_EQ(net.active_flows(), 0u);
+}
+
+TEST(FlowNetwork, AbortInStartInstantReleasesBandwidth) {
+  // Regression: aborting a flow in the same simulated instant it was
+  // created — before the batched zero-delay resolve has ever priced it —
+  // must release its bandwidth immediately.  The incremental solver saw
+  // the doomed flow only through dirty-marks, so a stale traversal count
+  // here once left the survivor at half rate.
+  Engine engine;
+  FlowNetwork net(engine);
+  const LinkId link = net.add_link("l", 100.0);
+  double done = -1.0;
+  const FlowId doomed = net.start_flow({link}, 1000.0, 0.0, {});
+  net.start_flow({link}, 100.0, 0.0, [&](Time t) { done = t; });
+  EXPECT_TRUE(net.abort_flow(doomed));
+  // The incremental rates must already agree bit-for-bit with the
+  // retained from-scratch reference solver: one survivor, full capacity.
+  const auto inc = net.current_rates();
+  const auto ref = net.reference_rates();
+  ASSERT_EQ(inc.size(), 1u);
+  ASSERT_EQ(ref.size(), 1u);
+  EXPECT_EQ(inc[0].first, ref[0].first);
+  EXPECT_EQ(inc[0].second, ref[0].second);  // bit-equal, not just close
+  EXPECT_EQ(inc[0].second, 100.0);
+  engine.run();
+  EXPECT_DOUBLE_EQ(done, 1.0);  // alone at 100 B/s from the first byte
+  EXPECT_EQ(net.flows_aborted(), 1u);
+}
+
+// --- sharded execution vs the serial oracle ----------------------------------
+//
+// ShardedRun (sim/shard.hpp) decomposes a flow set into connected
+// components and runs them on a worker pool; the serial engine is
+// retained as the oracle.  These tests fuzz traffic over a clustered
+// link graph and hold the two within solver tolerance of each other
+// (the per-component progressive filling visits bottlenecks in a
+// different order than the whole-network solve, so agreement is exact
+// in value but not guaranteed to the last ulp), and pin the parts of
+// the contract that must be *bit*-exact: completion order, worker-count
+// independence, and control actions applied at window barriers.  The CI
+// TSan job runs this suite to check the window barrier itself.
+
+std::vector<ShardFlowSpec> fuzz_shard_flows(
+    pvc::Rng& rng, const std::vector<std::vector<LinkId>>& groups,
+    int count) {
+  // Routes stay inside one link group (with replacement, so repeated
+  // traversals occur), giving the union-find several components to
+  // discover; ~10% are empty-route pure-latency operations, which all
+  // share the virtual local component.
+  std::vector<ShardFlowSpec> specs;
+  specs.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    ShardFlowSpec s;
+    s.key = static_cast<std::uint64_t>(i);
+    if (rng.uniform() < 0.1) {
+      s.latency_s = rng.uniform(0.01, 0.2);
+    } else {
+      const auto& g = groups[rng.uniform_index(groups.size())];
+      const std::size_t hops = 1 + rng.uniform_index(3);
+      for (std::size_t h = 0; h < hops; ++h) {
+        s.route.push_back(g[rng.uniform_index(g.size())]);
+      }
+      s.bytes = rng.uniform(10.0, 500.0);
+      s.latency_s = rng.uniform(0.0, 0.1);
+    }
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+std::vector<ShardCompletion> run_flows_sharded(
+    const FlowNetwork& base, const std::vector<ShardFlowSpec>& specs,
+    int workers) {
+  ShardedRun run(base, 0.0, workers);
+  for (const auto& s : specs) {
+    run.add_flow(s);
+  }
+  run.run_window(ShardedRun::kNoHorizon);
+  return run.take_completions();
+}
+
+std::vector<ShardCompletion> run_flows_serial(
+    FlowNetwork& net, Engine& engine,
+    const std::vector<ShardFlowSpec>& specs) {
+  std::vector<ShardCompletion> done;
+  for (const auto& s : specs) {
+    const std::uint64_t key = s.key;
+    net.start_flow(s.route, s.bytes, s.latency_s,
+                   [&done, key](Time t) {
+                     done.push_back(ShardCompletion{key, t});
+                   });
+  }
+  engine.run();
+  std::sort(done.begin(), done.end(),
+            [](const ShardCompletion& a, const ShardCompletion& b) {
+              return a.time_s != b.time_s ? a.time_s < b.time_s
+                                          : a.key < b.key;
+            });
+  return done;
+}
+
+TEST(ShardOracle, RandomizedTrafficMatchesSerialEngine) {
+  for (const std::uint32_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    Engine engine;
+    FlowNetwork net(engine);
+    pvc::Rng rng(seed);
+    std::vector<std::vector<LinkId>> groups(6);
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      for (int i = 0; i < 4; ++i) {
+        // Built up piecewise: GCC 12's -Wrestrict misfires on chained
+        // const char* + std::string&& concatenation.
+        std::string name = "g";
+        name += std::to_string(g);
+        name += ".l";
+        name += std::to_string(i);
+        groups[g].push_back(net.add_link(
+            name, 50.0 * static_cast<double>(1 + rng.uniform_index(3))));
+      }
+    }
+    const auto specs = fuzz_shard_flows(rng, groups, 80);
+    // Sharded first: it only reads the base network, leaving it pristine
+    // for the serial oracle run on the same links.
+    const auto sharded = run_flows_sharded(net, specs, 4);
+    const auto serial = run_flows_serial(net, engine, specs);
+    ASSERT_EQ(sharded.size(), serial.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(sharded[i].key, serial[i].key) << "seed " << seed;
+      EXPECT_NEAR(sharded[i].time_s, serial[i].time_s,
+                  1e-9 * std::max(1.0, serial[i].time_s))
+          << "seed " << seed << " key " << serial[i].key;
+    }
+  }
+}
+
+TEST(ShardOracle, WorkerCountDoesNotChangeResults) {
+  // The determinism contract: completions are a pure function of the
+  // flow set, bit-identical at any worker-pool width (the pool only
+  // changes which thread builds/runs a component, never the component's
+  // event sequence).
+  Engine engine;
+  FlowNetwork net(engine);
+  pvc::Rng rng(0xBEEFu);
+  std::vector<std::vector<LinkId>> groups(8);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (int i = 0; i < 3; ++i) {
+      std::string name = "g";  // piecewise: see note above on -Wrestrict
+      name += std::to_string(g);
+      name += ".l";
+      name += std::to_string(i);
+      groups[g].push_back(net.add_link(name, 100.0));
+    }
+  }
+  const auto specs = fuzz_shard_flows(rng, groups, 120);
+  const auto one = run_flows_sharded(net, specs, 1);
+  const auto four = run_flows_sharded(net, specs, 4);
+  const auto eight = run_flows_sharded(net, specs, 8);
+  ASSERT_EQ(one.size(), four.size());
+  ASSERT_EQ(one.size(), eight.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one[i].key, four[i].key);
+    EXPECT_EQ(one[i].time_s, four[i].time_s);  // bit-exact
+    EXPECT_EQ(one[i].key, eight[i].key);
+    EXPECT_EQ(one[i].time_s, eight[i].time_s);
+  }
+}
+
+TEST(ShardOracle, AbortBeforeFirstWindowNeverStartsFlow) {
+  // A flow aborted before its component is ever built (a node fault in
+  // the same instant the exchange posts) must never contend: the
+  // survivor prices as if it ran alone.
+  Engine engine;
+  FlowNetwork net(engine);
+  const LinkId link = net.add_link("l", 100.0);
+  ShardedRun run(net, 0.0, 2);
+  run.add_flow(ShardFlowSpec{{link}, 400.0, 0.0, 7});
+  run.add_flow(ShardFlowSpec{{link}, 100.0, 0.0, 8});
+  EXPECT_TRUE(run.abort(7));
+  EXPECT_FALSE(run.abort(7));   // already dead: exact no-op
+  EXPECT_FALSE(run.abort(99));  // unknown key
+  run.run_window(ShardedRun::kNoHorizon);
+  const auto done = run.take_completions();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].key, 8u);
+  EXPECT_DOUBLE_EQ(done[0].time_s, 1.0);  // alone at 100 B/s
+}
+
+TEST(ShardOracle, LinkScaleBetweenWindowsMatchesSerial) {
+  // Control actions land at window barriers: run_window(h) parks every
+  // component clock exactly at h, so a degradation applied between
+  // windows prices the remaining bytes from h onward — the same result
+  // the serial engine produces for a scale event scheduled at h
+  // (FlowNetwork.LinkScaleDegradesInFlightFlow).
+  Engine engine;
+  FlowNetwork net(engine);
+  const LinkId link = net.add_link("l", 100.0);
+  ShardedRun run(net, 0.0, 2);
+  run.add_flow(ShardFlowSpec{{link}, 100.0, 0.0, 1});
+  run.run_window(0.5);
+  run.set_link_scale(link, 0.25);
+  run.run_window(ShardedRun::kNoHorizon);
+  const auto done = run.take_completions();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].key, 1u);
+  EXPECT_DOUBLE_EQ(done[0].time_s, 2.5);  // 50 B at 100 B/s, 50 B at 25 B/s
+  EXPECT_DOUBLE_EQ(run.max_now(), 2.5);
 }
 
 // --- compute queue -----------------------------------------------------------
