@@ -227,6 +227,83 @@ BENCHMARK(BM_ShardedClusterStep)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+// The shape BM_ShardedClusterStep cannot cover: a cross-node all-to-all
+// whose routes chain every uplink/downlink into ONE connected component,
+// which PR 8's decomposition ran serially.  72 ranks on 6 Aurora nodes,
+// every cross-node ordered pair sends (same-node pairs are skipped —
+// they ride the intra-node link and would split off per-node islands),
+// with heterogeneous byte counts so the drain produces deep multi-level
+// rate solves.  Arg 0 prices it on the serial engine; args 1/2/4/8 on
+// the sharded engine, whose auto policy detects the single component
+// and switches to the spatial capacity-split solver
+// (docs/PERFORMANCE.md "Spatial sharding").  Guards the >= 2x shards=4
+// speedup recorded in BENCH_simcore.json.
+void BM_ShardedAllToAll(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  const auto node = pvc::arch::aurora();
+  const int ranks = 72;  // 6 nodes x 12 sub-devices
+  const int ranks_per_node = 12;
+  const auto fabric = pvc::sim::FabricSpec::for_node(node);
+  constexpr double kBaseBytes = 64.0 * 1024.0;
+  std::vector<pvc::comm::ClusterComm::Message> messages;
+  messages.reserve(static_cast<std::size_t>(ranks) * (ranks - ranks_per_node));
+  for (int s = 0; s < ranks; ++s) {
+    for (int d = 0; d < ranks; ++d) {
+      if (s / ranks_per_node == d / ranks_per_node) {
+        continue;  // same node: keep the component giant, not bridged
+      }
+      const int k = s * ranks + d;
+      messages.push_back(
+          {s, d, kBaseBytes * (1.0 + static_cast<double>(k % 7) / 8.0)});
+    }
+  }
+  pvc::comm::ClusterComm cluster(node, fabric, ranks);
+  cluster.set_shards(shards);
+  for (auto _ : state) {
+    const auto result = cluster.exchange(messages);
+    benchmark::DoNotOptimize(result.finish);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(messages.size()));
+  state.SetLabel(shards == 0 ? "serial oracle"
+                             : std::to_string(shards) + " shard worker(s)");
+}
+BENCHMARK(BM_ShardedAllToAll)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Checkpoint writes at 768 ranks (the resilience_sweep hot path): every
+// live rank pushes its state over {NIC egress, node uplink}, which
+// decomposes into per-node islands — the sharded engine's auto policy
+// keeps the PR 8 component path here, so this row pins the policy's
+// other half (spatial must NOT engage and must not cost anything).
+void BM_ShardedCheckpoint(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  const auto node = pvc::arch::aurora();
+  const int ranks = 768;  // 64 nodes x 12 sub-devices
+  const auto fabric = pvc::sim::FabricSpec::for_node(node);
+  pvc::comm::ClusterComm cluster(node, fabric, ranks);
+  cluster.set_shards(shards);
+  for (auto _ : state) {
+    const auto cost = cluster.checkpoint_write(4.0 * 1024.0 * 1024.0);
+    benchmark::DoNotOptimize(cost);
+  }
+  state.SetItemsProcessed(state.iterations() * ranks);
+  state.SetLabel(shards == 0 ? "serial oracle"
+                             : std::to_string(shards) + " shard worker(s)");
+}
+BENCHMARK(BM_ShardedCheckpoint)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_MeasurePeakFlops(benchmark::State& state) {
   const auto node = pvc::arch::aurora();
   for (auto _ : state) {
@@ -249,4 +326,17 @@ BENCHMARK(BM_MeasureFullNodeP2p)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // The stock "library_build_type" context reports how *libbenchmark*
+  // was compiled (the distro package ships a debug build), not how this
+  // binary was.  Stamp the app's own CMake config so the recording
+  // scripts can refuse JSON from unoptimized builds.
+  benchmark::AddCustomContext("pvc_build_type", PVC_BUILD_TYPE);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

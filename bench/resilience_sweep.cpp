@@ -19,12 +19,19 @@
 // Usage: resilience_sweep [csv=<path>] [metrics=<path>] [threads=<n>]
 //                         [system=<name>] [sim_ranks=<cap>]
 //                         [chaos=<spec>] [work=<s>] [trials=<n>]
-//                         [shards=<n>]
+//                         [shards=<n>] [shard_mode=<m>]
 //
 // shards= selects the DES execution mode for the checkpoint and
 // recovery sections: 0 runs the serial engine (the oracle), n >= 1 the
 // sharded engine (docs/PERFORMANCE.md "Sharded engine"); output is
 // byte-identical for every n >= 1 (tests/determinism_check.cmake).
+//
+// shard_mode= (auto|component|spatial) picks the single-component
+// strategy: auto engages the spatial capacity-split solver only when
+// the flow set does not decompose, component pins the per-component
+// path, spatial forces the merged solver (docs/PERFORMANCE.md "Spatial
+// sharding").  For any fixed mode, output is byte-identical at every
+// worker count (tests/determinism_check.cmake pins shard_mode=spatial).
 
 #include <cstdio>
 #include <iostream>
@@ -72,7 +79,8 @@ struct CkptPoint {
 
 CkptPoint ckpt_point(const pvc::arch::NodeSpec& node,
                      const pvc::sim::FabricSpec& fabric, int ranks,
-                     int sim_cap, double bytes, int shards) {
+                     int sim_cap, double bytes, int shards,
+                     pvc::sim::ShardMode mode) {
   using namespace pvc;
   CkptPoint pt;
   pt.ranks = ranks;
@@ -82,6 +90,7 @@ CkptPoint ckpt_point(const pvc::arch::NodeSpec& node,
   if (ranks <= sim_cap) {
     comm::ClusterComm cluster(node, fabric, ranks);
     cluster.set_shards(shards);
+    cluster.set_shard_mode(mode);
     pt.sim_s = cluster.checkpoint_write(bytes);
   }
   return pt;
@@ -108,7 +117,7 @@ RecoveryRun recovery_run(const pvc::arch::NodeSpec& node,
                          const pvc::sim::FabricSpec& fabric,
                          const pvc::fault::FaultPlan& plan, int ranks,
                          bool allreduce, pvc::fault::RecoveryPolicy policy,
-                         int spares, int shards) {
+                         int spares, int shards, pvc::sim::ShardMode mode) {
   using namespace pvc;
   RecoveryRun run;
   run.op = allreduce ? "allreduce" : "halo";
@@ -118,6 +127,7 @@ RecoveryRun recovery_run(const pvc::arch::NodeSpec& node,
       policy == fault::RecoveryPolicy::Spare ? spares : 0;
   comm::ClusterComm cluster(node, fabric, ranks, spare_nodes);
   cluster.set_shards(shards);
+  cluster.set_shard_mode(mode);
   fault::Injector injector(plan);
   injector.arm(cluster);
   run.result =
@@ -132,7 +142,7 @@ RecoveryRun recovery_run(const pvc::arch::NodeSpec& node,
 int run(int argc, char** argv) {
   using namespace pvc;
   const auto config = Config::from_args(argc, argv);
-  pvcbench::require_known_keys(config, {"chaos", "csv", "metrics", "shards", "sim_ranks", "system", "threads", "trials", "work"});
+  pvcbench::require_known_keys(config, {"chaos", "csv", "metrics", "shard_mode", "shards", "sim_ranks", "system", "threads", "trials", "work"});
   const std::string system = config.get("system").value_or("Aurora");
   const arch::NodeSpec node = arch::system_by_name(system);
   const sim::FabricSpec fabric = sim::FabricSpec::for_node(node);
@@ -140,6 +150,7 @@ int run(int argc, char** argv) {
   // 768 sim_ranks default; the serial oracle capped out at 192.
   const int sim_cap = static_cast<int>(config.get_int("sim_ranks", 768));
   const int shards = static_cast<int>(config.get_int("shards", 1));
+  const sim::ShardMode shard_mode = pvcbench::shard_mode_from_config(config);
   const double work_s = config.get_double("work", 10000.0);
   const int trials = static_cast<int>(config.get_int("trials", 400));
   const fault::FaultPlan plan =
@@ -170,7 +181,7 @@ int run(int argc, char** argv) {
   for (std::size_t i = 0; i < rank_counts.size(); ++i) {
     sweep.add([&, i] {
       ckpt[i] = ckpt_point(node, fabric, rank_counts[i], sim_cap, ckpt_bytes,
-                           shards);
+                           shards, shard_mode);
     });
   }
   sweep.run();
@@ -316,7 +327,7 @@ int run(int argc, char** argv) {
       sweep.add([&, slot, pi, op] {
         runs[slot] = recovery_run(node, fabric, plan, job_ranks,
                                   /*allreduce=*/op == 1, policies[pi], spares,
-                                  shards);
+                                  shards, shard_mode);
       });
     }
   }

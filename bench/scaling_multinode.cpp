@@ -10,13 +10,20 @@
 //
 // Usage: scaling_multinode [csv=<path>] [metrics=<path>] [threads=<n>]
 //                          [system=<name>] [sim_ranks=<cap>]
-//                          [chaos=<spec>] [shards=<n>]
+//                          [chaos=<spec>] [shards=<n>] [shard_mode=<m>]
 //
 // shards= selects the DES execution mode: 0 runs the serial engine (the
 // oracle), n >= 1 runs the sharded engine with an n-wide worker pool
 // (docs/PERFORMANCE.md "Sharded engine") — output is byte-identical for
 // every n >= 1 (tests/determinism_check.cmake).  The sharded default is
 // what lets sim_ranks default to 768 ranks of true DES coverage.
+//
+// shard_mode= (auto|component|spatial) picks the single-component
+// strategy: auto engages the spatial capacity-split solver when the
+// flow set does not decompose, component pins the per-component path,
+// spatial forces the merged solver (docs/PERFORMANCE.md "Spatial
+// sharding").  For any fixed mode, output is byte-identical at every
+// worker count (tests/determinism_check.cmake pins shard_mode=spatial).
 
 #include <cstdio>
 #include <iostream>
@@ -54,7 +61,7 @@ struct HaloPoint {
 HaloPoint halo_point(const pvc::arch::NodeSpec& node,
                      const pvc::sim::FabricSpec& fabric,
                      const pvc::fault::FaultPlan& plan, int ranks,
-                     int sim_cap, int shards) {
+                     int sim_cap, int shards, pvc::sim::ShardMode mode) {
   using namespace pvc;
   HaloPoint pt;
   pt.ranks = ranks;
@@ -65,6 +72,7 @@ HaloPoint halo_point(const pvc::arch::NodeSpec& node,
   if (ranks <= sim_cap) {
     comm::ClusterComm cluster(node, fabric, ranks);
     cluster.set_shards(shards);
+    cluster.set_shard_mode(mode);
     fault::Injector injector(plan);
     injector.arm(cluster);
     pt.sim_s = comm::cluster_halo_exchange(cluster, kHaloBytes);
@@ -94,7 +102,7 @@ double step_seconds(const pvc::arch::NodeSpec& node,
 int run(int argc, char** argv) {
   using namespace pvc;
   const auto config = Config::from_args(argc, argv);
-  pvcbench::require_known_keys(config, {"chaos", "csv", "metrics", "shards", "sim_ranks", "system", "threads"});
+  pvcbench::require_known_keys(config, {"chaos", "csv", "metrics", "shard_mode", "shards", "sim_ranks", "system", "threads"});
   const std::string system = config.get("system").value_or("Aurora");
   const arch::NodeSpec node = arch::system_by_name(system);
   const sim::FabricSpec fabric = sim::FabricSpec::for_node(node);
@@ -103,6 +111,7 @@ int run(int argc, char** argv) {
   // default where the serial engine capped out at 192.
   const int sim_cap = static_cast<int>(config.get_int("sim_ranks", 768));
   const int shards = static_cast<int>(config.get_int("shards", 1));
+  const sim::ShardMode shard_mode = pvcbench::shard_mode_from_config(config);
   fault::FaultPlan plan;
   if (const auto chaos = config.get("chaos")) {
     plan = fault::FaultPlan::parse(*chaos);
@@ -134,7 +143,8 @@ int run(int argc, char** argv) {
       pvcbench::ParallelSweep::threads_from_config(config));
   for (std::size_t i = 0; i < rank_counts.size(); ++i) {
     sweep.add([&, i] {
-      halo[i] = halo_point(node, fabric, plan, rank_counts[i], sim_cap, shards);
+      halo[i] = halo_point(node, fabric, plan, rank_counts[i], sim_cap, shards,
+                           shard_mode);
     });
   }
   sweep.run();

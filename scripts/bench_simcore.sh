@@ -6,7 +6,10 @@
 #   scripts/bench_simcore.sh [build-dir] [output.json]
 #
 # The build dir must be an optimised build (Release/RelWithDebInfo) —
-# numbers from -O0 builds are not comparable across commits.
+# numbers from -O0 builds are not comparable across commits.  The guard
+# below enforces this from the binary's own "pvc_build_type" JSON
+# context: an unoptimized build aborts the recording unless
+# ALLOW_DEBUG_BENCH=1 is set, in which case the JSON is loudly tagged.
 set -euo pipefail
 
 build_dir="${1:-build}"
@@ -19,12 +22,14 @@ if [[ ! -x "${bench}" ]]; then
 fi
 
 "${bench}" \
-  --benchmark_filter='BM_Engine|BM_FlowNetworkContention|BM_CacheChase|BM_TagMatchChurn|BM_ShardedClusterStep' \
+  --benchmark_filter='BM_Engine|BM_FlowNetworkContention|BM_CacheChase|BM_TagMatchChurn|BM_Sharded' \
   --benchmark_min_time=0.5 \
   --benchmark_format=json \
   --benchmark_out="${out}" \
   --benchmark_out_format=json \
   >/dev/null
+
+python3 "$(dirname "$0")/check_bench_build.py" "${out}"
 
 echo "wrote ${out}:"
 python3 - "${out}" <<'EOF'
@@ -32,11 +37,11 @@ import json, sys
 path = sys.argv[1]
 doc = json.load(open(path))
 for b in doc.get("benchmarks", []):
-    # BM_ShardedClusterStep/<n> prices the same step at n shard workers
-    # (0 = serial oracle); store the count as a first-class field so the
+    # BM_Sharded*/<n> prices the same step at n shard workers (0 =
+    # serial oracle); store the count as a first-class field so the
     # perf trajectory can plot speedup-vs-shards without re-parsing
     # benchmark names.
-    if b["name"].startswith("BM_ShardedClusterStep/"):
+    if b["name"].startswith("BM_Sharded") and "/" in b["name"]:
         b["shards"] = int(b["name"].rsplit("/", 1)[1])
 json.dump(doc, open(path, "w"), indent=1)
 for b in doc.get("benchmarks", []):

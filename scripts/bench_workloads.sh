@@ -6,7 +6,10 @@
 #   scripts/bench_workloads.sh [build-dir] [output.json]
 #
 # The build dir must be an optimised build (Release/RelWithDebInfo) —
-# numbers from -O0 builds are not comparable across commits.
+# numbers from -O0 builds are not comparable across commits.  The guard
+# below enforces this from the binary's own "pvc_build_type" JSON
+# context: an unoptimized build aborts the recording unless
+# ALLOW_DEBUG_BENCH=1 is set, in which case the JSON is loudly tagged.
 set -euo pipefail
 
 build_dir="${1:-build}"
@@ -24,6 +27,8 @@ fi
   --benchmark_out="${out}" \
   --benchmark_out_format=json \
   >/dev/null
+
+python3 "$(dirname "$0")/check_bench_build.py" "${out}"
 
 echo "wrote ${out}:"
 python3 - "${out}" <<'EOF'

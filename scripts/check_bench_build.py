@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Refuse benchmark JSON recorded from an unoptimized build.
+
+The committed BENCH_*.json series are only comparable when every entry
+comes from an optimized binary, but google-benchmark's own
+"library_build_type" context describes how *libbenchmark* was compiled
+(distro packages ship debug builds), not the benchmark binary.  The
+gbench harnesses therefore stamp their CMake config into the context as
+"pvc_build_type" (bench/CMakeLists.txt), and this guard keys on that:
+
+  * Release / RelWithDebInfo  -> accepted
+  * anything else             -> the JSON is deleted and the recording
+    fails, unless ALLOW_DEBUG_BENCH=1 is set — then the file is kept
+    but loudly tagged with "pvc_bench_tainted" in its context so a
+    later commit of the numbers is caught in review.
+
+Usage: check_bench_build.py <bench-output.json>
+"""
+
+import json
+import os
+import sys
+
+OPTIMIZED = {"release", "relwithdebinfo"}
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    with open(path) as f:
+        doc = json.load(f)
+    context = doc.get("context", {})
+    build_type = context.get("pvc_build_type", "unknown")
+    if build_type.lower() in OPTIMIZED:
+        return 0
+    if os.environ.get("ALLOW_DEBUG_BENCH") == "1":
+        context["pvc_bench_tainted"] = (
+            f"recorded from unoptimized build type '{build_type}'"
+        )
+        doc["context"] = context
+        with open(path, "w") as f:
+            json.dump(doc, f, indent=1)
+        print(
+            f"warning: {path} recorded from unoptimized build type "
+            f"'{build_type}' — tagged pvc_bench_tainted (ALLOW_DEBUG_BENCH=1)",
+            file=sys.stderr,
+        )
+        return 0
+    os.remove(path)
+    print(
+        f"error: refusing to record {path}: build type '{build_type}' is "
+        "not optimized (configure with -DCMAKE_BUILD_TYPE=Release, or set "
+        "ALLOW_DEBUG_BENCH=1 to record tainted numbers)",
+        file=sys.stderr,
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Perf smoke: guard the sharded-engine benchmarks against regressions.
+
+Runs `gbench_simcore --benchmark_filter=Sharded` from the given build
+dir and compares every matching benchmark against the committed
+BENCH_simcore.json series.  A row more than TOLERANCE slower than its
+committed time fails the run; rows only present on one side (a newly
+added or retired benchmark) are reported but never fatal, so landing a
+new benchmark and recording its baseline can happen in the same PR.
+
+Absolute times move with the host, so the guard is deliberately loose
+(default 30%) — it exists to catch the sharded/spatial path falling off
+an algorithmic cliff (a serialized solver, a lost fast path), not 5%
+noise.  Override with PERF_SMOKE_TOLERANCE=<fraction>.
+
+Usage: perf_smoke.py <build-dir> [baseline.json]
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+FILTER = "Sharded"
+
+
+def main() -> int:
+    if len(sys.argv) not in (2, 3):
+        print(__doc__, file=sys.stderr)
+        return 2
+    build_dir = sys.argv[1]
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    baseline_path = sys.argv[2] if len(sys.argv) == 3 else os.path.join(
+        root, "BENCH_simcore.json")
+    tolerance = float(os.environ.get("PERF_SMOKE_TOLERANCE", "0.30"))
+
+    bench = os.path.join(build_dir, "bench", "gbench_simcore")
+    if not os.access(bench, os.X_OK):
+        print(f"error: {bench} not built", file=sys.stderr)
+        return 1
+    with open(baseline_path) as f:
+        baseline = {
+            b["name"]: b
+            for b in json.load(f).get("benchmarks", [])
+            if FILTER in b["name"]
+        }
+    if not baseline:
+        print(f"error: no '{FILTER}' rows in {baseline_path}", file=sys.stderr)
+        return 1
+
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        out_path = tmp.name
+    try:
+        subprocess.run(
+            [
+                bench,
+                f"--benchmark_filter={FILTER}",
+                "--benchmark_min_time=0.2",
+                f"--benchmark_out={out_path}",
+                "--benchmark_out_format=json",
+            ],
+            check=True,
+            stdout=subprocess.DEVNULL,
+        )
+        with open(out_path) as f:
+            current = {
+                b["name"]: b for b in json.load(f).get("benchmarks", [])
+            }
+    finally:
+        os.unlink(out_path)
+
+    failures = []
+    print(f"perf smoke vs {os.path.basename(baseline_path)} "
+          f"(tolerance +{tolerance:.0%}):")
+    for name in sorted(set(baseline) | set(current)):
+        if name not in current:
+            print(f"  {name:38s} retired (baseline only)")
+            continue
+        if name not in baseline:
+            print(f"  {name:38s} new (no baseline yet)")
+            continue
+        base, cur = baseline[name], current[name]
+        if base["time_unit"] != cur["time_unit"]:
+            failures.append(f"{name}: time unit changed "
+                            f"{base['time_unit']} -> {cur['time_unit']}")
+            continue
+        ratio = cur["real_time"] / base["real_time"]
+        verdict = "ok" if ratio <= 1.0 + tolerance else "REGRESSION"
+        print(f"  {name:38s} {base['real_time']:10.1f} -> "
+              f"{cur['real_time']:10.1f} {cur['time_unit']}"
+              f"  ({ratio:5.2f}x)  {verdict}")
+        if ratio > 1.0 + tolerance:
+            failures.append(f"{name}: {ratio:.2f}x slower than baseline")
+    for f in failures:
+        print(f"error: {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

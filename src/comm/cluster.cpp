@@ -212,13 +212,32 @@ void ClusterComm::drive_sharded(
   // deliveries are withheld, reproducing the serial engine's FIFO
   // tie-break (faults carry older sequence numbers than the completions
   // they race).
+  // Spatial runs hold one giant component, so without control events a
+  // single window would swallow the whole simulation and buffer every
+  // completion.  Cap each window at a stride of inter-group lookaheads
+  // past the run's clock: mailboxes stay bounded and the completion
+  // merge actually exchanges at barriers.  The cap never skips events —
+  // run_before() leaves everything at or past the horizon pending — and
+  // the loop terminates because each capped window advances the clock
+  // by a full stride until the run drains and idle() flips.
+  const sim::Time stride = 4096.0 * sim::inter_group_lookahead_s(fabric_);
   for (;;) {
     const auto t_ctl = engine_.next_event_time();
-    const sim::Time horizon =
-        t_ctl ? *t_ctl : sim::ShardedRun::kNoHorizon;
+    sim::Time horizon = t_ctl ? *t_ctl : sim::ShardedRun::kNoHorizon;
+    bool capped = false;
+    if (run.spatial() && !run.idle()) {
+      const sim::Time cap = run.max_now() + stride;
+      if (cap < horizon) {
+        horizon = cap;
+        capped = true;
+      }
+    }
     run.run_window(horizon);
     for (const sim::ShardCompletion& c : run.take_completions()) {
       apply(c.key, c.time_s);
+    }
+    if (capped) {
+      continue;  // the control event (if any) is still ahead
     }
     if (!t_ctl) {
       break;
@@ -241,7 +260,7 @@ ClusterComm::ExchangeResult ClusterComm::exchange(
   const double gap = sim::nic_message_gap_s(fabric_);
   std::optional<sim::ShardedRun> run;
   if (shards_ > 0) {
-    run.emplace(network_, post, shards_);
+    run.emplace(network_, post, shards_, shard_mode_);
   }
 
   // Expose the in-progress result to the fault paths (set_node_down /
@@ -576,7 +595,7 @@ sim::Time ClusterComm::checkpoint_write(double bytes_per_rank) {
   const double gap = sim::nic_message_gap_s(fabric_);
   std::optional<sim::ShardedRun> run;
   if (shards_ > 0) {
-    run.emplace(network_, post, shards_);
+    run.emplace(network_, post, shards_, shard_mode_);
   }
   sim::Time finish = post;
   std::uint64_t key = 0;

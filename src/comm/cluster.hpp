@@ -117,6 +117,17 @@ class ClusterComm {
   void set_shards(int shards);
   [[nodiscard]] int shards() const noexcept { return shards_; }
 
+  /// Partitioning policy of the sharded engine (only meaningful with
+  /// shards >= 1).  Auto keeps the connected-component path when the
+  /// posting decomposes and switches to the spatial capacity-split
+  /// solver when it collapses to one giant component; Component and
+  /// Spatial force the respective path (docs/PERFORMANCE.md "Spatial
+  /// sharding").
+  void set_shard_mode(sim::ShardMode mode) noexcept { shard_mode_ = mode; }
+  [[nodiscard]] sim::ShardMode shard_mode() const noexcept {
+    return shard_mode_;
+  }
+
   /// Links a message between two ranks would traverse right now
   /// (routing introspection for tests; empty for src == dst).
   [[nodiscard]] std::vector<sim::LinkId> route_links(int src_rank,
@@ -287,6 +298,7 @@ class ClusterComm {
   std::vector<InjectionRecord> injection_log_;
   std::uint64_t delivered_ = 0;
   int shards_ = 0;  ///< 0 = serial oracle; >= 1 = sharded worker width
+  sim::ShardMode shard_mode_ = sim::ShardMode::Auto;
   /// Non-null while drive_sharded() runs: the fault paths route flow
   /// aborts and link rescales into the owning component replica.
   sim::ShardedRun* sharded_active_ = nullptr;

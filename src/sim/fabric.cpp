@@ -118,6 +118,12 @@ double conservative_lookahead_s(const FabricSpec& fabric) {
   return 2.0 * fabric.nic.latency_s + 2.0 * fabric.topo.local_hop_latency_s;
 }
 
+double inter_group_lookahead_s(const FabricSpec& fabric) {
+  // Cheapest inter-group route adds exactly one global hop on top of
+  // the intra-group minimum priced by conservative_lookahead_s().
+  return conservative_lookahead_s(fabric) + fabric.topo.global_hop_latency_s;
+}
+
 double nic_message_gap_s(const FabricSpec& fabric) {
   ensure(fabric.nic.message_rate_per_s > 0.0, ErrorCode::InvalidArgument,
          "FabricSpec: NIC message rate must be positive");

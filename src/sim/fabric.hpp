@@ -146,6 +146,13 @@ struct ClusterShape {
 /// t + lookahead, which bounds the YAWNS-style synchronization window.
 [[nodiscard]] double conservative_lookahead_s(const FabricSpec& fabric);
 
+/// Lookahead across dragonfly *groups*: the intra-group bound above plus
+/// one global-hop traversal.  The spatial sharding mode
+/// (src/sim/shard.hpp, shard_mode=spatial) sizes its mailbox windows
+/// from this — traffic between node shards in different groups cannot
+/// couple faster than a global link can carry it.
+[[nodiscard]] double inter_group_lookahead_s(const FabricSpec& fabric);
+
 /// Per-NIC injection-gate cost of one message (1 / message rate).
 [[nodiscard]] double nic_message_gap_s(const FabricSpec& fabric);
 

@@ -1,6 +1,7 @@
 #include "sim/flow_network.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 
@@ -10,9 +11,26 @@
 namespace pvc::sim {
 
 namespace {
-// Flows whose remaining volume drops below this are considered done.
-// (Guards against floating-point residue after progress integration.)
-constexpr double kEpsilonBytes = 1e-6;
+// Historical local name for the exported completion threshold
+// (sim/flow_network.hpp): flows whose remaining volume drops below it
+// are considered done.
+constexpr double kEpsilonBytes = kFlowEpsilonBytes;
+
+// Below this many active flows the spatial executor's fan-out is not
+// worth its barrier crossings; the plain loops run instead.  Purely a
+// scheduling choice: both paths produce byte-identical results, so the
+// threshold can never change output.
+constexpr std::size_t kSpatialMinFlows = 96;
+
+/// Contiguous block of `n` items owned by worker `w` of `width`.
+[[nodiscard]] std::pair<std::size_t, std::size_t> worker_block(
+    std::size_t n, int w, int width) {
+  const std::size_t per = n / static_cast<std::size_t>(width);
+  const std::size_t extra = n % static_cast<std::size_t>(width);
+  const auto uw = static_cast<std::size_t>(w);
+  const std::size_t begin = per * uw + std::min(uw, extra);
+  return {begin, begin + per + (uw < extra ? 1 : 0)};
+}
 
 /// Handles into the active registry, re-resolved whenever the calling
 /// thread's registry changes (ParallelSweep installs a per-worker
@@ -120,6 +138,8 @@ LinkId FlowNetwork::add_link(std::string name, double capacity_bps,
   link_pos_.push_back(kNoSlot);
   residual_.push_back(0.0);
   weight_.push_back(0.0);
+  share_q_.push_back(0.0);
+  split_counts_.push_back(0);
   return links_.size() - 1;
 }
 
@@ -345,9 +365,22 @@ void FlowNetwork::advance_progress() {
             dt * static_cast<double>(class_active_[c]));
       }
     }
-    for (const std::uint32_t slot : active_) {
-      Flow& flow = slots_[slot];
-      flow.remaining = std::max(0.0, flow.remaining - flow.rate * dt);
+    if (exec_ != nullptr && active_.size() >= kSpatialMinFlows) {
+      // Per-flow independent updates: any block partition over the
+      // active list yields bit-identical remainders.
+      const int width = exec_->width();
+      exec_->run([&](int w) {
+        const auto [begin, end] = worker_block(active_.size(), w, width);
+        for (std::size_t i = begin; i < end; ++i) {
+          Flow& flow = slots_[active_[i]];
+          flow.remaining = std::max(0.0, flow.remaining - flow.rate * dt);
+        }
+      });
+    } else {
+      for (const std::uint32_t slot : active_) {
+        Flow& flow = slots_[slot];
+        flow.remaining = std::max(0.0, flow.remaining - flow.rate * dt);
+      }
     }
   }
   last_progress_time_ = now;
@@ -371,6 +404,11 @@ void FlowNetwork::recompute_rates() {
     net_metrics().contention_events->add(1);
   }
 
+  if (exec_ != nullptr && active_.size() >= kSpatialMinFlows) {
+    recompute_rates_spatial();
+    return;
+  }
+
   unfrozen_.clear();
   for (const std::uint32_t slot : active_) {  // ascending FlowId
     Flow& flow = slots_[slot];
@@ -390,12 +428,17 @@ void FlowNetwork::recompute_rates() {
            "FlowNetwork: active flow with no weighted links");
     best_share = std::max(best_share, 0.0);
 
-    // Freeze every flow whose route crosses a bottleneck link.  A flow's
-    // rate equals the per-traversal share (a flow crossing a bottleneck
-    // twice still moves bytes end-to-end at one share; each traversal
-    // separately charges the link, which `weight_` already accounts for).
+    // Decide phase: find every flow whose route crosses a bottleneck
+    // link, reading only the level's pre-freeze residuals/weights.  A
+    // flow's rate equals the per-traversal share (a flow crossing a
+    // bottleneck twice still moves bytes end-to-end at one share; each
+    // traversal separately charges the link, which `weight_` already
+    // accounts for).  Keeping the decision reads separate from the
+    // apply writes makes the level a pure function of its starting
+    // state — the property the spatial capacity-split path (and its
+    // worker fan-out) relies on for byte-identical results.
     still_unfrozen_.clear();
-    bool froze_any = false;
+    frozen_scratch_.clear();
     for (Flow* flow : unfrozen_) {
       bool bottlenecked = false;
       for (const LinkId l : flow->route) {
@@ -406,19 +449,190 @@ void FlowNetwork::recompute_rates() {
         }
       }
       if (bottlenecked) {
-        flow->rate = best_share;
-        froze_any = true;
-        for (const LinkId l : flow->route) {
-          residual_[l] -= best_share;
-          weight_[l] -= 1.0;
-        }
+        frozen_scratch_.push_back(flow);
       } else {
         still_unfrozen_.push_back(flow);
       }
     }
-    ensure(froze_any, "FlowNetwork: progressive filling failed to converge");
+    ensure(!frozen_scratch_.empty(),
+           "FlowNetwork: progressive filling failed to converge");
+
+    // Apply phase: every frozen route entry subtracts the same
+    // best_share (and unit weight), so per-link results depend only on
+    // the subtraction count, never on flow order.
+    for (Flow* flow : frozen_scratch_) {
+      flow->rate = best_share;
+      for (const LinkId l : flow->route) {
+        residual_[l] -= best_share;
+        weight_[l] -= 1.0;
+      }
+    }
     unfrozen_.swap(still_unfrozen_);
   }
+}
+
+void FlowNetwork::recompute_rates_spatial() {
+  // Link-incidence progressive filling (docs/PERFORMANCE.md "Spatial
+  // sharding"): instead of re-dividing residual/weight for every route
+  // entry of every unfrozen flow, each level computes one quotient per
+  // active link, freezes the flows incident to the bottleneck links by
+  // walking those links' incidence lists, and reconciles shared links
+  // through integer (link, freeze-count) records — the cross-shard
+  // mailbox payload.  Every arithmetic operation on residual_/weight_
+  // is the same subtraction sequence the serial decide/apply loop
+  // performs, so the result is bit-identical at any executor width.
+  const int width = exec_->width();
+  // Width 1 (narrow hosts, or more components than workers) runs the
+  // identical arithmetic without atomics: claims, split counts and the
+  // record tally are plain reads/writes, which is what makes the
+  // algorithmic win over the flow-scan solver survive on one core.
+  const bool solo = width == 1;
+  ++spatial_solves_;
+  ++claim_epoch_;
+  if (claim_epoch_ == 0) {  // wrapped: invalidate every stale stamp
+    slot_claim_.assign(slots_.size(), 0);
+    claim_epoch_ = 1;
+  }
+  slot_claim_.resize(slots_.size(), 0);
+  for (const LinkId l : active_links_) {
+    split_counts_[l] = 0;
+  }
+  part_min_.assign(static_cast<std::size_t>(width), 0.0);
+  part_stat_.assign(static_cast<std::size_t>(width), 0);
+  part_slots_.resize(static_cast<std::size_t>(width));
+  shared_remaining_ = active_.size();
+  solver_done_ = false;
+  solver_error_ = nullptr;
+  std::uint64_t records = 0;
+
+  exec_->run([&](int w) {
+    const auto [flows_b, flows_e] = worker_block(active_.size(), w, width);
+    for (std::size_t i = flows_b; i < flows_e; ++i) {
+      slots_[active_[i]].rate = 0.0;
+    }
+    const auto [links_b, links_e] =
+        worker_block(active_links_.size(), w, width);
+    auto& mine = part_slots_[static_cast<std::size_t>(w)];
+    exec_->sync();
+    for (;;) {
+      // Level minimum: one division per owned active link, cached for
+      // the bottleneck test below (the serial loop re-divides the same
+      // operands — identical quotients either way).
+      double m = std::numeric_limits<double>::infinity();
+      for (std::size_t i = links_b; i < links_e; ++i) {
+        const LinkId l = active_links_[i];
+        if (weight_[l] > 0.0) {
+          share_q_[l] = residual_[l] / weight_[l];
+          m = std::min(m, share_q_[l]);
+        }
+      }
+      part_min_[static_cast<std::size_t>(w)] = m;
+      exec_->sync();
+      if (w == 0) {
+        if (shared_remaining_ == 0) {
+          solver_done_ = true;
+        } else {
+          double best = std::numeric_limits<double>::infinity();
+          for (const double pm : part_min_) {
+            best = std::min(best, pm);
+          }
+          if (best == std::numeric_limits<double>::infinity()) {
+            solver_error_ = "FlowNetwork: active flow with no weighted links";
+          }
+          shared_share_ = std::max(best, 0.0);
+        }
+      }
+      exec_->sync();
+      if (solver_done_ || solver_error_ != nullptr) {
+        return;
+      }
+      const double share = shared_share_;
+      // Decide: claim every still-unfrozen flow incident to a
+      // bottleneck link.  The claim stamp makes each flow freeze
+      // exactly once even when two of its route links bottleneck in
+      // the same level on different workers; the claimed set equals
+      // the serial decide phase's set because an unfrozen flow's route
+      // links always carry its own positive weight.
+      mine.clear();
+      for (std::size_t i = links_b; i < links_e; ++i) {
+        const LinkId l = active_links_[i];
+        if (weight_[l] <= 0.0 || share_q_[l] > share * (1.0 + 1e-12)) {
+          continue;
+        }
+        for (const Incidence& entry : link_flows_[l]) {
+          if (solo) {
+            if (slot_claim_[entry.slot] == claim_epoch_) {
+              continue;  // frozen this solve already
+            }
+            slot_claim_[entry.slot] = claim_epoch_;
+          } else {
+            std::atomic_ref<std::uint32_t> claim(slot_claim_[entry.slot]);
+            std::uint32_t seen = claim.load(std::memory_order_relaxed);
+            if (seen == claim_epoch_) {
+              continue;  // frozen this solve (this level or earlier)
+            }
+            if (!claim.compare_exchange_strong(seen, claim_epoch_,
+                                               std::memory_order_relaxed)) {
+              continue;  // another worker claimed it first
+            }
+          }
+          Flow& flow = slots_[entry.slot];
+          flow.rate = share;
+          for (const auto& [rl, count] : flow.incident) {
+            if (solo) {
+              split_counts_[rl] += count;
+            } else {
+              std::atomic_ref<std::uint32_t> c(split_counts_[rl]);
+              c.fetch_add(count, std::memory_order_relaxed);
+            }
+          }
+          mine.push_back(entry.slot);
+        }
+      }
+      part_stat_[static_cast<std::size_t>(w)] = mine.size();
+      exec_->sync();
+      if (w == 0) {
+        std::size_t frozen = 0;
+        for (const std::uint64_t c : part_stat_) {
+          frozen += c;
+        }
+        if (frozen == 0) {
+          solver_error_ = "FlowNetwork: progressive filling failed to converge";
+        }
+        shared_remaining_ -= frozen;
+      }
+      // Apply: drain the owned links' freeze-count records with the
+      // same repeated same-value subtractions the serial apply phase
+      // performs — per-link results depend only on the count.
+      std::uint64_t drained = 0;
+      for (std::size_t i = links_b; i < links_e; ++i) {
+        const LinkId l = active_links_[i];
+        const std::uint32_t count = split_counts_[l];
+        if (count == 0) {
+          continue;
+        }
+        for (std::uint32_t k = 0; k < count; ++k) {
+          residual_[l] -= share;
+          weight_[l] -= 1.0;
+        }
+        split_counts_[l] = 0;
+        ++drained;
+      }
+      if (drained > 0) {
+        if (solo) {
+          records += drained;
+        } else {
+          std::atomic_ref<std::uint64_t>(records).fetch_add(
+              drained, std::memory_order_relaxed);
+        }
+      }
+      exec_->sync();
+    }
+  });
+  if (solver_error_ != nullptr) {
+    ensure(false, solver_error_);
+  }
+  split_records_ += records;
 }
 
 void FlowNetwork::mark_rates_dirty() {
@@ -455,10 +669,31 @@ void FlowNetwork::reschedule_completion() {
     return;
   }
   double earliest = std::numeric_limits<double>::infinity();
-  for (const std::uint32_t slot : active_) {
-    const Flow& flow = slots_[slot];
-    if (flow.rate > 0.0) {
-      earliest = std::min(earliest, flow.remaining / flow.rate);
+  if (exec_ != nullptr && active_.size() >= kSpatialMinFlows) {
+    // Exact min of partial mins — partition-independent.
+    const int width = exec_->width();
+    part_min_.assign(static_cast<std::size_t>(width),
+                     std::numeric_limits<double>::infinity());
+    exec_->run([&](int w) {
+      const auto [begin, end] = worker_block(active_.size(), w, width);
+      double m = std::numeric_limits<double>::infinity();
+      for (std::size_t i = begin; i < end; ++i) {
+        const Flow& flow = slots_[active_[i]];
+        if (flow.rate > 0.0) {
+          m = std::min(m, flow.remaining / flow.rate);
+        }
+      }
+      part_min_[static_cast<std::size_t>(w)] = m;
+    });
+    for (const double pm : part_min_) {
+      earliest = std::min(earliest, pm);
+    }
+  } else {
+    for (const std::uint32_t slot : active_) {
+      const Flow& flow = slots_[slot];
+      if (flow.rate > 0.0) {
+        earliest = std::min(earliest, flow.remaining / flow.rate);
+      }
     }
   }
   ensure(earliest < std::numeric_limits<double>::infinity(),
@@ -479,9 +714,30 @@ void FlowNetwork::on_completion_event() {
   // shard pays (sim/shard.hpp) no matter how well the flow set
   // decomposes.
   finished_slots_.clear();
-  for (const std::uint32_t slot : active_) {
-    if (slots_[slot].remaining <= kEpsilonBytes) {
-      finished_slots_.push_back(slot);
+  if (exec_ != nullptr && active_.size() >= kSpatialMinFlows) {
+    // Block-partitioned scan; concatenating the per-worker hits in
+    // worker order preserves the ascending-FlowId order of active_.
+    const int width = exec_->width();
+    part_slots_.resize(static_cast<std::size_t>(width));
+    exec_->run([&](int w) {
+      const auto [begin, end] = worker_block(active_.size(), w, width);
+      auto& hits = part_slots_[static_cast<std::size_t>(w)];
+      hits.clear();
+      for (std::size_t i = begin; i < end; ++i) {
+        if (slots_[active_[i]].remaining <= kEpsilonBytes) {
+          hits.push_back(active_[i]);
+        }
+      }
+    });
+    for (int w = 0; w < width; ++w) {
+      const auto& hits = part_slots_[static_cast<std::size_t>(w)];
+      finished_slots_.insert(finished_slots_.end(), hits.begin(), hits.end());
+    }
+  } else {
+    for (const std::uint32_t slot : active_) {
+      if (slots_[slot].remaining <= kEpsilonBytes) {
+        finished_slots_.push_back(slot);
+      }
     }
   }
   if (finished_slots_.empty()) {

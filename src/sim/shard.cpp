@@ -24,10 +24,102 @@ int clamp_workers(int workers) {
   const int cap = hw == 0 ? 1 : static_cast<int>(hw);
   return std::max(1, std::min(workers, cap));
 }
+
+/// Persistent SPMD worker pool behind the spatial capacity-split solver
+/// (sim::ParallelExecutor, src/sim/flow_network.hpp).  The calling
+/// thread participates as worker 0; `width - 1` pinned threads spin on a
+/// job generation counter, so the per-solve dispatch cost is a handful
+/// of atomic operations rather than thread spawn/join.  sync() is a
+/// central sense-reversing barrier usable from inside a job — every
+/// participant executes the same sequence of sync() calls, which is what
+/// makes the generation-compare exit safe.  Jobs must not throw: an
+/// escaping exception would strand the other workers at the next
+/// barrier (the solver reports errors through a flag instead, see
+/// FlowNetwork::recompute_rates_spatial).
+class SpatialPool final : public ParallelExecutor {
+ public:
+  explicit SpatialPool(int width) : width_(width) {
+    threads_.reserve(static_cast<std::size_t>(width_ - 1));
+    for (int w = 1; w < width_; ++w) {
+      threads_.emplace_back([this, w] { worker_main(w); });
+    }
+  }
+  ~SpatialPool() override {
+    stop_.store(true, std::memory_order_release);
+    job_gen_.fetch_add(1, std::memory_order_release);
+    for (auto& t : threads_) {
+      t.join();
+    }
+  }
+  SpatialPool(const SpatialPool&) = delete;
+  SpatialPool& operator=(const SpatialPool&) = delete;
+
+  [[nodiscard]] int width() const noexcept override { return width_; }
+
+  void run(const std::function<void(int)>& fn) override {
+    if (width_ == 1) {
+      fn(0);
+      return;
+    }
+    job_ = &fn;
+    done_.store(0, std::memory_order_relaxed);
+    job_gen_.fetch_add(1, std::memory_order_release);
+    fn(0);
+    while (done_.load(std::memory_order_acquire) != width_ - 1) {
+      std::this_thread::yield();
+    }
+    job_ = nullptr;
+  }
+
+  void sync() override {
+    if (width_ == 1) {
+      return;
+    }
+    const std::uint64_t gen = barrier_gen_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) == width_ - 1) {
+      arrived_.store(0, std::memory_order_relaxed);
+      barrier_gen_.store(gen + 1, std::memory_order_release);
+    } else {
+      while (barrier_gen_.load(std::memory_order_acquire) == gen) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+ private:
+  void worker_main(int w) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::uint64_t gen;
+      while ((gen = job_gen_.load(std::memory_order_acquire)) == seen) {
+        std::this_thread::yield();
+      }
+      if (stop_.load(std::memory_order_acquire)) {
+        return;
+      }
+      seen = gen;
+      (*job_)(w);
+      done_.fetch_add(1, std::memory_order_release);
+    }
+  }
+
+  const int width_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::atomic<std::uint64_t> job_gen_{0};
+  std::atomic<int> done_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<int> arrived_{0};
+  std::atomic<std::uint64_t> barrier_gen_{0};
+  std::vector<std::thread> threads_;
+};
 }  // namespace
 
-ShardedRun::ShardedRun(const FlowNetwork& base, Time post_s, int workers)
-    : base_(&base), post_s_(post_s), workers_(clamp_workers(workers)) {
+ShardedRun::ShardedRun(const FlowNetwork& base, Time post_s, int workers,
+                       ShardMode mode)
+    : base_(&base),
+      post_s_(post_s),
+      workers_(clamp_workers(workers)),
+      mode_(mode) {
   // One virtual union-find element past the last real link collects the
   // empty-route (pure latency) flows into a single shared component.
   uf_parent_.resize(base.link_count() + 1);
@@ -67,6 +159,16 @@ void ShardedRun::add_flow(ShardFlowSpec spec) {
       uf_parent_[r] = root;
     }
   }
+  if (mode_ == ShardMode::Spatial) {
+    // Forced spatial: chain every flow through the virtual element so
+    // the whole posting lands in one merged shard set — bitwise equal
+    // to the per-component solves (the merged network's links stay
+    // disjoint across the original components).
+    const std::size_t v = uf_find(base_->link_count());
+    if (v != root) {
+      uf_parent_[v] = root;
+    }
+  }
   flows_.push_back(FlowRec{std::move(spec), 0, 0, false});
 }
 
@@ -100,6 +202,16 @@ void ShardedRun::assign_components() {
     }
   }
   elem_comp_[base_->link_count()] = elem_comp_[uf_find(base_->link_count())];
+  // A single component under Auto means decomposition bought nothing
+  // (the giant all-to-all case) — switch to the spatial solver.  The
+  // pool exists whenever spatial is engaged, even at width 1, so the
+  // FlowNetwork's solver-dispatch (and the shard.* metric counts it
+  // feeds) are invariant across worker counts.
+  spatial_ = mode_ != ShardMode::Component && comps_.size() == 1 &&
+             !flows_.empty();
+  if (spatial_) {
+    pool_ = std::make_unique<SpatialPool>(workers_);
+  }
   assigned_ = true;
 }
 
@@ -112,6 +224,9 @@ void ShardedRun::build_component(Component& comp) {
   for (auto& [base_id, private_id] : comp.link_map) {
     const Link& l = base_->link(base_id);
     private_id = comp.net->add_link(l.name, l.capacity_bps, l.scale);
+  }
+  if (pool_ != nullptr) {
+    comp.net->set_parallel_executor(pool_.get());
   }
   comp.engine->run_until(post_s_);
   for (const std::uint32_t fi : comp.flow_indices) {
@@ -143,6 +258,7 @@ void ShardedRun::run_window(Time horizon) {
   if (!assigned_) {
     assign_components();
   }
+  ++windows_run_;
   const std::size_t n = comps_.size();
   if (n == 0) {
     return;
@@ -200,7 +316,27 @@ std::vector<ShardCompletion> ShardedRun::take_completions() {
               return a.time_s != b.time_s ? a.time_s < b.time_s
                                           : a.key < b.key;
             });
+  completions_total_ += out.size();
   return out;
+}
+
+bool ShardedRun::spatial() {
+  if (!assigned_) {
+    assign_components();
+  }
+  return spatial_;
+}
+
+bool ShardedRun::idle() const {
+  if (!assigned_) {
+    return flows_.empty();
+  }
+  for (const auto& comp : comps_) {
+    if (!comp->built || !comp->engine->idle()) {
+      return false;
+    }
+  }
+  return true;
 }
 
 bool ShardedRun::abort(std::uint64_t key) {
@@ -250,9 +386,42 @@ Time ShardedRun::max_now() const {
 
 void ShardedRun::merge_metrics() {
   auto& target = obs::Registry::active();
+  std::uint64_t solves = 0;
+  std::uint64_t freezes = 0;
   for (const auto& comp : comps_) {
+    if (comp->built) {
+      solves += comp->net->spatial_solves();
+      freezes += comp->net->capacity_split_records();
+    }
     target.merge_from(comp->registry);
   }
+  // Emitted once, on the main thread, from plain tallies — every value
+  // is a pure function of the flow set and window sequence, so metric
+  // output is identical at every worker count.
+  target
+      .counter("shard.windows", "windows",
+               "conservative windows driven across this sharded run")
+      .add(windows_run_);
+  target
+      .counter("shard.components", "components",
+               "connected components the flow set decomposed into")
+      .add(static_cast<std::uint64_t>(comps_.size()));
+  target
+      .counter("shard.spatial.runs", "runs",
+               "sharded runs that engaged the spatial solver")
+      .add(spatial_ ? 1 : 0);
+  target
+      .counter("shard.spatial.parallel_solves", "solves",
+               "rate solves dispatched to the spatial SPMD pool")
+      .add(solves);
+  target
+      .counter("shard.mailbox.completions", "completions",
+               "completion records merged through the (time,key) mailbox")
+      .add(completions_total_);
+  target
+      .counter("shard.mailbox.freeze_records", "records",
+               "per-level (link, share) capacity-split records reconciled")
+      .add(freezes);
 }
 
 }  // namespace pvc::sim

@@ -44,6 +44,27 @@
 
 namespace pvc::sim {
 
+/// How ShardedRun partitions the posted flow set.
+///
+/// Component mode is PR 8's union-find decomposition: embarrassingly
+/// parallel, but a single giant component (an all-to-all, a ring
+/// allreduce round, a checkpoint fan-in) degenerates to one serial
+/// shard.  Spatial mode keeps one merged network replica and instead
+/// parallelizes *inside* the solve: the replica's FlowNetwork runs its
+/// windowed capacity-split solver on a persistent SPMD worker pool
+/// (sim::ParallelExecutor), with per-pair mailboxes — the per-level
+/// (link, freeze-count) records and the per-window completion buffers —
+/// exchanged at barriers and merged in (time, key) order.  The split is
+/// count-based (every frozen flow subtracts the *same* bottleneck share
+/// from each of its links), so the reconciled capacities are bitwise
+/// independent of the worker partition and the output stays
+/// byte-identical to the serial oracle at every shards= value.
+enum class ShardMode {
+  Auto,       ///< decompose; a single giant component switches to spatial
+  Component,  ///< PR 8 connected-component path only
+  Spatial,    ///< force one merged spatial shard set
+};
+
 /// One flow to run under sharded execution.  `route` names links of the
 /// *base* network; `key` is a caller-chosen unique id (ClusterComm uses
 /// the message's post index) that orders same-instant completions and
@@ -76,8 +97,10 @@ class ShardedRun {
 
   /// `base` supplies link names/capacities/scales for the component
   /// replicas; `post_s` is the simulated instant every flow starts at;
-  /// `workers` (>= 1) caps the worker-pool width.
-  ShardedRun(const FlowNetwork& base, Time post_s, int workers);
+  /// `workers` (>= 1) caps the worker-pool width; `mode` selects the
+  /// partitioning policy (see ShardMode).
+  ShardedRun(const FlowNetwork& base, Time post_s, int workers,
+             ShardMode mode = ShardMode::Auto);
   ShardedRun(const ShardedRun&) = delete;
   ShardedRun& operator=(const ShardedRun&) = delete;
 
@@ -118,6 +141,16 @@ class ShardedRun {
     return comps_.size();
   }
 
+  /// True when the spatial path is engaged for this run — the flow set
+  /// collapsed to a single component under Auto, or Spatial was forced.
+  /// Resolves the decomposition on first call (all flows must already
+  /// be added); main-thread only, like every other method here.
+  [[nodiscard]] bool spatial();
+
+  /// True once every component is built and has drained its event
+  /// queue — the driver uses this to stop capping spatial windows.
+  [[nodiscard]] bool idle() const;
+
   /// Merges every component's private registry into the calling
   /// thread's active registry, in component-index order — the fixed
   /// merge order that keeps metric totals independent of the worker
@@ -154,7 +187,15 @@ class ShardedRun {
   const FlowNetwork* base_;
   Time post_s_ = 0.0;
   int workers_ = 1;
+  ShardMode mode_ = ShardMode::Auto;
   bool assigned_ = false;
+  bool spatial_ = false;
+  /// SPMD pool driving the spatial capacity-split solver; non-null
+  /// exactly when spatial_ (even at width 1, so the shard.* metric
+  /// counts are invariant across worker counts).
+  std::unique_ptr<ParallelExecutor> pool_;
+  std::uint64_t windows_run_ = 0;
+  std::uint64_t completions_total_ = 0;
 
   std::vector<FlowRec> flows_;                       // add order
   std::unordered_map<std::uint64_t, std::uint32_t> key_index_;

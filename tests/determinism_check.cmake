@@ -111,6 +111,52 @@ endfunction()
 expect_shard_identical(smn_s1 smn_s4 scaling_multinode)
 expect_shard_identical(res_s1 res_s4 resilience_sweep)
 
+# Spatial-solver determinism (ISSUE-9): shard_mode=spatial forces the
+# merged capacity-split solver onto every DES point — including the
+# decomposable ones the auto policy would have run per-component — and
+# shards=4 must still produce byte-identical stdout, CSV, and metrics
+# to shards=1: the solver's freeze order, split counts, and drain
+# arithmetic are pure functions of the flow set, never of the worker
+# count (sim/flow_network.cpp recompute_rates_spatial).  Both runs
+# layer chaos so mid-window fault application through the mailbox path
+# is pinned too.  sim_ranks=192 bounds runtime (the merged solver prices
+# the whole flow set as one component, so these points are the slow
+# kind the auto policy exists to avoid).
+function(run_multinode_spatial tag shards)
+  file(MAKE_DIRECTORY "${WORK_DIR}/${tag}")
+  execute_process(
+    COMMAND "${BENCH_DIR}/scaling_multinode" sim_ranks=192 shards=${shards}
+            shard_mode=spatial
+            "chaos=seed:7;nicdown:node=3,nic=0,at=2us;nicdegrade:node=5,nic=1,factor=0.5,at=3us"
+            csv=out.csv metrics=out.met
+    WORKING_DIRECTORY "${WORK_DIR}/${tag}"
+    OUTPUT_FILE "${WORK_DIR}/${tag}.out"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "scaling_multinode shard_mode=spatial shards=${shards} failed (exit ${rc})")
+  endif()
+endfunction()
+function(run_resilience_spatial tag shards)
+  file(MAKE_DIRECTORY "${WORK_DIR}/${tag}")
+  execute_process(
+    COMMAND "${BENCH_DIR}/resilience_sweep" sim_ranks=192 shards=${shards}
+            shard_mode=spatial trials=50
+            "chaos=seed:7;nodedown:node=3,at=2us"
+            csv=out.csv metrics=out.met
+    WORKING_DIRECTORY "${WORK_DIR}/${tag}"
+    OUTPUT_FILE "${WORK_DIR}/${tag}.out"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "resilience_sweep shard_mode=spatial shards=${shards} failed (exit ${rc})")
+  endif()
+endfunction()
+run_multinode_spatial(smn_sp1 1)
+run_multinode_spatial(smn_sp4 4)
+run_resilience_spatial(res_sp1 1)
+run_resilience_spatial(res_sp4 4)
+expect_shard_identical(smn_sp1 smn_sp4 "scaling_multinode shard_mode=spatial")
+expect_shard_identical(res_sp1 res_sp4 "resilience_sweep shard_mode=spatial")
+
 # chaos_degradation: the default plan pins seed 42 — two threads=4 runs
 # must be bit-identical, and threads=1 must match as well.
 run_bench(chaos_degradation chaos_a threads=4 csv=out.csv)

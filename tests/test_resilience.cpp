@@ -108,6 +108,49 @@ TEST(ClusterFaults, NodeDownKillsInflightFlowsAndWrapperRaisesRankFailed) {
   EXPECT_GT(cluster.network().flows_aborted(), 0u);
 }
 
+TEST(ClusterFaults, NodeDownMidSpatialWindowMatchesSerial) {
+  // The ISSUE 9 chaos case: an all-to-all posting (one giant component,
+  // so auto mode engages the spatial solver) with a nodedown landing
+  // while every flow is in flight.  The fault fires at a conservative
+  // window barrier; completions scheduled exactly AT that horizon stay
+  // pending (Engine::run_before is strict), so a fault racing a
+  // same-instant completion kills the flow — the serial engine's FIFO
+  // tie-break (the armed fault carries the older sequence number).
+  // Killed set and every survivor's completion must match the serial
+  // oracle bit-for-bit, at every worker count.
+  const auto run_one = [](int shards) {
+    ClusterComm cluster(arch::aurora(), aurora_fabric(), 24);
+    if (shards > 0) {
+      cluster.set_shards(shards);
+    }
+    fault::Injector injector(
+        fault::FaultPlan::parse("nodedown:node=1,at=2us"));
+    injector.arm(cluster);
+    std::vector<ClusterComm::Message> msgs;
+    for (int s = 0; s < 24; ++s) {
+      for (int d = 0; d < 24; ++d) {
+        if (s != d) {
+          msgs.push_back({s, d, 64.0 * KB});
+        }
+      }
+    }
+    return cluster.exchange(msgs);
+  };
+  const auto serial = run_one(0);
+  const auto one = run_one(1);
+  const auto four = run_one(4);
+  EXPECT_GT(serial.failures, 0);  // the fault actually landed mid-flight
+  EXPECT_LT(serial.failures, static_cast<int>(serial.failed.size()));
+  ASSERT_EQ(serial.failed, one.failed);
+  ASSERT_EQ(serial.failed, four.failed);
+  EXPECT_EQ(serial.finish, one.finish);
+  EXPECT_EQ(serial.finish, four.finish);
+  for (std::size_t i = 0; i < serial.completion_s.size(); ++i) {
+    EXPECT_EQ(serial.completion_s[i], one.completion_s[i]) << "idx " << i;
+    EXPECT_EQ(serial.completion_s[i], four.completion_s[i]) << "idx " << i;
+  }
+}
+
 TEST(ClusterFaults, DeadEndpointMessagesAreRefusedAtPostTime) {
   ClusterComm cluster(arch::aurora(), aurora_fabric(), 24);
   cluster.set_rank_failed(5);

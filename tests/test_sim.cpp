@@ -12,6 +12,7 @@
 #include "arch/systems.hpp"
 #include "core/error.hpp"
 #include "core/rng.hpp"
+#include "obs/metrics.hpp"
 #include "sim/cache_model.hpp"
 #include "sim/compute_queue.hpp"
 #include "sim/engine.hpp"
@@ -476,13 +477,45 @@ std::vector<ShardFlowSpec> fuzz_shard_flows(
 
 std::vector<ShardCompletion> run_flows_sharded(
     const FlowNetwork& base, const std::vector<ShardFlowSpec>& specs,
-    int workers) {
-  ShardedRun run(base, 0.0, workers);
+    int workers, ShardMode mode = ShardMode::Auto) {
+  ShardedRun run(base, 0.0, workers, mode);
   for (const auto& s : specs) {
     run.add_flow(s);
   }
   run.run_window(ShardedRun::kNoHorizon);
   return run.take_completions();
+}
+
+/// The decomposition-defeating shape from ROADMAP item 2: `nodes`
+/// senders each with an egress and ingress link, one flow per ordered
+/// pair over {egress[src], ingress[dst]}.  Every route shares a link
+/// with every other through some chain, so union-find yields one giant
+/// component; heterogeneous byte counts force multi-level rate solves.
+std::vector<ShardFlowSpec> all_to_all_flows(FlowNetwork& net, int nodes) {
+  std::vector<LinkId> egress;
+  std::vector<LinkId> ingress;
+  for (int n = 0; n < nodes; ++n) {
+    std::string name = "n";  // piecewise: see note above on -Wrestrict
+    name += std::to_string(n);
+    egress.push_back(net.add_link(name + ".out", 200.0));
+    ingress.push_back(net.add_link(name + ".in", 150.0));
+  }
+  std::vector<ShardFlowSpec> specs;
+  std::uint64_t key = 0;
+  for (int s = 0; s < nodes; ++s) {
+    for (int d = 0; d < nodes; ++d) {
+      if (s == d) {
+        continue;
+      }
+      ShardFlowSpec f;
+      f.route = {egress[static_cast<std::size_t>(s)],
+                 ingress[static_cast<std::size_t>(d)]};
+      f.bytes = 50.0 * (1.0 + static_cast<double>(key % 7) / 8.0);
+      f.key = key++;
+      specs.push_back(std::move(f));
+    }
+  }
+  return specs;
 }
 
 std::vector<ShardCompletion> run_flows_serial(
@@ -609,6 +642,107 @@ TEST(ShardOracle, LinkScaleBetweenWindowsMatchesSerial) {
   EXPECT_EQ(done[0].key, 1u);
   EXPECT_DOUBLE_EQ(done[0].time_s, 2.5);  // 50 B at 100 B/s, 50 B at 25 B/s
   EXPECT_DOUBLE_EQ(run.max_now(), 2.5);
+}
+
+TEST(ShardOracle, SingleComponentAllToAllEngagesSpatialPath) {
+  // The regression ISSUE 9 targets: an all-to-all posting collapses to
+  // one connected component, which PR 8's decomposition ran serially.
+  // Auto mode must detect the collapse, engage the spatial
+  // capacity-split solver, and still produce output byte-identical to
+  // the serial engine (the spatial solver's count-based splits are
+  // bitwise equal to the serial progressive-filling subtractions).
+  Engine engine;
+  FlowNetwork net(engine);
+  // 16 nodes -> 240 flows, past the spatial solver's dispatch threshold.
+  const auto specs = all_to_all_flows(net, 16);
+  ShardedRun run(net, 0.0, 4);
+  for (const auto& s : specs) {
+    run.add_flow(s);
+  }
+  EXPECT_TRUE(run.spatial());
+  run.run_window(ShardedRun::kNoHorizon);
+  EXPECT_EQ(run.component_count(), 1u);
+  const auto sharded = run.take_completions();
+  obs::Registry reg;
+  {
+    obs::ScopedRegistry scope(reg);
+    run.merge_metrics();
+  }
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.value("shard.spatial.runs"), 1.0);
+  EXPECT_GT(snap.value("shard.spatial.parallel_solves"), 0.0);
+  EXPECT_GT(snap.value("shard.mailbox.freeze_records"), 0.0);
+
+  const auto serial = run_flows_serial(net, engine, specs);
+  ASSERT_EQ(sharded.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(sharded[i].key, serial[i].key);
+    EXPECT_EQ(sharded[i].time_s, serial[i].time_s)  // bit-exact
+        << "key " << serial[i].key;
+  }
+}
+
+TEST(ShardOracle, SpatialWorkerCountDoesNotChangeResults) {
+  // Worker-count invariance on the spatial path: the SPMD pool only
+  // changes which thread owns a block of flows/links, never the shares
+  // a level assigns (same bottleneck share subtracted per frozen
+  // traversal, combined by counts), so completions are bit-identical at
+  // every width.
+  Engine engine;
+  FlowNetwork net(engine);
+  const auto specs = all_to_all_flows(net, 12);
+  const auto one = run_flows_sharded(net, specs, 1);
+  const auto four = run_flows_sharded(net, specs, 4);
+  const auto eight = run_flows_sharded(net, specs, 8);
+  ASSERT_EQ(one.size(), four.size());
+  ASSERT_EQ(one.size(), eight.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one[i].key, four[i].key);
+    EXPECT_EQ(one[i].time_s, four[i].time_s);  // bit-exact
+    EXPECT_EQ(one[i].key, eight[i].key);
+    EXPECT_EQ(one[i].time_s, eight[i].time_s);
+  }
+}
+
+TEST(ShardOracle, ForcedSpatialMatchesComponentDecomposition) {
+  // A decomposable flow set run as one merged spatial component solves
+  // each level from untouched residuals (the merged network's links
+  // stay disjoint across the original components), so rates agree with
+  // the per-component path.  Completion *instants* agree to solver
+  // tolerance, not to the last ulp: the merged engine interleaves the
+  // components' completion events, splitting `remaining -= rate * dt`
+  // across different advance instants — the same contract the
+  // serial-vs-sharded oracle documents (see the suite header).
+  Engine engine;
+  FlowNetwork net(engine);
+  pvc::Rng rng(0xC0FFEEu);
+  std::vector<std::vector<LinkId>> groups(6);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (int i = 0; i < 4; ++i) {
+      std::string name = "g";  // piecewise: see note above on -Wrestrict
+      name += std::to_string(g);
+      name += ".l";
+      name += std::to_string(i);
+      groups[g].push_back(net.add_link(name, 80.0));
+    }
+  }
+  const auto specs = fuzz_shard_flows(rng, groups, 150);
+  auto by_comp = run_flows_sharded(net, specs, 4, ShardMode::Component);
+  auto forced = run_flows_sharded(net, specs, 4, ShardMode::Spatial);
+  ASSERT_EQ(by_comp.size(), forced.size());
+  // Near-equal instants of different keys may swap in the (time, key)
+  // sort; compare per key.
+  const auto by_key = [](const ShardCompletion& a, const ShardCompletion& b) {
+    return a.key < b.key;
+  };
+  std::sort(by_comp.begin(), by_comp.end(), by_key);
+  std::sort(forced.begin(), forced.end(), by_key);
+  for (std::size_t i = 0; i < by_comp.size(); ++i) {
+    ASSERT_EQ(by_comp[i].key, forced[i].key);
+    EXPECT_NEAR(by_comp[i].time_s, forced[i].time_s,
+                1e-9 * std::max(1.0, by_comp[i].time_s))
+        << "key " << by_comp[i].key;
+  }
 }
 
 // --- compute queue -----------------------------------------------------------
