@@ -9,6 +9,7 @@
 
 #include "arch/systems.hpp"
 #include "bench_common.hpp"
+#include "bench_entry.hpp"
 #include "core/table.hpp"
 #include "kernels/pointer_chase.hpp"
 #include "micro/microbench.hpp"
@@ -141,6 +142,4 @@ int run(int argc, char** argv) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  return pvcbench::guarded_main("ablation_model", argc, argv, run);
-}
+PVCBENCH_MAIN(ablation_model);

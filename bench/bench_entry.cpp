@@ -1,0 +1,78 @@
+#include "bench_entry.hpp"
+
+namespace pvcbench::entries {
+
+// Forwarders emitted by each bench source's PVCBENCH_MAIN(name); the
+// suite library compiles every bench with PVCBENCH_NO_MAIN so these are
+// the only externally visible entry points.
+int run_table2_microbench(int argc, char** argv);
+int run_table3_p2p(int argc, char** argv);
+int run_table4_refspecs(int argc, char** argv);
+int run_table6_foms(int argc, char** argv);
+int run_fig1_latency(int argc, char** argv);
+int run_fig2_aurora_vs_dawn(int argc, char** argv);
+int run_fig3_vs_h100(int argc, char** argv);
+int run_fig4_vs_mi250(int argc, char** argv);
+int run_ablation_model(int argc, char** argv);
+int run_sweep_msgsize(int argc, char** argv);
+int run_roofline_analysis(int argc, char** argv);
+int run_power_report(int argc, char** argv);
+int run_scaling_sweep(int argc, char** argv);
+int run_chaos_degradation(int argc, char** argv);
+int run_scaling_multinode(int argc, char** argv);
+int run_resilience_sweep(int argc, char** argv);
+
+}  // namespace pvcbench::entries
+
+namespace pvcbench {
+
+const std::vector<BenchEntry>& bench_entries() {
+  static const std::vector<BenchEntry> table = {
+      {"table2_microbench", &entries::run_table2_microbench},
+      {"table3_p2p", &entries::run_table3_p2p},
+      {"table4_refspecs", &entries::run_table4_refspecs},
+      {"table6_foms", &entries::run_table6_foms},
+      {"fig1_latency", &entries::run_fig1_latency},
+      {"fig2_aurora_vs_dawn", &entries::run_fig2_aurora_vs_dawn},
+      {"fig3_vs_h100", &entries::run_fig3_vs_h100},
+      {"fig4_vs_mi250", &entries::run_fig4_vs_mi250},
+      {"ablation_model", &entries::run_ablation_model},
+      {"sweep_msgsize", &entries::run_sweep_msgsize},
+      {"roofline_analysis", &entries::run_roofline_analysis},
+      {"power_report", &entries::run_power_report},
+      {"scaling_sweep", &entries::run_scaling_sweep},
+      {"chaos_degradation", &entries::run_chaos_degradation},
+      {"scaling_multinode", &entries::run_scaling_multinode},
+      {"resilience_sweep", &entries::run_resilience_sweep},
+  };
+  return table;
+}
+
+const BenchEntry* find_bench(const std::string& name) {
+  for (const BenchEntry& entry : bench_entries()) {
+    if (name == entry.name) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+int run_bench_entry(const BenchEntry& entry,
+                    const std::vector<std::string>& args) {
+  // Synthesize the argv a standalone invocation would have seen; the
+  // storage must outlive the run, and char* rather than const char*
+  // because main()'s signature is historic.
+  std::vector<std::string> storage;
+  storage.reserve(args.size() + 1);
+  storage.emplace_back(entry.name);
+  storage.insert(storage.end(), args.begin(), args.end());
+  std::vector<char*> argv;
+  argv.reserve(storage.size() + 1);
+  for (std::string& s : storage) {
+    argv.push_back(s.data());
+  }
+  argv.push_back(nullptr);
+  return entry.run(static_cast<int>(storage.size()), argv.data());
+}
+
+}  // namespace pvcbench

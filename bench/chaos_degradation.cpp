@@ -5,17 +5,26 @@
 // remote pair (forcing the host-staging reroute, docs/ROBUSTNESS.md)
 // plus a 2% message-drop probability with retry-with-backoff.
 //
-// Usage: chaos_degradation [chaos=<spec>] [csv=<path>] [metrics=<path>]
-//        [threads=<n>]
+// `chaos=` accepts a `|`-separated list of plans; each scenario gets
+// its own degraded row pair while the two healthy baselines — identical
+// computations across scenarios — are scheduled once via the sweep's
+// add_keyed dedup and re-rendered from the canonical result slot
+// (`sweep.deduped_tasks` counts the discards).
+//
+// Usage: chaos_degradation [chaos=<spec>[|<spec>...]] [csv=<path>]
+//        [metrics=<path>] [threads=<n>]
 
+#include <cstddef>
 #include <cstdio>
 #include <iostream>
 #include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "arch/systems.hpp"
 #include "bench_common.hpp"
+#include "bench_entry.hpp"
 #include "comm/communicator.hpp"
 #include "core/table.hpp"
 #include "core/units.hpp"
@@ -77,6 +86,25 @@ std::string slowdown_cell(double healthy_bps, double degraded_bps) {
   return buf;
 }
 
+/// Splits `chaos=` on '|' into individual plan specs (empty segments
+/// rejected — a trailing '|' is almost certainly a typo).
+std::vector<std::string> split_scenarios(const std::string& chaos) {
+  std::vector<std::string> specs;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t bar = chaos.find('|', start);
+    const std::string spec = chaos.substr(
+        start, bar == std::string::npos ? std::string::npos : bar - start);
+    pvc::ensure(!spec.empty(),
+                "chaos_degradation: empty scenario in chaos= list");
+    specs.push_back(spec);
+    if (bar == std::string::npos) {
+      return specs;
+    }
+    start = bar + 1;
+  }
+}
+
 int run(int argc, char** argv) {
   const auto config = pvc::Config::from_args(argc, argv);
   pvcbench::require_known_keys(config, {"chaos", "csv", "metrics", "threads"});
@@ -90,55 +118,96 @@ int run(int argc, char** argv) {
       ",b=" + std::to_string(remote.second) +
       ",at=0;drop:0.02;retries:max=8,backoff=5us";
   const std::string chaos = config.get("chaos").value_or(default_chaos);
-  const auto plan = pvc::fault::FaultPlan::parse(chaos);
-  std::printf("%s\n", plan.summary().c_str());
+  const std::vector<std::string> scenario_specs = split_scenarios(chaos);
+  std::vector<pvc::fault::FaultPlan> plans;
+  plans.reserve(scenario_specs.size());
+  for (const std::string& s : scenario_specs) {
+    plans.push_back(pvc::fault::FaultPlan::parse(s));
+    std::printf("%s\n", plans.back().summary().c_str());
+  }
 
   const double message = 500.0 * MB;
-  // The four pair/plan combinations are independent simulations (each
+  // Every pair/plan combination is an independent simulation (each
   // fault plan holds its own seeded Rng state via the Injector copy),
   // so they run as sweep tasks; the per-seed result is bit-reproducible
-  // for any threads= value.
-  double local_healthy = 0.0, local_degraded = 0.0;
-  double remote_healthy = 0.0, remote_degraded = 0.0;
+  // for any threads= value.  The healthy baselines are keyed so that a
+  // multi-scenario run computes each of them exactly once.
   pvcbench::ParallelSweep sweep(
       pvcbench::ParallelSweep::threads_from_config(config));
-  sweep.add([&] { local_healthy = measure_pair(spec, local, message, nullptr); });
-  sweep.add([&] { local_degraded = measure_pair(spec, local, message, &plan); });
-  sweep.add(
-      [&] { remote_healthy = measure_pair(spec, remote, message, nullptr); });
-  sweep.add(
-      [&] { remote_degraded = measure_pair(spec, remote, message, &plan); });
+  std::vector<double> bps;  // one slot per scheduled (non-deduped) task
+  const auto schedule = [&](const std::string& key, std::pair<int, int> pair,
+                            const pvc::fault::FaultPlan* plan) {
+    const std::size_t slot = bps.size();
+    const std::size_t index =
+        sweep.add_keyed(key, [&bps, &spec, pair, message, plan, slot] {
+          bps[slot] = measure_pair(spec, pair, message, plan);
+        });
+    if (index == slot) {
+      bps.push_back(0.0);  // fresh task; duplicates reuse the first slot
+    }
+    return index;
+  };
+  struct ScenarioSlots {
+    std::size_t local_healthy;
+    std::size_t local_degraded;
+    std::size_t remote_healthy;
+    std::size_t remote_degraded;
+  };
+  std::vector<ScenarioSlots> scenarios;
+  scenarios.reserve(plans.size());
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    // Each scenario nominally wants its own healthy baselines, but they
+    // are the same computation for every scenario — the shared keys let
+    // the sweep schedule them once and point later scenarios at the
+    // canonical slot.  Degraded runs are keyed by their plan spec, so
+    // repeating a spec in the chaos= list is also collapsed.
+    scenarios.push_back(
+        {schedule("healthy:local", local, nullptr),
+         schedule("degraded:local:" + scenario_specs[i], local, &plans[i]),
+         schedule("healthy:remote", remote, nullptr),
+         schedule("degraded:remote:" + scenario_specs[i], remote, &plans[i])});
+  }
   sweep.run();
 
+  const std::string local_label = "Local MDFI " + std::to_string(local.first) +
+                                  "<->" + std::to_string(local.second);
+  const std::string remote_label =
+      "Remote Xe-Link " + std::to_string(remote.first) + "<->" +
+      std::to_string(remote.second);
   pvc::Table table("Throughput under faults — Table III P2P pairs (" +
                    std::string(spec.system_name) + ")");
-  table.set_header({"Pair", "Healthy", "Degraded", "Slowdown"});
-  table.add_row({"Local MDFI " + std::to_string(local.first) + "<->" +
-                     std::to_string(local.second),
-                 pvc::format_bandwidth(local_healthy),
-                 pvc::format_bandwidth(local_degraded),
-                 slowdown_cell(local_healthy, local_degraded)});
-  table.add_row({"Remote Xe-Link " + std::to_string(remote.first) + "<->" +
-                     std::to_string(remote.second),
-                 pvc::format_bandwidth(remote_healthy),
-                 pvc::format_bandwidth(remote_degraded),
-                 slowdown_cell(remote_healthy, remote_degraded)});
+  table.set_header({"Scenario", "Pair", "Healthy", "Degraded", "Slowdown"});
+  pvc::CsvWriter csv;
+  csv.set_header(
+      {"scenario", "pair", "healthy_bps", "degraded_bps", "slowdown"});
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const std::string name = "s" + std::to_string(i);
+    const double lh = bps[scenarios[i].local_healthy];
+    const double ld = bps[scenarios[i].local_degraded];
+    const double rh = bps[scenarios[i].remote_healthy];
+    const double rd = bps[scenarios[i].remote_degraded];
+    table.add_row({name, local_label, pvc::format_bandwidth(lh),
+                   pvc::format_bandwidth(ld), slowdown_cell(lh, ld)});
+    table.add_row({name, remote_label, pvc::format_bandwidth(rh),
+                   pvc::format_bandwidth(rd), slowdown_cell(rh, rd)});
+    csv.add_row({name, "local", pvc::format_value(lh, 6),
+                 pvc::format_value(ld, 6), pvc::format_value(lh / ld, 4)});
+    csv.add_row({name, "remote", pvc::format_value(rh, 6),
+                 pvc::format_value(rd, 6), pvc::format_value(rh / rd, 4)});
+  }
   table.render(std::cout);
 
+  if (sweep.deduped_tasks() > 0) {
+    std::printf("\n%zu duplicate sweep point(s) served from the canonical "
+                "slot (healthy baselines shared across scenarios).\n",
+                sweep.deduped_tasks());
+  }
   std::printf(
       "\nNote: with the Xe-Link down the remote pair survives via the "
       "host-staging reroute (PCIe D2H + H2D through host DDR), at a "
       "store-and-forward penalty; counters land in net.reroutes / "
       "comm.retries (docs/ROBUSTNESS.md).\n");
 
-  pvc::CsvWriter csv;
-  csv.set_header({"pair", "healthy_bps", "degraded_bps", "slowdown"});
-  csv.add_row({"local", pvc::format_value(local_healthy, 6),
-               pvc::format_value(local_degraded, 6),
-               pvc::format_value(local_healthy / local_degraded, 4)});
-  csv.add_row({"remote", pvc::format_value(remote_healthy, 6),
-               pvc::format_value(remote_degraded, 6),
-               pvc::format_value(remote_healthy / remote_degraded, 4)});
   pvcbench::maybe_write_csv(config, csv);
   pvcbench::maybe_write_metrics(config);
   return 0;
@@ -146,6 +215,4 @@ int run(int argc, char** argv) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  return pvcbench::guarded_main("chaos_degradation", argc, argv, run);
-}
+PVCBENCH_MAIN(chaos_degradation);

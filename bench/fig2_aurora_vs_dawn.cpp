@@ -8,6 +8,7 @@
 
 #include "arch/systems.hpp"
 #include "bench_common.hpp"
+#include "bench_entry.hpp"
 #include "core/ascii_plot.hpp"
 #include "parallel_sweep.hpp"
 #include "report/figures.hpp"
@@ -50,6 +51,4 @@ int run(int argc, char** argv) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  return pvcbench::guarded_main("fig2_aurora_vs_dawn", argc, argv, run);
-}
+PVCBENCH_MAIN(fig2_aurora_vs_dawn);

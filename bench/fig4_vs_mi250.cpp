@@ -10,6 +10,7 @@
 
 #include "arch/systems.hpp"
 #include "bench_common.hpp"
+#include "bench_entry.hpp"
 #include "core/ascii_plot.hpp"
 #include "parallel_sweep.hpp"
 #include "report/figures.hpp"
@@ -64,6 +65,4 @@ int run(int argc, char** argv) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  return pvcbench::guarded_main("fig4_vs_mi250", argc, argv, run);
-}
+PVCBENCH_MAIN(fig4_vs_mi250);

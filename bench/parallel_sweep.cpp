@@ -1,8 +1,11 @@
 #include "parallel_sweep.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <exception>
-#include <memory>
+#include <mutex>
 #include <thread>
 
 #include "core/config.hpp"
@@ -10,6 +13,120 @@
 #include "obs/metrics.hpp"
 
 namespace pvcbench {
+
+namespace {
+
+/// Set for the lifetime of each pool worker thread; read by
+/// SharedPool::on_pool_thread() so a sweep running *on* the pool (a
+/// nested ParallelSweep inside a task, or a bench driven by a service
+/// queue worker that is itself a pool thread in some test setups) falls
+/// back to inline execution instead of waiting on lanes the pool can
+/// never schedule.
+thread_local bool tls_on_pool_thread = false;
+
+std::atomic<bool> g_use_shared_pool{true};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SharedPool
+
+struct SharedPool::Impl {
+  /// One run() call in flight: `lanes` copies of `fn` to execute,
+  /// caller blocks until `finished == lanes`.
+  struct Batch {
+    const std::function<void()>* fn = nullptr;
+    std::size_t remaining_starts = 0;  ///< lane starts not yet claimed
+    std::size_t finished = 0;          ///< lanes that returned
+    std::size_t lanes = 0;
+    std::condition_variable done_cv;
+  };
+
+  std::mutex mutex;
+  std::condition_variable work_cv;
+  std::deque<Batch*> queue;  ///< batches with unclaimed lane starts
+  std::vector<std::thread> threads;
+  std::size_t batches = 0;
+  bool stop = false;
+
+  void worker_loop() {
+    tls_on_pool_thread = true;
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+      work_cv.wait(lock, [this] { return stop || !queue.empty(); });
+      if (stop) {
+        return;
+      }
+      Batch* batch = queue.front();
+      batch->remaining_starts--;
+      if (batch->remaining_starts == 0) {
+        queue.pop_front();
+      }
+      lock.unlock();
+      (*batch->fn)();  // the sweep's claim-next-task loop; must not throw
+      lock.lock();
+      batch->finished++;
+      if (batch->finished == batch->lanes) {
+        batch->done_cv.notify_all();
+      }
+    }
+  }
+};
+
+SharedPool::SharedPool() : impl_(std::make_unique<Impl>()) {}
+
+SharedPool::~SharedPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& t : impl_->threads) {
+    t.join();
+  }
+}
+
+SharedPool& SharedPool::instance() {
+  static SharedPool pool;
+  return pool;
+}
+
+bool SharedPool::on_pool_thread() noexcept { return tls_on_pool_thread; }
+
+std::size_t SharedPool::workers() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->threads.size();
+}
+
+std::size_t SharedPool::batches_run() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->batches;
+}
+
+void SharedPool::run(std::size_t lanes, const std::function<void()>& fn) {
+  pvc::ensure(lanes >= 1, "SharedPool: need at least one lane");
+  pvc::ensure(!on_pool_thread(),
+              "SharedPool: nested run() on a pool thread (callers must use "
+              "on_pool_thread() to fall back inline)");
+  Impl::Batch batch;
+  batch.fn = &fn;
+  batch.remaining_starts = lanes;
+  batch.finished = 0;
+  batch.lanes = lanes;
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  // Grow-only: the pool keeps the high-water-mark thread count alive so
+  // repeated run() calls pay no spawn/join (the point of batching).
+  while (impl_->threads.size() < lanes) {
+    impl_->threads.emplace_back([this] { impl_->worker_loop(); });
+  }
+  impl_->queue.push_back(&batch);
+  impl_->batches++;
+  impl_->work_cv.notify_all();
+  batch.done_cv.wait(lock, [&batch] { return batch.finished == batch.lanes; });
+}
+
+// ---------------------------------------------------------------------------
+// ParallelSweep
 
 ParallelSweep::ParallelSweep(std::size_t threads) : threads_(threads) {
   if (threads_ == 0) {
@@ -31,9 +148,31 @@ void ParallelSweep::add(std::function<void()> task) {
   tasks_.push_back(std::move(task));
 }
 
+std::size_t ParallelSweep::add_keyed(const std::string& key,
+                                     std::function<void()> task) {
+  pvc::ensure(static_cast<bool>(task), "ParallelSweep: empty task");
+  const auto it = keyed_.find(key);
+  if (it != keyed_.end()) {
+    ++deduped_;  // identical computation already scheduled; drop this one
+    return it->second;
+  }
+  const std::size_t index = tasks_.size();
+  tasks_.push_back(std::move(task));
+  keyed_.emplace(key, index);
+  return index;
+}
+
+void ParallelSweep::set_use_shared_pool(bool enabled) noexcept {
+  g_use_shared_pool.store(enabled, std::memory_order_relaxed);
+}
+
+bool ParallelSweep::use_shared_pool() noexcept {
+  return g_use_shared_pool.load(std::memory_order_relaxed);
+}
+
 void ParallelSweep::run() {
   const std::size_t n = tasks_.size();
-  if (n == 0) {
+  if (n == 0 && deduped_ == 0) {
     return;
   }
 
@@ -64,10 +203,21 @@ void ParallelSweep::run() {
     }
   };
 
-  const std::size_t workers = std::min(threads_, n);
-  if (workers <= 1) {
-    worker();  // inline — identical code path, zero thread machinery
+  const std::size_t workers = n == 0 ? 1 : std::min(threads_, n);
+  if (workers <= 1 || SharedPool::on_pool_thread()) {
+    // Inline — identical code path, zero thread machinery.  The
+    // on_pool_thread() arm keeps a nested sweep from blocking the pool
+    // on lanes the pool itself would have to run.
+    worker();
+  } else if (use_shared_pool()) {
+    // Batch onto the persistent process-wide pool: no thread spawn or
+    // join on this call, which is what makes back-to-back service
+    // requests cheap.  Each lane runs the very same claim-next-task
+    // worker a private thread would have run.
+    SharedPool::instance().run(workers, worker);
   } else {
+    // Legacy path, kept selectable so bench/serve_throughput can price
+    // pool reuse against per-run thread churn.
     std::vector<std::thread> pool;
     pool.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w) {
@@ -84,6 +234,15 @@ void ParallelSweep::run() {
   auto& target = pvc::obs::Registry::active();
   for (std::size_t i = 0; i < n; ++i) {
     target.merge_from(*registries[i]);
+  }
+  if (deduped_ > 0) {
+    // Reported into the caller's registry like any sweep result: the
+    // count is a pure function of the add sequence, so it never breaks
+    // the byte-identity contract.
+    target
+        .counter("sweep.deduped_tasks", "tasks",
+                 "identical sweep points discarded by ParallelSweep dedup")
+        .add(deduped_);
   }
 
   for (std::size_t i = 0; i < n; ++i) {

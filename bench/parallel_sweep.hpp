@@ -24,9 +24,22 @@
 // (threads_from_config): n=0 picks std::thread::hardware_concurrency(),
 // n=1 runs everything inline on the calling thread (today's serial
 // behaviour), n>1 uses n workers.
+//
+// Execution by default batches onto SharedPool, one process-wide set of
+// persistent worker threads reused across every run() call (and, under
+// the sweep service, shared by every in-flight request) instead of the
+// historical spawn/join of fresh std::thread per run().  The pool runs
+// the exact same claim-next-task loop the private threads ran, and the
+// registry merge still happens on the calling thread, so the
+// determinism contract is untouched — only the thread lifecycle cost
+// moved.  set_use_shared_pool(false) restores the legacy spawn/join
+// path (bench/serve_throughput measures the two against each other).
 
 #include <cstddef>
 #include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace pvc {
@@ -34,6 +47,40 @@ class Config;
 }  // namespace pvc
 
 namespace pvcbench {
+
+/// Process-wide persistent worker pool: grow-only thread set, one batch
+/// of identical worker functions at a time per run() call (concurrent
+/// batches from different threads interleave item-by-item).  Private to
+/// ParallelSweep in spirit; exposed for the pool-reuse tests.
+class SharedPool {
+ public:
+  /// The process-wide instance (created on first use, joined at exit).
+  [[nodiscard]] static SharedPool& instance();
+
+  /// True on a pool worker thread — ParallelSweep uses this to run
+  /// nested sweeps inline instead of deadlocking the pool on itself.
+  [[nodiscard]] static bool on_pool_thread() noexcept;
+
+  /// Runs `fn` on `lanes` pool workers concurrently (growing the pool
+  /// if needed) and blocks until every lane returned.  `fn` must not
+  /// throw — ParallelSweep catches per task into failure slots.
+  void run(std::size_t lanes, const std::function<void()>& fn);
+
+  /// Threads the pool has ever grown to (monotonic).
+  [[nodiscard]] std::size_t workers() const;
+
+  /// Batches dispatched so far (tests assert reuse across run() calls).
+  [[nodiscard]] std::size_t batches_run() const;
+
+  ~SharedPool();
+  SharedPool(const SharedPool&) = delete;
+  SharedPool& operator=(const SharedPool&) = delete;
+
+ private:
+  SharedPool();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 /// Runs a batch of independent tasks across worker threads with
 /// deterministic (task-index order) metric merging.  Not reusable: make
@@ -58,14 +105,39 @@ class ParallelSweep {
   /// registry that run() merges deterministically.
   void add(std::function<void()> task);
 
+  /// Deduplicating add: tasks carrying the same `key` are the same
+  /// computation (e.g. the healthy baseline shared by every chaos
+  /// scenario pair), so only the first is enqueued and executed; later
+  /// calls discard `task` and return the first call's slot index, which
+  /// the caller uses to render the duplicate from the canonical result
+  /// slot.  run() reports the discards as the `sweep.deduped_tasks`
+  /// counter.  Determinism is unaffected: the surviving task set and
+  /// its index order depend only on the add sequence, never on
+  /// scheduling.
+  std::size_t add_keyed(const std::string& key, std::function<void()> task);
+
+  /// Tasks discarded by add_keyed so far.
+  [[nodiscard]] std::size_t deduped_tasks() const noexcept {
+    return deduped_;
+  }
+
   /// Executes every task, merges the per-task metric registries into the
   /// caller's active registry in task order, and rethrows the first
   /// failure (by task index) if any task threw.
   void run();
 
+  /// Process-wide switch between the persistent SharedPool (default,
+  /// true) and the legacy spawn-a-thread-per-run path (false).  Both
+  /// produce byte-identical output; the bench daemon exposes this as
+  /// `batching=` so serve_throughput can price the difference.
+  static void set_use_shared_pool(bool enabled) noexcept;
+  [[nodiscard]] static bool use_shared_pool() noexcept;
+
  private:
   std::size_t threads_;
   std::vector<std::function<void()>> tasks_;
+  std::unordered_map<std::string, std::size_t> keyed_;
+  std::size_t deduped_ = 0;
 };
 
 }  // namespace pvcbench

@@ -12,6 +12,7 @@
 #include "arch/peaks.hpp"
 #include "arch/systems.hpp"
 #include "bench_common.hpp"
+#include "bench_entry.hpp"
 #include "core/table.hpp"
 #include "parallel_sweep.hpp"
 
@@ -97,6 +98,4 @@ int run(int argc, char** argv) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  return pvcbench::guarded_main("power_report", argc, argv, run);
-}
+PVCBENCH_MAIN(power_report);

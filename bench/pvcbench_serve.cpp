@@ -1,0 +1,298 @@
+// The sweep-service daemon and client (docs/SERVING.md).
+//
+// One binary, three modes selected by the positional argument:
+//
+//   pvcbench_serve serve   socket=/tmp/pvc.sock [workers=2] [queue=64]
+//                          [cache_bytes=67108864] [cache_dir=<dir>]
+//                          [batching=on]
+//   pvcbench_serve request socket=/tmp/pvc.sock request='{"bench":...}'
+//                          [out=<path>]
+//   pvcbench_serve once    request='{"bench":...}' [out=<path>]
+//                          [workers=...] [queue=...] [cache_bytes=...]
+//                          [cache_dir=...] [batching=...]
+//
+// `serve` listens on a Unix-domain socket; each connection carries one
+// newline-terminated JSON request and receives a one-line JSON header
+// (status, cache flags, latency, body_bytes) followed by exactly
+// body_bytes of deterministic response body.  `request` is the matching
+// client; `once` serves a single request in-process with no socket (CI
+// smoke and quick local queries).  Bench tables still print to the
+// daemon's stdout — the response bytes never depend on them.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <source_location>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "bench_entry.hpp"
+#include "parallel_sweep.hpp"
+#include "serve/json.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+/// SIGINT/SIGTERM set the stop flag and interrupt accept() (no
+/// SA_RESTART), so the daemon exits its loop cleanly.
+void install_signal_handlers() {
+  struct sigaction sa {};
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+/// The daemon's bench runner: route by registry name, let pvc::Error
+/// propagate so the service can type the failure.
+pvc::serve::BenchRunner bench_runner() {
+  return [](const std::string& bench, const std::vector<std::string>& args) {
+    const pvcbench::BenchEntry* entry = pvcbench::find_bench(bench);
+    pvc::ensure(entry != nullptr, pvc::ErrorCode::InvalidArgument,
+                "unknown bench '" + bench + "' (see bench_entries())");
+    return pvcbench::run_bench_entry(*entry, args);
+  };
+}
+
+pvc::serve::ServiceOptions service_options(const pvc::Config& config) {
+  pvc::serve::ServiceOptions options;
+  const long workers = config.get_int("workers", 2);
+  const long queue = config.get_int("queue", 64);
+  const long cache_bytes =
+      config.get_int("cache_bytes", static_cast<long>(64L << 20));
+  pvc::ensure(workers >= 1, "workers= must be >= 1");
+  pvc::ensure(queue >= 1, "queue= must be >= 1");
+  pvc::ensure(cache_bytes >= 0, "cache_bytes= must be >= 0");
+  options.workers = static_cast<std::size_t>(workers);
+  options.queue_capacity = static_cast<std::size_t>(queue);
+  options.cache_bytes = static_cast<std::size_t>(cache_bytes);
+  options.cache_enabled = cache_bytes > 0;
+  options.cache_dir = config.get_string("cache_dir", "");
+  return options;
+}
+
+/// One-line response header; body_bytes tells the client exactly how
+/// much to read next.
+std::string header_line(const pvc::serve::ServeResponse& r) {
+  std::string line = "{";
+  line += std::string("\"ok\":") + (r.ok ? "true" : "false");
+  line += std::string(",\"cache_hit\":") + (r.cache_hit ? "true" : "false");
+  line += std::string(",\"disk_hit\":") + (r.disk_hit ? "true" : "false");
+  line += ",\"key\":\"" + pvc::serve::json_escape(r.key) + "\"";
+  if (!r.ok) {
+    line += std::string(",\"code\":\"") + pvc::error_code_name(r.code) + "\"";
+    line += ",\"error\":\"" + pvc::serve::json_escape(r.error) + "\"";
+  }
+  line += ",\"latency_us\":" + pvc::serve::json_number(r.latency_us);
+  line += ",\"body_bytes\":" + std::to_string(r.body.size());
+  line += "}\n";
+  return line;
+}
+
+bool write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads up to the first '\n' (not included); false on EOF/oversize.
+bool read_line(int fd, std::string& line, std::size_t max_bytes) {
+  line.clear();
+  char c = 0;
+  for (;;) {
+    const ssize_t n = ::read(fd, &c, 1);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      return false;
+    }
+    if (c == '\n') {
+      return true;
+    }
+    if (line.size() >= max_bytes) {
+      return false;
+    }
+    line.push_back(c);
+  }
+}
+
+void handle_connection(pvc::serve::Service& service, int fd) {
+  std::string request;
+  if (read_line(fd, request, 1 << 20)) {
+    const pvc::serve::ServeResponse response = service.handle_json(request);
+    const std::string header = header_line(response);
+    if (write_all(fd, header.data(), header.size())) {
+      write_all(fd, response.body.data(), response.body.size());
+    }
+  }
+  ::close(fd);
+}
+
+int run_serve(const pvc::Config& config, const std::string& socket_path) {
+  pvc::serve::Service service(bench_runner(), service_options(config));
+  install_signal_handlers();
+
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  pvc::ensure(listen_fd >= 0, "socket() failed");
+  ::unlink(socket_path.c_str());  // drop a stale socket from a dead daemon
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  pvc::ensure(socket_path.size() < sizeof(addr.sun_path),
+              "socket= path too long for AF_UNIX");
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  // Sequenced before ensure(): the message reads errno, and argument
+  // evaluation order is unspecified.
+  const int bind_rc =
+      ::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  pvc::ensure(bind_rc == 0,
+              "bind('" + socket_path + "') failed: " + std::strerror(errno));
+  pvc::ensure(::listen(listen_fd, 64) == 0, "listen() failed");
+  std::printf("pvcbench_serve: listening on %s (workers=%zu queue=%zu "
+              "cache_bytes=%zu batching=%s)\n",
+              socket_path.c_str(), service.options().workers,
+              service.options().queue_capacity, service.options().cache_bytes,
+              pvcbench::ParallelSweep::use_shared_pool() ? "on" : "off");
+  std::fflush(stdout);
+
+  while (g_stop == 0) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;  // signal; loop re-checks g_stop
+      }
+      break;
+    }
+    // One thread per connection: Service::handle is thread-safe and the
+    // bounded JobQueue is what limits concurrent compute.
+    std::thread(&handle_connection, std::ref(service), fd).detach();
+  }
+  ::close(listen_fd);
+  ::unlink(socket_path.c_str());
+  std::printf("pvcbench_serve: shut down\n");
+  return 0;
+}
+
+/// Writes the response body where `out=` says (stdout by default) and
+/// prints the header to stderr so body bytes stay clean for diffing.
+int emit_response(const pvc::Config& config, const std::string& header,
+                  const std::string& body, bool ok) {
+  std::fprintf(stderr, "%s", header.c_str());
+  if (const auto out = config.get("out")) {
+    std::FILE* f = std::fopen(out->c_str(), "wb");
+    pvc::ensure(f != nullptr, "cannot open out= path '" + *out + "'");
+    const std::size_t written = std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    pvc::ensure(written == body.size(), "short write to '" + *out + "'");
+  } else {
+    std::fwrite(body.data(), 1, body.size(), stdout);
+  }
+  return ok ? 0 : 1;
+}
+
+int run_request(const pvc::Config& config, const std::string& socket_path) {
+  const auto request = config.get("request");
+  pvc::ensure(request.has_value(), "request mode needs request='{...}'");
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  pvc::ensure(fd >= 0, "socket() failed");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  pvc::ensure(socket_path.size() < sizeof(addr.sun_path),
+              "socket= path too long for AF_UNIX");
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  // Sequence the call before ensure(): its message argument reads
+  // errno, and argument evaluation order is unspecified.
+  const int connect_rc =
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  pvc::ensure(connect_rc == 0, "connect('" + socket_path +
+                                   "') failed: " + std::strerror(errno));
+  const std::string line = *request + "\n";
+  pvc::ensure(write_all(fd, line.data(), line.size()), "request write failed");
+
+  std::string header;
+  pvc::ensure(read_line(fd, header, 1 << 20), "no response header");
+  // body_bytes is the last numeric member of the header line.
+  const std::string tag = "\"body_bytes\":";
+  const std::size_t pos = header.find(tag);
+  pvc::ensure(pos != std::string::npos, "malformed response header");
+  const std::size_t bytes =
+      static_cast<std::size_t>(std::strtoull(
+          header.c_str() + pos + tag.size(), nullptr, 10));
+  std::string body(bytes, '\0');
+  std::size_t got = 0;
+  while (got < bytes) {
+    const ssize_t n = ::read(fd, body.data() + got, bytes - got);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    pvc::ensure(n > 0, "response body truncated");
+    got += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  const bool ok = header.find("\"ok\":true") != std::string::npos;
+  return emit_response(config, header + "\n", body, ok);
+}
+
+int run_once(const pvc::Config& config) {
+  const auto request = config.get("request");
+  pvc::ensure(request.has_value(), "once mode needs request='{...}'");
+  pvc::serve::Service service(bench_runner(), service_options(config));
+  const pvc::serve::ServeResponse response = service.handle_json(*request);
+  return emit_response(config, header_line(response), response.body,
+                       response.ok);
+}
+
+int run(int argc, char** argv) {
+  const auto config = pvc::Config::from_args(argc, argv);
+  pvcbench::require_known_keys(config, {"socket", "workers", "queue",
+                                        "cache_bytes", "cache_dir",
+                                        "batching", "request", "out"});
+  pvc::ensure(config.positional().size() == 1,
+              "usage: pvcbench_serve <serve|request|once> [key=value...] "
+              "(docs/SERVING.md)");
+  const std::string mode = config.positional().front();
+  pvcbench::ParallelSweep::set_use_shared_pool(
+      config.get_bool("batching", true));
+
+  if (mode == "serve" || mode == "request") {
+    const std::string socket_path =
+        config.get_string("socket", "/tmp/pvcbench_serve.sock");
+    return mode == "serve" ? run_serve(config, socket_path)
+                           : run_request(config, socket_path);
+  }
+  if (mode == "once") {
+    return run_once(config);
+  }
+  throw pvc::Error("unknown mode '" + mode +
+                       "' (accepted: serve, request, once)",
+                   std::source_location::current());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return pvcbench::guarded_main("pvcbench_serve", argc, argv, run);
+}

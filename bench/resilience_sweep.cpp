@@ -40,6 +40,7 @@
 
 #include "arch/systems.hpp"
 #include "bench_common.hpp"
+#include "bench_entry.hpp"
 #include "comm/cluster.hpp"
 #include "core/table.hpp"
 #include "fault/checkpoint.hpp"
@@ -375,6 +376,4 @@ int run(int argc, char** argv) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  return pvcbench::guarded_main("resilience_sweep", argc, argv, run);
-}
+PVCBENCH_MAIN(resilience_sweep);

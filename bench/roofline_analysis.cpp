@@ -10,6 +10,7 @@
 
 #include "arch/systems.hpp"
 #include "bench_common.hpp"
+#include "bench_entry.hpp"
 #include "core/table.hpp"
 #include "report/roofline.hpp"
 
@@ -67,6 +68,4 @@ int run(int argc, char** argv) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  return pvcbench::guarded_main("roofline_analysis", argc, argv, run);
-}
+PVCBENCH_MAIN(roofline_analysis);

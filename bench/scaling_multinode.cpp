@@ -33,6 +33,7 @@
 #include "arch/peaks.hpp"
 #include "arch/systems.hpp"
 #include "bench_common.hpp"
+#include "bench_entry.hpp"
 #include "comm/cluster.hpp"
 #include "core/table.hpp"
 #include "fault/injector.hpp"
@@ -264,6 +265,4 @@ int run(int argc, char** argv) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  return pvcbench::guarded_main("scaling_multinode", argc, argv, run);
-}
+PVCBENCH_MAIN(scaling_multinode);

@@ -12,6 +12,7 @@
 #include "arch/peaks.hpp"
 #include "arch/systems.hpp"
 #include "bench_common.hpp"
+#include "bench_entry.hpp"
 #include "comm/binding.hpp"
 #include "core/table.hpp"
 #include "miniapps/cloverleaf.hpp"
@@ -127,6 +128,4 @@ int run(int argc, char** argv) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  return pvcbench::guarded_main("scaling_sweep", argc, argv, run);
-}
+PVCBENCH_MAIN(scaling_sweep);

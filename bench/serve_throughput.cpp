@@ -1,0 +1,186 @@
+// google-benchmark measurements of the sweep service itself
+// (docs/SERVING.md): cold (computed) vs warm (cache-hit) request
+// latency, and end-to-end request throughput with the shared persistent
+// ParallelSweep pool on vs the legacy spawn-a-thread-per-run path.
+// scripts/bench_serve.sh records these into BENCH_serve.json;
+// scripts/perf_smoke.py guards them against regressions.
+
+#include <benchmark/benchmark.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "bench_entry.hpp"
+#include "parallel_sweep.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+pvc::serve::BenchRunner runner() {
+  return [](const std::string& bench, const std::vector<std::string>& args) {
+    const pvcbench::BenchEntry* entry = pvcbench::find_bench(bench);
+    pvc::ensure(entry != nullptr, pvc::ErrorCode::InvalidArgument,
+                "unknown bench '" + bench + "'");
+    return pvcbench::run_bench_entry(*entry, args);
+  };
+}
+
+pvc::serve::ServiceOptions options_with_cache(bool cache_enabled) {
+  pvc::serve::ServiceOptions options;
+  options.workers = 2;
+  options.queue_capacity = 256;
+  options.cache_enabled = cache_enabled;
+  if (!cache_enabled) {
+    options.cache_bytes = 0;
+  }
+  return options;
+}
+
+/// The bench entries print their human tables to stdout; per-iteration
+/// that would swamp the benchmark console, so compute-path loops mute
+/// stdout around each request (the response bytes never depend on it).
+class StdoutSilencer {
+ public:
+  StdoutSilencer() : saved_(::dup(1)), null_(::open("/dev/null", O_WRONLY)) {}
+  ~StdoutSilencer() {
+    unmute();
+    ::close(null_);
+    ::close(saved_);
+  }
+  void mute() {
+    std::fflush(stdout);
+    ::dup2(null_, 1);
+  }
+  void unmute() {
+    std::fflush(stdout);
+    ::dup2(saved_, 1);
+  }
+
+ private:
+  int saved_;
+  int null_;
+};
+
+/// The measured request: a real multi-point sweep (chaos pair table,
+/// threads=4) so the cold path exercises the ParallelSweep batch and
+/// the warm path is the pure cache lookup over the same body.
+const char* kSweepRequest =
+    R"({"bench":"chaos_degradation","config":{"threads":"4"},"seed":1})";
+
+void set_percentile_counters(benchmark::State& state,
+                             std::vector<double>& latencies_us) {
+  if (latencies_us.empty()) {
+    return;
+  }
+  std::sort(latencies_us.begin(), latencies_us.end());
+  const auto at = [&](double q) {
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(latencies_us.size() - 1));
+    return latencies_us[idx];
+  };
+  state.counters["p50_us"] = at(0.50);
+  state.counters["p99_us"] = at(0.99);
+}
+
+/// Full compute path: the in-memory cache is dropped before every
+/// request, so each iteration parses, hashes, queues, runs the bench
+/// sweep, and renders the body.
+void BM_ServeColdRequest(benchmark::State& state) {
+  pvc::serve::Service service(runner(), options_with_cache(true));
+  StdoutSilencer quiet;
+  std::vector<double> latencies;
+  for (auto _ : state) {
+    service.clear_cache_memory();
+    quiet.mute();
+    const auto response = service.handle_json(kSweepRequest);
+    quiet.unmute();
+    if (!response.ok) {
+      state.SkipWithError(response.error.c_str());
+      break;
+    }
+    latencies.push_back(response.latency_us);
+    benchmark::DoNotOptimize(response.body.data());
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()));
+  set_percentile_counters(state, latencies);
+}
+BENCHMARK(BM_ServeColdRequest)->Unit(benchmark::kMillisecond);
+
+/// Cache fast path: one priming request, then every iteration is a
+/// content-hash lookup returning the identical bytes.
+void BM_ServeWarmHit(benchmark::State& state) {
+  pvc::serve::Service service(runner(), options_with_cache(true));
+  {
+    StdoutSilencer quiet;
+    quiet.mute();
+    const auto primed = service.handle_json(kSweepRequest);
+    quiet.unmute();
+    if (!primed.ok) {
+      state.SkipWithError(primed.error.c_str());
+      return;
+    }
+  }
+  std::vector<double> latencies;
+  for (auto _ : state) {
+    const auto response = service.handle_json(kSweepRequest);
+    if (!response.ok || !response.cache_hit) {
+      state.SkipWithError("expected a cache hit");
+      break;
+    }
+    latencies.push_back(response.latency_us);
+    benchmark::DoNotOptimize(response.body.data());
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()));
+  set_percentile_counters(state, latencies);
+}
+BENCHMARK(BM_ServeWarmHit)->Unit(benchmark::kMicrosecond);
+
+/// End-to-end requests/s with caching off, so every request recomputes
+/// its sweep: arg 0 = legacy thread-per-run spawn/join, arg 1 = shared
+/// persistent pool (the default).  The delta is pure thread-lifecycle
+/// cost, since both paths run identical task sets.
+void BM_ServeThroughputBatching(benchmark::State& state) {
+  const bool batching = state.range(0) != 0;
+  pvcbench::ParallelSweep::set_use_shared_pool(batching);
+  pvc::serve::Service service(runner(), options_with_cache(false));
+  StdoutSilencer quiet;
+  std::vector<double> latencies;
+  for (auto _ : state) {
+    quiet.mute();
+    const auto response = service.handle_json(kSweepRequest);
+    quiet.unmute();
+    if (!response.ok) {
+      state.SkipWithError(response.error.c_str());
+      break;
+    }
+    latencies.push_back(response.latency_us);
+    benchmark::DoNotOptimize(response.body.data());
+  }
+  pvcbench::ParallelSweep::set_use_shared_pool(true);
+  state.SetItemsProcessed(static_cast<long>(state.iterations()));
+  state.SetLabel(batching ? "shared persistent pool"
+                          : "thread spawn/join per run");
+  set_percentile_counters(state, latencies);
+}
+BENCHMARK(BM_ServeThroughputBatching)->Arg(0)->Arg(1)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Same stamp as the other gbench binaries: the recording scripts
+  // refuse JSON from unoptimized builds (scripts/check_bench_build.py).
+  benchmark::AddCustomContext("pvc_build_type", PVC_BUILD_TYPE);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

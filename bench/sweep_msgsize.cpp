@@ -10,6 +10,7 @@
 
 #include "arch/systems.hpp"
 #include "bench_common.hpp"
+#include "bench_entry.hpp"
 #include "core/ascii_plot.hpp"
 #include "core/table.hpp"
 #include "micro/message_sweep.hpp"
@@ -83,6 +84,4 @@ int run(int argc, char** argv) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  return pvcbench::guarded_main("sweep_msgsize", argc, argv, run);
-}
+PVCBENCH_MAIN(sweep_msgsize);

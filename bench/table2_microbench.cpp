@@ -10,6 +10,7 @@
 
 #include "arch/systems.hpp"
 #include "bench_common.hpp"
+#include "bench_entry.hpp"
 #include "core/table.hpp"
 #include "micro/microbench.hpp"
 #include "micro/paper_reference.hpp"
@@ -148,6 +149,4 @@ int run(int argc, char** argv) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  return pvcbench::guarded_main("table2_microbench", argc, argv, run);
-}
+PVCBENCH_MAIN(table2_microbench);

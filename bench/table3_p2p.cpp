@@ -9,6 +9,7 @@
 
 #include "arch/systems.hpp"
 #include "bench_common.hpp"
+#include "bench_entry.hpp"
 #include "core/table.hpp"
 #include "micro/paper_reference.hpp"
 #include "micro/table_results.hpp"
@@ -110,6 +111,4 @@ int run(int argc, char** argv) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  return pvcbench::guarded_main("table3_p2p", argc, argv, run);
-}
+PVCBENCH_MAIN(table3_p2p);

@@ -9,6 +9,7 @@
 #include "arch/peaks.hpp"
 #include "arch/systems.hpp"
 #include "bench_common.hpp"
+#include "bench_entry.hpp"
 #include "core/table.hpp"
 
 namespace {
@@ -73,6 +74,4 @@ int run(int argc, char** argv) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  return pvcbench::guarded_main("table4_refspecs", argc, argv, run);
-}
+PVCBENCH_MAIN(table4_refspecs);

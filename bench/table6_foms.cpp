@@ -9,6 +9,7 @@
 
 #include "arch/systems.hpp"
 #include "bench_common.hpp"
+#include "bench_entry.hpp"
 #include "core/table.hpp"
 #include "micro/paper_reference.hpp"
 #include "parallel_sweep.hpp"
@@ -130,6 +131,4 @@ int run(int argc, char** argv) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  return pvcbench::guarded_main("table6_foms", argc, argv, run);
-}
+PVCBENCH_MAIN(table6_foms);

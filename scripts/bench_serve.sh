@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Runs the sweep-service benchmarks (bench/serve_throughput.cpp) and
+# stores the JSON series at the repo root (BENCH_serve.json): cold vs
+# warm request latency and requests/s with the shared ParallelSweep
+# pool on vs the legacy spawn/join path.  Usage:
+#
+#   scripts/bench_serve.sh [build-dir] [output.json]
+#
+# The build dir must be an optimised build (Release/RelWithDebInfo) —
+# numbers from -O0 builds are not comparable across commits.  The guard
+# below enforces this from the binary's own "pvc_build_type" JSON
+# context: an unoptimized build aborts the recording unless
+# ALLOW_DEBUG_BENCH=1 is set, in which case the JSON is loudly tagged.
+set -euo pipefail
+
+build_dir="${1:-build}"
+out="${2:-BENCH_serve.json}"
+bench="${build_dir}/bench/serve_throughput"
+
+if [[ ! -x "${bench}" ]]; then
+  echo "error: ${bench} not built (cmake --build ${build_dir} --target serve_throughput)" >&2
+  exit 1
+fi
+
+"${bench}" \
+  --benchmark_filter='BM_Serve' \
+  --benchmark_min_time=0.5 \
+  --benchmark_format=json \
+  --benchmark_out="${out}" \
+  --benchmark_out_format=json \
+  >/dev/null
+
+python3 "$(dirname "$0")/check_bench_build.py" "${out}"
+
+echo "wrote ${out}:"
+python3 - "${out}" <<'EOF'
+import json, sys
+path = sys.argv[1]
+doc = json.load(open(path))
+rows = {b["name"]: b for b in doc.get("benchmarks", [])}
+for b in rows.values():
+    label = f"  [{b['label']}]" if b.get("label") else ""
+    print(f"  {b['name']:34s} {b['real_time']:12.1f} {b['time_unit']}"
+          f"  ({b.get('items_per_second', 0):8.1f} req/s){label}")
+
+# The two acceptance ratios the series exists to track: warm cache hits
+# must stay orders of magnitude under the cold compute path, and the
+# shared pool (arg 1) must beat spawn/join (arg 0) on requests/s.
+cold = rows.get("BM_ServeColdRequest")
+warm = rows.get("BM_ServeWarmHit")
+if cold and warm:
+    scale = {"ns": 1e-3, "us": 1.0, "ms": 1e3, "s": 1e6}
+    cold_us = cold["real_time"] * scale[cold["time_unit"]]
+    warm_us = warm["real_time"] * scale[warm["time_unit"]]
+    print(f"  warm speedup: {cold_us / warm_us:.0f}x"
+          f" (cold {cold_us:.0f} us -> warm {warm_us:.2f} us)")
+spawn = rows.get("BM_ServeThroughputBatching/0")
+pool = rows.get("BM_ServeThroughputBatching/1")
+if spawn and pool:
+    gain = pool["items_per_second"] / spawn["items_per_second"]
+    print(f"  pool vs spawn/join: {gain:.2f}x requests/s")
+EOF

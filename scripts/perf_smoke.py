@@ -1,19 +1,26 @@
 #!/usr/bin/env python3
-"""Perf smoke: guard the sharded-engine benchmarks against regressions.
+"""Perf smoke: guard the committed benchmark series against regressions.
 
-Runs `gbench_simcore --benchmark_filter=Sharded` from the given build
-dir and compares every matching benchmark against the committed
-BENCH_simcore.json series.  A row more than TOLERANCE slower than its
-committed time fails the run; rows only present on one side (a newly
-added or retired benchmark) are reported but never fatal, so landing a
-new benchmark and recording its baseline can happen in the same PR.
+Re-runs each guarded suite from the given build dir and compares every
+matching benchmark against its committed baseline JSON at the repo
+root:
+
+  simcore    gbench_simcore   BM_Sharded*  vs BENCH_simcore.json
+  workloads  gbench_workloads BM_*         vs BENCH_workloads.json
+  serve      serve_throughput BM_Serve*    vs BENCH_serve.json
+
+A row more than TOLERANCE slower than its committed time fails the
+run; rows only present on one side (a newly added or retired
+benchmark) are reported but never fatal, so landing a new benchmark
+and recording its baseline can happen in the same PR.  A missing
+baseline file skips that suite with a warning for the same reason.
 
 Absolute times move with the host, so the guard is deliberately loose
-(default 30%) — it exists to catch the sharded/spatial path falling off
-an algorithmic cliff (a serialized solver, a lost fast path), not 5%
+(default 30%) — it exists to catch an algorithmic cliff (a serialized
+solver, a lost fast path, the serve cache no longer hitting), not 5%
 noise.  Override with PERF_SMOKE_TOLERANCE=<fraction>.
 
-Usage: perf_smoke.py <build-dir> [baseline.json]
+Usage: perf_smoke.py <build-dir> [suite ...]   (default: all suites)
 """
 
 import json
@@ -22,32 +29,32 @@ import subprocess
 import sys
 import tempfile
 
-FILTER = "Sharded"
+# suite -> (bench binary under <build>/bench, baseline at repo root,
+#           --benchmark_filter regex)
+SUITES = {
+    "simcore": ("gbench_simcore", "BENCH_simcore.json", "Sharded"),
+    "workloads": ("gbench_workloads", "BENCH_workloads.json", "BM_"),
+    "serve": ("serve_throughput", "BENCH_serve.json", "BM_Serve"),
+}
 
 
-def main() -> int:
-    if len(sys.argv) not in (2, 3):
-        print(__doc__, file=sys.stderr)
-        return 2
-    build_dir = sys.argv[1]
-    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-    baseline_path = sys.argv[2] if len(sys.argv) == 3 else os.path.join(
-        root, "BENCH_simcore.json")
-    tolerance = float(os.environ.get("PERF_SMOKE_TOLERANCE", "0.30"))
-
-    bench = os.path.join(build_dir, "bench", "gbench_simcore")
+def run_suite(build_dir: str, root: str, suite: str, tolerance: float) -> list:
+    binary, baseline_name, bench_filter = SUITES[suite]
+    bench = os.path.join(build_dir, "bench", binary)
     if not os.access(bench, os.X_OK):
-        print(f"error: {bench} not built", file=sys.stderr)
-        return 1
+        return [f"{suite}: {bench} not built"]
+    baseline_path = os.path.join(root, baseline_name)
+    if not os.path.exists(baseline_path):
+        print(f"  {suite}: no committed {baseline_name} yet — skipped "
+              f"(record one with the matching scripts/bench_*.sh)")
+        return []
     with open(baseline_path) as f:
         baseline = {
             b["name"]: b
             for b in json.load(f).get("benchmarks", [])
-            if FILTER in b["name"]
         }
     if not baseline:
-        print(f"error: no '{FILTER}' rows in {baseline_path}", file=sys.stderr)
-        return 1
+        return [f"{suite}: no benchmark rows in {baseline_path}"]
 
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
         out_path = tmp.name
@@ -55,7 +62,7 @@ def main() -> int:
         subprocess.run(
             [
                 bench,
-                f"--benchmark_filter={FILTER}",
+                f"--benchmark_filter={bench_filter}",
                 "--benchmark_min_time=0.2",
                 f"--benchmark_out={out_path}",
                 "--benchmark_out_format=json",
@@ -71,8 +78,7 @@ def main() -> int:
         os.unlink(out_path)
 
     failures = []
-    print(f"perf smoke vs {os.path.basename(baseline_path)} "
-          f"(tolerance +{tolerance:.0%}):")
+    print(f"{suite}: vs {baseline_name} (tolerance +{tolerance:.0%})")
     for name in sorted(set(baseline) | set(current)):
         if name not in current:
             print(f"  {name:38s} retired (baseline only)")
@@ -92,6 +98,26 @@ def main() -> int:
               f"  ({ratio:5.2f}x)  {verdict}")
         if ratio > 1.0 + tolerance:
             failures.append(f"{name}: {ratio:.2f}x slower than baseline")
+    return failures
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    build_dir = sys.argv[1]
+    suites = sys.argv[2:] or list(SUITES)
+    unknown = [s for s in suites if s not in SUITES]
+    if unknown:
+        print(f"error: unknown suite(s) {unknown}; "
+              f"choose from {sorted(SUITES)}", file=sys.stderr)
+        return 2
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    tolerance = float(os.environ.get("PERF_SMOKE_TOLERANCE", "0.30"))
+
+    failures = []
+    for suite in suites:
+        failures.extend(run_suite(build_dir, root, suite, tolerance))
     for f in failures:
         print(f"error: {f}", file=sys.stderr)
     return 1 if failures else 0

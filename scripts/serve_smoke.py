@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Service smoke: end-to-end pvcbench_serve daemon check.
+
+Starts the daemon on a throwaway unix socket, then over real client
+connections asserts the serving contract (docs/SERVING.md):
+
+  1. a cold request computes and returns ok with cache_hit=false;
+  2. repeating it is a cache hit with a byte-identical body;
+  3. an unknown bench yields a typed invalid_argument error header;
+  4. SIGTERM shuts the daemon down cleanly (exit code 0).
+
+Usage: serve_smoke.py <build-dir>
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+REQUEST = '{"bench":"table4_refspecs","config":{},"seed":7}'
+BAD_REQUEST = '{"bench":"no_such_bench","config":{},"seed":7}'
+
+
+def roundtrip(socket_path: str, request: str) -> tuple:
+    """One request over the wire; returns (header dict, body bytes)."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.settimeout(60.0)
+        sock.connect(socket_path)
+        sock.sendall(request.encode() + b"\n")
+        data = b""
+        while b"\n" not in data:
+            chunk = sock.recv(65536)
+            if not chunk:
+                raise RuntimeError("daemon closed before header line")
+            data += chunk
+        header_line, body = data.split(b"\n", 1)
+        header = json.loads(header_line)
+        want = header.get("body_bytes", 0)
+        while len(body) < want:
+            chunk = sock.recv(65536)
+            if not chunk:
+                raise RuntimeError(
+                    f"daemon closed mid-body ({len(body)}/{want} bytes)")
+            body += chunk
+        return header, body
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    daemon_bin = os.path.join(sys.argv[1], "bench", "pvcbench_serve")
+    if not os.access(daemon_bin, os.X_OK):
+        print(f"error: {daemon_bin} not built", file=sys.stderr)
+        return 1
+
+    with tempfile.TemporaryDirectory(prefix="serve_smoke.") as tmp:
+        socket_path = os.path.join(tmp, "serve.sock")
+        cache_dir = os.path.join(tmp, "cache")
+        daemon = subprocess.Popen(
+            [daemon_bin, "serve", f"socket={socket_path}",
+             f"cache_dir={cache_dir}", "workers=2"],
+            stdout=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.time() + 30.0
+            while not os.path.exists(socket_path):
+                if daemon.poll() is not None:
+                    print("error: daemon exited before creating its socket",
+                          file=sys.stderr)
+                    return 1
+                if time.time() > deadline:
+                    print("error: socket never appeared", file=sys.stderr)
+                    return 1
+                time.sleep(0.05)
+
+            cold_header, cold_body = roundtrip(socket_path, REQUEST)
+            assert cold_header["ok"], f"cold request failed: {cold_header}"
+            assert not cold_header["cache_hit"], "first request was a hit?"
+            assert cold_body, "cold request returned an empty body"
+
+            warm_header, warm_body = roundtrip(socket_path, REQUEST)
+            assert warm_header["ok"], f"warm request failed: {warm_header}"
+            assert warm_header["cache_hit"], "repeat request missed the cache"
+            assert warm_body == cold_body, "warm body differs from cold body"
+            assert warm_header["key"] == cold_header["key"]
+
+            bad_header, _ = roundtrip(socket_path, BAD_REQUEST)
+            assert not bad_header["ok"], "unknown bench was accepted"
+            assert bad_header["code"] == "invalid_argument", bad_header
+
+            # Cache entries are written through to disk as <key>.body.
+            on_disk = os.path.join(cache_dir, cold_header["key"] + ".body")
+            assert os.path.exists(on_disk), f"no disk cache entry {on_disk}"
+
+            print(f"serve smoke ok: cold {cold_header['latency_us']:.0f} us "
+                  f"-> warm {warm_header['latency_us']:.0f} us, "
+                  f"{len(cold_body)} byte body, key {cold_header['key']}")
+        finally:
+            if daemon.poll() is None:
+                daemon.send_signal(signal.SIGTERM)
+            rc = daemon.wait(timeout=30)
+        if rc != 0:
+            print(f"error: daemon exited {rc} on SIGTERM", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

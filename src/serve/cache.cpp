@@ -1,0 +1,161 @@
+#include "serve/cache.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "core/error.hpp"
+
+namespace pvc::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::size_t entry_cost(const std::string& key, const std::string& body) {
+  return key.size() + body.size();
+}
+
+void validate_key(const std::string& key) {
+  ensure(!key.empty(), ErrorCode::InvalidArgument, "empty cache key");
+  for (const char c : key) {
+    const bool ok = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') ||
+                    (c >= 'A' && c <= 'F');
+    ensure(ok, ErrorCode::InvalidArgument,
+           "cache keys must be hex content hashes (got '" + key + "')");
+  }
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::size_t max_bytes, std::string dir)
+    : max_bytes_(max_bytes), dir_(std::move(dir)) {
+  if (!dir_.empty()) {
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    ensure(!ec, "ResultCache: cannot create cache dir '" + dir_ +
+                    "': " + ec.message());
+  }
+}
+
+std::optional<std::string> ResultCache::get(const std::string& key) {
+  validate_key(key);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.lookups;
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+    return it->second->body;
+  }
+  if (!dir_.empty()) {
+    if (auto body = load_persisted(key)) {
+      ++stats_.disk_hits;
+      insert_locked(key, *body);
+      return body;
+    }
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void ResultCache::put(const std::string& key, const std::string& body) {
+  validate_key(key);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.insertions;
+  insert_locked(key, body);
+  if (!dir_.empty()) {
+    persist(key, body);
+  }
+}
+
+void ResultCache::insert_locked(const std::string& key,
+                                const std::string& body) {
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Deterministic responses mean a re-put carries the same bytes;
+    // refresh recency and (defensively) the body.
+    bytes_ -= entry_cost(it->second->key, it->second->body);
+    it->second->body = body;
+    bytes_ += entry_cost(key, body);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  const std::size_t cost = entry_cost(key, body);
+  if (cost > max_bytes_) {
+    return;  // larger than the whole memory budget; disk tier only
+  }
+  evict_until_fits_locked(cost);
+  lru_.push_front(Node{key, body});
+  index_.emplace(key, lru_.begin());
+  bytes_ += cost;
+}
+
+void ResultCache::evict_until_fits_locked(std::size_t incoming_cost) {
+  while (!lru_.empty() && bytes_ + incoming_cost > max_bytes_) {
+    const Node& victim = lru_.back();
+    bytes_ -= entry_cost(victim.key, victim.body);
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void ResultCache::clear_memory() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+std::size_t ResultCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+std::size_t ResultCache::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::string ResultCache::file_path(const std::string& key) const {
+  return (fs::path(dir_) / (key + ".body")).string();
+}
+
+void ResultCache::persist(const std::string& key,
+                          const std::string& body) const {
+  // Atomic publish: write a temp file, then rename over the final name
+  // so a concurrent reader never observes a torn body.
+  const std::string final_path = file_path(key);
+  const std::string tmp_path = final_path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    ensure(out.good(), "ResultCache: cannot write " + tmp_path);
+    out.write(body.data(), static_cast<std::streamsize>(body.size()));
+    ensure(out.good(), "ResultCache: short write to " + tmp_path);
+  }
+  std::error_code ec;
+  fs::rename(tmp_path, final_path, ec);
+  ensure(!ec, "ResultCache: cannot publish " + final_path + ": " +
+                  ec.message());
+}
+
+std::optional<std::string> ResultCache::load_persisted(
+    const std::string& key) const {
+  std::ifstream in(file_path(key), std::ios::binary);
+  if (!in.good()) {
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace pvc::serve

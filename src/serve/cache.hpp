@@ -1,0 +1,87 @@
+#pragma once
+// Content-hashed result cache (docs/SERVING.md).
+//
+// Maps request content hashes (serve/request.hpp) to response bodies.
+// The in-memory tier is a bounded-byte LRU: each entry is charged
+// key.size() + body.size(), inserting evicts from the
+// least-recently-used end until the new entry fits, and an entry larger
+// than the whole budget is never held in memory at all.  An optional
+// directory adds a write-through persistent tier keyed by the same
+// hash — a daemon restart (or an eviction) can then re-serve old
+// results from disk, byte-identical, after one re-load.
+//
+// Thread safety: every public method takes an internal mutex; the
+// service calls the cache from its connection threads.  The cache keeps
+// plain counters (Stats) instead of bumping obs metrics itself so that
+// lookups performed while a request registry is scoped never leak
+// serve-side counts into a cached response body; the service mirrors
+// Stats into the global `serve.cache.*` metrics (docs/OBSERVABILITY.md).
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace pvc::serve {
+
+class ResultCache {
+ public:
+  struct Stats {
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;       ///< served from memory
+    std::uint64_t disk_hits = 0;  ///< memory miss, re-loaded from disk
+    std::uint64_t misses = 0;     ///< absent from every tier
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;  ///< memory-tier entries dropped
+  };
+
+  /// `max_bytes` bounds the in-memory tier (0 disables it: with a
+  /// directory the cache is disk-only, without one every lookup
+  /// misses).  `dir` empty disables persistence; otherwise it is
+  /// created on first use.
+  explicit ResultCache(std::size_t max_bytes, std::string dir = "");
+
+  /// The body cached under `key`, or nullopt.  A memory hit refreshes
+  /// recency; a disk hit re-inserts into the memory tier.
+  [[nodiscard]] std::optional<std::string> get(const std::string& key);
+
+  /// Inserts (or refreshes) `key`; write-through to the directory when
+  /// persistence is on.  Keys must be non-empty hash strings without
+  /// path separators.
+  void put(const std::string& key, const std::string& body);
+
+  /// Drops the in-memory tier (persistent files survive).
+  void clear_memory();
+
+  [[nodiscard]] std::size_t bytes() const;
+  [[nodiscard]] std::size_t entries() const;
+  [[nodiscard]] std::size_t max_bytes() const noexcept { return max_bytes_; }
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Node {
+    std::string key;
+    std::string body;
+  };
+
+  void insert_locked(const std::string& key, const std::string& body);
+  void evict_until_fits_locked(std::size_t incoming_cost);
+  [[nodiscard]] std::string file_path(const std::string& key) const;
+  void persist(const std::string& key, const std::string& body) const;
+  [[nodiscard]] std::optional<std::string> load_persisted(
+      const std::string& key) const;
+
+  const std::size_t max_bytes_;
+  const std::string dir_;
+  mutable std::mutex mutex_;
+  std::list<Node> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Node>::iterator> index_;
+  std::size_t bytes_ = 0;
+  Stats stats_;
+};
+
+}  // namespace pvc::serve

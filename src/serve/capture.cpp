@@ -1,0 +1,17 @@
+#include "serve/capture.hpp"
+
+namespace pvc::serve {
+
+namespace {
+thread_local RunCapture* g_active = nullptr;
+}  // namespace
+
+RunCapture* active_capture() noexcept { return g_active; }
+
+ScopedCapture::ScopedCapture() noexcept : previous_(g_active) {
+  g_active = &capture_;
+}
+
+ScopedCapture::~ScopedCapture() { g_active = previous_; }
+
+}  // namespace pvc::serve

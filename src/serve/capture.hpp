@@ -1,0 +1,43 @@
+#pragma once
+// Thread-local output capture for in-process bench runs
+// (docs/SERVING.md).
+//
+// The sweep service runs bench entries on its own worker threads and
+// needs the CSV a bench would have written to the `csv=<path>` file as
+// an in-memory string.  ScopedCapture installs a thread-local sink;
+// bench_common.hpp's maybe_write_csv() checks active_capture() first
+// and, when one is installed, stores the rendered CSV there instead of
+// touching the filesystem (and without the "CSV written to ..." chatter
+// on stdout).  The service pairs this with an obs::ScopedRegistry so
+// the request's metrics snapshot is equally file-free.
+
+#include <optional>
+#include <string>
+
+namespace pvc::serve {
+
+/// Where a captured run's CSV lands.
+struct RunCapture {
+  std::optional<std::string> csv;
+};
+
+/// The capture installed on this thread, or nullptr.
+[[nodiscard]] RunCapture* active_capture() noexcept;
+
+/// RAII installation of a RunCapture on the current thread (nesting
+/// restores the previous sink on destruction).
+class ScopedCapture {
+ public:
+  ScopedCapture() noexcept;
+  ~ScopedCapture();
+  ScopedCapture(const ScopedCapture&) = delete;
+  ScopedCapture& operator=(const ScopedCapture&) = delete;
+
+  [[nodiscard]] RunCapture& capture() noexcept { return capture_; }
+
+ private:
+  RunCapture capture_;
+  RunCapture* previous_;
+};
+
+}  // namespace pvc::serve

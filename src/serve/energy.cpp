@@ -1,0 +1,133 @@
+#include "serve/energy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.hpp"
+#include "serve/json.hpp"
+
+namespace pvc::serve {
+
+namespace {
+
+/// E(f) for fixed work C cycles under the governor's power model.
+double energy_at(double f_hz, double cycles, double static_w,
+                 double dyn_w_at_fmax, double f_max_hz, double alpha) {
+  const double x = std::pow(f_hz / f_max_hz, alpha);
+  return (static_w + dyn_w_at_fmax * x) * (cycles / f_hz);
+}
+
+}  // namespace
+
+EnergyReport energy_report(const obs::Snapshot& snapshot,
+                           const sim::PowerDomain& domain) {
+  EnergyReport report;
+  report.busy_seconds = snapshot.value("power.busy_seconds");
+  report.energy_joules = snapshot.value("power.energy_joules");
+  report.throttled_seconds = snapshot.value("power.throttled_seconds");
+  report.fullclock_seconds = snapshot.value("power.fullclock_seconds");
+  if (report.busy_seconds <= 0.0 || report.energy_joules <= 0.0) {
+    return report;  // request priced no device kernels
+  }
+  report.has_device_work = true;
+  report.avg_power_w = report.energy_joules / report.busy_seconds;
+
+  // Mean executed frequency from the time-at-frequency histogram
+  // (values are MHz, weights are seconds).
+  const obs::MetricSample* hist = snapshot.find("power.time_at_freq_mhz");
+  double f_mean_hz = domain.f_max_hz;
+  if (hist != nullptr && hist->value > 0.0) {  // value = weight sum
+    double mhz_seconds = 0.0;
+    double seconds = 0.0;
+    for (const auto& bucket : hist->buckets) {
+      // Use each bucket's geometric midpoint; exact enough for the
+      // report and deterministic.
+      const double mid =
+          0.5 * (static_cast<double>(bucket.lower) +
+                 static_cast<double>(bucket.upper));
+      mhz_seconds += mid * bucket.weight;
+      seconds += bucket.weight;
+    }
+    if (seconds > 0.0 && mhz_seconds > 0.0) {
+      f_mean_hz = mhz_seconds / seconds * 1e6;
+    }
+  }
+  f_mean_hz = std::clamp(f_mean_hz, 0.05 * domain.f_max_hz, domain.f_max_hz);
+  report.mean_frequency_hz = f_mean_hz;
+
+  // Back out the workload's dynamic power at f_max from the observed
+  // average power: P_avg = P_static + P_dyn * (f_mean/f_max)^alpha.
+  const double x_mean = std::pow(f_mean_hz / domain.f_max_hz, domain.alpha);
+  const double dyn_at_fmax =
+      std::max((report.avg_power_w - domain.static_w) / std::max(x_mean, 1e-9),
+               0.0);
+  const double cycles = f_mean_hz * report.busy_seconds;
+
+  // Grid search: half of f_max up to f_max in 25 MHz steps (grid in
+  // integral MHz so the walk is bit-stable).
+  const auto f_max_mhz = static_cast<long>(std::llround(domain.f_max_hz / 1e6));
+  const long f_lo_mhz = std::max(f_max_mhz / 2, 1L);
+  double best_f = domain.f_max_hz;
+  double best_e = energy_at(domain.f_max_hz, cycles, domain.static_w,
+                            dyn_at_fmax, domain.f_max_hz, domain.alpha);
+  report.energy_at_fmax_j = best_e;
+  int points = 0;
+  for (long mhz = f_lo_mhz; mhz <= f_max_mhz; mhz += 25) {
+    const double f = static_cast<double>(mhz) * 1e6;
+    const double e = energy_at(f, cycles, domain.static_w, dyn_at_fmax,
+                               domain.f_max_hz, domain.alpha);
+    ++points;
+    if (e < best_e) {
+      best_e = e;
+      best_f = f;
+    }
+  }
+  // Closed-form optimum of E(f) (valid for alpha > 1): refine the grid
+  // answer when it lands inside the searched range.
+  if (domain.alpha > 1.0 && dyn_at_fmax > 0.0) {
+    const double f_star =
+        domain.f_max_hz *
+        std::pow(domain.static_w / (dyn_at_fmax * (domain.alpha - 1.0)),
+                 1.0 / domain.alpha);
+    if (f_star >= static_cast<double>(f_lo_mhz) * 1e6 &&
+        f_star <= domain.f_max_hz) {
+      const double e_star = energy_at(f_star, cycles, domain.static_w,
+                                      dyn_at_fmax, domain.f_max_hz,
+                                      domain.alpha);
+      ++points;
+      if (e_star < best_e) {
+        best_e = e_star;
+        best_f = f_star;
+      }
+    }
+  }
+  report.f_opt_hz = best_f;
+  report.energy_at_fopt_j = best_e;
+  report.grid_points = points;
+  if (report.energy_at_fmax_j > 0.0) {
+    report.savings_vs_fmax_pct =
+        100.0 * (1.0 - report.energy_at_fopt_j / report.energy_at_fmax_j);
+  }
+  return report;
+}
+
+std::string to_json(const EnergyReport& r) {
+  std::string out = "{";
+  out += "\"has_device_work\":";
+  out += r.has_device_work ? "true" : "false";
+  out += ",\"busy_seconds\":" + json_number(r.busy_seconds);
+  out += ",\"energy_joules\":" + json_number(r.energy_joules);
+  out += ",\"avg_power_w\":" + json_number(r.avg_power_w);
+  out += ",\"mean_frequency_hz\":" + json_number(r.mean_frequency_hz);
+  out += ",\"throttled_seconds\":" + json_number(r.throttled_seconds);
+  out += ",\"fullclock_seconds\":" + json_number(r.fullclock_seconds);
+  out += ",\"f_opt_hz\":" + json_number(r.f_opt_hz);
+  out += ",\"energy_at_fopt_j\":" + json_number(r.energy_at_fopt_j);
+  out += ",\"energy_at_fmax_j\":" + json_number(r.energy_at_fmax_j);
+  out += ",\"savings_vs_fmax_pct\":" + json_number(r.savings_vs_fmax_pct);
+  out += ",\"grid_points\":" + std::to_string(r.grid_points);
+  out += "}";
+  return out;
+}
+
+}  // namespace pvc::serve

@@ -1,0 +1,57 @@
+#pragma once
+// Per-request energy-to-solution report (docs/SERVING.md).
+//
+// Follows the SuperMUC-NG node-level energy characterization
+// methodology (PAPERS.md): next to the time-to-solution answer, report
+// the joules the request's simulated device work cost and where on the
+// frequency axis the energy optimum sits.  The inputs come from the
+// request's own metric snapshot — the power governor accounts every
+// priced kernel launch into `power.energy_joules`, `power.busy_seconds`
+// and the `power.time_at_freq_mhz` histogram (src/sim/power.cpp) — so
+// the report is a pure function of the request and caches byte-exactly.
+//
+// The frequency search models a fixed-work run: the snapshot's mean
+// frequency f_mean and busy seconds give the executed cycle count
+// C = f_mean * t_busy; re-running those cycles at frequency f takes
+// t(f) = C / f at power P(f) = P_static + P_dyn(f_max) * (f/f_max)^alpha
+// (the governor's own model), so E(f) = P(f) * t(f).  The report grid
+// walks f from half of f_max to f_max in 25 MHz steps and also records
+// the closed-form optimum f* = f_max * (P_static / (P_dyn*(alpha-1)))
+// ^(1/alpha) clamped into the grid range — race-to-idle (f* = f_max)
+// falls out naturally when static power dominates.
+
+#include <string>
+
+#include "sim/power.hpp"
+
+namespace pvc::obs {
+struct Snapshot;
+}  // namespace pvc::obs
+
+namespace pvc::serve {
+
+struct EnergyReport {
+  bool has_device_work = false;  ///< false when the run priced no kernels
+  double busy_seconds = 0.0;     ///< governor-accounted device seconds
+  double energy_joules = 0.0;    ///< as executed (power.energy_joules)
+  double avg_power_w = 0.0;      ///< energy / busy
+  double mean_frequency_hz = 0.0;
+  double throttled_seconds = 0.0;
+  double fullclock_seconds = 0.0;
+  // Energy-optimal frequency search (fixed work, governor power model):
+  double f_opt_hz = 0.0;            ///< grid argmin of E(f)
+  double energy_at_fopt_j = 0.0;    ///< E(f_opt)
+  double energy_at_fmax_j = 0.0;    ///< E(f_max)
+  double savings_vs_fmax_pct = 0.0; ///< 100 * (1 - E(f_opt)/E(f_max))
+  int grid_points = 0;              ///< frequencies evaluated
+};
+
+/// Derives the report from a request-scoped metric snapshot and the
+/// served system's power domain.
+[[nodiscard]] EnergyReport energy_report(const obs::Snapshot& snapshot,
+                                         const sim::PowerDomain& domain);
+
+/// Deterministic JSON rendering ({"has_device_work":...,...}).
+[[nodiscard]] std::string to_json(const EnergyReport& report);
+
+}  // namespace pvc::serve

@@ -1,0 +1,351 @@
+#include "serve/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+#include "core/error.hpp"
+
+namespace pvc::serve {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& input) : in_(input) {}
+
+  JsonValue document() {
+    skip_ws();
+    JsonValue v = value();
+    skip_ws();
+    ensure_at_end();
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    raise(ErrorCode::InvalidArgument,
+          "JSON parse error at byte " + std::to_string(pos_) + ": " + what);
+  }
+
+  void ensure_at_end() const {
+    if (pos_ != in_.size()) {
+      fail("trailing characters after document");
+    }
+  }
+
+  [[nodiscard]] bool done() const noexcept { return pos_ >= in_.size(); }
+  [[nodiscard]] char peek() const {
+    if (done()) {
+      fail("unexpected end of input");
+    }
+    return in_[pos_];
+  }
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+  void expect(char c) {
+    if (take() != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+  void skip_ws() {
+    while (!done() && (in_[pos_] == ' ' || in_[pos_] == '\t' ||
+                       in_[pos_] == '\n' || in_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n] != '\0') {
+      ++n;
+    }
+    if (in_.compare(pos_, n, lit) != 0) {
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::String;
+        v.text = string();
+        return v;
+      }
+      case 't':
+      case 'f': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Bool;
+        if (consume_literal("true")) {
+          v.boolean = true;
+        } else if (consume_literal("false")) {
+          v.boolean = false;
+        } else {
+          fail("bad literal");
+        }
+        return v;
+      }
+      case 'n': {
+        if (!consume_literal("null")) {
+          fail("bad literal");
+        }
+        return JsonValue{};
+      }
+      default:
+        return number();
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::Object;
+    skip_ws();
+    if (peek() == '}') {
+      take();
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      if (v.object.count(key) != 0) {
+        fail("duplicate object key \"" + key + "\"");
+      }
+      v.object_keys.push_back(key);
+      v.object.emplace(std::move(key), value());
+      skip_ws();
+      const char c = take();
+      if (c == '}') {
+        return v;
+      }
+      if (c != ',') {
+        fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::Array;
+    skip_ws();
+    if (peek() == ']') {
+      take();
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(value());
+      skip_ws();
+      const char c = take();
+      if (c == ']') {
+        return v;
+      }
+      if (c != ',') {
+        fail("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = take();
+      if (c == '"') {
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out.push_back(esc);
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = take();
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are
+          // rejected — config keys/values are ASCII in practice).
+          if (code >= 0xD800 && code <= 0xDFFF) {
+            fail("surrogate \\u escapes are not supported");
+          }
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          fail("bad escape character");
+      }
+    }
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (!done() && peek() == '-') {
+      take();
+    }
+    if (done() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      fail("expected a value");
+    }
+    while (!done() && std::isdigit(static_cast<unsigned char>(in_[pos_]))) {
+      ++pos_;
+    }
+    if (!done() && in_[pos_] == '.') {
+      ++pos_;
+      if (done() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("digits required after decimal point");
+      }
+      while (!done() && std::isdigit(static_cast<unsigned char>(in_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (!done() && (in_[pos_] == 'e' || in_[pos_] == 'E')) {
+      ++pos_;
+      if (!done() && (in_[pos_] == '+' || in_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (done() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("digits required in exponent");
+      }
+      while (!done() && std::isdigit(static_cast<unsigned char>(in_[pos_]))) {
+        ++pos_;
+      }
+    }
+    JsonValue v;
+    v.kind = JsonValue::Kind::Number;
+    v.text = in_.substr(start, pos_ - start);
+    return v;
+  }
+
+  const std::string& in_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind != Kind::Object) {
+    return nullptr;
+  }
+  const auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+std::string JsonValue::as_config_text() const {
+  switch (kind) {
+    case Kind::String:
+    case Kind::Number:
+      return text;  // numbers keep their source lexeme
+    case Kind::Bool:
+      return boolean ? "true" : "false";
+    default:
+      raise(ErrorCode::InvalidArgument,
+            "config values must be strings, numbers or booleans");
+  }
+}
+
+JsonValue json_parse(const std::string& input) {
+  return Parser(input).document();
+}
+
+std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 8);
+  for (const char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.10g", value);
+  return buf;
+}
+
+}  // namespace pvc::serve

@@ -1,0 +1,57 @@
+#pragma once
+// Minimal JSON for the sweep service (docs/SERVING.md).
+//
+// The daemon's request format is a small flat document — {"bench":...,
+// "config":{...}, "seed":...} — so this is a strict recursive-descent
+// parser over the full JSON grammar rather than a dependency.  Two
+// properties matter for serving:
+//  * numbers keep their source lexeme (`JsonValue::text`), so a config
+//    value like 0.30000000000000004 round-trips into the canonical
+//    request form byte-exactly instead of through a double;
+//  * parse errors throw pvc::Error(ErrorCode::InvalidArgument) with the
+//    byte offset, which the daemon turns into a rejection response.
+//
+// Serialization helpers (json_escape / json_number) are shared by the
+// response-body builder (serve/service.cpp) and the obs exporters'
+// conventions so cached bodies are byte-reproducible.
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pvc::serve {
+
+/// One parsed JSON value.  Object member order is preserved
+/// (`object_keys`) next to the key->value map so canonicalization can
+/// choose its own order while diagnostics can echo the source's.
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Object, Array };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  std::string text;  ///< string value, or the number's source lexeme
+  std::map<std::string, JsonValue> object;
+  std::vector<std::string> object_keys;  ///< member order as parsed
+  std::vector<JsonValue> array;
+
+  [[nodiscard]] bool is(Kind k) const noexcept { return kind == k; }
+  /// Member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+  /// String/number/bool rendered as the flat `key=value` text a
+  /// pvc::Config expects; throws for null/object/array.
+  [[nodiscard]] std::string as_config_text() const;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, trailing
+/// garbage rejected).  Throws pvc::Error(ErrorCode::InvalidArgument).
+[[nodiscard]] JsonValue json_parse(const std::string& input);
+
+/// Escapes a string for embedding between double quotes.
+[[nodiscard]] std::string json_escape(const std::string& raw);
+
+/// Deterministic double rendering (%.10g) used by every serve-side
+/// JSON emitter so cached bodies never drift on formatting.
+[[nodiscard]] std::string json_number(double value);
+
+}  // namespace pvc::serve

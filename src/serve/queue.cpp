@@ -1,0 +1,88 @@
+#include "serve/queue.hpp"
+
+#include "core/error.hpp"
+
+namespace pvc::serve {
+
+JobQueue::JobQueue(std::size_t capacity, std::size_t workers)
+    : capacity_(capacity) {
+  ensure(capacity_ >= 1, ErrorCode::InvalidArgument,
+         "JobQueue: capacity must be >= 1");
+  ensure(workers >= 1, ErrorCode::InvalidArgument,
+         "JobQueue: workers must be >= 1");
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+JobQueue::~JobQueue() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    waiting_.clear();  // dropped; documented shutdown semantics
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) {
+    t.join();
+  }
+}
+
+void JobQueue::submit(std::function<void()> job) {
+  ensure(static_cast<bool>(job), ErrorCode::InvalidArgument,
+         "JobQueue: empty job");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ensure(!stopping_, ErrorCode::QueueFull,
+           "JobQueue: shutting down, not accepting work");
+    if (waiting_.size() >= capacity_) {
+      ++stats_.rejected;
+      raise(ErrorCode::QueueFull,
+            "job queue full (" + std::to_string(capacity_) +
+                " waiting); retry later");
+    }
+    waiting_.push_back(std::move(job));
+    ++stats_.submitted;
+  }
+  work_cv_.notify_one();
+}
+
+std::size_t JobQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return waiting_.size() + running_;
+}
+
+void JobQueue::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return waiting_.empty() && running_ == 0; });
+}
+
+JobQueue::Stats JobQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void JobQueue::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stopping_ || !waiting_.empty(); });
+      if (stopping_ && waiting_.empty()) {
+        return;
+      }
+      job = std::move(waiting_.front());
+      waiting_.pop_front();
+      ++running_;
+    }
+    job();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --running_;
+      ++stats_.completed;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+}  // namespace pvc::serve

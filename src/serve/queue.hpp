@@ -1,0 +1,74 @@
+#pragma once
+// Bounded async job queue with backpressure (docs/SERVING.md).
+//
+// Admission control for the sweep service: connection threads submit()
+// closures, `workers` long-lived threads drain them in FIFO order, and
+// when `capacity` jobs are already waiting the submit is rejected with
+// a typed pvc::Error(ErrorCode::QueueFull) instead of queueing unbounded
+// work — the caller (daemon) turns that into a retryable rejection
+// response.  Jobs must not throw (the service wraps each computation in
+// its own error capture); a throwing job terminates via std::terminate
+// like any escaping thread exception.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pvc::serve {
+
+class JobQueue {
+ public:
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t completed = 0;
+  };
+
+  /// `capacity` >= 1 bounds jobs waiting for a worker (running jobs do
+  /// not count against it); `workers` >= 1 drain threads start
+  /// immediately.
+  JobQueue(std::size_t capacity, std::size_t workers);
+
+  /// Stops accepting work, drops jobs still waiting, joins workers
+  /// (the running jobs finish first).
+  ~JobQueue();
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Enqueues `job`; throws pvc::Error(ErrorCode::QueueFull) when
+  /// `capacity` jobs are already waiting.
+  void submit(std::function<void()> job);
+
+  /// Jobs waiting plus jobs running — the `serve.queue.depth` gauge.
+  [[nodiscard]] std::size_t depth() const;
+
+  /// Blocks until no job is waiting or running.
+  void drain();
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t workers() const noexcept {
+    return workers_.size();
+  }
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  void worker_loop();
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   // workers wait for jobs
+  std::condition_variable idle_cv_;   // drain() waits for quiescence
+  std::deque<std::function<void()>> waiting_;
+  std::size_t running_ = 0;
+  bool stopping_ = false;
+  Stats stats_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace pvc::serve

@@ -1,0 +1,134 @@
+#include "serve/request.hpp"
+
+#include <cstdio>
+
+#include "core/error.hpp"
+#include "serve/json.hpp"
+
+#ifndef PVC_BUILD_TYPE
+#define PVC_BUILD_TYPE "unknown"
+#endif
+
+namespace pvc::serve {
+
+namespace {
+
+/// Two independent FNV-1a 64-bit streams over the same bytes; the
+/// second uses a perturbed offset basis and mixes the byte's complement
+/// so the halves never collide in lockstep.
+struct Fnv2 {
+  std::uint64_t a = 1469598103934665603ull;
+  std::uint64_t b = 1469598103934665603ull ^ 0x9e3779b97f4a7c15ull;
+
+  void feed(const std::string& bytes) noexcept {
+    constexpr std::uint64_t kPrime = 1099511628211ull;
+    for (const char c : bytes) {
+      const auto u = static_cast<unsigned char>(c);
+      a = (a ^ u) * kPrime;
+      b = (b ^ static_cast<unsigned char>(~u)) * kPrime;
+    }
+  }
+};
+
+bool is_reserved_key(const std::string& key) {
+  // The service owns output capture: a user-supplied csv=/metrics=
+  // would write files from inside the daemon and change the hashed
+  // identity of otherwise-equal requests.
+  return key == "csv" || key == "metrics";
+}
+
+}  // namespace
+
+const std::string& serve_build_type() {
+  static const std::string type = PVC_BUILD_TYPE;
+  return type;
+}
+
+SweepRequest parse_request(const std::string& json) {
+  const JsonValue doc = json_parse(json);
+  ensure(doc.is(JsonValue::Kind::Object), ErrorCode::InvalidArgument,
+         "request must be a JSON object");
+  for (const auto& key : doc.object_keys) {
+    ensure(key == "bench" || key == "config" || key == "seed",
+           ErrorCode::InvalidArgument,
+           "unknown request member \"" + key +
+               "\" (accepted: bench, config, seed)");
+  }
+
+  SweepRequest request;
+  const JsonValue* bench = doc.find("bench");
+  ensure(bench != nullptr && bench->is(JsonValue::Kind::String) &&
+             !bench->text.empty(),
+         ErrorCode::InvalidArgument,
+         "request needs a non-empty string member \"bench\"");
+  request.bench = bench->text;
+
+  if (const JsonValue* config = doc.find("config")) {
+    ensure(config->is(JsonValue::Kind::Object), ErrorCode::InvalidArgument,
+           "\"config\" must be an object of key=value options");
+    for (const auto& [key, value] : config->object) {
+      ensure(!key.empty(), ErrorCode::InvalidArgument,
+             "empty config option name");
+      ensure(key.find('=') == std::string::npos &&
+                 key.find('\n') == std::string::npos,
+             ErrorCode::InvalidArgument,
+             "config option name \"" + key + "\" contains '=' or newline");
+      ensure(!is_reserved_key(key), ErrorCode::InvalidArgument,
+             "config option \"" + key +
+                 "\" is reserved (the service captures csv/metrics itself)");
+      request.options.emplace(key, value.as_config_text());
+    }
+  }
+
+  if (const JsonValue* seed = doc.find("seed")) {
+    ensure(seed->is(JsonValue::Kind::Number), ErrorCode::InvalidArgument,
+           "\"seed\" must be a non-negative integer");
+    std::uint64_t parsed = 0;
+    ensure(!seed->text.empty() && seed->text[0] != '-',
+           ErrorCode::InvalidArgument, "\"seed\" must be non-negative");
+    for (const char c : seed->text) {
+      ensure(c >= '0' && c <= '9', ErrorCode::InvalidArgument,
+             "\"seed\" must be an integer");
+      parsed = parsed * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    request.seed = parsed;
+  }
+  return request;
+}
+
+std::string canonical_form(const SweepRequest& request) {
+  std::string out;
+  out.reserve(64 + request.options.size() * 24);
+  out += "bench=" + request.bench + "\n";
+  out += "build=" + serve_build_type() + "\n";
+  out += "seed=" + std::to_string(request.seed) + "\n";
+  for (const auto& [key, value] : request.options) {  // std::map: sorted
+    out += key + "=" + value + "\n";
+  }
+  return out;
+}
+
+std::string content_hash(const SweepRequest& request) {
+  Fnv2 h;
+  h.feed(canonical_form(request));
+  char buf[33];
+  std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                static_cast<unsigned long long>(h.a),
+                static_cast<unsigned long long>(h.b));
+  return buf;
+}
+
+std::vector<std::string> bench_args(const SweepRequest& request) {
+  std::vector<std::string> args;
+  args.reserve(request.options.size() + 1);
+  for (const auto& [key, value] : request.options) {
+    args.push_back(key + "=" + value);
+  }
+  // Capture sentinel: bench_common's maybe_write_csv routes the CSV
+  // into the active serve::RunCapture instead of a file (the '-' path
+  // is never opened).
+  args.push_back("csv=-");
+  return args;
+}
+
+}  // namespace pvc::serve

@@ -1,0 +1,283 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <utility>
+
+#include "arch/systems.hpp"
+#include "obs/exporters.hpp"
+#include "obs/metrics.hpp"
+#include "serve/capture.hpp"
+#include "serve/energy.hpp"
+#include "serve/json.hpp"
+
+namespace pvc::serve {
+
+namespace {
+
+/// The power domain the energy report prices against: the request's
+/// `system=` option when present and valid, Aurora otherwise (the
+/// paper's primary system).
+sim::PowerDomain domain_for(const SweepRequest& request) {
+  const auto it = request.options.find("system");
+  if (it != request.options.end()) {
+    try {
+      return arch::system_by_name(it->second).power;
+    } catch (const Error&) {
+      // The bench itself already validated (or rejected) the name;
+      // fall through to the default rather than failing the report.
+    }
+  }
+  return arch::aurora().power;
+}
+
+double elapsed_us(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+/// Global-registry serve.* handles, bumped only under stats_mutex_
+/// (connection threads are concurrent and the registry cells are plain
+/// non-atomic values).
+struct Service::Metrics {
+  obs::Counter& requests;
+  obs::Counter& errors;
+  obs::Counter& rejected;
+  obs::Counter& cache_hits;
+  obs::Counter& cache_misses;
+  obs::Counter& cache_disk_hits;
+  obs::Counter& cache_evictions;
+  obs::Gauge& cache_bytes;
+  obs::Gauge& cache_entries;
+  obs::Gauge& queue_depth;
+  obs::Histogram& latency_cold_us;
+  obs::Histogram& latency_warm_us;
+
+  Metrics()
+      : requests(obs::Registry::global().counter(
+            "serve.requests", "requests", "requests handled by the service")),
+        errors(obs::Registry::global().counter(
+            "serve.errors", "requests",
+            "requests that failed (parse, unknown bench, bench error)")),
+        rejected(obs::Registry::global().counter(
+            "serve.rejected", "requests",
+            "requests rejected with queue_full backpressure")),
+        cache_hits(obs::Registry::global().counter(
+            "serve.cache.hits", "lookups",
+            "responses served from the in-memory result cache")),
+        cache_misses(obs::Registry::global().counter(
+            "serve.cache.misses", "lookups",
+            "lookups that fell through to a fresh computation")),
+        cache_disk_hits(obs::Registry::global().counter(
+            "serve.cache.disk_hits", "lookups",
+            "responses re-loaded from the persistent cache tier")),
+        cache_evictions(obs::Registry::global().counter(
+            "serve.cache.evictions", "entries",
+            "LRU entries evicted to honour the byte budget")),
+        cache_bytes(obs::Registry::global().gauge(
+            "serve.cache.bytes", "B",
+            "bytes held by the in-memory result cache")),
+        cache_entries(obs::Registry::global().gauge(
+            "serve.cache.entries", "entries",
+            "entries held by the in-memory result cache")),
+        queue_depth(obs::Registry::global().gauge(
+            "serve.queue.depth", "jobs",
+            "jobs waiting or running on the async job queue")),
+        latency_cold_us(obs::Registry::global().histogram(
+            "serve.latency_cold_us", "us",
+            "server-side latency of computed (cache-miss) responses")),
+        latency_warm_us(obs::Registry::global().histogram(
+            "serve.latency_warm_us", "us",
+            "server-side latency of cache-hit responses")) {}
+};
+
+Service::Service(BenchRunner runner, ServiceOptions options)
+    : options_(options),
+      runner_(std::move(runner)),
+      cache_(options.cache_bytes, options.cache_dir),
+      queue_(options.queue_capacity, options.workers),
+      metrics_(std::make_unique<Metrics>()) {
+  ensure(static_cast<bool>(runner_), ErrorCode::InvalidArgument,
+         "Service: empty bench runner");
+}
+
+Service::~Service() = default;
+
+ServeResponse Service::handle_json(const std::string& request_json) {
+  const auto start = std::chrono::steady_clock::now();
+  SweepRequest request;
+  try {
+    request = parse_request(request_json);
+  } catch (const Error& e) {
+    ServeResponse response;
+    response.error = e.what();
+    response.code = e.code();
+    response.latency_us = elapsed_us(start);
+    record_outcome(response);
+    return response;
+  }
+  return handle(request);
+}
+
+ServeResponse Service::handle(const SweepRequest& request) {
+  const auto start = std::chrono::steady_clock::now();
+  ServeResponse response;
+  response.key = content_hash(request);
+
+  if (options_.cache_enabled) {
+    const auto before = cache_.stats();
+    if (auto body = cache_.get(response.key)) {
+      response.ok = true;
+      response.cache_hit = true;
+      response.disk_hit = cache_.stats().disk_hits > before.disk_hits;
+      response.body = std::move(*body);
+      response.latency_us = elapsed_us(start);
+      record_outcome(response);
+      return response;
+    }
+  }
+
+  // Miss: run through the bounded queue.  The connection thread blocks
+  // on its own job — the asynchrony is between requests, and the bound
+  // is what produces typed backpressure instead of memory growth.
+  struct Pending {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    ServeResponse result;
+  } pending;
+  try {
+    queue_.submit([this, &request, &response, &pending] {
+      ServeResponse computed = compute(request, response.key);
+      std::lock_guard<std::mutex> lock(pending.m);
+      pending.result = std::move(computed);
+      pending.done = true;
+      pending.cv.notify_all();
+    });
+  } catch (const Error& e) {
+    response.error = e.what();
+    response.code = e.code();
+    response.latency_us = elapsed_us(start);
+    record_outcome(response);
+    return response;
+  }
+  {
+    std::unique_lock<std::mutex> lock(pending.m);
+    pending.cv.wait(lock, [&pending] { return pending.done; });
+  }
+  response = std::move(pending.result);
+
+  if (response.ok && options_.cache_enabled) {
+    cache_.put(response.key, response.body);
+  }
+  response.latency_us = elapsed_us(start);
+  record_outcome(response);
+  return response;
+}
+
+ServeResponse Service::compute(const SweepRequest& request,
+                               const std::string& key) {
+  ServeResponse response;
+  response.key = key;
+  std::string csv;
+  std::string metrics_json;
+  std::string energy_json;
+  try {
+    obs::Registry registry;
+    obs::Snapshot snapshot;
+    {
+      // Route every metric the bench bumps into a private registry and
+      // capture its CSV in memory; the bench's internal ParallelSweep
+      // still merges its task registries deterministically into this
+      // one (Registry::active() on this thread).
+      obs::ScopedRegistry scope(registry);
+      ScopedCapture capture;
+      const int rc = runner_(request.bench, bench_args(request));
+      ensure(rc == 0, "bench '" + request.bench + "' exited with code " +
+                          std::to_string(rc));
+      csv = capture.capture().csv.value_or("");
+      snapshot = registry.snapshot();
+    }
+    metrics_json = obs::to_json(snapshot);
+    energy_json = to_json(energy_report(snapshot, domain_for(request)));
+  } catch (const Error& e) {
+    response.error = e.what();
+    response.code = e.code();
+    return response;
+  } catch (const std::exception& e) {
+    response.error = e.what();
+    response.code = ErrorCode::Generic;
+    return response;
+  }
+  response.body = render_body(request, key, csv, metrics_json, energy_json);
+  response.ok = true;
+  return response;
+}
+
+std::string Service::render_body(const SweepRequest& request,
+                                 const std::string& key,
+                                 const std::string& csv,
+                                 const std::string& metrics_json,
+                                 const std::string& energy_json) const {
+  // One deterministic JSON document; iteration over the sorted option
+  // map and the fixed member order make the bytes a pure function of
+  // the request.
+  std::string body = "{";
+  body += "\"bench\":\"" + json_escape(request.bench) + "\"";
+  body += ",\"key\":\"" + key + "\"";
+  body += ",\"build\":\"" + json_escape(serve_build_type()) + "\"";
+  body += ",\"seed\":" + std::to_string(request.seed);
+  body += ",\"config\":{";
+  bool first = true;
+  for (const auto& [k, v] : request.options) {
+    if (!first) {
+      body += ",";
+    }
+    first = false;
+    body.append("\"").append(json_escape(k)).append("\":\"");
+    body.append(json_escape(v)).append("\"");
+  }
+  body += "}";
+  body += ",\"energy\":" + energy_json;
+  body += ",\"csv\":\"" + json_escape(csv) + "\"";
+  body += ",\"metrics\":" + metrics_json;
+  body += "}\n";
+  return body;
+}
+
+void Service::record_outcome(const ServeResponse& response) {
+  const auto cache_stats = cache_.stats();
+  const auto latency =
+      static_cast<std::uint64_t>(std::max(response.latency_us, 0.0));
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  metrics_->requests.add(1);
+  if (!response.ok) {
+    if (response.code == ErrorCode::QueueFull) {
+      metrics_->rejected.add(1);
+    } else {
+      metrics_->errors.add(1);
+    }
+  } else if (response.cache_hit) {
+    metrics_->latency_warm_us.observe(latency);
+  } else {
+    metrics_->latency_cold_us.observe(latency);
+  }
+  // Mirror the cache/queue tallies (plain counters inside those
+  // classes; see serve/cache.hpp for why they do not self-report).
+  metrics_->cache_hits.add(cache_stats.hits - mirrored_.hits);
+  metrics_->cache_misses.add(cache_stats.misses - mirrored_.misses);
+  metrics_->cache_disk_hits.add(cache_stats.disk_hits - mirrored_.disk_hits);
+  metrics_->cache_evictions.add(cache_stats.evictions - mirrored_.evictions);
+  mirrored_ = cache_stats;
+  metrics_->cache_bytes.set(static_cast<double>(cache_.bytes()));
+  metrics_->cache_entries.set(static_cast<double>(cache_.entries()));
+  metrics_->queue_depth.set(static_cast<double>(queue_.depth()));
+}
+
+void Service::clear_cache_memory() { cache_.clear_memory(); }
+
+}  // namespace pvc::serve

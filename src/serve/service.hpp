@@ -1,0 +1,118 @@
+#pragma once
+// The sweep service (docs/SERVING.md): request in, deterministic
+// response body out, through a bounded async job queue, a content-hashed
+// result cache, and a per-request metric/energy capture.
+//
+// handle() is the one entry point.  The fast path answers from the
+// ResultCache — byte-identical to a fresh computation because every
+// bench is deterministic (the cache-hit bit-identity suite in
+// tests/test_serve.cpp enforces this).  A miss is enqueued on the
+// JobQueue (typed QueueFull rejection when saturated) and computed on a
+// queue worker: the bench entry runs under a private obs registry and a
+// serve::ScopedCapture, its sweep points batching onto the process-wide
+// persistent ParallelSweep pool shared by every in-flight request, and
+// the response body is assembled from the captured CSV, the request's
+// metric snapshot, and the governor-derived energy-to-solution report.
+//
+// The service itself reports into the *global* registry (`serve.*`
+// metrics, docs/OBSERVABILITY.md) under an internal mutex; nothing
+// serve-side ever lands in a request's own registry, which is what
+// keeps cached bodies bit-reproducible.
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "serve/cache.hpp"
+#include "serve/queue.hpp"
+#include "serve/request.hpp"
+
+namespace pvc::obs {
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace pvc::obs
+
+namespace pvc::serve {
+
+/// Runs one bench entry: `bench` is the entry name, `args` the argv
+/// tail (sorted `k=v` strings plus the capture sentinel).  Returns the
+/// bench exit code; throws pvc::Error to signal failure.  The daemon
+/// binds this to bench/bench_entry.hpp's registry; tests may install
+/// fakes.
+using BenchRunner =
+    std::function<int(const std::string& bench,
+                      const std::vector<std::string>& args)>;
+
+struct ServiceOptions {
+  std::size_t queue_capacity = 64;  ///< waiting jobs before QueueFull
+  std::size_t workers = 2;          ///< queue drain threads
+  std::size_t cache_bytes = 64ull << 20;  ///< in-memory LRU budget
+  std::string cache_dir;            ///< empty = no persistent tier
+  bool cache_enabled = true;
+};
+
+struct ServeResponse {
+  bool ok = false;
+  bool cache_hit = false;   ///< served without recomputing
+  bool disk_hit = false;    ///< the hit came from the persistent tier
+  std::string key;          ///< content hash (empty on parse failures)
+  std::string body;         ///< deterministic response bytes
+  std::string error;        ///< failure message when !ok
+  ErrorCode code = ErrorCode::Generic;  ///< failure class when !ok
+  double latency_us = 0.0;  ///< server-side handling time (not cached)
+};
+
+class Service {
+ public:
+  Service(BenchRunner runner, ServiceOptions options);
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Serves one request; never throws.  Backpressure surfaces as
+  /// ok=false with code==ErrorCode::QueueFull; bench failures carry the
+  /// bench's own error text and code.  Successful bodies are cached
+  /// under the request's content hash.
+  [[nodiscard]] ServeResponse handle(const SweepRequest& request);
+
+  /// Convenience: parse the JSON request first; parse failures become
+  /// InvalidArgument responses.
+  [[nodiscard]] ServeResponse handle_json(const std::string& request_json);
+
+  /// Drops the in-memory cache tier (tests use this to force a cold
+  /// recomputation; persistent files survive).
+  void clear_cache_memory();
+
+  [[nodiscard]] ResultCache& cache() noexcept { return cache_; }
+  [[nodiscard]] JobQueue& queue() noexcept { return queue_; }
+  [[nodiscard]] const ServiceOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  struct Metrics;
+
+  ServeResponse compute(const SweepRequest& request, const std::string& key);
+  [[nodiscard]] std::string render_body(const SweepRequest& request,
+                                        const std::string& key,
+                                        const std::string& csv,
+                                        const std::string& metrics_json,
+                                        const std::string& energy_json) const;
+  void record_outcome(const ServeResponse& response);
+
+  ServiceOptions options_;
+  BenchRunner runner_;
+  ResultCache cache_;
+  JobQueue queue_;
+  std::mutex stats_mutex_;
+  std::unique_ptr<Metrics> metrics_;
+  ResultCache::Stats mirrored_;  ///< last cache stats folded into obs
+};
+
+}  // namespace pvc::serve

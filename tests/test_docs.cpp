@@ -17,6 +17,7 @@
 #include "arch/systems.hpp"
 #include "comm/cluster.hpp"
 #include "obs/metrics.hpp"
+#include "serve/service.hpp"
 #include "sim/fabric.hpp"
 
 namespace {
@@ -139,7 +140,7 @@ TEST(Documentation, ReadmeLinksTheDocsPages) {
   const std::string readme = slurp(kRoot / "README.md");
   for (const char* doc :
        {"docs/ARCHITECTURE.md", "docs/SCALING.md", "docs/OBSERVABILITY.md",
-        "docs/ROBUSTNESS.md", "docs/PERFORMANCE.md"}) {
+        "docs/ROBUSTNESS.md", "docs/PERFORMANCE.md", "docs/SERVING.md"}) {
     EXPECT_NE(readme.find(doc), std::string::npos)
         << "README.md does not link " << doc;
     EXPECT_TRUE(fs::exists(kRoot / doc)) << doc << " does not exist";
@@ -256,6 +257,60 @@ TEST(Documentation, ObservabilityDocListsTheShardMetrics) {
         << "docs/OBSERVABILITY.md does not document `" << name << "`";
   }
   EXPECT_GE(shard_names, 6u);
+}
+
+TEST(Documentation, ServingDocCoversTheDaemonOptionsAndProtocol) {
+  const std::string serving = slurp(kRoot / "docs" / "SERVING.md");
+  // Every key pvcbench_serve accepts (require_known_keys in
+  // bench/pvcbench_serve.cpp) must show up as an option in the doc.
+  for (const char* key :
+       {"socket=", "workers=", "queue=", "cache_bytes=", "cache_dir=",
+        "batching=", "request=", "out="}) {
+    EXPECT_NE(serving.find(key), std::string::npos)
+        << "docs/SERVING.md does not document the daemon's " << key
+        << " option";
+  }
+  // Request format, wire protocol, and the serving contract's anchors.
+  for (const char* anchor :
+       {"\"bench\"", "\"config\"", "\"seed\"", "queue_full", "cache_hit",
+        "body_bytes", "BENCH_serve.json", "scripts/serve_smoke.py"}) {
+    EXPECT_NE(serving.find(anchor), std::string::npos)
+        << "docs/SERVING.md lost its anchor " << anchor;
+  }
+}
+
+TEST(Documentation, ReadmeListsTheServeBinaries) {
+  const std::string readme = slurp(kRoot / "README.md");
+  for (const char* anchor :
+       {"pvcbench_serve", "serve_throughput", "BENCH_serve.json",
+        "scripts/bench_serve.sh"}) {
+    EXPECT_NE(readme.find(anchor), std::string::npos)
+        << "README.md does not mention " << anchor;
+  }
+}
+
+TEST(Documentation, ObservabilityDocListsTheServeMetrics) {
+  // Same contract as the fabric/shard metrics: register the serve.*
+  // names for real — constructing a Service is what registers them on
+  // the global registry — then require each live name backticked in
+  // the doc.  (tests/test_obs.cpp's exhaustive global-registry check
+  // cannot see these: no Service exists in that process.)
+  pvc::serve::Service service(
+      [](const std::string&, const std::vector<std::string>&) { return 0; },
+      pvc::serve::ServiceOptions{});
+  const std::string doc = slurp(kRoot / "docs" / "OBSERVABILITY.md");
+  std::size_t serve_names = 0;
+  for (const auto& name : pvc::obs::Registry::global().names()) {
+    if (name.rfind("serve.", 0) != 0) {
+      continue;
+    }
+    ++serve_names;
+    EXPECT_NE(doc.find("`" + name + "`"), std::string::npos)
+        << "docs/OBSERVABILITY.md does not document `" << name << "`";
+  }
+  EXPECT_GE(serve_names, 12u);
+  // The sweep runner's dedup counter rides along in the same doc.
+  EXPECT_NE(doc.find("`sweep.deduped_tasks`"), std::string::npos);
 }
 
 TEST(Documentation, DesignDocLinksTheArchitectureMap) {

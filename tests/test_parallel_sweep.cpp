@@ -99,4 +99,90 @@ TEST(ParallelSweep, ThreadCountResolution) {
   EXPECT_EQ(pvcbench::ParallelSweep(3).thread_count(), 3u);
 }
 
+TEST(ParallelSweep, SharedPoolIsReusedAcrossRuns) {
+  // Back-to-back multi-threaded run() calls must batch onto the same
+  // persistent workers — the pool's thread count stays at its
+  // high-water mark while the batch count keeps climbing.
+  auto& pool = pvcbench::SharedPool::instance();
+  ASSERT_TRUE(pvcbench::ParallelSweep::use_shared_pool());
+  (void)run_sweep(4);
+  const std::size_t workers_after_first = pool.workers();
+  const std::size_t batches_after_first = pool.batches_run();
+  EXPECT_GE(workers_after_first, 4u);
+  (void)run_sweep(4);
+  (void)run_sweep(4);
+  EXPECT_EQ(pool.workers(), workers_after_first);
+  EXPECT_EQ(pool.batches_run(), batches_after_first + 2);
+}
+
+TEST(ParallelSweep, LegacySpawnPathMatchesSharedPool) {
+  // batching=off (legacy thread spawn/join) must stay byte-identical to
+  // the pooled path — it exists only for the throughput comparison.
+  const auto pooled = run_sweep(4);
+  pvcbench::ParallelSweep::set_use_shared_pool(false);
+  const auto spawned = run_sweep(4);
+  pvcbench::ParallelSweep::set_use_shared_pool(true);
+  expect_identical(pooled, spawned);
+}
+
+TEST(ParallelSweep, NestedSweepOnPoolThreadRunsInline) {
+  // A sweep inside a pool-executed task must not wait on pool lanes the
+  // pool itself would have to free — it detects the pool thread and
+  // runs inline.
+  pvc::obs::Registry base;
+  pvc::obs::ScopedRegistry scope(base);
+  pvcbench::ParallelSweep outer(4);
+  std::vector<int> inner_sums(4, 0);
+  for (std::size_t t = 0; t < 4; ++t) {
+    outer.add([t, &inner_sums] {
+      EXPECT_TRUE(pvcbench::SharedPool::on_pool_thread());
+      pvcbench::ParallelSweep inner(4);
+      int sum = 0;
+      for (int i = 1; i <= 3; ++i) {
+        inner.add([i, &sum] { sum += i; });
+      }
+      inner.run();
+      inner_sums[t] = sum;
+    });
+  }
+  outer.run();
+  for (const int sum : inner_sums) {
+    EXPECT_EQ(sum, 6);
+  }
+}
+
+TEST(ParallelSweep, AddKeyedDeduplicatesIdenticalPoints) {
+  pvc::obs::Registry base;
+  pvc::obs::ScopedRegistry scope(base);
+  pvcbench::ParallelSweep sweep(2);
+  int a_runs = 0;
+  int b_runs = 0;
+  const std::size_t a1 = sweep.add_keyed("point:a", [&] { ++a_runs; });
+  const std::size_t b1 = sweep.add_keyed("point:b", [&] { ++b_runs; });
+  const std::size_t a2 = sweep.add_keyed("point:a", [&] { ++a_runs; });
+  const std::size_t a3 = sweep.add_keyed("point:a", [&] { ++a_runs; });
+  EXPECT_EQ(a1, 0u);
+  EXPECT_EQ(b1, 1u);
+  EXPECT_EQ(a2, a1);  // duplicates resolve to the canonical slot
+  EXPECT_EQ(a3, a1);
+  EXPECT_EQ(sweep.deduped_tasks(), 2u);
+  sweep.run();
+  EXPECT_EQ(a_runs, 1);  // the duplicate tasks never executed
+  EXPECT_EQ(b_runs, 1);
+  EXPECT_EQ(base.snapshot().value("sweep.deduped_tasks"), 2.0);
+}
+
+TEST(ParallelSweep, AddKeyedMixesWithPlainAdd) {
+  pvcbench::ParallelSweep sweep(1);
+  int runs = 0;
+  sweep.add([&] { ++runs; });
+  const std::size_t keyed = sweep.add_keyed("k", [&] { ++runs; });
+  EXPECT_EQ(keyed, 1u);
+  EXPECT_EQ(sweep.add_keyed("k", [&] { ++runs; }), 1u);
+  pvc::obs::Registry base;
+  pvc::obs::ScopedRegistry scope(base);
+  sweep.run();
+  EXPECT_EQ(runs, 2);
+}
+
 }  // namespace

@@ -1,0 +1,451 @@
+// Tests for the sweep service (src/serve + bench/bench_entry): the
+// strict request JSON parser, content-hash canonicalization, the
+// bounded-byte LRU cache with disk persistence, job-queue backpressure
+// with typed QueueFull rejection, the governor-derived energy report,
+// and — the core contract — cache-hit responses byte-identical to fresh
+// computations for real bench request types.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arch/systems.hpp"
+#include "bench_entry.hpp"
+#include "core/error.hpp"
+#include "obs/metrics.hpp"
+#include "serve/cache.hpp"
+#include "serve/energy.hpp"
+#include "serve/json.hpp"
+#include "serve/queue.hpp"
+#include "serve/request.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using pvc::ErrorCode;
+
+// ---------------------------------------------------------------------------
+// JSON parser
+
+TEST(ServeJson, ParsesRequestShapedDocuments) {
+  const auto doc = pvc::serve::json_parse(
+      R"({"bench":"x","config":{"threads":4,"flag":true},"seed":7})");
+  ASSERT_TRUE(doc.is(pvc::serve::JsonValue::Kind::Object));
+  EXPECT_EQ(doc.find("bench")->text, "x");
+  const auto* config = doc.find("config");
+  ASSERT_NE(config, nullptr);
+  EXPECT_EQ(config->find("threads")->as_config_text(), "4");
+  EXPECT_EQ(config->find("flag")->as_config_text(), "true");
+  EXPECT_EQ(doc.find("seed")->text, "7");
+}
+
+TEST(ServeJson, NumbersKeepTheirSourceLexeme) {
+  const auto doc = pvc::serve::json_parse(R"({"v":0.30000000000000004})");
+  EXPECT_EQ(doc.find("v")->text, "0.30000000000000004");
+}
+
+TEST(ServeJson, RejectsMalformedInputWithTypedError) {
+  for (const char* bad :
+       {"", "{", "{\"a\":}", "{\"a\":1,}", "{\"a\":1} trailing",
+        "{\"dup\":1,\"dup\":2}", "[1,2,", "\"unterminated", "{'a':1}",
+        "nullx"}) {
+    try {
+      (void)pvc::serve::json_parse(bad);
+      FAIL() << "accepted malformed JSON: " << bad;
+    } catch (const pvc::Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::InvalidArgument) << bad;
+    }
+  }
+}
+
+TEST(ServeJson, EscapeRoundTripsControlCharacters) {
+  const std::string raw = "line1\nline2\t\"quoted\"\\x";
+  const std::string escaped = pvc::serve::json_escape(raw);
+  const auto doc = pvc::serve::json_parse("{\"v\":\"" + escaped + "\"}");
+  EXPECT_EQ(doc.find("v")->text, raw);
+}
+
+// ---------------------------------------------------------------------------
+// Request canonicalization and hashing
+
+TEST(ServeRequest, MemberOrderDoesNotChangeTheHash) {
+  const auto a = pvc::serve::parse_request(
+      R"({"bench":"b","config":{"x":"1","y":"2"},"seed":5})");
+  const auto b = pvc::serve::parse_request(
+      R"({"seed":5,"config":{"y":"2","x":"1"},"bench":"b"})");
+  EXPECT_EQ(pvc::serve::canonical_form(a), pvc::serve::canonical_form(b));
+  EXPECT_EQ(pvc::serve::content_hash(a), pvc::serve::content_hash(b));
+  EXPECT_EQ(pvc::serve::content_hash(a).size(), 32u);
+}
+
+TEST(ServeRequest, IdentityCoversBenchSeedAndEveryOption) {
+  const auto base = pvc::serve::parse_request(
+      R"({"bench":"b","config":{"x":"1"},"seed":1})");
+  for (const char* variant :
+       {R"({"bench":"c","config":{"x":"1"},"seed":1})",
+        R"({"bench":"b","config":{"x":"2"},"seed":1})",
+        R"({"bench":"b","config":{"x":"1","y":"0"},"seed":1})",
+        R"({"bench":"b","config":{"x":"1"},"seed":2})"}) {
+    EXPECT_NE(pvc::serve::content_hash(base),
+              pvc::serve::content_hash(pvc::serve::parse_request(variant)))
+        << variant;
+  }
+  // The build type is part of the canonical form (Release and Debug
+  // bodies of a floating-point model are not comparable).
+  EXPECT_NE(pvc::serve::canonical_form(base).find(
+                "build=" + pvc::serve::serve_build_type()),
+            std::string::npos);
+}
+
+TEST(ServeRequest, RejectsReservedAndMalformedInputs) {
+  for (const char* bad :
+       {R"({"bench":"b","config":{"csv":"/tmp/x"}})",
+        R"({"bench":"b","config":{"metrics":"x"}})",
+        R"({"bench":""})", R"({"config":{}})",
+        R"({"bench":"b","unknown":1})", R"({"bench":"b","seed":-4})",
+        R"({"bench":"b","seed":1.5})", R"([1])"}) {
+    try {
+      (void)pvc::serve::parse_request(bad);
+      FAIL() << "accepted bad request: " << bad;
+    } catch (const pvc::Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::InvalidArgument) << bad;
+    }
+  }
+}
+
+TEST(ServeRequest, BenchArgsAreSortedAndCarryTheCaptureSentinel) {
+  const auto request = pvc::serve::parse_request(
+      R"({"bench":"b","config":{"z":"9","a":"1"}})");
+  const auto args = pvc::serve::bench_args(request);
+  ASSERT_EQ(args.size(), 3u);
+  EXPECT_EQ(args[0], "a=1");
+  EXPECT_EQ(args[1], "z=9");
+  EXPECT_EQ(args[2], "csv=-");
+}
+
+// ---------------------------------------------------------------------------
+// Result cache
+
+std::string hex_key(char fill) { return std::string(32, fill); }
+
+TEST(ServeCache, LruEvictionHonoursTheByteBudget) {
+  // Each entry costs key (32) + body (68) = 100 bytes; a 250-byte
+  // budget holds two entries.
+  pvc::serve::ResultCache cache(250);
+  const std::string body(68, 'x');
+  cache.put(hex_key('a'), body);
+  cache.put(hex_key('b'), body);
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.bytes(), 200u);
+  cache.put(hex_key('c'), body);  // evicts the LRU entry ('a')
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_LE(cache.bytes(), cache.max_bytes());
+  EXPECT_FALSE(cache.get(hex_key('a')).has_value());
+  EXPECT_TRUE(cache.get(hex_key('b')).has_value());
+  EXPECT_TRUE(cache.get(hex_key('c')).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ServeCache, GetRefreshesRecency) {
+  pvc::serve::ResultCache cache(250);
+  const std::string body(68, 'x');
+  cache.put(hex_key('a'), body);
+  cache.put(hex_key('b'), body);
+  EXPECT_TRUE(cache.get(hex_key('a')).has_value());  // 'a' becomes MRU
+  cache.put(hex_key('c'), body);                     // now 'b' is LRU
+  EXPECT_TRUE(cache.get(hex_key('a')).has_value());
+  EXPECT_FALSE(cache.get(hex_key('b')).has_value());
+}
+
+TEST(ServeCache, OversizedEntriesNeverEnterTheMemoryTier) {
+  pvc::serve::ResultCache cache(64);
+  cache.put(hex_key('a'), std::string(500, 'x'));  // 532 > 64 budget
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_FALSE(cache.get(hex_key('a')).has_value());
+}
+
+TEST(ServeCache, DiskTierSurvivesMemoryClearAndRestart) {
+  const fs::path dir =
+      fs::temp_directory_path() / "pvc_serve_cache_test";
+  fs::remove_all(dir);
+  {
+    pvc::serve::ResultCache cache(1 << 20, dir.string());
+    cache.put(hex_key('d'), "persisted-body");
+    cache.clear_memory();
+    const auto body = cache.get(hex_key('d'));  // re-load from disk
+    ASSERT_TRUE(body.has_value());
+    EXPECT_EQ(*body, "persisted-body");
+    EXPECT_EQ(cache.stats().disk_hits, 1u);
+    EXPECT_TRUE(cache.get(hex_key('d')).has_value());  // re-inserted
+    EXPECT_EQ(cache.stats().hits, 1u);
+  }
+  {
+    pvc::serve::ResultCache restarted(1 << 20, dir.string());
+    const auto body = restarted.get(hex_key('d'));  // fresh process
+    ASSERT_TRUE(body.has_value());
+    EXPECT_EQ(*body, "persisted-body");
+  }
+  fs::remove_all(dir);
+}
+
+TEST(ServeCache, RejectsNonHexKeys) {
+  pvc::serve::ResultCache cache(1024);
+  EXPECT_THROW(cache.put("../../etc/passwd", "x"), pvc::Error);
+  EXPECT_THROW((void)cache.get(""), pvc::Error);
+}
+
+// ---------------------------------------------------------------------------
+// Job queue
+
+TEST(ServeQueue, BackpressureThrowsTypedQueueFull) {
+  pvc::serve::JobQueue queue(/*capacity=*/1, /*workers=*/1);
+  std::mutex m;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<bool> started{false};
+  // Occupy the single worker...
+  queue.submit([&] {
+    started.store(true);
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return release; });
+  });
+  // ...wait until it is RUNNING (running jobs do not count against
+  // capacity), then fill the one waiting slot.
+  while (!started.load()) {
+    std::this_thread::yield();
+  }
+  queue.submit([] {});  // waiting slot 1/1
+  try {
+    queue.submit([] {});
+    FAIL() << "expected QueueFull";
+  } catch (const pvc::Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::QueueFull);
+  }
+  EXPECT_EQ(queue.stats().rejected, 1u);
+  {
+    std::lock_guard<std::mutex> lock(m);
+    release = true;
+  }
+  cv.notify_all();
+  queue.drain();
+  EXPECT_EQ(queue.depth(), 0u);
+  EXPECT_EQ(queue.stats().submitted, 2u);
+  EXPECT_EQ(queue.stats().completed, 2u);
+}
+
+TEST(ServeQueue, DrainsFifoAcrossManyJobs) {
+  pvc::serve::JobQueue queue(64, 2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 40; ++i) {
+    queue.submit([&done] { done.fetch_add(1); });
+  }
+  queue.drain();
+  EXPECT_EQ(done.load(), 40);
+}
+
+// ---------------------------------------------------------------------------
+// Energy report
+
+TEST(ServeEnergy, FixedWorkModelFindsAnInteriorOptimum) {
+  pvc::obs::Registry registry;
+  registry.gauge("power.busy_seconds", "s", "").set(10.0);
+  registry.gauge("power.energy_joules", "J", "").set(2000.0);  // 200 W avg
+  registry.gauge("power.throttled_seconds", "s", "").set(4.0);
+  registry.gauge("power.fullclock_seconds", "s", "").set(6.0);
+  registry.histogram("power.time_at_freq_mhz", "MHz x seconds", "")
+      .observe(1500, 10.0);
+  const auto domain = pvc::arch::aurora().power;
+  const auto report =
+      pvc::serve::energy_report(registry.snapshot(), domain);
+  ASSERT_TRUE(report.has_device_work);
+  EXPECT_DOUBLE_EQ(report.avg_power_w, 200.0);
+  EXPECT_GT(report.mean_frequency_hz, 0.0);
+  EXPECT_LE(report.mean_frequency_hz, domain.f_max_hz);
+  // With alpha=2 and real static power the energy-optimal frequency
+  // lies strictly inside [f_max/2, f_max], and running there must not
+  // cost more than running at f_max.
+  EXPECT_GE(report.f_opt_hz, domain.f_max_hz / 2);
+  EXPECT_LE(report.f_opt_hz, domain.f_max_hz);
+  EXPECT_LE(report.energy_at_fopt_j, report.energy_at_fmax_j);
+  EXPECT_GE(report.savings_vs_fmax_pct, 0.0);
+  EXPECT_GT(report.grid_points, 0);
+  // The JSON rendering is deterministic and self-consistent.
+  const std::string json = pvc::serve::to_json(report);
+  EXPECT_NE(json.find("\"has_device_work\":true"), std::string::npos);
+  EXPECT_EQ(json, pvc::serve::to_json(report));
+}
+
+TEST(ServeEnergy, NoDeviceWorkYieldsAnEmptyReport) {
+  pvc::obs::Registry registry;
+  const auto report = pvc::serve::energy_report(
+      registry.snapshot(), pvc::arch::aurora().power);
+  EXPECT_FALSE(report.has_device_work);
+  EXPECT_EQ(report.energy_joules, 0.0);
+  EXPECT_EQ(report.f_opt_hz, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Service
+
+pvc::serve::BenchRunner real_runner() {
+  return [](const std::string& bench, const std::vector<std::string>& args) {
+    const pvcbench::BenchEntry* entry = pvcbench::find_bench(bench);
+    pvc::ensure(entry != nullptr, ErrorCode::InvalidArgument,
+                "unknown bench '" + bench + "'");
+    return pvcbench::run_bench_entry(*entry, args);
+  };
+}
+
+pvc::serve::ServiceOptions small_options() {
+  pvc::serve::ServiceOptions options;
+  options.workers = 2;
+  options.queue_capacity = 8;
+  options.cache_bytes = 1 << 20;
+  return options;
+}
+
+/// THE serving contract: for real bench request types, a cache hit
+/// returns byte-identical content to a fresh computation.  Cold compute
+/// -> warm hit -> drop the cache -> recompute; all three bodies (CSV,
+/// metrics, energy included) must match byte for byte.
+TEST(ServeService, CacheHitBodiesAreByteIdenticalToFreshRuns) {
+  const char* requests[] = {
+      R"({"bench":"power_report","config":{},"seed":1})",
+      R"({"bench":"table4_refspecs","config":{},"seed":1})",
+      R"({"bench":"sweep_msgsize","config":{"threads":"2"},"seed":1})",
+      R"({"bench":"chaos_degradation","config":{"threads":"4"},"seed":1})",
+  };
+  pvc::serve::Service service(real_runner(), small_options());
+  for (const char* request : requests) {
+    SCOPED_TRACE(request);
+    const auto cold = service.handle_json(request);
+    ASSERT_TRUE(cold.ok) << cold.error;
+    EXPECT_FALSE(cold.cache_hit);
+    EXPECT_FALSE(cold.body.empty());
+    EXPECT_EQ(cold.body.back(), '\n');
+
+    const auto warm = service.handle_json(request);
+    ASSERT_TRUE(warm.ok) << warm.error;
+    EXPECT_TRUE(warm.cache_hit);
+    EXPECT_EQ(warm.key, cold.key);
+    EXPECT_EQ(warm.body, cold.body);  // bytes, not just semantics
+
+    service.clear_cache_memory();
+    const auto recomputed = service.handle_json(request);
+    ASSERT_TRUE(recomputed.ok) << recomputed.error;
+    EXPECT_FALSE(recomputed.cache_hit);
+    EXPECT_EQ(recomputed.body, cold.body);
+  }
+}
+
+TEST(ServeService, ResponsesEmbedCsvMetricsAndEnergy) {
+  pvc::serve::Service service(real_runner(), small_options());
+  const auto response = service.handle_json(
+      R"({"bench":"chaos_degradation","config":{"threads":"2"},"seed":0})");
+  ASSERT_TRUE(response.ok) << response.error;
+  EXPECT_NE(response.body.find("\"csv\":\"scenario,pair,healthy_bps"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("\"metrics\":{"), std::string::npos);
+  EXPECT_NE(response.body.find("\"energy\":{"), std::string::npos);
+  EXPECT_NE(response.body.find("\"key\":\"" + response.key + "\""),
+            std::string::npos);
+}
+
+TEST(ServeService, ServeMetricsNeverLeakIntoResponseBodies) {
+  // The serve.* counters live in the global registry; a request's
+  // metrics section must not contain them (that would break cache-hit
+  // byte identity between the first and a later recomputation).
+  pvc::serve::Service service(real_runner(), small_options());
+  const auto response = service.handle_json(
+      R"({"bench":"table4_refspecs","config":{},"seed":9})");
+  ASSERT_TRUE(response.ok) << response.error;
+  EXPECT_EQ(response.body.find("serve."), std::string::npos);
+  // ...but they do land in the global registry for observability.
+  const auto global = pvc::obs::Registry::global().snapshot();
+  EXPECT_GE(global.value("serve.requests"), 1.0);
+}
+
+TEST(ServeService, UnknownBenchAndBadJsonAreTypedErrors) {
+  pvc::serve::Service service(real_runner(), small_options());
+  const auto unknown = service.handle_json(R"({"bench":"no_such_bench"})");
+  EXPECT_FALSE(unknown.ok);
+  EXPECT_EQ(unknown.code, ErrorCode::InvalidArgument);
+  EXPECT_NE(unknown.error.find("no_such_bench"), std::string::npos);
+
+  const auto bad = service.handle_json("{not json");
+  EXPECT_FALSE(bad.ok);
+  EXPECT_EQ(bad.code, ErrorCode::InvalidArgument);
+
+  const auto reserved = service.handle_json(
+      R"({"bench":"power_report","config":{"csv":"/tmp/x"}})");
+  EXPECT_FALSE(reserved.ok);
+  EXPECT_EQ(reserved.code, ErrorCode::InvalidArgument);
+}
+
+TEST(ServeService, SaturatedQueueRejectsWithQueueFull) {
+  // One worker, one waiting slot.  A blocking runner occupies the
+  // worker, a second request fills the slot, the third must be rejected
+  // with the typed backpressure code without ever computing.
+  std::mutex m;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> started{0};
+  pvc::serve::ServiceOptions options;
+  options.workers = 1;
+  options.queue_capacity = 1;
+  options.cache_enabled = false;
+  pvc::serve::Service service(
+      [&](const std::string&, const std::vector<std::string>&) {
+        started.fetch_add(1);
+        std::unique_lock<std::mutex> lock(m);
+        cv.wait(lock, [&] { return release; });
+        return 0;
+      },
+      options);
+
+  std::thread first([&] {
+    (void)service.handle_json(R"({"bench":"a","seed":1})");
+  });
+  while (started.load() == 0) {
+    std::this_thread::yield();  // wait until the worker RUNS job 1
+  }
+  std::thread second([&] {
+    (void)service.handle_json(R"({"bench":"a","seed":2})");
+  });
+  while (service.queue().depth() < 2) {
+    std::this_thread::yield();  // job 2 parked in the waiting slot
+  }
+
+  const auto rejected = service.handle_json(R"({"bench":"a","seed":3})");
+  EXPECT_FALSE(rejected.ok);
+  EXPECT_EQ(rejected.code, ErrorCode::QueueFull);
+
+  {
+    std::lock_guard<std::mutex> lock(m);
+    release = true;
+  }
+  cv.notify_all();
+  first.join();
+  second.join();
+}
+
+TEST(ServeService, BenchRegistryCoversEveryRequestableBinary) {
+  // The registry is hand-maintained (static-init registration would be
+  // silently dropped from a static library); this pins the count so a
+  // new bench that forgets to enlist is caught here.
+  EXPECT_EQ(pvcbench::bench_entries().size(), 16u);
+  EXPECT_NE(pvcbench::find_bench("table2_microbench"), nullptr);
+  EXPECT_NE(pvcbench::find_bench("chaos_degradation"), nullptr);
+  EXPECT_EQ(pvcbench::find_bench("gbench_simcore"), nullptr);
+}
+
+}  // namespace
